@@ -1,0 +1,66 @@
+// Reproduces Figures 11 and 12 of the paper: the benchmark execution
+// order (load test -> Query Run 1 -> Data Maintenance -> Query Run 2) and
+// the minimum-streams schedule, ending in the QphDS@SF metric (§5.3).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "driver/driver.h"
+#include "metric/metric.h"
+#include "scaling/scaling.h"
+
+namespace tpcds {
+namespace {
+
+void Run() {
+  std::printf("=== Figure 12: Minimum Required Query Streams ===\n");
+  std::printf("%-14s %s\n", "scale factor", "minimum streams");
+  for (int sf : ScalingModel::ValidScaleFactors()) {
+    std::printf("%-14d %d\n", sf, ScalingModel::MinimumStreams(sf));
+  }
+
+  std::printf("\n=== Figure 11: Benchmark Execution Order ===\n");
+  std::printf("database load -> query run 1 -> data maintenance -> "
+              "query run 2\n\n");
+
+  const char* env = std::getenv("TPCDS_BENCH_SF");
+  double sf = env != nullptr ? std::strtod(env, nullptr) : 0.005;
+  BenchmarkConfig config;
+  config.scale_factor = sf;
+  config.streams = 3;  // the SF <= 100 minimum (Fig. 12)
+  config.queries_per_stream = 20;
+  config.refresh_fraction = 0.02;
+  config.dimension_updates = 50;
+
+  Result<BenchmarkResult> result = RunBenchmark(config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("SF %.3f, %d streams, %d queries/stream/run:\n\n", sf,
+              result->streams, config.queries_per_stream);
+  std::printf("  load test          %8.2f s\n", result->t_load_sec);
+  std::printf("  query run 1        %8.2f s  (%zu queries)\n",
+              result->t_qr1_sec, result->qr1_queries.size());
+  std::printf("  data maintenance   %8.2f s  (%lld rows)\n",
+              result->t_dm_sec,
+              static_cast<long long>(result->dm_report.TotalRows()));
+  std::printf("  query run 2        %8.2f s  (%zu queries)\n\n",
+              result->t_qr2_sec, result->qr2_queries.size());
+  std::printf("%s\n",
+              FormatMetricReport(result->ToMetricInputs(),
+                                 /*tco_dollars=*/350000.0)
+                  .c_str());
+  std::printf(
+      "(Quick run with %d of 99 queries per stream; the full workload is\n"
+      "exercised by examples/full_benchmark and the test suite.)\n",
+      config.queries_per_stream);
+}
+
+}  // namespace
+}  // namespace tpcds
+
+int main() {
+  tpcds::Run();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Reproduces Figure 3 of the paper: the purely synthetic weekly sales
+// distribution — a Gaussian with mu=200, sigma=50 over the day of year —
+// that the paper contrasts with the zoned census-based approach.
+
+#include <cstdio>
+#include <string>
+
+#include "dist/zones.h"
+
+namespace tpcds {
+namespace {
+
+void Run() {
+  std::printf("=== Figure 3: Synthetic Sales Distribution ===\n");
+  std::printf("N(mu=200, sigma=50) aggregated per week of year\n\n");
+  std::printf("%-5s %9s  %s\n", "week", "weight", "profile");
+  double peak = 0;
+  for (int w = 1; w <= 52; ++w) {
+    peak = std::max(peak, SyntheticGaussianWeekWeight(w));
+  }
+  for (int w = 1; w <= 52; ++w) {
+    double weight = SyntheticGaussianWeekWeight(w);
+    int bars = static_cast<int>(50.0 * weight / peak + 0.5);
+    std::printf("%-5d %9.5f  %s\n", w, weight, std::string(
+        static_cast<size_t>(bars), '#').c_str());
+  }
+  std::printf(
+      "\nPeak at week %d (day ~200), matching the paper's Fig. 3 curve.\n"
+      "The paper's point: such a distribution cannot support comparable\n"
+      "bind-variable substitution because every (D1, D2) range qualifies\n"
+      "a different row count — hence the comparability zones of Fig. 2.\n",
+      29);
+}
+
+}  // namespace
+}  // namespace tpcds
+
+int main() {
+  tpcds::Run();
+  return 0;
+}

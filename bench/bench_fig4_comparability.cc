@@ -1,0 +1,129 @@
+// Reproduces the paper's Figure 4 discussion: the simple date-range query
+//
+//   SELECT s_date, SUM(s_sales) FROM sales
+//   WHERE s_date BETWEEN D1 AND D2 GROUP BY s_date
+//
+// executed under many (D1, D2) substitutions. Substitutions drawn inside
+// one comparability zone qualify a near-constant number of rows; the same
+// spread drawn from the synthetic-style whole-year domain does not. This
+// is the property that makes TPC-DS bind variables fair (paper §3.2).
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "qgen/qgen.h"
+#include "util/string_util.h"
+
+namespace tpcds {
+namespace {
+
+struct Spread {
+  double mean = 0;
+  double cv = 0;  // coefficient of variation
+  int64_t min = 0;
+  int64_t max = 0;
+};
+
+Spread Measure(const std::vector<int64_t>& counts) {
+  Spread s;
+  if (counts.empty()) return s;
+  double sum = 0;
+  s.min = counts[0];
+  s.max = counts[0];
+  for (int64_t c : counts) {
+    sum += static_cast<double>(c);
+    s.min = std::min(s.min, c);
+    s.max = std::max(s.max, c);
+  }
+  s.mean = sum / static_cast<double>(counts.size());
+  double var = 0;
+  for (int64_t c : counts) {
+    var += (c - s.mean) * (c - s.mean);
+  }
+  var /= static_cast<double>(counts.size());
+  s.cv = s.mean > 0 ? std::sqrt(var) / s.mean : 0;
+  return s;
+}
+
+void Run() {
+  std::unique_ptr<Database> db =
+      bench::LoadDatabase(bench::BenchScaleFactor(0.01));
+  QueryGenerator qgen(19620718);
+
+  constexpr int kSubstitutions = 25;
+  std::printf("=== Figure 4: Query Comparability Under Substitution ===\n");
+  std::printf("query: SELECT d_date, SUM(ss_ext_sales_price) ... WHERE\n");
+  std::printf("       d_date BETWEEN D1 AND D1+30 GROUP BY d_date\n\n");
+
+  for (int zone = 1; zone <= 3; ++zone) {
+    QueryTemplate t;
+    t.id = 900 + zone;
+    t.name = "fig4";
+    t.text = StringPrintf(
+        "define D = date(30, %d);\n"
+        "SELECT COUNT(*) AS qualifying, SUM(ss_ext_sales_price) AS rev "
+        "FROM store_sales, date_dim "
+        "WHERE ss_sold_date_sk = d_date_sk "
+        "  AND d_date BETWEEN CAST('[D]' AS DATE) "
+        "                 AND (CAST('[D]' AS DATE) + 30)",
+        zone);
+    std::vector<int64_t> counts;
+    for (int s = 0; s < kSubstitutions; ++s) {
+      Result<std::string> sql = qgen.Instantiate(t, s);
+      if (!sql.ok()) continue;
+      Result<QueryResult> r = db->Query(*sql);
+      if (!r.ok()) continue;
+      counts.push_back(r->rows[0][0].AsInt());
+    }
+    Spread s = Measure(counts);
+    std::printf(
+        "zone %d:   %2d substitutions   rows mean %9.0f   min %8lld   "
+        "max %8lld   cv %5.1f%%\n",
+        zone, kSubstitutions, s.mean, static_cast<long long>(s.min),
+        static_cast<long long>(s.max), 100.0 * s.cv);
+  }
+
+  // Contrast: ranges drawn uniformly over the whole year straddle zones,
+  // so qualifying counts swing with the seasonal step.
+  {
+    std::vector<int64_t> counts;
+    QueryGenerator whole_year(7);
+    for (int s = 0; s < kSubstitutions; ++s) {
+      QueryTemplate t;
+      t.id = 999;
+      t.name = "fig4-any";
+      t.text =
+          "define Y = random(1998, 2001, uniform);\n"
+          "define DOY = random(1, 330, uniform);\n"
+          "SELECT COUNT(*) AS qualifying FROM store_sales, date_dim "
+          "WHERE ss_sold_date_sk = d_date_sk "
+          "  AND d_date BETWEEN (CAST('1998-01-01' AS DATE) + [DOY]) "
+          "                 AND (CAST('1998-01-01' AS DATE) + [DOY] + 30) ";
+      Result<std::string> sql = whole_year.Instantiate(t, s);
+      if (!sql.ok()) continue;
+      Result<QueryResult> r = db->Query(*sql);
+      if (!r.ok()) continue;
+      counts.push_back(r->rows[0][0].AsInt());
+    }
+    Spread s = Measure(counts);
+    std::printf(
+        "no zone:  %2d substitutions   rows mean %9.0f   min %8lld   "
+        "max %8lld   cv %5.1f%%   <- unconstrained substitution\n",
+        kSubstitutions, s.mean, static_cast<long long>(s.min),
+        static_cast<long long>(s.max), 100.0 * s.cv);
+  }
+  std::printf(
+      "\nWithin-zone substitutions keep qualifying-row counts nearly\n"
+      "constant (low cv); unconstrained ranges do not — the paper's\n"
+      "argument for comparability zones.\n");
+}
+
+}  // namespace
+}  // namespace tpcds
+
+int main() {
+  tpcds::Run();
+  return 0;
+}

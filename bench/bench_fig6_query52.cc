@@ -1,0 +1,76 @@
+// Reproduces Figure 6 of the paper: Query 52, the ad-hoc example — brand
+// revenue for one manager's items in a holiday month — timed with
+// google-benchmark under both execution paths (star transformation vs.
+// pure hash joins).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "qgen/qgen.h"
+#include "templates/templates.h"
+
+namespace tpcds {
+namespace {
+
+Database* GlobalDb() {
+  static Database* db =
+      bench::LoadDatabase(bench::BenchScaleFactor(0.01)).release();
+  return db;
+}
+
+std::string Q52Sql() {
+  static const std::string& sql = *[] {
+    QueryGenerator qgen(19620718);
+    const QueryTemplate* t = FindTemplate(52);
+    return new std::string(qgen.Instantiate(*t, 1).ValueOrDie());
+  }();
+  return sql;
+}
+
+void BM_Query52_StarTransformation(benchmark::State& state) {
+  Database* db = GlobalDb();
+  PlannerOptions options;
+  options.star_transformation = true;
+  int64_t rows = 0;
+  for (auto _ : state) {
+    Result<QueryResult> r = db->Query(Q52Sql(), options);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    rows = static_cast<int64_t>(r->rows.size());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["result_rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_Query52_StarTransformation)->Unit(benchmark::kMillisecond);
+
+void BM_Query52_HashJoinOnly(benchmark::State& state) {
+  Database* db = GlobalDb();
+  PlannerOptions options;
+  options.star_transformation = false;
+  for (auto _ : state) {
+    Result<QueryResult> r = db->Query(Q52Sql(), options);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Query52_HashJoinOnly)->Unit(benchmark::kMillisecond);
+
+// Substitution variance: different streams = different bind variables,
+// the comparability design keeps runtimes in one band (paper §4.1).
+void BM_Query52_SubstitutionSweep(benchmark::State& state) {
+  Database* db = GlobalDb();
+  QueryGenerator qgen(19620718);
+  const QueryTemplate* t = FindTemplate(52);
+  int stream = 0;
+  for (auto _ : state) {
+    Result<std::string> sql = qgen.Instantiate(*t, stream++ % 16);
+    Result<QueryResult> r = db->Query(*sql);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Query52_SubstitutionSweep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tpcds
+
+BENCHMARK_MAIN();

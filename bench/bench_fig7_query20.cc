@@ -1,0 +1,76 @@
+// Reproduces Figure 7 of the paper: Query 20, the reporting example — item
+// revenue share within its class on the catalog channel, featuring the
+// SQL-99 OLAP amendment's windowed aggregate SUM(SUM(x)) OVER (PARTITION
+// BY ...).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "qgen/qgen.h"
+#include "templates/templates.h"
+
+namespace tpcds {
+namespace {
+
+Database* GlobalDb() {
+  static Database* db =
+      bench::LoadDatabase(bench::BenchScaleFactor(0.01)).release();
+  return db;
+}
+
+void BM_Query20_Reporting(benchmark::State& state) {
+  Database* db = GlobalDb();
+  QueryGenerator qgen(19620718);
+  const QueryTemplate* t = FindTemplate(20);
+  std::string sql = qgen.Instantiate(*t, 1).ValueOrDie();
+  int64_t rows = 0;
+  for (auto _ : state) {
+    Result<QueryResult> r = db->Query(sql);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    rows = static_cast<int64_t>(r->rows.size());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["result_rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_Query20_Reporting)->Unit(benchmark::kMillisecond);
+
+// The window function is the expensive extra over a plain group-by:
+// measure the same aggregation without the revenue-ratio window.
+void BM_Query20_WithoutWindow(benchmark::State& state) {
+  Database* db = GlobalDb();
+  QueryGenerator qgen(19620718);
+  // Same scan/join/aggregation as q20, minus the revenue-ratio window.
+  QueryTemplate t;
+  t.id = 20;
+  t.name = "q20-nowindow";
+  t.text = R"(
+define CATS = list(categories, 3);
+define SDATE = date(30, 1);
+SELECT i_item_desc, i_category, i_class, i_current_price,
+       SUM(cs_ext_sales_price) AS itemrevenue
+FROM catalog_sales, item, date_dim
+WHERE cs_item_sk = i_item_sk
+  AND i_category IN ([CATS])
+  AND cs_sold_date_sk = d_date_sk
+  AND d_date BETWEEN '[SDATE]'
+                 AND (CAST('[SDATE]' AS DATE) + 30)
+GROUP BY i_item_id, i_item_desc, i_category, i_class, i_current_price
+ORDER BY i_category, i_class, i_item_id, i_item_desc
+)";
+  Result<std::string> sql = qgen.Instantiate(t, 1);
+  if (!sql.ok()) {
+    state.SkipWithError(sql.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    Result<QueryResult> r = db->Query(*sql);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Query20_WithoutWindow)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tpcds
+
+BENCHMARK_MAIN();

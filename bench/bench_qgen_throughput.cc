@@ -1,0 +1,69 @@
+// Validates the coupled-tools claim of ref [10] ("Generating Thousand
+// Benchmark Queries in Seconds"): template instantiation plus SQL parsing
+// throughput for the full 99-template workload.
+
+#include <benchmark/benchmark.h>
+
+#include "engine/parser.h"
+#include "qgen/qgen.h"
+#include "templates/templates.h"
+
+namespace tpcds {
+namespace {
+
+void BM_InstantiateAll99(benchmark::State& state) {
+  QueryGenerator qgen(19620718);
+  const std::vector<QueryTemplate>& templates = AllTemplates();
+  int stream = 0;
+  int64_t queries = 0;
+  for (auto _ : state) {
+    for (const QueryTemplate& t : templates) {
+      Result<std::string> sql = qgen.Instantiate(t, stream);
+      if (!sql.ok()) state.SkipWithError(sql.status().ToString().c_str());
+      benchmark::DoNotOptimize(sql);
+      ++queries;
+    }
+    ++stream;
+  }
+  state.counters["queries/s"] = benchmark::Counter(
+      static_cast<double>(queries), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InstantiateAll99)->Unit(benchmark::kMillisecond);
+
+void BM_InstantiateAndParseAll99(benchmark::State& state) {
+  QueryGenerator qgen(19620718);
+  const std::vector<QueryTemplate>& templates = AllTemplates();
+  int stream = 0;
+  int64_t queries = 0;
+  for (auto _ : state) {
+    for (const QueryTemplate& t : templates) {
+      Result<std::string> sql = qgen.Instantiate(t, stream);
+      if (!sql.ok()) state.SkipWithError(sql.status().ToString().c_str());
+      auto parsed = ParseSql(*sql);
+      if (!parsed.ok()) {
+        state.SkipWithError(parsed.status().ToString().c_str());
+      }
+      benchmark::DoNotOptimize(parsed);
+      ++queries;
+    }
+    ++stream;
+  }
+  state.counters["queries/s"] = benchmark::Counter(
+      static_cast<double>(queries), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InstantiateAndParseAll99)->Unit(benchmark::kMillisecond);
+
+void BM_StreamPermutation(benchmark::State& state) {
+  QueryGenerator qgen(19620718);
+  int stream = 0;
+  for (auto _ : state) {
+    std::vector<int> p = qgen.StreamPermutation(stream++, 99);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_StreamPermutation);
+
+}  // namespace
+}  // namespace tpcds
+
+BENCHMARK_MAIN();

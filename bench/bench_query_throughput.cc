@@ -1,0 +1,92 @@
+// The 99-query workload end to end: executes every template once and
+// reports per-class timing — the paper's ad-hoc / reporting / hybrid split
+// and the standard / iterative-OLAP / data-mining flavours (§4.1).
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "qgen/qgen.h"
+#include "templates/templates.h"
+#include "util/stopwatch.h"
+
+namespace tpcds {
+namespace {
+
+struct ClassTally {
+  int queries = 0;
+  double seconds = 0;
+  int64_t rows = 0;
+};
+
+void Run() {
+  double sf = bench::BenchScaleFactor(0.01);
+  std::unique_ptr<Database> db = bench::LoadDatabase(sf);
+  QueryGenerator qgen(19620718);
+
+  std::map<std::string, ClassTally> by_class;
+  std::map<std::string, ClassTally> by_flavor;
+  double total = 0;
+  double slowest = 0;
+  int slowest_id = 0;
+  for (const QueryTemplate& t : AllTemplates()) {
+    Result<std::string> sql = qgen.Instantiate(t, 1);
+    if (!sql.ok()) {
+      std::fprintf(stderr, "%s: %s\n", t.name.c_str(),
+                   sql.status().ToString().c_str());
+      continue;
+    }
+    Stopwatch timer;
+    Result<QueryResult> r = db->Query(*sql);
+    double seconds = timer.ElapsedSeconds();
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s: %s\n", t.name.c_str(),
+                   r.status().ToString().c_str());
+      continue;
+    }
+    total += seconds;
+    if (seconds > slowest) {
+      slowest = seconds;
+      slowest_id = t.id;
+    }
+    ClassTally& cls = by_class[QueryClassToString(t.query_class)];
+    ++cls.queries;
+    cls.seconds += seconds;
+    cls.rows += static_cast<int64_t>(r->rows.size());
+    ClassTally& flv = by_flavor[QueryFlavorToString(t.flavor)];
+    ++flv.queries;
+    flv.seconds += seconds;
+    flv.rows += static_cast<int64_t>(r->rows.size());
+  }
+
+  std::printf("=== 99-Query Workload (SF %.3f, single stream) ===\n\n", sf);
+  std::printf("%-16s %8s %10s %12s %14s\n", "class", "queries", "seconds",
+              "avg ms", "result rows");
+  for (const auto& [name, tally] : by_class) {
+    std::printf("%-16s %8d %10.2f %12.1f %14lld\n", name.c_str(),
+                tally.queries, tally.seconds,
+                1000.0 * tally.seconds / tally.queries,
+                static_cast<long long>(tally.rows));
+  }
+  std::printf("\n%-16s %8s %10s %12s %14s\n", "flavor", "queries",
+              "seconds", "avg ms", "result rows");
+  for (const auto& [name, tally] : by_flavor) {
+    std::printf("%-16s %8d %10.2f %12.1f %14lld\n", name.c_str(),
+                tally.queries, tally.seconds,
+                1000.0 * tally.seconds / tally.queries,
+                static_cast<long long>(tally.rows));
+  }
+  std::printf("\ntotal %.2f s for 99 queries; slowest q%02d at %.2f s\n",
+              total, slowest_id, slowest);
+  std::printf(
+      "(data-mining extractions return large results by design; their\n"
+      "output feeds external tools, paper §4.1)\n");
+}
+
+}  // namespace
+}  // namespace tpcds
+
+int main() {
+  tpcds::Run();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces Table 1 of the paper (schema statistics) from the schema
+// catalog, plus the paper's empirical row-length figures from generated
+// data, and prints the Fig. 1 store-channel snowflake.
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "dsgen/generator.h"
+#include "schema/schema.h"
+#include "schema/schema_stats.h"
+#include "util/flatfile.h"
+
+namespace tpcds {
+namespace {
+
+void Run() {
+  const Schema& schema = TpcdsSchema();
+  SchemaStats stats = ComputeSchemaStats(schema);
+
+  std::printf("=== Table 1: Schema Statistics (paper vs. this repo) ===\n");
+  std::printf("%-28s %10s %10s\n", "statistic", "paper", "measured");
+  std::printf("%-28s %10d %10d\n", "fact tables", 7, stats.num_fact_tables);
+  std::printf("%-28s %10d %10d\n", "dimension tables", 17,
+              stats.num_dimension_tables);
+  std::printf("%-28s %10d %10d\n", "columns min", 3, stats.min_columns);
+  std::printf("%-28s %10d %10d\n", "columns max", 34, stats.max_columns);
+  std::printf("%-28s %10d %10.1f\n", "columns avg", 18, stats.avg_columns);
+  std::printf("%-28s %10d %10d\n", "foreign keys", 104,
+              stats.num_foreign_keys);
+
+  // Empirical row lengths: generate a sample of every table and measure
+  // flat-file bytes per row (the paper's footnote 4 definition).
+  double min_avg = std::numeric_limits<double>::max();
+  double max_avg = 0;
+  double sum_avg = 0;
+  std::string min_table;
+  std::string max_table;
+  GeneratorOptions options;
+  options.scale_factor = 0.01;
+  for (const std::string& table : GeneratorTableNames()) {
+    Result<std::unique_ptr<TableGenerator>> gen =
+        MakeGenerator(table, options);
+    if (!gen.ok()) continue;
+    CountingRowSink sink;
+    int64_t sample = std::min<int64_t>((*gen)->NumUnits(), 2000);
+    if (!(*gen)->GenerateUnits(0, sample, &sink).ok() || sink.rows() == 0) {
+      continue;
+    }
+    double avg = static_cast<double>(sink.bytes()) /
+                 static_cast<double>(sink.rows());
+    sum_avg += avg;
+    if (avg < min_avg) {
+      min_avg = avg;
+      min_table = table;
+    }
+    if (avg > max_avg) {
+      max_avg = avg;
+      max_table = table;
+    }
+  }
+  double avg_avg = sum_avg / static_cast<double>(GeneratorTableNames().size());
+  std::printf("%-28s %10d %10.0f  (%s)\n", "row bytes min", 16, min_avg,
+              min_table.c_str());
+  std::printf("%-28s %10d %10.0f  (%s)\n", "row bytes max", 317, max_avg,
+              max_table.c_str());
+  std::printf("%-28s %10d %10.0f\n", "row bytes avg", 136, avg_avg);
+
+  std::printf("\n=== Figure 1: Store Sales Snowflake ===\n%s\n",
+              FormatSnowflake(schema, "store_sales").c_str());
+  std::printf("%s", FormatSnowflake(schema, "store_returns").c_str());
+}
+
+}  // namespace
+}  // namespace tpcds
+
+int main() {
+  tpcds::Run();
+  return 0;
+}

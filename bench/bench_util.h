@@ -1,0 +1,45 @@
+#ifndef TPCDS_BENCH_BENCH_UTIL_H_
+#define TPCDS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "engine/database.h"
+
+namespace tpcds {
+namespace bench {
+
+/// Default development scale factor for benchmark databases. Overridable
+/// via the TPCDS_BENCH_SF environment variable (e.g. TPCDS_BENCH_SF=0.05).
+inline double BenchScaleFactor(double fallback = 0.01) {
+  const char* env = std::getenv("TPCDS_BENCH_SF");
+  if (env != nullptr) {
+    double sf = std::strtod(env, nullptr);
+    if (sf > 0) return sf;
+  }
+  return fallback;
+}
+
+/// Creates and loads a TPC-DS database at `sf`; aborts on failure (bench
+/// binaries have no error channel worth wiring).
+inline std::unique_ptr<Database> LoadDatabase(double sf) {
+  auto db = std::make_unique<Database>();
+  Status st = db->CreateTpcdsTables();
+  if (st.ok()) {
+    GeneratorOptions options;
+    options.scale_factor = sf;
+    st = db->LoadTpcdsData(options);
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench database load failed: %s\n",
+                 st.ToString().c_str());
+    std::abort();
+  }
+  return db;
+}
+
+}  // namespace bench
+}  // namespace tpcds
+
+#endif  // TPCDS_BENCH_BENCH_UTIL_H_

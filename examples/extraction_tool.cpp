@@ -1,0 +1,79 @@
+// extraction_tool: runs the workload's data-mining extraction queries
+// (paper §4.1: large results destined for external data-mining tools) and
+// writes each result as a CSV file.
+//
+//   ./examples/extraction_tool [-scale SF] [-dir DIR] [-stream S]
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "engine/database.h"
+#include "qgen/qgen.h"
+#include "templates/templates.h"
+#include "util/stopwatch.h"
+
+int main(int argc, char** argv) {
+  double sf = 0.01;
+  std::string dir = "extracts";
+  int stream = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "-scale") {
+      sf = std::strtod(next(), nullptr);
+    } else if (arg == "-dir") {
+      dir = next();
+    } else if (arg == "-stream") {
+      stream = std::atoi(next());
+    } else {
+      std::fprintf(stderr,
+                   "usage: extraction_tool [-scale SF] [-dir DIR] "
+                   "[-stream S]\n");
+      return 1;
+    }
+  }
+
+  tpcds::Database db;
+  tpcds::Status st = db.CreateTpcdsTables();
+  if (st.ok()) {
+    tpcds::GeneratorOptions options;
+    options.scale_factor = sf;
+    std::printf("loading TPC-DS at SF %.3f ...\n", sf);
+    st = db.LoadTpcdsData(options);
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::filesystem::create_directories(dir);
+
+  tpcds::QueryGenerator qgen(19620718);
+  for (const tpcds::QueryTemplate& t : tpcds::AllTemplates()) {
+    if (t.flavor != tpcds::QueryFlavor::kDataMining) continue;
+    tpcds::Result<std::string> sql = qgen.Instantiate(t, stream);
+    if (!sql.ok()) {
+      std::fprintf(stderr, "%s: %s\n", t.name.c_str(),
+                   sql.status().ToString().c_str());
+      return 1;
+    }
+    tpcds::Stopwatch timer;
+    tpcds::Result<tpcds::QueryResult> result = db.Query(*sql);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", t.name.c_str(),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::string path = dir + "/" + t.name + ".csv";
+    std::ofstream out(path);
+    out << result->ToCsv();
+    std::printf("%s: %zu rows -> %s (%.2f s)\n", t.name.c_str(),
+                result->rows.size(), path.c_str(),
+                timer.ElapsedSeconds());
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+// sql_shell: an interactive SQL shell over a generated TPC-DS database —
+// type SELECT statements against the 24-table snowstorm schema.
+//
+//   ./examples/sql_shell [scale_factor]
+//
+// Meta commands: \tables, \d <table>, \q
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "engine/database.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace {
+
+void DescribeTable(const tpcds::Database& db, const std::string& name) {
+  const tpcds::EngineTable* table = db.FindTable(name);
+  if (table == nullptr) {
+    std::printf("no such table: %s\n", name.c_str());
+    return;
+  }
+  std::printf("%s (%lld rows)\n", name.c_str(),
+              static_cast<long long>(table->num_rows()));
+  for (size_t c = 0; c < table->num_columns(); ++c) {
+    const tpcds::EngineTable::ColumnMeta& meta = table->column_meta(c);
+    std::printf("  %-28s %s\n", meta.name.c_str(),
+                tpcds::ColumnTypeToString(meta.type));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double sf = argc > 1 ? std::strtod(argv[1], nullptr) : 0.01;
+  tpcds::Database db;
+  tpcds::Status st = db.CreateTpcdsTables();
+  if (st.ok()) {
+    tpcds::GeneratorOptions options;
+    options.scale_factor = sf;
+    std::printf("loading TPC-DS at SF %.3f ...\n", sf);
+    st = db.LoadTpcdsData(options);
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%lld rows loaded. \\tables lists tables, \\d TABLE "
+              "describes one, \\q quits.\n",
+              static_cast<long long>(db.TotalRows()));
+
+  std::string buffer;
+  std::string line;
+  std::printf("tpcds> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    std::string trimmed(tpcds::Trim(line));
+    if (trimmed == "\\q" || trimmed == "quit" || trimmed == "exit") break;
+    if (trimmed == "\\tables") {
+      for (const std::string& name : db.TableNames()) {
+        std::printf("  %-24s %12lld rows\n", name.c_str(),
+                    static_cast<long long>(db.FindTable(name)->num_rows()));
+      }
+      std::printf("tpcds> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (tpcds::StartsWith(trimmed, "\\d ")) {
+      DescribeTable(db, std::string(tpcds::Trim(trimmed.substr(3))));
+      std::printf("tpcds> ");
+      std::fflush(stdout);
+      continue;
+    }
+    buffer += line + "\n";
+    // Execute once the statement is terminated by ';'.
+    if (trimmed.empty() || trimmed.back() != ';') {
+      std::printf("   ...> ");
+      std::fflush(stdout);
+      continue;
+    }
+    // EXPLAIN prefix: print the plan trace instead of results.
+    std::string statement(tpcds::Trim(buffer));
+    if (tpcds::EqualsIgnoreCase(statement.substr(0, 8), "explain ")) {
+      tpcds::Result<std::string> plan = db.Explain(statement.substr(8));
+      buffer.clear();
+      if (!plan.ok()) {
+        std::printf("error: %s\n", plan.status().ToString().c_str());
+      } else {
+        std::printf("%s", plan->c_str());
+      }
+      std::printf("tpcds> ");
+      std::fflush(stdout);
+      continue;
+    }
+    tpcds::Stopwatch timer;
+    tpcds::Result<tpcds::QueryResult> result = db.Query(buffer);
+    buffer.clear();
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+    } else {
+      std::printf("%s(%zu rows, %.3f s)\n",
+                  result->ToString(40).c_str(), result->rows.size(),
+                  timer.ElapsedSeconds());
+    }
+    std::printf("tpcds> ");
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "dist/distribution.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tpcds {
+
+Distribution::Distribution(
+    std::string name, std::vector<std::pair<std::string, double>> entries)
+    : name_(std::move(name)) {
+  values_.reserve(entries.size());
+  weights_.reserve(entries.size());
+  cumulative_.reserve(entries.size());
+  double running = 0.0;
+  for (auto& [value, weight] : entries) {
+    assert(weight >= 0.0);
+    values_.push_back(std::move(value));
+    weights_.push_back(weight);
+    running += weight;
+    cumulative_.push_back(running);
+  }
+}
+
+Distribution Distribution::Uniform(std::string name,
+                                   std::vector<std::string> values) {
+  std::vector<std::pair<std::string, double>> entries;
+  entries.reserve(values.size());
+  for (std::string& v : values) entries.emplace_back(std::move(v), 1.0);
+  return Distribution(std::move(name), std::move(entries));
+}
+
+int Distribution::IndexOf(const std::string& value) const {
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] == value) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+size_t Distribution::PickWeightedIndex(RngStream* rng) const {
+  assert(!values_.empty());
+  double total = cumulative_.back();
+  double target = rng->NextDouble() * total;
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), target);
+  size_t idx = static_cast<size_t>(it - cumulative_.begin());
+  return std::min(idx, values_.size() - 1);
+}
+
+const std::string& Distribution::PickWeighted(RngStream* rng) const {
+  return values_[PickWeightedIndex(rng)];
+}
+
+const std::string& Distribution::PickUniform(RngStream* rng) const {
+  return values_[PickUniformIndex(rng)];
+}
+
+}  // namespace tpcds

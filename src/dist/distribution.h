@@ -1,0 +1,54 @@
+#ifndef TPCDS_DIST_DISTRIBUTION_H_
+#define TPCDS_DIST_DISTRIBUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace tpcds {
+
+/// A weighted domain of strings — the in-memory equivalent of one entry in
+/// the official kit's tpcds.idx distribution file. Values can be drawn
+/// weighted (real-world skew, e.g. frequent first names), uniformly
+/// (comparability zones require uniform likelihood within a zone), or
+/// addressed by ordinal (mixed-radix cross-product dimensions).
+class Distribution {
+ public:
+  Distribution() = default;
+  Distribution(std::string name,
+               std::vector<std::pair<std::string, double>> entries);
+
+  /// Builds a distribution where every value has weight 1.
+  static Distribution Uniform(std::string name,
+                              std::vector<std::string> values);
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return values_.size(); }
+  const std::string& value(size_t index) const { return values_[index]; }
+  double weight(size_t index) const { return weights_[index]; }
+
+  /// Index of `value`, or -1 when absent.
+  int IndexOf(const std::string& value) const;
+
+  /// One weighted draw.
+  const std::string& PickWeighted(RngStream* rng) const;
+  size_t PickWeightedIndex(RngStream* rng) const;
+
+  /// One uniform draw.
+  const std::string& PickUniform(RngStream* rng) const;
+  size_t PickUniformIndex(RngStream* rng) const {
+    return static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(size()) - 1));
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> values_;
+  std::vector<double> weights_;
+  std::vector<double> cumulative_;  // prefix sums for O(log n) weighted draw
+};
+
+}  // namespace tpcds
+
+#endif  // TPCDS_DIST_DISTRIBUTION_H_

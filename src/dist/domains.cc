@@ -1,0 +1,602 @@
+#include "dist/domains.h"
+
+namespace tpcds {
+namespace domains {
+namespace {
+
+using Entries = std::vector<std::pair<std::string, double>>;
+
+const Distribution* MakeWeighted(const char* name, Entries entries) {
+  return new Distribution(name, std::move(entries));
+}
+
+const Distribution* MakeUniform(const char* name,
+                                std::vector<std::string> values) {
+  return new Distribution(Distribution::Uniform(name, std::move(values)));
+}
+
+}  // namespace
+
+const Distribution& FirstNames() {
+  static const Distribution& d = *MakeWeighted(
+      "first_names",
+      {// Weights follow US census frequency ranks (paper: "frequent names").
+       {"James", 3.318},   {"John", 3.271},    {"Robert", 3.143},
+       {"Michael", 2.629}, {"Mary", 2.629},    {"William", 2.451},
+       {"David", 2.363},   {"Richard", 1.703}, {"Charles", 1.523},
+       {"Joseph", 1.404},  {"Thomas", 1.380},  {"Patricia", 1.073},
+       {"Linda", 1.035},   {"Barbara", 0.980}, {"Christopher", 1.035},
+       {"Daniel", 0.974},  {"Paul", 0.948},    {"Mark", 0.938},
+       {"Elizabeth", 0.937}, {"Donald", 0.931}, {"Jennifer", 0.932},
+       {"George", 0.927},  {"Maria", 0.828},   {"Kenneth", 0.826},
+       {"Susan", 0.794},   {"Steven", 0.780},  {"Edward", 0.779},
+       {"Margaret", 0.768}, {"Brian", 0.736},  {"Ronald", 0.725},
+       {"Dorothy", 0.727}, {"Anthony", 0.721}, {"Lisa", 0.704},
+       {"Kevin", 0.671},   {"Nancy", 0.669},   {"Karen", 0.667},
+       {"Betty", 0.666},   {"Helen", 0.663},   {"Jason", 0.660},
+       {"Matthew", 0.657}, {"Gary", 0.650},    {"Timothy", 0.640},
+       {"Sandra", 0.629},  {"Jose", 0.613},    {"Larry", 0.598},
+       {"Jeffrey", 0.591}, {"Frank", 0.581},   {"Donna", 0.583},
+       {"Carol", 0.582},   {"Ruth", 0.562},    {"Scott", 0.546},
+       {"Eric", 0.544},    {"Stephen", 0.540}, {"Andrew", 0.537},
+       {"Sharon", 0.522},  {"Michelle", 0.519}, {"Laura", 0.510},
+       {"Sarah", 0.508},   {"Kimberly", 0.504}, {"Deborah", 0.494},
+       {"Jessica", 0.490}, {"Raymond", 0.488}, {"Shirley", 0.482},
+       {"Cynthia", 0.469}, {"Angela", 0.468},  {"Melissa", 0.462},
+       {"Brenda", 0.455},  {"Amy", 0.451},     {"Jerry", 0.432},
+       {"Gregory", 0.421}, {"Anna", 0.440},    {"Joshua", 0.435},
+       {"Virginia", 0.430}, {"Rebecca", 0.430}, {"Kathleen", 0.424},
+       {"Dennis", 0.415},  {"Pamela", 0.416},  {"Martha", 0.411},
+       {"Debra", 0.408},   {"Amanda", 0.404},  {"Walter", 0.399},
+       {"Stephanie", 0.400}, {"Willie", 0.397}, {"Patrick", 0.389},
+       {"Terry", 0.381},   {"Carolyn", 0.381}, {"Peter", 0.381},
+       {"Christine", 0.378}, {"Marie", 0.379}, {"Janet", 0.379},
+       {"Frances", 0.368}, {"Catherine", 0.367}, {"Harold", 0.371},
+       {"Henry", 0.365},   {"Douglas", 0.367}, {"Joyce", 0.364},
+       {"Ann", 0.356},     {"Diane", 0.359},   {"Alice", 0.357},
+       {"Jean", 0.351}});
+  return d;
+}
+
+const Distribution& LastNames() {
+  static const Distribution& d = *MakeWeighted(
+      "last_names",
+      {{"Smith", 1.006},    {"Johnson", 0.810}, {"Williams", 0.699},
+       {"Jones", 0.621},    {"Brown", 0.621},   {"Davis", 0.480},
+       {"Miller", 0.424},   {"Wilson", 0.339},  {"Moore", 0.312},
+       {"Taylor", 0.311},   {"Anderson", 0.311}, {"Thomas", 0.311},
+       {"Jackson", 0.310},  {"White", 0.279},   {"Harris", 0.275},
+       {"Martin", 0.273},   {"Thompson", 0.269}, {"Garcia", 0.254},
+       {"Martinez", 0.234}, {"Robinson", 0.233}, {"Clark", 0.231},
+       {"Rodriguez", 0.229}, {"Lewis", 0.226},  {"Lee", 0.220},
+       {"Walker", 0.219},   {"Hall", 0.200},    {"Allen", 0.199},
+       {"Young", 0.193},    {"Hernandez", 0.192}, {"King", 0.190},
+       {"Wright", 0.189},   {"Lopez", 0.187},   {"Hill", 0.187},
+       {"Scott", 0.185},    {"Green", 0.183},   {"Adams", 0.174},
+       {"Baker", 0.171},    {"Gonzalez", 0.166}, {"Nelson", 0.162},
+       {"Carter", 0.162},   {"Mitchell", 0.160}, {"Perez", 0.155},
+       {"Roberts", 0.153},  {"Turner", 0.152},  {"Phillips", 0.149},
+       {"Campbell", 0.149}, {"Parker", 0.146},  {"Evans", 0.141},
+       {"Edwards", 0.139},  {"Collins", 0.137}, {"Stewart", 0.136},
+       {"Sanchez", 0.135},  {"Morris", 0.133},  {"Rogers", 0.132},
+       {"Reed", 0.130},     {"Cook", 0.130},    {"Morgan", 0.128},
+       {"Bell", 0.127},     {"Murphy", 0.126},  {"Bailey", 0.125},
+       {"Rivera", 0.124},   {"Cooper", 0.124},  {"Richardson", 0.122},
+       {"Cox", 0.122},      {"Howard", 0.121},  {"Ward", 0.120},
+       {"Torres", 0.120},   {"Peterson", 0.118}, {"Gray", 0.118},
+       {"Ramirez", 0.117},  {"James", 0.116},   {"Watson", 0.115},
+       {"Brooks", 0.114},   {"Kelly", 0.113},   {"Sanders", 0.112},
+       {"Price", 0.111},    {"Bennett", 0.111}, {"Wood", 0.110},
+       {"Barnes", 0.109},   {"Ross", 0.109},    {"Henderson", 0.108},
+       {"Coleman", 0.107},  {"Jenkins", 0.106}, {"Perry", 0.106},
+       {"Powell", 0.105},   {"Long", 0.105},    {"Patterson", 0.104},
+       {"Hughes", 0.104},   {"Flores", 0.103},  {"Washington", 0.103},
+       {"Butler", 0.102},   {"Simmons", 0.102}, {"Foster", 0.101},
+       {"Gonzales", 0.101}, {"Bryant", 0.100},  {"Alexander", 0.099},
+       {"Russell", 0.099},  {"Griffin", 0.098}, {"Diaz", 0.098},
+       {"Hayes", 0.097}});
+  return d;
+}
+
+const Distribution& Salutations() {
+  static const Distribution& d = *MakeWeighted(
+      "salutations", {{"Mr.", 30},  {"Mrs.", 20}, {"Ms.", 20},
+                      {"Miss", 10}, {"Dr.", 15},  {"Sir", 5}});
+  return d;
+}
+
+const Distribution& Countries() {
+  static const Distribution& d = *MakeUniform(
+      "countries",
+      {"UNITED STATES", "CANADA",      "MEXICO",     "GERMANY",
+       "FRANCE",        "UNITED KINGDOM", "JAPAN",   "CHINA",
+       "INDIA",         "BRAZIL",      "ITALY",      "SPAIN",
+       "AUSTRALIA",     "NETHERLANDS", "SWITZERLAND", "SWEDEN",
+       "NORWAY",        "DENMARK",     "IRELAND",    "PORTUGAL"});
+  return d;
+}
+
+const Distribution& Cities() {
+  static const Distribution& d = *MakeWeighted(
+      "cities",
+      {{"New York", 80},    {"Los Angeles", 38}, {"Chicago", 29},
+       {"Houston", 20},     {"Philadelphia", 15}, {"Phoenix", 13},
+       {"San Antonio", 11}, {"San Diego", 12},   {"Dallas", 12},
+       {"San Jose", 9},     {"Austin", 7},       {"Jacksonville", 7},
+       {"Fort Worth", 5},   {"Columbus", 7},     {"Charlotte", 5},
+       {"Detroit", 10},     {"El Paso", 6},      {"Memphis", 6},
+       {"Seattle", 6},      {"Denver", 6},       {"Boston", 6},
+       {"Nashville", 5},    {"Baltimore", 7},    {"Oklahoma City", 5},
+       {"Louisville", 4},   {"Portland", 5},     {"Las Vegas", 5},
+       {"Milwaukee", 6},    {"Albuquerque", 4},  {"Tucson", 5},
+       {"Fresno", 4},       {"Sacramento", 4},   {"Long Beach", 5},
+       {"Kansas City", 4},  {"Mesa", 4},         {"Virginia Beach", 4},
+       {"Atlanta", 4},      {"Colorado Springs", 4}, {"Omaha", 4},
+       {"Raleigh", 3},      {"Miami", 4},        {"Oakland", 4},
+       {"Minneapolis", 4},  {"Tulsa", 4},        {"Cleveland", 5},
+       {"Wichita", 3},      {"Arlington", 3},    {"New Orleans", 5},
+       {"Bakersfield", 2},  {"Tampa", 3},        {"Honolulu", 4},
+       {"Aurora", 3},       {"Anaheim", 3},      {"Santa Ana", 3},
+       {"St. Louis", 3},    {"Riverside", 3},    {"Corpus Christi", 3},
+       {"Lexington", 3},    {"Pittsburgh", 3},   {"Anchorage", 3},
+       {"Stockton", 2},     {"Cincinnati", 3},   {"St. Paul", 3},
+       {"Toledo", 3},       {"Greensboro", 2},   {"Newark", 3},
+       {"Plano", 2},        {"Henderson", 2},    {"Lincoln", 2},
+       {"Buffalo", 3},      {"Jersey City", 2},  {"Chula Vista", 2},
+       {"Fort Wayne", 2},   {"Orlando", 2},      {"St. Petersburg", 2},
+       {"Chandler", 2},     {"Laredo", 2},       {"Norfolk", 2},
+       {"Durham", 2},       {"Madison", 2},      {"Lubbock", 2},
+       {"Irvine", 2},       {"Winston-Salem", 2}, {"Glendale", 2},
+       {"Garland", 2},      {"Hialeah", 2},      {"Reno", 2},
+       {"Chesapeake", 2},   {"Gilbert", 2},      {"Baton Rouge", 2},
+       {"Irving", 2},       {"Scottsdale", 2},   {"North Las Vegas", 2},
+       {"Fremont", 2},      {"Boise", 2},        {"Richmond", 2},
+       {"San Bernardino", 2}, {"Birmingham", 2}, {"Spokane", 2},
+       {"Rochester", 2}});
+  return d;
+}
+
+const Distribution& Counties() {
+  // The full US county domain has ~1800 entries; the paper (§3.1) notes it
+  // is *domain-scaled down* for small tables such as store. We embed a
+  // 120-county panel; generators draw a prefix sized to the table (domain
+  // scaling) via Distribution::value(index).
+  static const Distribution& d = *MakeUniform(
+      "counties",
+      {"Williamson County", "Walker County",   "Ziebach County",
+       "Fairfield County",  "Bronx County",    "Franklin Parish",
+       "Mobile County",     "Maricopa County", "San Diego County",
+       "Orange County",     "Kings County",    "Harris County",
+       "Dallas County",     "Queens County",   "Riverside County",
+       "Cook County",       "Clark County",    "King County",
+       "Wayne County",      "Tarrant County",  "Santa Clara County",
+       "Broward County",    "Bexar County",    "New York County",
+       "Philadelphia County", "Alameda County", "Middlesex County",
+       "Suffolk County",    "Sacramento County", "Oakland County",
+       "Cuyahoga County",   "Hennepin County", "Palm Beach County",
+       "Allegheny County",  "Nassau County",   "Hillsborough County",
+       "Contra Costa County", "Erie County",   "Salt Lake County",
+       "Montgomery County", "Pima County",     "Fulton County",
+       "Westchester County", "Milwaukee County", "Fresno County",
+       "Shelby County",     "Fairfax County",  "Duval County",
+       "Marion County",     "Hartford County", "Bergen County",
+       "Pinellas County",   "Honolulu County", "Baltimore County",
+       "DuPage County",     "St. Louis County", "Kern County",
+       "Travis County",     "Ventura County",  "El Paso County",
+       "Gwinnett County",   "Wake County",     "DeKalb County",
+       "San Bernardino County", "Macomb County", "Jackson County",
+       "Providence County", "Monroe County",   "Jefferson County",
+       "Essex County",      "San Francisco County", "Hidalgo County",
+       "Snohomish County",  "Worcester County", "Norfolk County",
+       "Mecklenburg County", "Multnomah County", "Davidson County",
+       "Prince Georges County", "Lake County", "Summit County",
+       "Pierce County",     "Bucks County",    "Hamilton County",
+       "Oklahoma County",   "Denton County",   "Anne Arundel County",
+       "Johnson County",    "Ramsey County",   "Tulsa County",
+       {"Douglas County"},  "Collin County",   "Polk County",
+       "Delaware County",   "Knox County",     "Arapahoe County",
+       "Washtenaw County",  "Lancaster County", "Stark County",
+       "Dane County",       "Morris County",   "Union County",
+       "Camden County",     "Greenville County", "Richland County",
+       "Kanawha County",    "Guilford County", "Spartanburg County",
+       "Madison County",    "Onondaga County", "Chester County",
+       "Ingham County",     "Sedgwick County", "Butler County",
+       "Weber County",      "Genesee County",  "Pueblo County",
+       "Cameron County",    "Brevard County",  "Boulder County",
+       "Utah County"});
+  return d;
+}
+
+const Distribution& States() {
+  static const Distribution& d = *MakeWeighted(
+      "states",
+      {{"CA", 34}, {"TX", 21}, {"NY", 19}, {"FL", 16}, {"IL", 12},
+       {"PA", 12}, {"OH", 11}, {"MI", 10}, {"NJ", 8},  {"GA", 8},
+       {"NC", 8},  {"VA", 7},  {"MA", 6},  {"IN", 6},  {"WA", 6},
+       {"TN", 6},  {"MO", 6},  {"WI", 5},  {"MD", 5},  {"AZ", 5},
+       {"MN", 5},  {"LA", 4},  {"AL", 4},  {"CO", 4},  {"KY", 4},
+       {"SC", 4},  {"OK", 3},  {"OR", 3},  {"CT", 3},  {"IA", 3},
+       {"MS", 3},  {"KS", 3},  {"AR", 3},  {"UT", 2},  {"NV", 2},
+       {"NM", 2},  {"WV", 2},  {"NE", 2},  {"ID", 1},  {"ME", 1},
+       {"NH", 1},  {"HI", 1},  {"RI", 1},  {"MT", 1},  {"DE", 1},
+       {"SD", 1},  {"ND", 1},  {"AK", 1},  {"VT", 1},  {"WY", 1}});
+  return d;
+}
+
+const Distribution& StreetNames() {
+  static const Distribution& d = *MakeUniform(
+      "street_names",
+      {"Main",     "Oak",      "Park",     "Maple",   "Cedar",
+       "Elm",      "Washington", "Lake",   "Hill",    "Walnut",
+       "Spring",   "North",    "Ridge",    "Church",  "Willow",
+       "Mill",     "Sunset",   "Railroad", "Jackson", "West",
+       "South",    "Center",   "Highland", "Forest",  "River",
+       "Meadow",   "East",     "Chestnut", "Lincoln", "Dogwood",
+       "Hickory",  "Franklin", "College",  "Pine",    "Woodland",
+       "Sycamore", "Valley",   "Locust",   "Poplar",  "Birch",
+       "Cherry",   "Smith",    "Adams",    "Wilson",  "Fourth",
+       "Second",   "Third",    "Fifth",    "Sixth",   "Green"});
+  return d;
+}
+
+const Distribution& StreetTypes() {
+  static const Distribution& d = *MakeWeighted(
+      "street_types",
+      {{"Street", 30}, {"Avenue", 20}, {"Road", 15},  {"Boulevard", 8},
+       {"Drive", 10},  {"Lane", 8},    {"Court", 5},  {"Circle", 4},
+       {"Way", 5},     {"Parkway", 3}, {"Pkwy", 2},   {"Blvd", 3},
+       {"Ave", 5},     {"Dr.", 3},     {"Ln", 2},     {"Cir.", 1},
+       {"Ct.", 1},     {"RD", 2},      {"ST", 3},     {"Wy", 1}});
+  return d;
+}
+
+const Distribution& SuiteQualifiers() {
+  static const Distribution& d = *MakeUniform(
+      "suite_qualifiers", {"Suite", "Unit", "Apt."});
+  return d;
+}
+
+const Distribution& LocationTypes() {
+  static const Distribution& d = *MakeWeighted(
+      "location_types",
+      {{"apartment", 30}, {"condo", 20}, {"single family", 50}});
+  return d;
+}
+
+const Distribution& Genders() {
+  static const Distribution& d = *MakeUniform("genders", {"M", "F"});
+  return d;
+}
+
+const Distribution& MaritalStatuses() {
+  static const Distribution& d =
+      *MakeUniform("marital_statuses", {"M", "S", "D", "W", "U"});
+  return d;
+}
+
+const Distribution& EducationStatuses() {
+  static const Distribution& d = *MakeUniform(
+      "education_statuses",
+      {"Primary", "Secondary", "College", "2 yr Degree", "4 yr Degree",
+       "Advanced Degree", "Unknown"});
+  return d;
+}
+
+const Distribution& CreditRatings() {
+  static const Distribution& d = *MakeUniform(
+      "credit_ratings", {"Low Risk", "Good", "High Risk", "Unknown"});
+  return d;
+}
+
+const Distribution& BuyPotentials() {
+  static const Distribution& d = *MakeUniform(
+      "buy_potentials",
+      {"0-500", "501-1000", "1001-5000", "5001-10000", ">10000", "Unknown"});
+  return d;
+}
+
+const Distribution& Categories() {
+  static const Distribution& d = *MakeUniform(
+      "categories", {"Books", "Children", "Electronics", "Home", "Jewelry",
+                     "Men", "Music", "Shoes", "Sports", "Women"});
+  return d;
+}
+
+const Distribution& ClassesOf(int category_index) {
+  // Single inheritance (paper Fig. 5): every class belongs to exactly one
+  // category, every brand to exactly one class.
+  static const std::vector<const Distribution*>& classes =
+      *new std::vector<const Distribution*>{
+          MakeUniform("classes_books",
+                      {"arts", "business", "computers", "cooking",
+                       "entertainments", "fiction", "history", "home repair",
+                       "mystery", "parenting", "reference", "romance",
+                       "science", "self-help", "sports", "travel"}),
+          MakeUniform("classes_children",
+                      {"infants", "newborn", "school-uniforms", "toddlers"}),
+          MakeUniform("classes_electronics",
+                      {"audio", "automotive", "cameras", "camcorders",
+                       "disk drives", "dvd/vcr players", "karoke",
+                       "memory", "monitors", "musical", "personal",
+                       "portable", "scanners", "stereo", "televisions",
+                       "wireless"}),
+          MakeUniform("classes_home",
+                      {"accent", "bathroom", "bedding", "blinds/shades",
+                       "curtains/drapes", "decor", "flatware", "furniture",
+                       "glassware", "kids", "lighting", "mattresses",
+                       "paint", "rugs", "tables", "wallpaper"}),
+          MakeUniform("classes_jewelry",
+                      {"birdal", "costume", "custom", "diamonds", "estate",
+                       "gold", "jewelry boxes", "loose stones", "mens watch",
+                       "pearls", "rings", "semi-precious", "womens watch"}),
+          MakeUniform("classes_men",
+                      {"accessories", "pants", "shirts", "sports-apparel"}),
+          MakeUniform("classes_music",
+                      {"classical", "country", "pop", "rock"}),
+          MakeUniform("classes_shoes",
+                      {"athletic", "kids", "mens", "womens"}),
+          MakeUniform("classes_sports",
+                      {"archery", "athletic shoes", "baseball", "basketball",
+                       "camping", "fishing", "fitness", "football", "golf",
+                       "guns", "hockey", "optics", "outdoor", "pools",
+                       "sailing", "tennis"}),
+          MakeUniform("classes_women",
+                      {"dresses", "fragrances", "maternity", "swimwear"})};
+  return *classes[static_cast<size_t>(category_index) % classes.size()];
+}
+
+const Distribution& Colors() {
+  static const Distribution& d = *MakeUniform(
+      "colors", {"almond",  "antique", "aquamarine", "azure",   "beige",
+                 "bisque",  "black",   "blanched",   "blue",    "blush",
+                 "brown",   "burlywood", "burnished", "chartreuse",
+                 "chiffon", "chocolate", "coral",    "cornflower",
+                 "cornsilk", "cream",  "cyan",       "dark",    "deep",
+                 "dim",     "dodger",  "drab",       "firebrick",
+                 "floral",  "forest",  "frosted",    "gainsboro",
+                 "ghost",   "goldenrod", "green",    "grey",    "honeydew",
+                 "hot",     "indian",  "ivory",      "khaki",   "lace",
+                 "lavender", "lawn",   "lemon",      "light",   "lime",
+                 "linen",   "magenta", "maroon",     "medium",  "metallic",
+                 "midnight", "mint",   "misty",      "moccasin", "navajo",
+                 "navy",    "olive",   "orange",     "orchid",  "pale",
+                 "papaya",  "peach",   "peru",       "pink",    "plum",
+                 "powder",  "puff",    "purple",     "red",     "rose",
+                 "rosy",    "royal",   "saddle",     "salmon",  "sandy",
+                 "seashell", "sienna", "sky",        "slate",   "smoke",
+                 "snow",    "spring",  "steel",      "tan",     "thistle",
+                 "tomato",  "turquoise", "violet",   "wheat",   "white",
+                 "yellow"});
+  return d;
+}
+
+const Distribution& Units() {
+  static const Distribution& d = *MakeUniform(
+      "units", {"Bunch", "Bundle", "Box",   "Carton", "Case", "Cup",
+                "Dozen", "Dram",   "Each",  "Gram",   "Gross", "Lb",
+                "N/A",   "Ounce",  "Oz",    "Pallet", "Pound", "Tbl",
+                "Ton",   "Tsp",    "Unknown"});
+  return d;
+}
+
+const Distribution& Containers() {
+  static const Distribution& d = *MakeUniform("containers", {"Unknown"});
+  return d;
+}
+
+const Distribution& Sizes() {
+  static const Distribution& d = *MakeUniform(
+      "sizes", {"petite", "small", "medium", "large", "extra large",
+                "economy", "N/A"});
+  return d;
+}
+
+const Distribution& BrandSyllables() {
+  static const Distribution& d = *MakeUniform(
+      "brand_syllables",
+      {"amalg", "edu pack", "expor ti", "schola", "import o", "corp",
+       "brand", "uni", "maxi", "nameless"});
+  return d;
+}
+
+const Distribution& ReasonDescriptions() {
+  static const Distribution& d = *MakeUniform(
+      "reason_descriptions",
+      {"Package was damaged",           "Stopped working",
+       "Did not get it on time",        "Not the product that was ordred",
+       "Parts missing",                 "Does not work with a product that I have",
+       "Gift exchange",                 "Did not like the color",
+       "Did not like the model",        "Did not like the make",
+       "Did not like the warranty",     "No service location in my area",
+       "Found a better price in a store", "Found a better extended warranty",
+       "Wrong size",                    "Lost my job",
+       "Duplicate purchase",            "Not working any more",
+       "unauthoized purchase",          "Did not fit",
+       "Its is a boy, it needs to be a girl", "Ordered twice by mistake",
+       "Changed my mind",               "Arrived too late",
+       "Better price on the internet",  "Did not like the style",
+       "Did not match the description", "Item was defective",
+       "Quality was poor",              "Allergic reaction",
+       "Incorrect billing",             "Shipping box was open",
+       "Missing accessories",           "Did not need it any more",
+       "reason 35",                     "reason 36",
+       "reason 37",                     "reason 38",
+       "reason 39",                     "reason 40",
+       "reason 41",                     "reason 42",
+       "reason 43",                     "reason 44",
+       "reason 45",                     "reason 46",
+       "reason 47",                     "reason 48",
+       "reason 49",                     "reason 50",
+       "reason 51",                     "reason 52",
+       "reason 53",                     "reason 54",
+       "reason 55",                     "reason 56",
+       "reason 57",                     "reason 58",
+       "reason 59",                     "reason 60",
+       "reason 61",                     "reason 62",
+       "reason 63",                     "reason 64",
+       "reason 65",                     "reason 66",
+       "reason 67",                     "reason 68",
+       "reason 69",                     "reason 70",
+       "reason 71",                     "reason 72",
+       "reason 73",                     "reason 74",
+       "reason 75"});
+  return d;
+}
+
+const Distribution& ShipModeTypes() {
+  static const Distribution& d = *MakeUniform(
+      "ship_mode_types",
+      {"EXPRESS", "NEXT DAY", "OVERNIGHT", "REGULAR", "TWO DAY"});
+  return d;
+}
+
+const Distribution& ShipModeCodes() {
+  static const Distribution& d = *MakeUniform(
+      "ship_mode_codes", {"AIR", "SURFACE", "SEA", "LIBRARY"});
+  return d;
+}
+
+const Distribution& ShipModeCarriers() {
+  static const Distribution& d = *MakeUniform(
+      "ship_mode_carriers",
+      {"UPS",      "FEDEX",     "AIRBORNE", "USPS",     "DHL",
+       "TBS",      "ZHOU",      "ZOUROS",   "MSC",      "LATVIAN",
+       "ALLIANCE", "ORIENTAL",  "BARIAN",   "BOXBUNDLES", "GERMA",
+       "STAR",     "GREAT EASTERN", "DIAMOND", "RUPEKSA", "HARMSTORF"});
+  return d;
+}
+
+const Distribution& PromoPurposes() {
+  static const Distribution& d = *MakeUniform(
+      "promo_purposes", {"Unknown"});
+  return d;
+}
+
+const Distribution& Departments() {
+  static const Distribution& d = *MakeUniform("departments", {"DEPARTMENT"});
+  return d;
+}
+
+const Distribution& CatalogPageTypes() {
+  static const Distribution& d = *MakeUniform(
+      "catalog_page_types",
+      {"bi-annual", "quarterly", "monthly"});
+  return d;
+}
+
+const Distribution& WebPageTypes() {
+  static const Distribution& d = *MakeUniform(
+      "web_page_types", {"ad", "dynamic", "feedback", "general", "order",
+                         "protected", "welcome"});
+  return d;
+}
+
+const Distribution& CallCenterClasses() {
+  static const Distribution& d = *MakeUniform(
+      "call_center_classes", {"small", "medium", "large"});
+  return d;
+}
+
+const Distribution& CallCenterHours() {
+  static const Distribution& d = *MakeUniform(
+      "call_center_hours", {"8AM-4PM", "8AM-12AM", "8AM-8AM"});
+  return d;
+}
+
+const Distribution& MarketClasses() {
+  static const Distribution& d = *MakeUniform(
+      "market_classes",
+      {"A bit narrow forms matter animals. Consist",
+       "Largely blank years put substantially deaf, new",
+       "Wrong troops shall work sometimes in a opti",
+       "Regional groups ask fully for the elderly dire",
+       "Essential hours shall support more than weak",
+       "Only dual ministers stand during a chi",
+       "Yesterday right forces catch slowly known, new int",
+       "Various affairs should show closer sensible f",
+       "Increased forces wait most so national institutio",
+       "Full, social pounds spin"});
+  return d;
+}
+
+const Distribution& Words() {
+  static const Distribution& d = *MakeUniform(
+      "words",
+      {"ability", "able",   "account", "act",     "action",  "activity",
+       "actual",  "addition", "advantage", "age",  "agreement", "air",
+       "amount",  "analysis", "animal", "answer",  "approach", "area",
+       "argument", "arm",   "art",     "aspect",  "attention", "attitude",
+       "authority", "back", "balance", "bank",    "base",     "basis",
+       "bed",     "behaviour", "benefit", "bit",   "black",    "blood",
+       "board",   "body",   "book",    "box",     "boy",      "break",
+       "budget",  "building", "business", "call",  "capital",  "car",
+       "care",    "case",   "cause",   "cell",    "central",  "centre",
+       "century", "chain",  "chair",   "chance",  "change",   "chapter",
+       "character", "charge", "child", "choice",  "church",   "circle",
+       "city",    "claim",  "class",   "client",  "club",     "colour",
+       "committee", "community", "company", "computer", "concept",
+       "concern", "condition", "conference", "context", "contract",
+       "control", "cost",   "countries", "course", "court",   "cup",
+       "current", "customer", "damage", "danger",  "data",     "date",
+       "daughter", "day",   "deal",    "death",   "decade",   "decision",
+       "degree",  "demand", "design",  "detail",  "development", "device",
+       "difference", "direction", "discussion", "distance", "doctor",
+       "door",    "doubt",  "dream",   "dress",   "drink",    "drive",
+       "duty",    "earth",  "economy", "edge",    "education", "effect",
+       "effort",  "election", "element", "end",   "energy",   "evidence",
+       "example", "exchange", "experience", "expression", "extent",
+       "face",    "fact",   "factor",  "family",  "farm",     "father",
+       "fear",    "feature", "field",  "figure",  "film",     "finger",
+       "fire",    "firm",   "fish",    "floor",   "food",     "foot",
+       "force",   "form",   "freedom", "friend",  "front",    "function",
+       "future",  "game",   "garden",  "girl",    "glass",    "goal",
+       "government", "ground", "group", "growth", "hand",     "head",
+       "health",  "heart",  "help",    "hill",    "history",  "home",
+       "hope",    "hospital", "hotel", "hour",    "house",    "idea",
+       "impact",  "income", "industry", "influence", "information",
+       "interest", "issue", "item",    "job",     "kind",     "king",
+       "kitchen", "knowledge", "labour", "land",  "language", "law",
+       "leader",  "letter", "level",   "library", "life",     "light",
+       "line",    "list",   "love",    "machine", "majority", "man",
+       "management", "manner", "market", "material", "matter", "meaning",
+       "measure", "meeting", "member", "memory",  "metal",    "method",
+       "mind",    "minister", "minute", "model",  "moment",   "money",
+       "month",   "morning", "mother", "mountain", "mouth",   "movement",
+       "music",   "name",   "nation",  "nature",  "need",     "network",
+       "news",    "night",  "note",    "number",  "object",   "occasion",
+       "offer",   "office", "oil",     "operation", "opinion", "order",
+       "organisation", "outcome", "output", "page", "pain",   "paper",
+       "parent",  "part",   "party",   "past",    "path",     "pattern",
+       "peace",   "people", "performance", "period", "person", "picture",
+       "piece",   "place",  "plan",    "plant",   "play",     "point",
+       "police",  "policy", "population", "position", "power", "practice",
+       "pressure", "price", "principle", "problem", "process", "product",
+       "programme", "project", "property", "proportion", "purpose",
+       "quality", "question", "range", "rate",    "reason",   "record",
+       "region",  "relation", "report", "research", "resource", "response",
+       "rest",    "result", "return",  "right",   "risk",     "river",
+       "road",    "rock",   "role",    "room",    "rule",     "safety",
+       "scale",   "scene",  "scheme",  "school",  "science",  "sea",
+       "season",  "seat",   "section", "sector",  "security", "sense",
+       "series",  "service", "set",    "shape",   "share",    "show",
+       "side",    "sign",   "significance", "site", "situation", "size",
+       "skill",   "society", "son",    "sort",    "sound",    "source",
+       "south",   "space",  "speaker", "speech",  "sport",    "staff",
+       "stage",   "standard", "star",  "start",   "state",    "statement",
+       "station", "step",   "stock",   "story",   "strategy", "street",
+       "structure", "student", "study", "style",  "subject",  "success",
+       "summer",  "support", "surface", "system", "table",    "task",
+       "teacher", "team",   "technique", "technology", "term", "test",
+       "theory",  "thing",  "thought", "time",    "title",    "top",
+       "town",    "trade",  "tradition", "traffic", "training", "travel",
+       "treatment", "tree", "trouble", "truth",   "turn",     "type",
+       "union",   "unit",   "university", "use",  "user",     "value",
+       "variety", "vehicle", "version", "view",   "village",  "voice",
+       "water",   "way",    "week",    "weight",  "west",     "wife",
+       "wind",    "window", "woman",   "wood",    "word",     "work",
+       "world",   "year",   "youth"});
+  return d;
+}
+
+}  // namespace domains
+}  // namespace tpcds

@@ -1,0 +1,69 @@
+#ifndef TPCDS_DIST_DOMAINS_H_
+#define TPCDS_DIST_DOMAINS_H_
+
+#include <vector>
+
+#include "dist/distribution.h"
+
+namespace tpcds {
+
+/// The embedded domain catalog — this library's equivalent of the official
+/// kit's tpcds.idx file. The paper (§3.2) calls for a hybrid of synthetic
+/// and real-world-based domains: names/cities/counties here carry
+/// census-style frequency skew, while categorical business domains are
+/// uniform. Each accessor returns a process-lifetime singleton.
+namespace domains {
+
+// --- people -------------------------------------------------------------
+const Distribution& FirstNames();   // weighted by real-world frequency
+const Distribution& LastNames();    // weighted by real-world frequency
+const Distribution& Salutations();
+const Distribution& Countries();
+
+// --- geography ----------------------------------------------------------
+const Distribution& Cities();       // weighted: big cities more frequent
+const Distribution& Counties();     // scaled-down county domain (paper §3.1)
+const Distribution& States();       // weighted by population
+const Distribution& StreetNames();
+const Distribution& StreetTypes();
+const Distribution& SuiteQualifiers();
+const Distribution& LocationTypes();
+
+// --- demographics -------------------------------------------------------
+const Distribution& Genders();
+const Distribution& MaritalStatuses();
+const Distribution& EducationStatuses();
+const Distribution& CreditRatings();
+const Distribution& BuyPotentials();
+
+// --- item hierarchy (paper Fig. 5) --------------------------------------
+const Distribution& Categories();
+/// Classes of one category; single-inheritance: each class belongs to
+/// exactly one category.
+const Distribution& ClassesOf(int category_index);
+const Distribution& Colors();
+const Distribution& Units();
+const Distribution& Containers();
+const Distribution& Sizes();
+const Distribution& BrandSyllables();
+
+// --- misc business domains ----------------------------------------------
+const Distribution& ReasonDescriptions();
+const Distribution& ShipModeTypes();
+const Distribution& ShipModeCodes();
+const Distribution& ShipModeCarriers();
+const Distribution& PromoPurposes();
+const Distribution& Departments();
+const Distribution& CatalogPageTypes();
+const Distribution& WebPageTypes();
+const Distribution& CallCenterClasses();
+const Distribution& CallCenterHours();
+const Distribution& MarketClasses();
+/// Filler nouns used for generated text (market descriptions, item
+/// descriptions); Gaussian word selection per the paper (§3.2).
+const Distribution& Words();
+
+}  // namespace domains
+}  // namespace tpcds
+
+#endif  // TPCDS_DIST_DOMAINS_H_

@@ -1,0 +1,121 @@
+#include "dist/zones.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tpcds {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Days per month in a reference (non-leap) year, used to convert monthly
+/// census shares into per-day weights.
+constexpr int kMonthDays[12] = {31, 28, 31, 30, 31, 30,
+                                31, 31, 30, 31, 30, 31};
+
+std::array<ComparabilityZone, 3> BuildZones() {
+  const std::array<double, 12>& census = CensusMonthlyRetailIndex();
+  // Aggregate census shares per zone, divide by zone length in days to get
+  // a per-day likelihood, then normalise Zone 1 to 1.0.
+  struct Span {
+    int first, last;
+  };
+  constexpr Span spans[3] = {{1, 7}, {8, 10}, {11, 12}};
+  std::array<double, 3> daily{};
+  for (int z = 0; z < 3; ++z) {
+    double share = 0.0;
+    int days = 0;
+    for (int m = spans[z].first; m <= spans[z].last; ++m) {
+      share += census[m - 1];
+      days += kMonthDays[m - 1];
+    }
+    daily[z] = share / days;
+  }
+  double base = daily[0];
+  return {ComparabilityZone{1, 1, 7, daily[0] / base},
+          ComparabilityZone{2, 8, 10, daily[1] / base},
+          ComparabilityZone{3, 11, 12, daily[2] / base}};
+}
+
+}  // namespace
+
+const std::array<double, 12>& CensusMonthlyRetailIndex() {
+  // Unadjusted 2001 monthly retail sales, department stores (US Census,
+  // MRTS kind-of-business 4521; paper ref [12]), in $billions, normalised
+  // to shares below. The December holiday spike and the flat spring are
+  // the features the TPC-DS step function mimics.
+  static const std::array<double, 12>& shares = *[] {
+    std::array<double, 12> raw = {15.6, 16.0, 19.1, 18.2, 19.6, 18.4,
+                                  17.7, 20.6, 17.8, 19.1, 24.0, 33.0};
+    double total = 0.0;
+    for (double v : raw) total += v;
+    auto* normalised = new std::array<double, 12>();
+    for (size_t i = 0; i < raw.size(); ++i) (*normalised)[i] = raw[i] / total;
+    return normalised;
+  }();
+  return shares;
+}
+
+const std::array<ComparabilityZone, 3>& ComparabilityZones() {
+  static const std::array<ComparabilityZone, 3>& zones =
+      *new std::array<ComparabilityZone, 3>(BuildZones());
+  return zones;
+}
+
+int ZoneOfMonth(int month) {
+  assert(month >= 1 && month <= 12);
+  if (month <= 7) return 1;
+  if (month <= 10) return 2;
+  return 3;
+}
+
+SalesDateDistribution::SalesDateDistribution(Date begin, Date end)
+    : begin_(begin), end_(end) {
+  assert(begin <= end);
+  int32_t days = end - begin + 1;
+  cumulative_.resize(static_cast<size_t>(days));
+  const std::array<ComparabilityZone, 3>& zones = ComparabilityZones();
+  double running = 0.0;
+  for (int32_t i = 0; i < days; ++i) {
+    Date d = begin.AddDays(i);
+    running += zones[static_cast<size_t>(ZoneOfMonth(d.month()) - 1)]
+                   .daily_weight;
+    cumulative_[static_cast<size_t>(i)] = running;
+  }
+}
+
+Date SalesDateDistribution::Pick(RngStream* rng) const {
+  double target = rng->NextDouble() * cumulative_.back();
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), target);
+  size_t idx = static_cast<size_t>(it - cumulative_.begin());
+  idx = std::min(idx, cumulative_.size() - 1);
+  return begin_.AddDays(static_cast<int>(idx));
+}
+
+double SalesDateDistribution::WeightOfDate(Date date) const {
+  return ComparabilityZones()[static_cast<size_t>(ZoneOfDate(date) - 1)]
+      .daily_weight;
+}
+
+int SalesDateDistribution::ZoneOfDate(Date date) const {
+  return ZoneOfMonth(date.month());
+}
+
+double SyntheticGaussianDayWeight(int day_of_year) {
+  constexpr double kMu = 200.0;
+  constexpr double kSigma = 50.0;
+  double x = static_cast<double>(day_of_year);
+  return std::exp(-(x - kMu) * (x - kMu) / (2.0 * kSigma * kSigma)) /
+         (kSigma * std::sqrt(2.0 * kPi));
+}
+
+double SyntheticGaussianWeekWeight(int week) {
+  double total = 0.0;
+  for (int d = (week - 1) * 7 + 1; d <= week * 7; ++d) {
+    total += SyntheticGaussianDayWeight(d);
+  }
+  return total;
+}
+
+}  // namespace tpcds

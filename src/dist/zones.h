@@ -1,0 +1,73 @@
+#ifndef TPCDS_DIST_ZONES_H_
+#define TPCDS_DIST_ZONES_H_
+
+#include <array>
+#include <vector>
+
+#include "util/date.h"
+#include "util/random.h"
+
+namespace tpcds {
+
+/// The 2001 US-census monthly retail index for department stores
+/// (paper Fig. 2, diamond series), normalised so the twelve shares sum
+/// to 1. Index 0 = January.
+const std::array<double, 12>& CensusMonthlyRetailIndex();
+
+/// One comparability zone: a span of calendar months whose days all carry
+/// the same likelihood in the generated data (paper §3.2).
+struct ComparabilityZone {
+  int zone_id;       // 1..3
+  int first_month;   // 1-based, inclusive
+  int last_month;    // 1-based, inclusive
+  double daily_weight;  // relative likelihood of each day in the zone
+};
+
+/// TPC-DS's step-function approximation of the census curve (paper Fig. 2,
+/// square series): Zone 1 = January–July (low), Zone 2 = August–October
+/// (medium), Zone 3 = November–December (high). Daily weights are derived
+/// from the census index and normalised so Zone 1 has weight 1.
+const std::array<ComparabilityZone, 3>& ComparabilityZones();
+
+/// Zone id (1..3) containing the given month (1..12).
+int ZoneOfMonth(int month);
+
+/// Generates sale dates over a multi-year window following the zoned step
+/// distribution: uniform within each zone, stepped across zones. Query
+/// substitutions that stay inside one zone therefore qualify a predictable
+/// number of rows — the comparability property (paper §3.2, Fig. 4).
+class SalesDateDistribution {
+ public:
+  /// Window is inclusive on both ends.
+  SalesDateDistribution(Date begin, Date end);
+
+  /// Picks a sale date; exactly one RNG draw.
+  Date Pick(RngStream* rng) const;
+
+  /// Relative likelihood of a specific day (the zone's daily weight).
+  double WeightOfDate(Date date) const;
+
+  /// Zone id (1..3) of a date.
+  int ZoneOfDate(Date date) const;
+
+  Date begin() const { return begin_; }
+  Date end() const { return end_; }
+
+ private:
+  Date begin_;
+  Date end_;
+  std::vector<double> cumulative_;  // per-day cumulative weight
+};
+
+/// The purely synthetic alternative the paper contrasts with (Fig. 3):
+/// sales-by-day-of-year following a Gaussian with mu=200, sigma=50.
+/// Returns the relative weight of the given day-of-year (1..366).
+double SyntheticGaussianDayWeight(int day_of_year);
+
+/// Aggregates SyntheticGaussianDayWeight over a week (1..53) to reproduce
+/// the weekly series plotted in Fig. 3.
+double SyntheticGaussianWeekWeight(int week);
+
+}  // namespace tpcds
+
+#endif  // TPCDS_DIST_ZONES_H_

@@ -1,0 +1,99 @@
+#ifndef TPCDS_DRIVER_DRIVER_H_
+#define TPCDS_DRIVER_DRIVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "maintenance/maintenance.h"
+#include "metric/metric.h"
+#include "util/result.h"
+
+namespace tpcds {
+
+/// Configuration of a full benchmark execution (paper §5.2, Fig. 11):
+/// load test -> Query Run 1 -> Data Maintenance -> Query Run 2.
+struct BenchmarkConfig {
+  double scale_factor = 0.01;
+  /// Concurrent query streams; 0 selects the scale factor's minimum
+  /// (paper Fig. 12).
+  int streams = 0;
+  uint64_t seed = 19620718;
+  PlannerOptions planner;
+  /// Queries per stream per run; the full benchmark runs all 99, smaller
+  /// values give quick development runs (not metric-valid).
+  int queries_per_stream = kQueriesPerRun;
+  /// Refresh volume of the data-maintenance run.
+  double refresh_fraction = 0.01;
+  int64_t dimension_updates = 50;
+};
+
+/// One executed query instance.
+struct QueryExecution {
+  int template_id = 0;
+  int stream = 0;
+  double seconds = 0.0;
+  int64_t result_rows = 0;
+};
+
+/// Everything measured during one benchmark execution.
+struct BenchmarkResult {
+  double scale_factor = 0.0;
+  int streams = 0;
+  double t_load_sec = 0.0;
+  double t_qr1_sec = 0.0;
+  double t_dm_sec = 0.0;
+  double t_qr2_sec = 0.0;
+  std::vector<QueryExecution> qr1_queries;
+  std::vector<QueryExecution> qr2_queries;
+  MaintenanceReport dm_report;
+
+  MetricInputs ToMetricInputs() const {
+    MetricInputs in;
+    in.scale_factor = scale_factor;
+    in.streams = streams;
+    in.t_load_sec = t_load_sec;
+    in.t_qr1_sec = t_qr1_sec;
+    in.t_dm_sec = t_dm_sec;
+    in.t_qr2_sec = t_qr2_sec;
+    return in;
+  }
+};
+
+/// Runs the complete benchmark on a fresh in-process database. When `db`
+/// is supplied the caller keeps access to the loaded database afterwards;
+/// otherwise an internal one is used and discarded.
+Result<BenchmarkResult> RunBenchmark(const BenchmarkConfig& config,
+                                     Database* db = nullptr);
+
+/// The timed database-load test alone (paper §5.2): table creation, data
+/// generation + load, auxiliary index build for the reporting part.
+Result<double> RunLoadTest(const BenchmarkConfig& config, Database* db);
+
+/// One query run: S streams, each executing its own permutation of the 99
+/// templates with stream-specific substitutions. `stream_base` offsets the
+/// stream ids so Query Run 2 uses different substitutions than Run 1.
+Result<double> RunQueryRun(const BenchmarkConfig& config, Database* db,
+                           int stream_base,
+                           std::vector<QueryExecution>* executions);
+
+/// Outcome of the historical single-user "power test" that TPC-DS
+/// deliberately dropped (paper §5.3): queries run sequentially and the
+/// metric is a geometric mean of elapsed times.
+struct PowerTestResult {
+  double arithmetic_mean_sec = 0.0;
+  double geometric_mean_sec = 0.0;
+  double total_sec = 0.0;
+  std::vector<QueryExecution> queries;
+};
+
+/// Runs the legacy TPC-H-style power test on an already loaded database —
+/// kept for the §5.3 comparison (geometric vs. arithmetic weighting), not
+/// part of the TPC-DS metric.
+Result<PowerTestResult> RunPowerTest(const BenchmarkConfig& config,
+                                     Database* db);
+
+}  // namespace tpcds
+
+#endif  // TPCDS_DRIVER_DRIVER_H_

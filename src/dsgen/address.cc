@@ -1,0 +1,47 @@
+#include "dsgen/address.h"
+
+#include <algorithm>
+
+#include "dist/domains.h"
+#include "util/string_util.h"
+
+namespace tpcds {
+
+Address MakeAddress(RngStream* rng, int64_t county_domain) {
+  Address a;
+  // Exactly kAddressDraws draws, in a fixed order.
+  a.street_number = std::to_string(rng->UniformInt(1, 1000));         // 1
+  a.street_name = domains::StreetNames().PickUniform(rng);            // 2
+  // Two-word street names appear with ~30% likelihood.
+  if (rng->NextDouble() < 0.3) {                                      // 3
+    a.street_name += " " + domains::StreetNames().PickUniform(rng);   // 4
+  } else {
+    rng->NextUint64();  // burn the unused draw to keep the budget fixed
+  }
+  a.street_type = domains::StreetTypes().PickWeighted(rng);           // 5
+  int64_t suite = rng->UniformInt(0, 99);                             // 6
+  a.suite_number =
+      StringPrintf("Suite %s", suite % 2 == 0
+                                   ? std::to_string(suite).c_str()
+                                   : (std::string(1, static_cast<char>(
+                                          'A' + suite % 26)))
+                                         .c_str());
+  a.city = domains::Cities().PickWeighted(rng);                       // 7
+  const Distribution& counties = domains::Counties();
+  int64_t domain = county_domain > 0
+                       ? std::min<int64_t>(county_domain,
+                                           static_cast<int64_t>(
+                                               counties.size()))
+                       : static_cast<int64_t>(counties.size());
+  a.county = counties.value(
+      static_cast<size_t>(rng->UniformInt(0, domain - 1)));           // 8
+  a.state = domains::States().PickWeighted(rng);                      // 9
+  a.zip = StringPrintf("%05d", static_cast<int>(rng->UniformInt(0, 99999)));
+  a.country = "United States";                                        // 10
+  // Offset derives from the state draw, not an extra RNG draw.
+  int band = static_cast<int>(a.state[0] + a.state[1]) % 4;
+  a.gmt_offset = Decimal::FromUnits(-5 - band);
+  return a;
+}
+
+}  // namespace tpcds

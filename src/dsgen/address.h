@@ -1,0 +1,37 @@
+#ifndef TPCDS_DSGEN_ADDRESS_H_
+#define TPCDS_DSGEN_ADDRESS_H_
+
+#include <string>
+
+#include "util/decimal.h"
+#include "util/random.h"
+
+namespace tpcds {
+
+/// A synthesised US street address, shared by customer_address, store,
+/// warehouse, call_center and web_site (the schema's common address block).
+struct Address {
+  std::string street_number;
+  std::string street_name;
+  std::string street_type;
+  std::string suite_number;
+  std::string city;
+  std::string county;
+  std::string state;
+  std::string zip;
+  std::string country;
+  Decimal gmt_offset;
+};
+
+/// Maximum RNG draws MakeAddress consumes; size column-stream budgets
+/// with this.
+inline constexpr int kAddressDraws = 10;
+
+/// Synthesises an address. `county_domain` caps the county domain — the
+/// paper's *domain scaling* (§3.1): small tables such as store draw
+/// counties from a scaled-down domain. Pass 0 for the full embedded domain.
+Address MakeAddress(RngStream* rng, int64_t county_domain);
+
+}  // namespace tpcds
+
+#endif  // TPCDS_DSGEN_ADDRESS_H_

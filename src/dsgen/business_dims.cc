@@ -1,0 +1,518 @@
+// Generators for the business-side dimensions: store, warehouse,
+// promotion, call_center, catalog_page, web_page and web_site. The
+// history-keeping ones (store, call_center, web_page, web_site) use the
+// SCD revision machinery (paper §3.3.2).
+
+#include <algorithm>
+#include <cmath>
+
+#include "dist/domains.h"
+#include "dsgen/address.h"
+#include "dsgen/column_stream.h"
+#include "dsgen/generator.h"
+#include "dsgen/generators_internal.h"
+#include "dsgen/keys.h"
+#include "dsgen/render.h"
+#include "dsgen/scd.h"
+#include "scaling/scaling.h"
+#include "util/string_util.h"
+
+namespace tpcds {
+namespace internal_dsgen {
+namespace {
+
+std::string PersonName(RngStream* rng) {
+  std::string name = domains::FirstNames().PickWeighted(rng);
+  name += ' ';
+  name += domains::LastNames().PickWeighted(rng);
+  return name;
+}
+
+std::string WordPhrase(RngStream* rng, int num_words) {
+  const Distribution& words = domains::Words();
+  std::string out;
+  for (int i = 0; i < num_words; ++i) {
+    if (i > 0) out += ' ';
+    out += words.PickUniform(rng);
+  }
+  return out;
+}
+
+class StoreGenerator : public TableGenerator {
+ public:
+  explicit StoreGenerator(const GeneratorOptions& options)
+      : TableGenerator(options, "store"),
+        revisions_(DeriveSeed(options.master_seed, kTidStore, 0),
+                   ScalingModel::RowCount("store", options.scale_factor)) {}
+
+  int64_t NumUnits() const override { return revisions_.surrogate_rows(); }
+
+  Status GenerateUnits(int64_t first, int64_t count,
+                       RowSink* sink) override {
+    ColumnStream bk_stream(options().master_seed, kTidStore, 1,
+                           kAddressDraws + 6);
+    ColumnStream rev_stream(options().master_seed, kTidStore, 2, 16);
+    RowBuilder row;
+    // Domain scaling (paper §3.1): stores draw counties from a domain
+    // proportional to the store count, not the full county domain.
+    int64_t county_domain =
+        std::clamp<int64_t>(revisions_.num_business_keys(), 10, 1800);
+    for (int64_t i = first; i < first + count; ++i) {
+      const RevisionMap::Entry& e = revisions_.At(i);
+      bk_stream.BeginRow(e.business_key);
+      rev_stream.BeginRow(i);
+      RngStream* bk = bk_stream.rng();
+      RngStream* rev = rev_stream.rng();
+
+      // Stable: location and identity.
+      Address addr = MakeAddress(bk, county_domain);
+      std::string name = WordPhrase(bk, 1);
+      int market_id = static_cast<int>(bk->UniformInt(1, 10));
+      int company_id = static_cast<int>(bk->UniformInt(1, 5));
+
+      // Per revision: staffing, size, management.
+      int employees = static_cast<int>(rev->UniformInt(200, 300));
+      int floor_space = static_cast<int>(rev->UniformInt(5000000, 10000000));
+      const char* hours = rev->NextDouble() < 0.5 ? "8AM-8PM" : "8AM-10PM";
+      std::string manager = PersonName(rev);
+      std::string market_desc = WordPhrase(rev, 6);
+      std::string market_manager = PersonName(rev);
+      bool closed = rev->NextDouble() < 0.1;
+      Decimal tax = Decimal::FromCents(rev->UniformInt(0, 1100));
+
+      RevisionWindow window = RevisionValidity(e.revision, e.num_revisions);
+
+      row.Reset(29);
+      row.AddKey(i + 1);
+      row.AddString(BusinessKey(static_cast<uint64_t>(e.business_key)));
+      row.AddDate(window.rec_begin_date);
+      row.AddDate(window.rec_end_date);
+      row.AddKey(closed ? DateToSk(Date::FromYmd(2001, 3, 13)) : 0);
+      row.AddString(name);
+      row.AddInt(employees);
+      row.AddInt(floor_space);
+      row.AddString(hours);
+      row.AddString(manager);
+      row.AddInt(market_id);
+      row.AddString("Unknown");  // s_geography_class
+      row.AddString(market_desc);
+      row.AddString(market_manager);
+      row.AddInt(1);
+      row.AddString("Unknown");  // s_division_name
+      row.AddInt(company_id);
+      row.AddString("Unknown");  // s_company_name
+      row.AddString(addr.street_number);
+      row.AddString(addr.street_name);
+      row.AddString(addr.street_type);
+      row.AddString(addr.suite_number);
+      row.AddString(addr.city);
+      row.AddString(addr.county);
+      row.AddString(addr.state);
+      row.AddString(addr.zip);
+      row.AddString(addr.country);
+      row.AddDecimal(addr.gmt_offset);
+      row.AddDecimal(tax);
+      TPCDS_RETURN_NOT_OK(sink->Append(row.fields()));
+    }
+    return Status::OK();
+  }
+
+ private:
+  RevisionMap revisions_;
+};
+
+class WarehouseGenerator : public TableGenerator {
+ public:
+  explicit WarehouseGenerator(const GeneratorOptions& options)
+      : TableGenerator(options, "warehouse") {}
+
+  int64_t NumUnits() const override {
+    return ScalingModel::RowCount("warehouse", sf());
+  }
+
+  Status GenerateUnits(int64_t first, int64_t count,
+                       RowSink* sink) override {
+    ColumnStream stream(options().master_seed, kTidWarehouse, 1,
+                        kAddressDraws + 4);
+    RowBuilder row;
+    for (int64_t i = first; i < first + count; ++i) {
+      stream.BeginRow(i);
+      RngStream* rng = stream.rng();
+      Address addr = MakeAddress(rng, 0);
+      std::string name = WordPhrase(rng, 2);
+      int sq_ft = static_cast<int>(rng->UniformInt(50000, 1000000));
+      row.Reset(14);
+      row.AddKey(i + 1);
+      row.AddString(BusinessKey(static_cast<uint64_t>(i + 1)));
+      row.AddString(name);
+      row.AddInt(sq_ft);
+      row.AddString(addr.street_number);
+      row.AddString(addr.street_name);
+      row.AddString(addr.street_type);
+      row.AddString(addr.suite_number);
+      row.AddString(addr.city);
+      row.AddString(addr.county);
+      row.AddString(addr.state);
+      row.AddString(addr.zip);
+      row.AddString(addr.country);
+      row.AddDecimal(addr.gmt_offset);
+      TPCDS_RETURN_NOT_OK(sink->Append(row.fields()));
+    }
+    return Status::OK();
+  }
+};
+
+class PromotionGenerator : public TableGenerator {
+ public:
+  explicit PromotionGenerator(const GeneratorOptions& options)
+      : TableGenerator(options, "promotion"),
+        num_items_(ScalingModel::RowCount("item", sf())) {}
+
+  int64_t NumUnits() const override {
+    return ScalingModel::RowCount("promotion", sf());
+  }
+
+  Status GenerateUnits(int64_t first, int64_t count,
+                       RowSink* sink) override {
+    ColumnStream stream(options().master_seed, kTidPromotion, 1, 24);
+    RowBuilder row;
+    Date begin = ScalingModel::SalesBeginDate();
+    int32_t window = ScalingModel::SalesEndDate() - begin;
+    for (int64_t i = first; i < first + count; ++i) {
+      stream.BeginRow(i);
+      RngStream* rng = stream.rng();
+      Date start = begin.AddDays(static_cast<int>(
+          rng->UniformInt(0, window)));
+      Date end = start.AddDays(static_cast<int>(rng->UniformInt(15, 90)));
+      int64_t item = rng->UniformInt(1, num_items_);
+      Decimal cost = Decimal::FromUnits(1000);
+      std::string name = WordPhrase(rng, 1);
+      // Eight channel flags + details + purpose + discount-active.
+      bool channels[8];
+      for (bool& c : channels) c = rng->NextDouble() < 0.5;
+      std::string details = WordPhrase(rng, 8);
+      bool discount_active = rng->NextDouble() < 0.5;
+
+      row.Reset(19);
+      row.AddKey(i + 1);
+      row.AddString(BusinessKey(static_cast<uint64_t>(i + 1)));
+      row.AddKey(DateToSk(start));
+      row.AddKey(DateToSk(end));
+      row.AddKey(item);
+      row.AddDecimal(cost);
+      row.AddInt(1);  // p_response_target
+      row.AddString(name);
+      for (bool c : channels) row.AddFlag(c);
+      row.AddString(details);
+      row.AddString(domains::PromoPurposes().PickUniform(rng));
+      row.AddFlag(discount_active);
+      TPCDS_RETURN_NOT_OK(sink->Append(row.fields()));
+    }
+    return Status::OK();
+  }
+
+ private:
+  int64_t num_items_;
+};
+
+class CallCenterGenerator : public TableGenerator {
+ public:
+  explicit CallCenterGenerator(const GeneratorOptions& options)
+      : TableGenerator(options, "call_center"),
+        revisions_(DeriveSeed(options.master_seed, kTidCallCenter, 0),
+                   ScalingModel::RowCount("call_center",
+                                          options.scale_factor)) {}
+
+  int64_t NumUnits() const override { return revisions_.surrogate_rows(); }
+
+  Status GenerateUnits(int64_t first, int64_t count,
+                       RowSink* sink) override {
+    ColumnStream bk_stream(options().master_seed, kTidCallCenter, 1,
+                           kAddressDraws + 6);
+    ColumnStream rev_stream(options().master_seed, kTidCallCenter, 2, 24);
+    RowBuilder row;
+    for (int64_t i = first; i < first + count; ++i) {
+      const RevisionMap::Entry& e = revisions_.At(i);
+      bk_stream.BeginRow(e.business_key);
+      rev_stream.BeginRow(i);
+      RngStream* bk = bk_stream.rng();
+      RngStream* rev = rev_stream.rng();
+
+      Address addr = MakeAddress(bk, 0);
+      std::string name = StringPrintf(
+          "%s_%d", WordPhrase(bk, 1).c_str(),
+          static_cast<int>(e.business_key));
+      Date open =
+          Date::FromYmd(1990, 1, 1)
+              .AddDays(static_cast<int>(bk->UniformInt(0, 2000)));
+
+      std::string cc_class = domains::CallCenterClasses().PickUniform(rev);
+      int employees = static_cast<int>(rev->UniformInt(2000, 700000));
+      int sq_ft = static_cast<int>(rev->UniformInt(100000, 4000000));
+      std::string hours = domains::CallCenterHours().PickUniform(rev);
+      std::string manager = PersonName(rev);
+      int mkt_id = static_cast<int>(rev->UniformInt(1, 6));
+      std::string mkt_class = domains::MarketClasses().PickUniform(rev);
+      std::string mkt_desc = WordPhrase(rev, 6);
+      std::string market_manager = PersonName(rev);
+      int division = static_cast<int>(rev->UniformInt(1, 6));
+      std::string division_name = WordPhrase(rev, 1);
+      int company = static_cast<int>(rev->UniformInt(1, 6));
+      std::string company_name = WordPhrase(rev, 1);
+      Decimal tax = Decimal::FromCents(rev->UniformInt(0, 1200));
+
+      RevisionWindow window = RevisionValidity(e.revision, e.num_revisions);
+
+      row.Reset(31);
+      row.AddKey(i + 1);
+      row.AddString(BusinessKey(static_cast<uint64_t>(e.business_key)));
+      row.AddDate(window.rec_begin_date);
+      row.AddDate(window.rec_end_date);
+      row.AddKey(0);  // cc_closed_date_sk: open centers
+      row.AddKey(DateToSk(open));
+      row.AddString(name);
+      row.AddString(cc_class);
+      row.AddInt(employees);
+      row.AddInt(sq_ft);
+      row.AddString(hours);
+      row.AddString(manager);
+      row.AddInt(mkt_id);
+      row.AddString(mkt_class);
+      row.AddString(mkt_desc);
+      row.AddString(market_manager);
+      row.AddInt(division);
+      row.AddString(division_name);
+      row.AddInt(company);
+      row.AddString(company_name);
+      row.AddString(addr.street_number);
+      row.AddString(addr.street_name);
+      row.AddString(addr.street_type);
+      row.AddString(addr.suite_number);
+      row.AddString(addr.city);
+      row.AddString(addr.county);
+      row.AddString(addr.state);
+      row.AddString(addr.zip);
+      row.AddString(addr.country);
+      row.AddDecimal(addr.gmt_offset);
+      row.AddDecimal(tax);
+      TPCDS_RETURN_NOT_OK(sink->Append(row.fields()));
+    }
+    return Status::OK();
+  }
+
+ private:
+  RevisionMap revisions_;
+};
+
+class CatalogPageGenerator : public TableGenerator {
+ public:
+  explicit CatalogPageGenerator(const GeneratorOptions& options)
+      : TableGenerator(options, "catalog_page") {}
+
+  int64_t NumUnits() const override {
+    return ScalingModel::RowCount("catalog_page", sf());
+  }
+
+  Status GenerateUnits(int64_t first, int64_t count,
+                       RowSink* sink) override {
+    ColumnStream stream(options().master_seed, kTidCatalogPage, 1, 24);
+    RowBuilder row;
+    // Catalogs are quarterly; each catalog has a fixed page budget.
+    constexpr int kPagesPerCatalog = 108;
+    Date first_catalog = Date::FromYmd(1998, 1, 1);
+    for (int64_t i = first; i < first + count; ++i) {
+      stream.BeginRow(i);
+      RngStream* rng = stream.rng();
+      int64_t catalog_number = i / kPagesPerCatalog + 1;
+      int64_t page_number = i % kPagesPerCatalog + 1;
+      Date start = first_catalog.AddDays(
+          static_cast<int>((catalog_number - 1) * 91));
+      Date end = start.AddDays(90);
+      std::string desc = WordPhrase(rng, 8);
+      row.Reset(9);
+      row.AddKey(i + 1);
+      row.AddString(BusinessKey(static_cast<uint64_t>(i + 1)));
+      row.AddKey(DateToSk(start));
+      row.AddKey(DateToSk(end));
+      row.AddString(domains::Departments().PickUniform(rng));
+      row.AddInt(catalog_number);
+      row.AddInt(page_number);
+      row.AddString(desc);
+      row.AddString(domains::CatalogPageTypes().PickUniform(rng));
+      TPCDS_RETURN_NOT_OK(sink->Append(row.fields()));
+    }
+    return Status::OK();
+  }
+};
+
+class WebPageGenerator : public TableGenerator {
+ public:
+  explicit WebPageGenerator(const GeneratorOptions& options)
+      : TableGenerator(options, "web_page"),
+        revisions_(DeriveSeed(options.master_seed, kTidWebPage, 0),
+                   ScalingModel::RowCount("web_page", options.scale_factor)),
+        num_customers_(ScalingModel::RowCount("customer",
+                                              options.scale_factor)) {}
+
+  int64_t NumUnits() const override { return revisions_.surrogate_rows(); }
+
+  Status GenerateUnits(int64_t first, int64_t count,
+                       RowSink* sink) override {
+    ColumnStream bk_stream(options().master_seed, kTidWebPage, 1, 4);
+    ColumnStream rev_stream(options().master_seed, kTidWebPage, 2, 12);
+    RowBuilder row;
+    for (int64_t i = first; i < first + count; ++i) {
+      const RevisionMap::Entry& e = revisions_.At(i);
+      bk_stream.BeginRow(e.business_key);
+      rev_stream.BeginRow(i);
+      RngStream* bk = bk_stream.rng();
+      RngStream* rev = rev_stream.rng();
+
+      Date creation =
+          Date::FromYmd(1997, 1, 1)
+              .AddDays(static_cast<int>(bk->UniformInt(0, 1500)));
+      bool autogen = bk->NextDouble() < 0.3;
+
+      Date access = creation.AddDays(
+          static_cast<int>(rev->UniformInt(1, 100)));
+      // Autogenerated pages belong to a customer.
+      int64_t customer =
+          autogen ? rev->UniformInt(1, num_customers_) : 0;
+      if (!autogen) rev->NextUint64();  // keep the draw budget aligned
+      std::string type = domains::WebPageTypes().PickUniform(rev);
+      int char_count = static_cast<int>(rev->UniformInt(100, 8000));
+      int link_count = static_cast<int>(rev->UniformInt(2, 25));
+      int image_count = static_cast<int>(rev->UniformInt(1, 7));
+      int max_ad_count = static_cast<int>(rev->UniformInt(0, 4));
+
+      RevisionWindow window = RevisionValidity(e.revision, e.num_revisions);
+
+      row.Reset(14);
+      row.AddKey(i + 1);
+      row.AddString(BusinessKey(static_cast<uint64_t>(e.business_key)));
+      row.AddDate(window.rec_begin_date);
+      row.AddDate(window.rec_end_date);
+      row.AddKey(DateToSk(creation));
+      row.AddKey(DateToSk(access));
+      row.AddFlag(autogen);
+      row.AddKey(customer);
+      row.AddString(StringPrintf("http://www.foo.com/page_%lld.html",
+                                 static_cast<long long>(e.business_key)));
+      row.AddString(type);
+      row.AddInt(char_count);
+      row.AddInt(link_count);
+      row.AddInt(image_count);
+      row.AddInt(max_ad_count);
+      TPCDS_RETURN_NOT_OK(sink->Append(row.fields()));
+    }
+    return Status::OK();
+  }
+
+ private:
+  RevisionMap revisions_;
+  int64_t num_customers_;
+};
+
+class WebSiteGenerator : public TableGenerator {
+ public:
+  explicit WebSiteGenerator(const GeneratorOptions& options)
+      : TableGenerator(options, "web_site"),
+        revisions_(DeriveSeed(options.master_seed, kTidWebSite, 0),
+                   ScalingModel::RowCount("web_site",
+                                          options.scale_factor)) {}
+
+  int64_t NumUnits() const override { return revisions_.surrogate_rows(); }
+
+  Status GenerateUnits(int64_t first, int64_t count,
+                       RowSink* sink) override {
+    ColumnStream bk_stream(options().master_seed, kTidWebSite, 1,
+                           kAddressDraws + 4);
+    ColumnStream rev_stream(options().master_seed, kTidWebSite, 2, 20);
+    RowBuilder row;
+    for (int64_t i = first; i < first + count; ++i) {
+      const RevisionMap::Entry& e = revisions_.At(i);
+      bk_stream.BeginRow(e.business_key);
+      rev_stream.BeginRow(i);
+      RngStream* bk = bk_stream.rng();
+      RngStream* rev = rev_stream.rng();
+
+      Address addr = MakeAddress(bk, 0);
+      std::string name = StringPrintf(
+          "site_%d", static_cast<int>(e.business_key));
+      Date open = Date::FromYmd(1996, 1, 1)
+                      .AddDays(static_cast<int>(bk->UniformInt(0, 1200)));
+
+      std::string site_class = WordPhrase(rev, 1);
+      std::string manager = PersonName(rev);
+      int mkt_id = static_cast<int>(rev->UniformInt(1, 6));
+      std::string mkt_class = domains::MarketClasses().PickUniform(rev);
+      std::string mkt_desc = WordPhrase(rev, 6);
+      std::string market_manager = PersonName(rev);
+      int company_id = static_cast<int>(rev->UniformInt(1, 6));
+      std::string company_name = WordPhrase(rev, 1);
+      Decimal tax = Decimal::FromCents(rev->UniformInt(0, 1200));
+
+      RevisionWindow window = RevisionValidity(e.revision, e.num_revisions);
+
+      row.Reset(26);
+      row.AddKey(i + 1);
+      row.AddString(BusinessKey(static_cast<uint64_t>(e.business_key)));
+      row.AddDate(window.rec_begin_date);
+      row.AddDate(window.rec_end_date);
+      row.AddString(name);
+      row.AddKey(DateToSk(open));
+      row.AddKey(0);  // web_close_date_sk: all sites open
+      row.AddString(site_class);
+      row.AddString(manager);
+      row.AddInt(mkt_id);
+      row.AddString(mkt_class);
+      row.AddString(mkt_desc);
+      row.AddString(market_manager);
+      row.AddInt(company_id);
+      row.AddString(company_name);
+      row.AddString(addr.street_number);
+      row.AddString(addr.street_name);
+      row.AddString(addr.street_type);
+      row.AddString(addr.suite_number);
+      row.AddString(addr.city);
+      row.AddString(addr.county);
+      row.AddString(addr.state);
+      row.AddString(addr.zip);
+      row.AddString(addr.country);
+      row.AddDecimal(addr.gmt_offset);
+      row.AddDecimal(tax);
+      TPCDS_RETURN_NOT_OK(sink->Append(row.fields()));
+    }
+    return Status::OK();
+  }
+
+ private:
+  RevisionMap revisions_;
+};
+
+}  // namespace
+
+std::unique_ptr<TableGenerator> MakeStore(const GeneratorOptions& o) {
+  return std::make_unique<StoreGenerator>(o);
+}
+std::unique_ptr<TableGenerator> MakeWarehouse(const GeneratorOptions& o) {
+  return std::make_unique<WarehouseGenerator>(o);
+}
+std::unique_ptr<TableGenerator> MakePromotion(const GeneratorOptions& o) {
+  return std::make_unique<PromotionGenerator>(o);
+}
+std::unique_ptr<TableGenerator> MakeCallCenter(const GeneratorOptions& o) {
+  return std::make_unique<CallCenterGenerator>(o);
+}
+std::unique_ptr<TableGenerator> MakeCatalogPage(const GeneratorOptions& o) {
+  return std::make_unique<CatalogPageGenerator>(o);
+}
+std::unique_ptr<TableGenerator> MakeWebPage(const GeneratorOptions& o) {
+  return std::make_unique<WebPageGenerator>(o);
+}
+std::unique_ptr<TableGenerator> MakeWebSite(const GeneratorOptions& o) {
+  return std::make_unique<WebSiteGenerator>(o);
+}
+
+}  // namespace internal_dsgen
+}  // namespace tpcds

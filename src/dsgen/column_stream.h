@@ -1,0 +1,52 @@
+#ifndef TPCDS_DSGEN_COLUMN_STREAM_H_
+#define TPCDS_DSGEN_COLUMN_STREAM_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace tpcds {
+
+/// An RNG stream owned by one logical column (or column group) of one
+/// table, consuming a fixed budget of draws per row.
+///
+/// The fixed budget is what makes chunked generation deterministic: the
+/// draws for row r always occupy stream offsets [r*budget, (r+1)*budget),
+/// regardless of how many draws earlier rows actually used. BeginRow()
+/// advances to a row's first draw — cheaply (sequential padding) when
+/// generation is serial, via O(log n) seek when a worker jumps to its chunk.
+class ColumnStream {
+ public:
+  /// `table_id`/`column_id` identify the stream; `draws_per_row` is the
+  /// fixed per-row budget (callers must not draw more than this per row).
+  ColumnStream(uint64_t master_seed, int table_id, int column_id,
+               int draws_per_row)
+      : rng_(DeriveSeed(master_seed, static_cast<uint64_t>(table_id),
+                        static_cast<uint64_t>(column_id))),
+        draws_per_row_(draws_per_row) {}
+
+  /// Positions the stream at the first draw of `row` (0-based).
+  void BeginRow(int64_t row) {
+    uint64_t target = static_cast<uint64_t>(row) *
+                      static_cast<uint64_t>(draws_per_row_);
+    uint64_t at = rng_.offset();
+    if (at == target) return;
+    // Within a short forward distance, padding beats the log-time seek.
+    if (at < target && target - at <= 4 * static_cast<uint64_t>(draws_per_row_)) {
+      while (rng_.offset() < target) rng_.NextUint64();
+      return;
+    }
+    rng_.SeekTo(target);
+  }
+
+  RngStream* rng() { return &rng_; }
+  int draws_per_row() const { return draws_per_row_; }
+
+ private:
+  RngStream rng_;
+  int draws_per_row_;
+};
+
+}  // namespace tpcds
+
+#endif  // TPCDS_DSGEN_COLUMN_STREAM_H_

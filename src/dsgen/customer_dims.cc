@@ -1,0 +1,142 @@
+// Generators for the customer-side dimensions: customer_address and
+// customer. Both are non-history-keeping (updates overwrite in place,
+// paper Fig. 8).
+
+#include <algorithm>
+
+#include "dist/domains.h"
+#include "dsgen/address.h"
+#include "dsgen/column_stream.h"
+#include "dsgen/generator.h"
+#include "dsgen/generators_internal.h"
+#include "dsgen/keys.h"
+#include "dsgen/render.h"
+#include "scaling/scaling.h"
+#include "util/string_util.h"
+
+namespace tpcds {
+namespace internal_dsgen {
+namespace {
+
+class CustomerAddressGenerator : public TableGenerator {
+ public:
+  explicit CustomerAddressGenerator(const GeneratorOptions& options)
+      : TableGenerator(options, "customer_address") {}
+
+  int64_t NumUnits() const override {
+    return ScalingModel::RowCount("customer_address", sf());
+  }
+
+  Status GenerateUnits(int64_t first, int64_t count,
+                       RowSink* sink) override {
+    ColumnStream addr(options().master_seed, kTidCustomerAddress, 1,
+                      kAddressDraws);
+    ColumnStream misc(options().master_seed, kTidCustomerAddress, 2, 1);
+    RowBuilder row;
+    for (int64_t i = first; i < first + count; ++i) {
+      addr.BeginRow(i);
+      misc.BeginRow(i);
+      Address a = MakeAddress(addr.rng(), /*county_domain=*/0);
+      row.Reset(13);
+      row.AddKey(i + 1);
+      row.AddString(BusinessKey(static_cast<uint64_t>(i + 1)));
+      row.AddString(a.street_number);
+      row.AddString(a.street_name);
+      row.AddString(a.street_type);
+      row.AddString(a.suite_number);
+      row.AddString(a.city);
+      row.AddString(a.county);
+      row.AddString(a.state);
+      row.AddString(a.zip);
+      row.AddString(a.country);
+      row.AddDecimal(a.gmt_offset);
+      row.AddString(domains::LocationTypes().PickWeighted(misc.rng()));
+      TPCDS_RETURN_NOT_OK(sink->Append(row.fields()));
+    }
+    return Status::OK();
+  }
+};
+
+class CustomerGenerator : public TableGenerator {
+ public:
+  explicit CustomerGenerator(const GeneratorOptions& options)
+      : TableGenerator(options, "customer"),
+        num_addresses_(ScalingModel::RowCount("customer_address", sf())),
+        num_cdemo_(ScalingModel::RowCount("customer_demographics", sf())),
+        num_hdemo_(ScalingModel::RowCount("household_demographics", sf())) {}
+
+  int64_t NumUnits() const override {
+    return ScalingModel::RowCount("customer", sf());
+  }
+
+  Status GenerateUnits(int64_t first, int64_t count,
+                       RowSink* sink) override {
+    // Budget: 16 draws per customer (13 used), consumed in a fixed order.
+    ColumnStream stream(options().master_seed, kTidCustomer, 1, 16);
+    RowBuilder row;
+    Date sales_begin = ScalingModel::SalesBeginDate();
+    int32_t sales_days = ScalingModel::SalesEndDate() - sales_begin;
+    for (int64_t i = first; i < first + count; ++i) {
+      stream.BeginRow(i);
+      RngStream* rng = stream.rng();
+      int64_t sk = i + 1;
+      std::string salutation = domains::Salutations().PickWeighted(rng);
+      std::string first_name = domains::FirstNames().PickWeighted(rng);
+      std::string last_name = domains::LastNames().PickWeighted(rng);
+      int64_t cdemo = rng->UniformInt(1, num_cdemo_);
+      int64_t hdemo = rng->UniformInt(1, num_hdemo_);
+      int64_t addr = rng->UniformInt(1, num_addresses_);
+      Date first_sales =
+          sales_begin.AddDays(static_cast<int>(rng->UniformInt(0, sales_days)));
+      int birth_year = static_cast<int>(rng->UniformInt(1924, 1992));
+      int birth_month = static_cast<int>(rng->UniformInt(1, 12));
+      int birth_day = static_cast<int>(
+          rng->UniformInt(1, Date::DaysInMonth(birth_year, birth_month)));
+      bool preferred = rng->NextDouble() < 0.5;
+      std::string country = domains::Countries().PickUniform(rng);
+      Date last_review =
+          first_sales.AddDays(static_cast<int>(rng->UniformInt(0, 365)));
+
+      row.Reset(18);
+      row.AddKey(sk);
+      row.AddString(BusinessKey(static_cast<uint64_t>(sk)));
+      row.AddKey(cdemo);
+      row.AddKey(hdemo);
+      row.AddKey(addr);
+      row.AddKey(DateToSk(first_sales.AddDays(30)));  // first ship-to
+      row.AddKey(DateToSk(first_sales));
+      row.AddString(salutation);
+      row.AddString(first_name);
+      row.AddString(last_name);
+      row.AddFlag(preferred);
+      row.AddInt(birth_day);
+      row.AddInt(birth_month);
+      row.AddInt(birth_year);
+      row.AddString(country);
+      row.AddNull();  // c_login is NULL in the official data as well
+      row.AddString(StringPrintf("%s.%s@example.com", first_name.c_str(),
+                                 last_name.c_str()));
+      row.AddKey(DateToSk(last_review));
+      TPCDS_RETURN_NOT_OK(sink->Append(row.fields()));
+    }
+    return Status::OK();
+  }
+
+ private:
+  int64_t num_addresses_;
+  int64_t num_cdemo_;
+  int64_t num_hdemo_;
+};
+
+}  // namespace
+
+std::unique_ptr<TableGenerator> MakeCustomerAddress(
+    const GeneratorOptions& o) {
+  return std::make_unique<CustomerAddressGenerator>(o);
+}
+std::unique_ptr<TableGenerator> MakeCustomer(const GeneratorOptions& o) {
+  return std::make_unique<CustomerGenerator>(o);
+}
+
+}  // namespace internal_dsgen
+}  // namespace tpcds

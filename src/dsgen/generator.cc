@@ -1,0 +1,111 @@
+#include "dsgen/generator.h"
+
+#include <algorithm>
+
+#include "dsgen/generators_internal.h"
+
+namespace tpcds {
+
+Status TableGenerator::Generate(RowSink* sink) {
+  auto [first, end] = ChunkRange();
+  return GenerateUnits(first, end - first, sink);
+}
+
+std::pair<int64_t, int64_t> TableGenerator::ChunkRange() const {
+  int64_t n = NumUnits();
+  int64_t chunks = std::max(1, options_.num_chunks);
+  int64_t index = std::clamp<int64_t>(options_.chunk, 1, chunks) - 1;
+  int64_t per = n / chunks;
+  int64_t remainder = n % chunks;
+  int64_t first = index * per + std::min(index, remainder);
+  int64_t count = per + (index < remainder ? 1 : 0);
+  return {first, first + count};
+}
+
+const std::vector<std::string>& GeneratorTableNames() {
+  static const std::vector<std::string>& names = *new std::vector<
+      std::string>{
+      // Load order: static and shared dimensions first, then channel
+      // dimensions, then the fact tables.
+      "date_dim", "time_dim", "income_band", "ship_mode", "reason",
+      "customer_demographics", "household_demographics", "customer_address",
+      "customer", "item", "store", "warehouse", "promotion", "call_center",
+      "catalog_page", "web_page", "web_site", "inventory", "store_sales",
+      "store_returns", "catalog_sales", "catalog_returns", "web_sales",
+      "web_returns"};
+  return names;
+}
+
+Result<std::unique_ptr<TableGenerator>> MakeGenerator(
+    const std::string& table, const GeneratorOptions& options) {
+  namespace ig = internal_dsgen;
+  if (table == "date_dim") return ig::MakeDateDim(options);
+  if (table == "time_dim") return ig::MakeTimeDim(options);
+  if (table == "income_band") return ig::MakeIncomeBand(options);
+  if (table == "ship_mode") return ig::MakeShipMode(options);
+  if (table == "reason") return ig::MakeReason(options);
+  if (table == "customer_demographics") {
+    return ig::MakeCustomerDemographics(options);
+  }
+  if (table == "household_demographics") {
+    return ig::MakeHouseholdDemographics(options);
+  }
+  if (table == "customer_address") return ig::MakeCustomerAddress(options);
+  if (table == "customer") return ig::MakeCustomer(options);
+  if (table == "item") return ig::MakeItem(options);
+  if (table == "store") return ig::MakeStore(options);
+  if (table == "warehouse") return ig::MakeWarehouse(options);
+  if (table == "promotion") return ig::MakePromotion(options);
+  if (table == "call_center") return ig::MakeCallCenter(options);
+  if (table == "catalog_page") return ig::MakeCatalogPage(options);
+  if (table == "web_page") return ig::MakeWebPage(options);
+  if (table == "web_site") return ig::MakeWebSite(options);
+  if (table == "inventory") return ig::MakeInventory(options);
+  if (table == "store_sales") {
+    return ig::MakeSalesChannel(options, "store", true, false);
+  }
+  if (table == "store_returns") {
+    return ig::MakeSalesChannel(options, "store", false, true);
+  }
+  if (table == "catalog_sales") {
+    return ig::MakeSalesChannel(options, "catalog", true, false);
+  }
+  if (table == "catalog_returns") {
+    return ig::MakeSalesChannel(options, "catalog", false, true);
+  }
+  if (table == "web_sales") {
+    return ig::MakeSalesChannel(options, "web", true, false);
+  }
+  if (table == "web_returns") {
+    return ig::MakeSalesChannel(options, "web", false, true);
+  }
+  return Status::NotFound("no generator for table '" + table + "'");
+}
+
+Status GenerateSalesChannel(const std::string& sales_table,
+                            const GeneratorOptions& options,
+                            RowSink* sales_sink, RowSink* returns_sink) {
+  std::string channel;
+  if (sales_table == "store_sales") {
+    channel = "store";
+  } else if (sales_table == "catalog_sales") {
+    channel = "catalog";
+  } else if (sales_table == "web_sales") {
+    channel = "web";
+  } else {
+    return Status::InvalidArgument("not a sales table: " + sales_table);
+  }
+  int64_t units = internal_dsgen::ChannelNumUnits(options, channel);
+  // Apply this run's chunking to the ticket range.
+  GeneratorOptions opts = options;
+  int64_t chunks = std::max(1, opts.num_chunks);
+  int64_t index = std::clamp<int64_t>(opts.chunk, 1, chunks) - 1;
+  int64_t per = units / chunks;
+  int64_t remainder = units % chunks;
+  int64_t first = index * per + std::min(index, remainder);
+  int64_t count = per + (index < remainder ? 1 : 0);
+  return internal_dsgen::GenerateChannelBoth(options, channel, first, count,
+                                             sales_sink, returns_sink);
+}
+
+}  // namespace tpcds

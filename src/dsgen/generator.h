@@ -1,0 +1,98 @@
+#ifndef TPCDS_DSGEN_GENERATOR_H_
+#define TPCDS_DSGEN_GENERATOR_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dsgen/options.h"
+#include "util/flatfile.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tpcds {
+
+/// Stable per-table ids used to derive independent RNG streams. Appending
+/// is safe; reordering would change generated data.
+enum TableId : int {
+  kTidDateDim = 1,
+  kTidTimeDim,
+  kTidIncomeBand,
+  kTidShipMode,
+  kTidReason,
+  kTidCustomerDemographics,
+  kTidHouseholdDemographics,
+  kTidCustomerAddress,
+  kTidCustomer,
+  kTidItem,
+  kTidStore,
+  kTidWarehouse,
+  kTidPromotion,
+  kTidCallCenter,
+  kTidCatalogPage,
+  kTidWebPage,
+  kTidWebSite,
+  kTidStoreSales,
+  kTidCatalogSales,
+  kTidWebSales,
+  kTidInventory,
+};
+
+/// Base class for per-table data generators.
+///
+/// Generation is organised in *units*: one unit is one output row for most
+/// tables, but one order/ticket (a group of line items) for the sales
+/// channels. Units are independently seeded, so any contiguous unit range
+/// can be generated in isolation — the foundation of deterministic
+/// parallelism (paper §3; see also [10]'s parallel dsdgen design).
+class TableGenerator {
+ public:
+  TableGenerator(const GeneratorOptions& options, std::string table_name)
+      : options_(options), table_name_(std::move(table_name)) {}
+  virtual ~TableGenerator() = default;
+
+  TableGenerator(const TableGenerator&) = delete;
+  TableGenerator& operator=(const TableGenerator&) = delete;
+
+  const std::string& table_name() const { return table_name_; }
+  const GeneratorOptions& options() const { return options_; }
+  double sf() const { return options_.scale_factor; }
+
+  /// Total generation units for the whole table at this scale factor.
+  virtual int64_t NumUnits() const = 0;
+
+  /// Generates units [first, first+count) into `sink`.
+  virtual Status GenerateUnits(int64_t first, int64_t count,
+                               RowSink* sink) = 0;
+
+  /// Generates this run's chunk (all units when num_chunks == 1).
+  Status Generate(RowSink* sink);
+
+  /// Unit range [first, end) of chunk `chunk` out of `num_chunks`.
+  std::pair<int64_t, int64_t> ChunkRange() const;
+
+ private:
+  GeneratorOptions options_;
+  std::string table_name_;
+};
+
+/// Names of all 24 generatable tables, in load order (dimensions before
+/// the fact tables that reference them).
+const std::vector<std::string>& GeneratorTableNames();
+
+/// Creates the generator for `table`. Returns NotFound for unknown names.
+Result<std::unique_ptr<TableGenerator>> MakeGenerator(
+    const std::string& table, const GeneratorOptions& options);
+
+/// Sales channels generate returns alongside sales (a return re-derives
+/// its originating line item). This entry point produces both tables in
+/// one pass; `MakeGenerator("store_returns", ...)` internally re-runs the
+/// sales generation and discards the sales rows.
+Status GenerateSalesChannel(const std::string& sales_table,
+                            const GeneratorOptions& options,
+                            RowSink* sales_sink, RowSink* returns_sink);
+
+}  // namespace tpcds
+
+#endif  // TPCDS_DSGEN_GENERATOR_H_

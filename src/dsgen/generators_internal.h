@@ -1,0 +1,76 @@
+#ifndef TPCDS_DSGEN_GENERATORS_INTERNAL_H_
+#define TPCDS_DSGEN_GENERATORS_INTERNAL_H_
+
+#include <memory>
+
+#include "dsgen/generator.h"
+#include "dsgen/sales_overrides.h"
+
+namespace tpcds {
+namespace internal_dsgen {
+
+// Factories for the per-table generators; implementation detail of
+// MakeGenerator. Grouped by source file.
+
+// static_dims.cc
+std::unique_ptr<TableGenerator> MakeDateDim(const GeneratorOptions&);
+std::unique_ptr<TableGenerator> MakeTimeDim(const GeneratorOptions&);
+std::unique_ptr<TableGenerator> MakeIncomeBand(const GeneratorOptions&);
+std::unique_ptr<TableGenerator> MakeShipMode(const GeneratorOptions&);
+std::unique_ptr<TableGenerator> MakeReason(const GeneratorOptions&);
+std::unique_ptr<TableGenerator> MakeCustomerDemographics(
+    const GeneratorOptions&);
+std::unique_ptr<TableGenerator> MakeHouseholdDemographics(
+    const GeneratorOptions&);
+
+// customer_dims.cc
+std::unique_ptr<TableGenerator> MakeCustomerAddress(const GeneratorOptions&);
+std::unique_ptr<TableGenerator> MakeCustomer(const GeneratorOptions&);
+
+// item.cc
+std::unique_ptr<TableGenerator> MakeItem(const GeneratorOptions&);
+
+// business_dims.cc
+std::unique_ptr<TableGenerator> MakeStore(const GeneratorOptions&);
+std::unique_ptr<TableGenerator> MakeWarehouse(const GeneratorOptions&);
+std::unique_ptr<TableGenerator> MakePromotion(const GeneratorOptions&);
+std::unique_ptr<TableGenerator> MakeCallCenter(const GeneratorOptions&);
+std::unique_ptr<TableGenerator> MakeCatalogPage(const GeneratorOptions&);
+std::unique_ptr<TableGenerator> MakeWebPage(const GeneratorOptions&);
+std::unique_ptr<TableGenerator> MakeWebSite(const GeneratorOptions&);
+
+// inventory.cc
+std::unique_ptr<TableGenerator> MakeInventory(const GeneratorOptions&);
+
+// sales.cc: `emit_sales`/`emit_returns` select which half of the channel
+// the generator forwards to its sink.
+std::unique_ptr<TableGenerator> MakeSalesChannel(const GeneratorOptions&,
+                                                 const std::string& channel,
+                                                 bool emit_sales,
+                                                 bool emit_returns);
+
+// sales.cc: dual-sink entry point — generates tickets [first, first+count)
+// of `channel` ("store"/"catalog"/"web"), writing sales and returns rows
+// in one pass.
+Status GenerateChannelBoth(const GeneratorOptions& options,
+                           const std::string& channel, int64_t first,
+                           int64_t count, RowSink* sales_sink,
+                           RowSink* returns_sink);
+
+// sales.cc: total ticket (order) units of a channel at this scale factor.
+int64_t ChannelNumUnits(const GeneratorOptions& options,
+                        const std::string& channel);
+
+// sales.cc: like GenerateChannelBoth but with the refresh pipeline's
+// ticket-number and date-window overrides applied.
+Status GenerateChannelWithOverrides(const GeneratorOptions& options,
+                                    const std::string& channel,
+                                    int64_t first, int64_t count,
+                                    const SalesOverrides& overrides,
+                                    RowSink* sales_sink,
+                                    RowSink* returns_sink);
+
+}  // namespace internal_dsgen
+}  // namespace tpcds
+
+#endif  // TPCDS_DSGEN_GENERATORS_INTERNAL_H_

@@ -1,0 +1,142 @@
+// Generator for the item dimension: a history-keeping SCD whose attributes
+// follow the single-inheritance hierarchy brand -> class -> category
+// (paper Fig. 5, §3.3.1-3.3.2).
+//
+// Attributes that identify the product (item_id, hierarchy position,
+// manufacturer, physical attributes) are generated from business-key-seeded
+// draws so all revisions of a business key agree on them; attributes that
+// evolve (price, description, manager) draw from surrogate-indexed streams.
+
+#include <algorithm>
+#include <cmath>
+
+#include "dist/domains.h"
+#include "dsgen/column_stream.h"
+#include "dsgen/generator.h"
+#include "dsgen/generators_internal.h"
+#include "dsgen/keys.h"
+#include "dsgen/render.h"
+#include "dsgen/scd.h"
+#include "scaling/scaling.h"
+#include "util/string_util.h"
+
+namespace tpcds {
+namespace internal_dsgen {
+namespace {
+
+/// Gaussian word selection (paper §3.2): indexes cluster around the front
+/// of the word list, so common words recur across generated text.
+const std::string& GaussianWord(RngStream* rng) {
+  const Distribution& words = domains::Words();
+  double g = std::abs(rng->Gaussian());
+  size_t idx = static_cast<size_t>(g / 3.0 * static_cast<double>(words.size()));
+  return words.value(std::min(idx, words.size() - 1));
+}
+
+std::string MakeSentence(RngStream* rng, int num_words) {
+  std::string out;
+  for (int i = 0; i < num_words; ++i) {
+    if (i > 0) out += ' ';
+    out += GaussianWord(rng);
+  }
+  return out;
+}
+
+class ItemGenerator : public TableGenerator {
+ public:
+  explicit ItemGenerator(const GeneratorOptions& options)
+      : TableGenerator(options, "item"),
+        revisions_(DeriveSeed(options.master_seed, kTidItem, 0),
+                   ScalingModel::RowCount("item", options.scale_factor)) {}
+
+  int64_t NumUnits() const override { return revisions_.surrogate_rows(); }
+
+  const RevisionMap& revisions() const { return revisions_; }
+
+  Status GenerateUnits(int64_t first, int64_t count,
+                       RowSink* sink) override {
+    // Business-key streams: stable across revisions.
+    ColumnStream bk_stream(options().master_seed, kTidItem, 1, 12);
+    // Surrogate streams: change per revision. Descriptions take up to 20
+    // Gaussian draws.
+    ColumnStream rev_stream(options().master_seed, kTidItem, 2, 8);
+    ColumnStream desc_stream(options().master_seed, kTidItem, 3, 24);
+    RowBuilder row;
+    for (int64_t i = first; i < first + count; ++i) {
+      const RevisionMap::Entry& e = revisions_.At(i);
+      bk_stream.BeginRow(e.business_key);
+      rev_stream.BeginRow(i);
+      desc_stream.BeginRow(i);
+      RngStream* bk = bk_stream.rng();
+      RngStream* rev = rev_stream.rng();
+
+      // --- stable product identity (from the business-key stream) -------
+      const Distribution& categories = domains::Categories();
+      int cat_idx = static_cast<int>(categories.PickUniformIndex(bk));
+      const Distribution& classes = domains::ClassesOf(cat_idx);
+      int class_idx = static_cast<int>(classes.PickUniformIndex(bk));
+      int brand_num = static_cast<int>(bk->UniformInt(1, 10));
+      int manufact_id = static_cast<int>(bk->UniformInt(1, 1000));
+      const Distribution& syl = domains::BrandSyllables();
+      std::string manufact = syl.value(static_cast<size_t>(manufact_id) %
+                                       syl.size()) +
+                             syl.value(static_cast<size_t>(manufact_id / 10) %
+                                       syl.size());
+      std::string brand = manufact + StringPrintf(" #%d", brand_num);
+      std::string size = domains::Sizes().PickUniform(bk);
+      std::string color = domains::Colors().PickUniform(bk);
+      std::string units = domains::Units().PickUniform(bk);
+      std::string container = domains::Containers().PickUniform(bk);
+      std::string product_name = MakeSentence(bk, 3);
+
+      // --- per-revision attributes --------------------------------------
+      Decimal price = Decimal::FromCents(rev->UniformInt(9, 9999));
+      Decimal wholesale =
+          price.MultipliedBy(0.25 + rev->NextDouble() * 0.65);
+      int manager_id = static_cast<int>(rev->UniformInt(1, 100));
+      int formulation_code = static_cast<int>(rev->UniformInt(0, 99999999));
+      int desc_words = static_cast<int>(rev->UniformInt(5, 18));
+      std::string desc = MakeSentence(desc_stream.rng(), desc_words);
+
+      RevisionWindow window = RevisionValidity(e.revision, e.num_revisions);
+
+      row.Reset(22);
+      row.AddKey(i + 1);
+      row.AddString(BusinessKey(static_cast<uint64_t>(e.business_key)));
+      row.AddDate(window.rec_begin_date);
+      row.AddDate(window.rec_end_date);
+      row.AddString(desc);
+      row.AddDecimal(price);
+      row.AddDecimal(wholesale);
+      row.AddInt((cat_idx + 1) * 100000 + (class_idx + 1) * 1000 + brand_num);
+      row.AddString(brand);
+      row.AddInt((cat_idx + 1) * 100 + class_idx + 1);
+      row.AddString(classes.value(static_cast<size_t>(class_idx)));
+      row.AddInt(cat_idx + 1);
+      row.AddString(categories.value(static_cast<size_t>(cat_idx)));
+      row.AddInt(manufact_id);
+      row.AddString(manufact);
+      row.AddString(size);
+      row.AddString(StringPrintf("%08d", formulation_code));
+      row.AddString(color);
+      row.AddString(units);
+      row.AddString(container);
+      row.AddInt(manager_id);
+      row.AddString(product_name);
+      TPCDS_RETURN_NOT_OK(sink->Append(row.fields()));
+    }
+    return Status::OK();
+  }
+
+ private:
+  RevisionMap revisions_;
+};
+
+}  // namespace
+
+std::unique_ptr<TableGenerator> MakeItem(const GeneratorOptions& o) {
+  return std::make_unique<ItemGenerator>(o);
+}
+
+}  // namespace internal_dsgen
+}  // namespace tpcds

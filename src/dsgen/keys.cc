@@ -1,0 +1,29 @@
+#include "dsgen/keys.h"
+
+#include "scaling/scaling.h"
+
+namespace tpcds {
+
+std::string BusinessKey(uint64_t index) {
+  std::string key(16, 'A');
+  size_t pos = 8;
+  while (index > 0 && pos < key.size()) {
+    key[pos++] = static_cast<char>('A' + index % 26);
+    index /= 26;
+  }
+  return key;
+}
+
+int64_t DateToSk(Date date) {
+  return date - ScalingModel::DateDimBeginDate() + 1;
+}
+
+Date SkToDate(int64_t sk) {
+  return ScalingModel::DateDimBeginDate().AddDays(static_cast<int>(sk - 1));
+}
+
+int64_t SecondsToTimeSk(int seconds_since_midnight) {
+  return seconds_since_midnight + 1;
+}
+
+}  // namespace tpcds

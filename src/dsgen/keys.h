@@ -1,0 +1,28 @@
+#ifndef TPCDS_DSGEN_KEYS_H_
+#define TPCDS_DSGEN_KEYS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/date.h"
+
+namespace tpcds {
+
+/// Renders the 16-character business key the official dsdgen uses for
+/// *_id columns ("AAAAAAAABAAAAAAA" for index 1): base-26 digits of the
+/// index written into a field of 'A's starting at position 8.
+std::string BusinessKey(uint64_t index);
+
+/// Surrogate key of a calendar date in date_dim (1-based; date_dim row 1 is
+/// 1900-01-01).
+int64_t DateToSk(Date date);
+
+/// Inverse of DateToSk.
+Date SkToDate(int64_t sk);
+
+/// Surrogate key of a time-of-day in time_dim (1-based; row 1 is 00:00:00).
+int64_t SecondsToTimeSk(int seconds_since_midnight);
+
+}  // namespace tpcds
+
+#endif  // TPCDS_DSGEN_KEYS_H_

@@ -1,0 +1,28 @@
+#ifndef TPCDS_DSGEN_OPTIONS_H_
+#define TPCDS_DSGEN_OPTIONS_H_
+
+#include <cstdint>
+
+namespace tpcds {
+
+/// Configuration of a data-generation run, mirroring the official dsdgen's
+/// command line: -scale, -rngseed, and the -parallel/-child chunking flags.
+struct GeneratorOptions {
+  /// Raw data size in GB. Published runs use the discrete scale factors
+  /// (100..100000); fractional values (e.g. 0.01) serve development.
+  double scale_factor = 1.0;
+
+  /// Master RNG seed; every (table, column) stream derives from it.
+  /// Changing it produces a different but equally valid database.
+  uint64_t master_seed = 19620718;
+
+  /// Chunked generation: produce chunk `chunk` of `num_chunks` (1-based).
+  /// Chunking is deterministic — the concatenation of all chunks is
+  /// bit-identical to a single-chunk run.
+  int chunk = 1;
+  int num_chunks = 1;
+};
+
+}  // namespace tpcds
+
+#endif  // TPCDS_DSGEN_OPTIONS_H_

@@ -1,0 +1,57 @@
+#include "dsgen/pricing.h"
+
+namespace tpcds {
+
+SalesPricing MakeSalesPricing(RngStream* rng) {
+  SalesPricing p;
+  p.quantity = static_cast<int>(rng->UniformInt(1, 100));            // 1
+  p.wholesale_cost = Decimal::FromCents(rng->UniformInt(100, 10000));  // 2
+  double markup = 1.0 + rng->NextDouble();                           // 3
+  p.list_price = p.wholesale_cost.MultipliedBy(markup);
+  double discount = rng->NextDouble();                               // 4
+  p.sales_price = p.list_price.MultipliedBy(1.0 - discount);
+  p.ext_discount_amt = (p.list_price - p.sales_price) * p.quantity;
+  p.ext_sales_price = p.sales_price * p.quantity;
+  p.ext_wholesale_cost = p.wholesale_cost * p.quantity;
+  p.ext_list_price = p.list_price * p.quantity;
+  double tax_rate = rng->NextDouble() * 0.09;                        // 5
+  p.ext_tax = p.ext_sales_price.MultipliedBy(tax_rate);
+  double coupon_draw = rng->NextDouble();                            // 6
+  if (coupon_draw < 0.15) {
+    // Coupon covers up to the full extended sales price.
+    p.coupon_amt = p.ext_sales_price.MultipliedBy(coupon_draw / 0.15);
+  }
+  p.ext_ship_cost = p.ext_list_price.MultipliedBy(rng->NextDouble() * 0.5);  // 7
+  p.net_paid = p.ext_sales_price - p.coupon_amt;
+  p.net_paid_inc_tax = p.net_paid + p.ext_tax;
+  p.net_paid_inc_ship = p.net_paid + p.ext_ship_cost;
+  p.net_paid_inc_ship_tax = p.net_paid_inc_ship + p.ext_tax;
+  p.net_profit = p.net_paid - p.ext_wholesale_cost;
+  return p;
+}
+
+ReturnPricing MakeReturnPricing(const SalesPricing& sale, RngStream* rng) {
+  ReturnPricing r;
+  r.return_quantity =
+      static_cast<int>(rng->UniformInt(1, sale.quantity));           // 1
+  r.return_amt = sale.sales_price * r.return_quantity;
+  // Tax comes back proportionally to the returned units.
+  if (sale.quantity > 0) {
+    r.return_tax = Decimal::FromCents(sale.ext_tax.cents() *
+                                      r.return_quantity / sale.quantity);
+  }
+  r.return_amt_inc_tax = r.return_amt + r.return_tax;
+  r.fee = Decimal::FromCents(rng->UniformInt(50, 10000));            // 2
+  r.return_ship_cost =
+      r.return_amt.MultipliedBy(rng->NextDouble() * 0.5);            // 3
+  // Split the refund: cash first, then reversed charge, remainder credit.
+  double cash_share = rng->NextDouble();                             // 4
+  r.refunded_cash = r.return_amt.MultipliedBy(cash_share);
+  Decimal rest = r.return_amt - r.refunded_cash;
+  r.reversed_charge = Decimal::FromCents(rest.cents() / 2);
+  r.store_credit = rest - r.reversed_charge;
+  r.net_loss = r.return_ship_cost + r.fee + r.return_tax;
+  return r;
+}
+
+}  // namespace tpcds

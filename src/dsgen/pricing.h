@@ -1,0 +1,64 @@
+#ifndef TPCDS_DSGEN_PRICING_H_
+#define TPCDS_DSGEN_PRICING_H_
+
+#include "util/decimal.h"
+#include "util/random.h"
+
+namespace tpcds {
+
+/// The pricing chain of one sold line item. Derived quantities follow the
+/// TPC-DS column algebra: ext_* = per-unit * quantity, net_paid =
+/// ext_sales_price - coupon_amt, net_profit = net_paid -
+/// ext_wholesale_cost, and the inc_ship/inc_tax variants stack shipping
+/// and tax on top.
+struct SalesPricing {
+  int quantity = 0;
+  Decimal wholesale_cost;
+  Decimal list_price;
+  Decimal sales_price;
+  Decimal ext_discount_amt;
+  Decimal ext_sales_price;
+  Decimal ext_wholesale_cost;
+  Decimal ext_list_price;
+  Decimal ext_tax;
+  Decimal coupon_amt;
+  Decimal ext_ship_cost;
+  Decimal net_paid;
+  Decimal net_paid_inc_tax;
+  Decimal net_paid_inc_ship;
+  Decimal net_paid_inc_ship_tax;
+  Decimal net_profit;
+};
+
+/// RNG draws MakeSalesPricing consumes (fixed).
+inline constexpr int kSalesPricingDraws = 7;
+
+/// Synthesises a line-item pricing chain: wholesale cost uniform
+/// $1.00..$100.00, markup 1.0x..2.0x, discount 0..100%, quantity 1..100,
+/// tax 0..9%, coupons on ~15% of items, shipping 0..50% of list.
+SalesPricing MakeSalesPricing(RngStream* rng);
+
+/// The monetary consequences of returning part of a sold line item.
+struct ReturnPricing {
+  int return_quantity = 0;
+  Decimal return_amt;       // sales price of the returned units
+  Decimal return_tax;
+  Decimal return_amt_inc_tax;
+  Decimal fee;
+  Decimal return_ship_cost;
+  Decimal refunded_cash;
+  Decimal reversed_charge;
+  Decimal store_credit;     // "account credit" for the web channel
+  Decimal net_loss;
+};
+
+/// RNG draws MakeReturnPricing consumes (fixed).
+inline constexpr int kReturnPricingDraws = 4;
+
+/// Synthesises a return against `sale`: 1..quantity units come back; the
+/// refund splits into cash / reversed charge / store credit.
+ReturnPricing MakeReturnPricing(const SalesPricing& sale, RngStream* rng);
+
+}  // namespace tpcds
+
+#endif  // TPCDS_DSGEN_PRICING_H_

@@ -1,0 +1,51 @@
+#ifndef TPCDS_DSGEN_RENDER_H_
+#define TPCDS_DSGEN_RENDER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/date.h"
+#include "util/decimal.h"
+
+namespace tpcds {
+
+/// Accumulates one flat-file row. NULL is rendered as the empty field
+/// (dsdgen convention); surrogate keys <= 0 mean NULL.
+class RowBuilder {
+ public:
+  void Reset(size_t expected_fields) {
+    fields_.clear();
+    fields_.reserve(expected_fields);
+  }
+
+  void AddInt(int64_t v) { fields_.push_back(std::to_string(v)); }
+  void AddKey(int64_t sk) {
+    if (sk <= 0) {
+      AddNull();
+    } else {
+      AddInt(sk);
+    }
+  }
+  void AddString(std::string v) { fields_.push_back(std::move(v)); }
+  void AddDecimal(Decimal v) { fields_.push_back(v.ToString()); }
+  void AddDate(Date v) { fields_.push_back(v.ToString()); }
+  void AddDate(const std::optional<Date>& v) {
+    if (v.has_value()) {
+      AddDate(*v);
+    } else {
+      AddNull();
+    }
+  }
+  void AddFlag(bool v) { fields_.emplace_back(v ? "Y" : "N"); }
+  void AddNull() { fields_.emplace_back(); }
+
+  const std::vector<std::string>& fields() const { return fields_; }
+
+ private:
+  std::vector<std::string> fields_;
+};
+
+}  // namespace tpcds
+
+#endif  // TPCDS_DSGEN_RENDER_H_

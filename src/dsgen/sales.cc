@@ -1,0 +1,485 @@
+// Generators for the six sales/returns fact tables.
+//
+// Generation is organised per *ticket* (store) / *order* (catalog, web):
+// each ticket is an independently seeded unit holding 1..20 line items
+// (average 10.5, the paper's shopping-cart size). Returns are derived in
+// the same pass — a line item is returned with a channel-specific
+// probability, and the return row re-uses the sale's item, keys and
+// pricing, exactly how the official dsdgen couples the two tables.
+
+#include <algorithm>
+#include <optional>
+
+#include "dist/zones.h"
+#include "dsgen/column_stream.h"
+#include "dsgen/generator.h"
+#include "dsgen/generators_internal.h"
+#include "dsgen/keys.h"
+#include "dsgen/pricing.h"
+#include "dsgen/render.h"
+#include "dsgen/sales_overrides.h"
+#include "scaling/scaling.h"
+
+namespace tpcds {
+namespace internal_dsgen {
+namespace {
+
+constexpr int kMaxItemsPerTicket = 20;  // uniform 1..20 -> mean 10.5
+
+enum class Channel { kStore, kCatalog, kWeb };
+
+struct ChannelSpec {
+  Channel channel;
+  int table_id;
+  const char* sales_table;
+  double line_items_per_sf;  // from the scaling model
+  double return_rate;
+};
+
+ChannelSpec SpecFor(const std::string& name) {
+  if (name == "store") {
+    // 140000/2880000: the paper's Table 2 ratio of returns to sales.
+    return {Channel::kStore, kTidStoreSales, "store_sales", 2880000.0,
+            140000.0 / 2880000.0};
+  }
+  if (name == "catalog") {
+    return {Channel::kCatalog, kTidCatalogSales, "catalog_sales", 1440000.0,
+            0.10};
+  }
+  return {Channel::kWeb, kTidWebSales, "web_sales", 720000.0, 0.10};
+}
+
+/// Ticket-level context shared by all line items of one ticket.
+struct TicketContext {
+  Date sold_date;
+  int64_t sold_time_sk;
+  int64_t customer;
+  int64_t cdemo;
+  int64_t hdemo;
+  int64_t addr;
+  int64_t location1;  // store | call_center | web_site
+  int64_t location2;  // unused | catalog_page | web_page
+  Date ship_date;
+  int64_t ship_mode;
+  int64_t warehouse;
+  int64_t ship_customer;
+  int64_t ship_cdemo;
+  int64_t ship_hdemo;
+  int64_t ship_addr;
+  bool demo_null;  // the demographic trio is NULL on this ticket
+};
+
+class SalesChannelCore {
+ public:
+  SalesChannelCore(const GeneratorOptions& options, const ChannelSpec& spec,
+                   const SalesOverrides& overrides)
+      : options_(options),
+        spec_(spec),
+        overrides_(overrides),
+        dates_(ScalingModel::SalesBeginDate(), ScalingModel::SalesEndDate()),
+        ticket_stream_(options.master_seed, spec.table_id, 1, 16),
+        item_stream_(options.master_seed, spec.table_id, 2, 4),
+        pricing_stream_(options.master_seed, spec.table_id, 3, 8),
+        return_stream_(options.master_seed, spec.table_id, 4, 8),
+        basket_stream_(options.master_seed, spec.table_id, 5, 2) {
+    double sf = options.scale_factor;
+    num_tickets_ = std::max<int64_t>(
+        1, static_cast<int64_t>(spec.line_items_per_sf * sf / 10.5 + 0.5));
+    num_customers_ = ScalingModel::RowCount("customer", sf);
+    num_cdemo_ = ScalingModel::RowCount("customer_demographics", sf);
+    num_hdemo_ = ScalingModel::RowCount("household_demographics", sf);
+    num_addresses_ = ScalingModel::RowCount("customer_address", sf);
+    num_items_ = ScalingModel::RowCount("item", sf);
+    num_promotions_ = ScalingModel::RowCount("promotion", sf);
+    num_reasons_ = ScalingModel::RowCount("reason", sf);
+    num_stores_ = ScalingModel::RowCount("store", sf);
+    num_call_centers_ = ScalingModel::RowCount("call_center", sf);
+    num_catalog_pages_ = ScalingModel::RowCount("catalog_page", sf);
+    num_web_sites_ = ScalingModel::RowCount("web_site", sf);
+    num_web_pages_ = ScalingModel::RowCount("web_page", sf);
+    num_ship_modes_ = ScalingModel::RowCount("ship_mode", sf);
+    num_warehouses_ = ScalingModel::RowCount("warehouse", sf);
+    items_seed_ = DeriveSeed(options.master_seed,
+                             static_cast<uint64_t>(spec.table_id), 99);
+  }
+
+  int64_t num_tickets() const { return num_tickets_; }
+
+  int ItemsInTicket(int64_t ticket) const {
+    return 1 + static_cast<int>(
+                   Mix64(items_seed_ ^ static_cast<uint64_t>(ticket)) %
+                   kMaxItemsPerTicket);
+  }
+
+  Status Generate(int64_t first, int64_t count, RowSink* sales_sink,
+                  RowSink* returns_sink) {
+    RowBuilder sale_row;
+    RowBuilder return_row;
+    for (int64_t t = first; t < first + count; ++t) {
+      TicketContext ctx = MakeTicketContext(t);
+      int64_t ticket_number = overrides_.first_ticket_number + t;
+      int items = ItemsInTicket(t);
+      // Line items of one ticket carry *distinct* items (the sales PK is
+      // (item_sk, ticket_number)): walk an arithmetic progression whose
+      // stride keeps 20 steps collision-free.
+      basket_stream_.BeginRow(t);
+      int64_t base = basket_stream_.rng()->UniformInt(0, num_items_ - 1);
+      int64_t max_step = std::max<int64_t>(
+          1, (num_items_ - 1) / kMaxItemsPerTicket);
+      int64_t step = basket_stream_.rng()->UniformInt(1, max_step);
+      if (items > num_items_) items = static_cast<int>(num_items_);
+      for (int j = 0; j < items; ++j) {
+        int64_t slot = t * kMaxItemsPerTicket + j;
+        item_stream_.BeginRow(slot);
+        pricing_stream_.BeginRow(slot);
+        RngStream* irng = item_stream_.rng();
+        int64_t item = 1 + (base + j * step) % num_items_;
+        int64_t promo = irng->UniformInt(1, num_promotions_);
+        bool promo_null = irng->NextDouble() < 0.2;
+        bool returned = irng->NextDouble() < spec_.return_rate;
+        if (promo_null) promo = 0;
+        SalesPricing pricing = MakeSalesPricing(pricing_stream_.rng());
+
+        if (sales_sink != nullptr) {
+          RenderSale(ctx, ticket_number, item, promo, pricing, &sale_row);
+          TPCDS_RETURN_NOT_OK(sales_sink->Append(sale_row.fields()));
+        }
+        if (returned && returns_sink != nullptr) {
+          return_stream_.BeginRow(slot);
+          RenderReturn(ctx, ticket_number, item, pricing,
+                       return_stream_.rng(), &return_row);
+          TPCDS_RETURN_NOT_OK(returns_sink->Append(return_row.fields()));
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  Date ClampDate(Date d) const {
+    if (!overrides_.date_window.has_value()) return d;
+    auto [begin, end] = *overrides_.date_window;
+    int32_t span = end - begin + 1;
+    int32_t offset = (d - dates_.begin()) % span;
+    return begin.AddDays(offset);
+  }
+
+  TicketContext MakeTicketContext(int64_t ticket) {
+    ticket_stream_.BeginRow(ticket);
+    RngStream* rng = ticket_stream_.rng();
+    TicketContext ctx;
+    ctx.sold_date = ClampDate(dates_.Pick(rng));                      // 1
+    ctx.sold_time_sk = SecondsToTimeSk(
+        static_cast<int>(rng->UniformInt(0, 86399)));                 // 2
+    ctx.customer = rng->UniformInt(1, num_customers_);                // 3
+    ctx.cdemo = rng->UniformInt(1, num_cdemo_);                       // 4
+    ctx.hdemo = rng->UniformInt(1, num_hdemo_);                       // 5
+    ctx.addr = rng->UniformInt(1, num_addresses_);                    // 6
+    switch (spec_.channel) {
+      case Channel::kStore:
+        ctx.location1 = rng->UniformInt(1, num_stores_);              // 7
+        rng->NextUint64();                                            // 8
+        ctx.location2 = 0;
+        break;
+      case Channel::kCatalog:
+        ctx.location1 = rng->UniformInt(1, num_call_centers_);        // 7
+        ctx.location2 = rng->UniformInt(1, num_catalog_pages_);       // 8
+        break;
+      case Channel::kWeb:
+        ctx.location1 = rng->UniformInt(1, num_web_sites_);           // 7
+        ctx.location2 = rng->UniformInt(1, num_web_pages_);           // 8
+        break;
+    }
+    int ship_lag = static_cast<int>(rng->UniformInt(2, 120));         // 9
+    ctx.ship_date = ctx.sold_date.AddDays(ship_lag);
+    ctx.ship_mode = rng->UniformInt(1, num_ship_modes_);              // 10
+    ctx.warehouse = rng->UniformInt(1, num_warehouses_);              // 11
+    bool ship_to_other = rng->NextDouble() < 0.15;                    // 12
+    int64_t other_customer = rng->UniformInt(1, num_customers_);      // 13
+    int64_t other_cdemo = rng->UniformInt(1, num_cdemo_);             // 14
+    int64_t other_hdemo = rng->UniformInt(1, num_hdemo_);             // 15
+    int64_t other_addr = rng->UniformInt(1, num_addresses_);          // 16
+    if (ship_to_other) {
+      ctx.ship_customer = other_customer;
+      ctx.ship_cdemo = other_cdemo;
+      ctx.ship_hdemo = other_hdemo;
+      ctx.ship_addr = other_addr;
+    } else {
+      ctx.ship_customer = ctx.customer;
+      ctx.ship_cdemo = ctx.cdemo;
+      ctx.ship_hdemo = ctx.hdemo;
+      ctx.ship_addr = ctx.addr;
+    }
+    // ~3.5% of tickets omit the demographic foreign keys (NULLs stress the
+    // optimizer's statistics; derived from the customer draw, no new draw).
+    ctx.demo_null = (Mix64(static_cast<uint64_t>(ctx.customer) ^
+                           items_seed_) % 1000) < 35;
+    return ctx;
+  }
+
+  void AddPricing(const SalesPricing& p, bool with_ship, RowBuilder* row) {
+    row->AddInt(p.quantity);
+    row->AddDecimal(p.wholesale_cost);
+    row->AddDecimal(p.list_price);
+    row->AddDecimal(p.sales_price);
+    row->AddDecimal(p.ext_discount_amt);
+    row->AddDecimal(p.ext_sales_price);
+    row->AddDecimal(p.ext_wholesale_cost);
+    row->AddDecimal(p.ext_list_price);
+    row->AddDecimal(p.ext_tax);
+    row->AddDecimal(p.coupon_amt);
+    if (with_ship) row->AddDecimal(p.ext_ship_cost);
+    row->AddDecimal(p.net_paid);
+    row->AddDecimal(p.net_paid_inc_tax);
+    if (with_ship) {
+      row->AddDecimal(p.net_paid_inc_ship);
+      row->AddDecimal(p.net_paid_inc_ship_tax);
+    }
+    row->AddDecimal(p.net_profit);
+  }
+
+  void RenderSale(const TicketContext& ctx, int64_t ticket_number,
+                  int64_t item, int64_t promo, const SalesPricing& pricing,
+                  RowBuilder* row) {
+    switch (spec_.channel) {
+      case Channel::kStore:
+        row->Reset(23);
+        row->AddKey(DateToSk(ctx.sold_date));
+        row->AddKey(ctx.sold_time_sk);
+        row->AddKey(item);
+        row->AddKey(ctx.customer);
+        row->AddKey(ctx.demo_null ? 0 : ctx.cdemo);
+        row->AddKey(ctx.demo_null ? 0 : ctx.hdemo);
+        row->AddKey(ctx.demo_null ? 0 : ctx.addr);
+        row->AddKey(ctx.location1);
+        row->AddKey(promo);
+        row->AddKey(ticket_number);
+        AddPricing(pricing, /*with_ship=*/false, row);
+        break;
+      case Channel::kCatalog:
+        row->Reset(34);
+        row->AddKey(DateToSk(ctx.sold_date));
+        row->AddKey(ctx.sold_time_sk);
+        row->AddKey(DateToSk(ctx.ship_date));
+        row->AddKey(ctx.customer);
+        row->AddKey(ctx.demo_null ? 0 : ctx.cdemo);
+        row->AddKey(ctx.demo_null ? 0 : ctx.hdemo);
+        row->AddKey(ctx.demo_null ? 0 : ctx.addr);
+        row->AddKey(ctx.ship_customer);
+        row->AddKey(ctx.demo_null ? 0 : ctx.ship_cdemo);
+        row->AddKey(ctx.demo_null ? 0 : ctx.ship_hdemo);
+        row->AddKey(ctx.demo_null ? 0 : ctx.ship_addr);
+        row->AddKey(ctx.location1);
+        row->AddKey(ctx.location2);
+        row->AddKey(ctx.ship_mode);
+        row->AddKey(ctx.warehouse);
+        row->AddKey(item);
+        row->AddKey(promo);
+        row->AddKey(ticket_number);
+        AddPricing(pricing, /*with_ship=*/true, row);
+        break;
+      case Channel::kWeb:
+        row->Reset(34);
+        row->AddKey(DateToSk(ctx.sold_date));
+        row->AddKey(ctx.sold_time_sk);
+        row->AddKey(DateToSk(ctx.ship_date));
+        row->AddKey(item);
+        row->AddKey(ctx.customer);
+        row->AddKey(ctx.demo_null ? 0 : ctx.cdemo);
+        row->AddKey(ctx.demo_null ? 0 : ctx.hdemo);
+        row->AddKey(ctx.demo_null ? 0 : ctx.addr);
+        row->AddKey(ctx.ship_customer);
+        row->AddKey(ctx.demo_null ? 0 : ctx.ship_cdemo);
+        row->AddKey(ctx.demo_null ? 0 : ctx.ship_hdemo);
+        row->AddKey(ctx.demo_null ? 0 : ctx.ship_addr);
+        row->AddKey(ctx.location2);  // ws_web_page_sk
+        row->AddKey(ctx.location1);  // ws_web_site_sk
+        row->AddKey(ctx.ship_mode);
+        row->AddKey(ctx.warehouse);
+        row->AddKey(promo);
+        row->AddKey(ticket_number);
+        AddPricing(pricing, /*with_ship=*/true, row);
+        break;
+    }
+  }
+
+  void AddReturnPricing(const ReturnPricing& r, RowBuilder* row) {
+    row->AddInt(r.return_quantity);
+    row->AddDecimal(r.return_amt);
+    row->AddDecimal(r.return_tax);
+    row->AddDecimal(r.return_amt_inc_tax);
+    row->AddDecimal(r.fee);
+    row->AddDecimal(r.return_ship_cost);
+    row->AddDecimal(r.refunded_cash);
+    row->AddDecimal(r.reversed_charge);
+    row->AddDecimal(r.store_credit);
+    row->AddDecimal(r.net_loss);
+  }
+
+  void RenderReturn(const TicketContext& ctx, int64_t ticket_number,
+                    int64_t item, const SalesPricing& pricing,
+                    RngStream* rng, RowBuilder* row) {
+    // Fixed 8-draw budget: lag, time, other-customer flag, reason, 4 pricing.
+    int lag = static_cast<int>(rng->UniformInt(1, 90));               // 1
+    Date returned_date = ctx.sold_date.AddDays(lag);
+    int64_t return_time = SecondsToTimeSk(
+        static_cast<int>(rng->UniformInt(0, 86399)));                 // 2
+    bool other = rng->NextDouble() < 0.2;                             // 3
+    int64_t returning_customer =
+        other ? 1 + static_cast<int64_t>(
+                        Mix64(items_seed_ ^
+                              static_cast<uint64_t>(ticket_number)) %
+                        static_cast<uint64_t>(num_customers_))
+              : ctx.customer;
+    int64_t reason = rng->UniformInt(1, num_reasons_);                // 4
+    ReturnPricing rp = MakeReturnPricing(pricing, rng);               // 5..8
+
+    switch (spec_.channel) {
+      case Channel::kStore:
+        row->Reset(20);
+        row->AddKey(DateToSk(returned_date));
+        row->AddKey(return_time);
+        row->AddKey(item);
+        row->AddKey(returning_customer);
+        row->AddKey(ctx.demo_null ? 0 : ctx.cdemo);
+        row->AddKey(ctx.demo_null ? 0 : ctx.hdemo);
+        row->AddKey(ctx.demo_null ? 0 : ctx.addr);
+        row->AddKey(ctx.location1);
+        row->AddKey(reason);
+        row->AddKey(ticket_number);
+        AddReturnPricing(rp, row);
+        break;
+      case Channel::kCatalog:
+        row->Reset(27);
+        row->AddKey(DateToSk(returned_date));
+        row->AddKey(return_time);
+        row->AddKey(item);
+        row->AddKey(ctx.customer);
+        row->AddKey(ctx.demo_null ? 0 : ctx.cdemo);
+        row->AddKey(ctx.demo_null ? 0 : ctx.hdemo);
+        row->AddKey(ctx.demo_null ? 0 : ctx.addr);
+        row->AddKey(returning_customer);
+        row->AddKey(ctx.demo_null ? 0 : ctx.ship_cdemo);
+        row->AddKey(ctx.demo_null ? 0 : ctx.ship_hdemo);
+        row->AddKey(ctx.demo_null ? 0 : ctx.ship_addr);
+        row->AddKey(ctx.location1);
+        row->AddKey(ctx.location2);
+        row->AddKey(ctx.ship_mode);
+        row->AddKey(ctx.warehouse);
+        row->AddKey(reason);
+        row->AddKey(ticket_number);
+        AddReturnPricing(rp, row);
+        break;
+      case Channel::kWeb:
+        row->Reset(24);
+        row->AddKey(DateToSk(returned_date));
+        row->AddKey(return_time);
+        row->AddKey(item);
+        row->AddKey(ctx.customer);
+        row->AddKey(ctx.demo_null ? 0 : ctx.cdemo);
+        row->AddKey(ctx.demo_null ? 0 : ctx.hdemo);
+        row->AddKey(ctx.demo_null ? 0 : ctx.addr);
+        row->AddKey(returning_customer);
+        row->AddKey(ctx.demo_null ? 0 : ctx.ship_cdemo);
+        row->AddKey(ctx.demo_null ? 0 : ctx.ship_hdemo);
+        row->AddKey(ctx.demo_null ? 0 : ctx.ship_addr);
+        row->AddKey(ctx.location2);  // wr_web_page_sk
+        row->AddKey(reason);
+        row->AddKey(ticket_number);
+        AddReturnPricing(rp, row);
+        break;
+    }
+  }
+
+  GeneratorOptions options_;
+  ChannelSpec spec_;
+  SalesOverrides overrides_;
+  SalesDateDistribution dates_;
+  ColumnStream ticket_stream_;
+  ColumnStream item_stream_;
+  ColumnStream pricing_stream_;
+  ColumnStream return_stream_;
+  ColumnStream basket_stream_;
+  int64_t num_tickets_ = 0;
+  int64_t num_customers_ = 0;
+  int64_t num_cdemo_ = 0;
+  int64_t num_hdemo_ = 0;
+  int64_t num_addresses_ = 0;
+  int64_t num_items_ = 0;
+  int64_t num_promotions_ = 0;
+  int64_t num_reasons_ = 0;
+  int64_t num_stores_ = 0;
+  int64_t num_call_centers_ = 0;
+  int64_t num_catalog_pages_ = 0;
+  int64_t num_web_sites_ = 0;
+  int64_t num_web_pages_ = 0;
+  int64_t num_ship_modes_ = 0;
+  int64_t num_warehouses_ = 0;
+  uint64_t items_seed_ = 0;
+};
+
+/// TableGenerator adapter exposing one side (sales or returns) of a
+/// channel through the single-sink interface.
+class SalesChannelGenerator : public TableGenerator {
+ public:
+  SalesChannelGenerator(const GeneratorOptions& options,
+                        const std::string& channel, bool emit_sales,
+                        bool emit_returns)
+      : TableGenerator(options, emit_sales
+                                    ? std::string(SpecFor(channel).sales_table)
+                                    : channel + "_returns"),
+        channel_(channel),
+        emit_sales_(emit_sales),
+        emit_returns_(emit_returns),
+        core_(options, SpecFor(channel), SalesOverrides{}) {}
+
+  int64_t NumUnits() const override { return core_.num_tickets(); }
+
+  Status GenerateUnits(int64_t first, int64_t count,
+                       RowSink* sink) override {
+    return core_.Generate(first, count, emit_sales_ ? sink : nullptr,
+                          emit_returns_ ? sink : nullptr);
+  }
+
+ private:
+  std::string channel_;
+  bool emit_sales_;
+  bool emit_returns_;
+  SalesChannelCore core_;
+};
+
+}  // namespace
+
+std::unique_ptr<TableGenerator> MakeSalesChannel(
+    const GeneratorOptions& options, const std::string& channel,
+    bool emit_sales, bool emit_returns) {
+  return std::make_unique<SalesChannelGenerator>(options, channel,
+                                                 emit_sales, emit_returns);
+}
+
+Status GenerateChannelBoth(const GeneratorOptions& options,
+                           const std::string& channel, int64_t first,
+                           int64_t count, RowSink* sales_sink,
+                           RowSink* returns_sink) {
+  SalesChannelCore core(options, SpecFor(channel), SalesOverrides{});
+  return core.Generate(first, count, sales_sink, returns_sink);
+}
+
+Status GenerateChannelWithOverrides(const GeneratorOptions& options,
+                                    const std::string& channel,
+                                    int64_t first, int64_t count,
+                                    const SalesOverrides& overrides,
+                                    RowSink* sales_sink,
+                                    RowSink* returns_sink) {
+  SalesChannelCore core(options, SpecFor(channel), overrides);
+  return core.Generate(first, count, sales_sink, returns_sink);
+}
+
+int64_t ChannelNumUnits(const GeneratorOptions& options,
+                        const std::string& channel) {
+  SalesChannelCore core(options, SpecFor(channel), SalesOverrides{});
+  return core.num_tickets();
+}
+
+}  // namespace internal_dsgen
+}  // namespace tpcds

@@ -1,0 +1,26 @@
+#ifndef TPCDS_DSGEN_SALES_OVERRIDES_H_
+#define TPCDS_DSGEN_SALES_OVERRIDES_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "util/date.h"
+
+namespace tpcds {
+
+/// Adjustments the data-maintenance (refresh) pipeline applies when it
+/// re-uses the sales generators to synthesise update sets (paper §4.2):
+/// fresh tickets get numbers beyond the initial population, and their sale
+/// dates are folded into the refresh window so inserts land in one
+/// logically clustered date range (Fig. 10's partition-oriented insert).
+struct SalesOverrides {
+  /// Ticket number assigned to unit 0 (default: initial population).
+  int64_t first_ticket_number = 1;
+  /// When set, sold dates are remapped into [first, second] (inclusive).
+  std::optional<std::pair<Date, Date>> date_window;
+};
+
+}  // namespace tpcds
+
+#endif  // TPCDS_DSGEN_SALES_OVERRIDES_H_

@@ -1,0 +1,44 @@
+#include "dsgen/scd.h"
+
+#include <cassert>
+
+namespace tpcds {
+
+RevisionMap::RevisionMap(uint64_t seed, int64_t surrogate_rows) {
+  entries_.reserve(static_cast<size_t>(surrogate_rows));
+  int64_t business_key = 0;
+  while (static_cast<int64_t>(entries_.size()) < surrogate_rows) {
+    ++business_key;
+    // 1..3 revisions, deterministic per business key (avg 2).
+    int revisions = 1 + static_cast<int>(
+                            Mix64(seed ^ static_cast<uint64_t>(business_key)) %
+                            3);
+    int64_t remaining =
+        surrogate_rows - static_cast<int64_t>(entries_.size());
+    if (revisions > remaining) revisions = static_cast<int>(remaining);
+    for (int r = 0; r < revisions; ++r) {
+      entries_.push_back(Entry{business_key, r, revisions});
+    }
+  }
+  num_business_keys_ = business_key;
+}
+
+RevisionWindow RevisionValidity(int revision, int num_revisions) {
+  assert(num_revisions >= 1 && num_revisions <= 3);
+  assert(revision >= 0 && revision < num_revisions);
+  // Fixed split dates (taken from the official kit's convention): the
+  // revision epochs start before the 5-year sales window so queries can
+  // probe any revision. Revision i of k becomes valid at split i; the
+  // newest revision of every business key is always the open one.
+  static const Date kSplits[3] = {Date::FromYmd(1997, 10, 27),
+                                  Date::FromYmd(1999, 10, 28),
+                                  Date::FromYmd(2001, 10, 27)};
+  RevisionWindow window;
+  window.rec_begin_date = kSplits[revision];
+  if (revision < num_revisions - 1) {
+    window.rec_end_date = kSplits[revision + 1].AddDays(-1);
+  }
+  return window;
+}
+
+}  // namespace tpcds

@@ -1,0 +1,58 @@
+#ifndef TPCDS_DSGEN_SCD_H_
+#define TPCDS_DSGEN_SCD_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/date.h"
+#include "util/random.h"
+
+namespace tpcds {
+
+/// Slowly-changing-dimension support (paper §3.3.2).
+///
+/// A history-keeping dimension's surrogate rows are revisions of a smaller
+/// set of business keys: each business key carries 1..3 revisions (the
+/// paper: "up to 3 revisions of any dimension entry" in the initial load,
+/// reflecting the effects of previous data-maintenance operations), chosen
+/// deterministically from the seed so generation can be chunked.
+class RevisionMap {
+ public:
+  struct Entry {
+    int64_t business_key;  // 1-based
+    int revision;          // 0-based within the business key
+    int num_revisions;     // total revisions of this business key
+  };
+
+  /// Distributes exactly `surrogate_rows` revisions over business keys.
+  RevisionMap(uint64_t seed, int64_t surrogate_rows);
+
+  int64_t surrogate_rows() const {
+    return static_cast<int64_t>(entries_.size());
+  }
+  int64_t num_business_keys() const { return num_business_keys_; }
+
+  /// Mapping for the 0-based surrogate row index.
+  const Entry& At(int64_t surrogate_index) const {
+    return entries_[static_cast<size_t>(surrogate_index)];
+  }
+
+ private:
+  std::vector<Entry> entries_;
+  int64_t num_business_keys_ = 0;
+};
+
+/// Validity window of revision `revision` out of `num_revisions` for a
+/// history-keeping dimension row. Windows tile the pre-benchmark era with
+/// fixed split dates (so the initial load is identical across runs); the
+/// final revision is open-ended.
+struct RevisionWindow {
+  Date rec_begin_date;
+  std::optional<Date> rec_end_date;  // nullopt = current revision
+};
+RevisionWindow RevisionValidity(int revision, int num_revisions);
+
+}  // namespace tpcds
+
+#endif  // TPCDS_DSGEN_SCD_H_

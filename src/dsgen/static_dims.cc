@@ -1,0 +1,332 @@
+// Generators for the static dimensions: date_dim, time_dim, income_band,
+// ship_mode, reason, and the two cross-product demographics dimensions.
+// Static dimensions are loaded once and never touched by data maintenance
+// (paper §4.2).
+
+#include <array>
+
+#include "dist/domains.h"
+#include "dsgen/column_stream.h"
+#include "dsgen/generator.h"
+#include "dsgen/generators_internal.h"
+#include "dsgen/keys.h"
+#include "dsgen/render.h"
+#include "scaling/scaling.h"
+#include "util/string_util.h"
+
+namespace tpcds {
+namespace internal_dsgen {
+namespace {
+
+bool IsHoliday(Date d) {
+  // New Year, Independence Day, Thanksgiving-week Thursday, Christmas.
+  int m = d.month();
+  int day = d.day();
+  if (m == 1 && day == 1) return true;
+  if (m == 7 && day == 4) return true;
+  if (m == 12 && day == 25) return true;
+  if (m == 11 && d.DayOfWeek() == 4 && day >= 22 && day <= 28) return true;
+  return false;
+}
+
+class DateDimGenerator : public TableGenerator {
+ public:
+  explicit DateDimGenerator(const GeneratorOptions& options)
+      : TableGenerator(options, "date_dim") {}
+
+  int64_t NumUnits() const override { return ScalingModel::DateDimRows(); }
+
+  Status GenerateUnits(int64_t first, int64_t count,
+                       RowSink* sink) override {
+    RowBuilder row;
+    Date base = ScalingModel::DateDimBeginDate();
+    for (int64_t i = first; i < first + count; ++i) {
+      Date d = base.AddDays(static_cast<int>(i));
+      int64_t sk = i + 1;
+      int year = d.year();
+      int month = d.month();
+      row.Reset(28);
+      row.AddKey(sk);
+      row.AddString(BusinessKey(static_cast<uint64_t>(sk)));
+      row.AddDate(d);
+      row.AddInt((year - 1900) * 12 + month - 1);        // d_month_seq
+      row.AddInt((d - base) / 7 + 1);                    // d_week_seq
+      row.AddInt((year - 1900) * 4 + d.Quarter() - 1);   // d_quarter_seq
+      row.AddInt(year);
+      row.AddInt(d.DayOfWeek());
+      row.AddInt(month);
+      row.AddInt(d.day());
+      row.AddInt(d.Quarter());
+      row.AddInt(year);                                  // d_fy_year
+      row.AddInt((year - 1900) * 4 + d.Quarter() - 1);   // d_fy_quarter_seq
+      row.AddInt((d - base) / 7 + 1);                    // d_fy_week_seq
+      row.AddString(d.DayName());
+      row.AddString(StringPrintf("%dQ%d", year, d.Quarter()));
+      row.AddFlag(IsHoliday(d));
+      row.AddFlag(d.DayOfWeek() >= 6);
+      row.AddFlag(IsHoliday(d.AddDays(-1)));
+      Date first_dom = Date::FromYmd(year, month, 1);
+      row.AddInt(DateToSk(first_dom));
+      row.AddInt(DateToSk(d.EndOfMonth()));
+      // Same day last year / last quarter (clamped to month length).
+      int ly_day = std::min(d.day(), Date::DaysInMonth(year - 1, month));
+      row.AddInt(DateToSk(Date::FromYmd(year - 1, month, ly_day)));
+      int lq_month = month <= 3 ? month + 9 : month - 3;
+      int lq_year = month <= 3 ? year - 1 : year;
+      int lq_day = std::min(d.day(), Date::DaysInMonth(lq_year, lq_month));
+      row.AddInt(DateToSk(Date::FromYmd(lq_year, lq_month, lq_day)));
+      row.AddFlag(false);  // d_current_day
+      row.AddFlag(false);  // d_current_week
+      row.AddFlag(false);  // d_current_month
+      row.AddFlag(false);  // d_current_quarter
+      row.AddFlag(false);  // d_current_year
+      TPCDS_RETURN_NOT_OK(sink->Append(row.fields()));
+    }
+    return Status::OK();
+  }
+};
+
+class TimeDimGenerator : public TableGenerator {
+ public:
+  explicit TimeDimGenerator(const GeneratorOptions& options)
+      : TableGenerator(options, "time_dim") {}
+
+  int64_t NumUnits() const override { return 86400; }
+
+  Status GenerateUnits(int64_t first, int64_t count,
+                       RowSink* sink) override {
+    RowBuilder row;
+    for (int64_t i = first; i < first + count; ++i) {
+      int sec = static_cast<int>(i);
+      int hour = sec / 3600;
+      int minute = (sec % 3600) / 60;
+      int second = sec % 60;
+      row.Reset(10);
+      row.AddKey(i + 1);
+      row.AddString(BusinessKey(static_cast<uint64_t>(i + 1)));
+      row.AddInt(sec);
+      row.AddInt(hour);
+      row.AddInt(minute);
+      row.AddInt(second);
+      row.AddString(hour < 12 ? "AM" : "PM");
+      row.AddString(hour < 8 ? "third" : (hour < 16 ? "first" : "second"));
+      row.AddString(hour < 6    ? "night"
+                    : hour < 12 ? "morning"
+                    : hour < 18 ? "afternoon"
+                                : "evening");
+      if (hour >= 6 && hour < 9) {
+        row.AddString("breakfast");
+      } else if (hour >= 11 && hour < 14) {
+        row.AddString("lunch");
+      } else if (hour >= 17 && hour < 21) {
+        row.AddString("dinner");
+      } else {
+        row.AddNull();
+      }
+      TPCDS_RETURN_NOT_OK(sink->Append(row.fields()));
+    }
+    return Status::OK();
+  }
+};
+
+class IncomeBandGenerator : public TableGenerator {
+ public:
+  explicit IncomeBandGenerator(const GeneratorOptions& options)
+      : TableGenerator(options, "income_band") {}
+
+  int64_t NumUnits() const override { return 20; }
+
+  Status GenerateUnits(int64_t first, int64_t count,
+                       RowSink* sink) override {
+    RowBuilder row;
+    for (int64_t i = first; i < first + count; ++i) {
+      row.Reset(3);
+      row.AddKey(i + 1);
+      row.AddInt(i == 0 ? 0 : i * 10000 + 1);
+      row.AddInt((i + 1) * 10000);
+      TPCDS_RETURN_NOT_OK(sink->Append(row.fields()));
+    }
+    return Status::OK();
+  }
+};
+
+class ShipModeGenerator : public TableGenerator {
+ public:
+  explicit ShipModeGenerator(const GeneratorOptions& options)
+      : TableGenerator(options, "ship_mode") {}
+
+  int64_t NumUnits() const override { return 20; }
+
+  Status GenerateUnits(int64_t first, int64_t count,
+                       RowSink* sink) override {
+    ColumnStream contract(options().master_seed, kTidShipMode, 1, 2);
+    RowBuilder row;
+    for (int64_t i = first; i < first + count; ++i) {
+      contract.BeginRow(i);
+      row.Reset(6);
+      row.AddKey(i + 1);
+      row.AddString(BusinessKey(static_cast<uint64_t>(i + 1)));
+      row.AddString(domains::ShipModeTypes().value(
+          static_cast<size_t>(i) / 4 % domains::ShipModeTypes().size()));
+      row.AddString(domains::ShipModeCodes().value(
+          static_cast<size_t>(i) % 4));
+      row.AddString(domains::ShipModeCarriers().value(
+          static_cast<size_t>(i) % domains::ShipModeCarriers().size()));
+      // Contract ids are opaque fixed-width codes.
+      uint64_t c1 = contract.rng()->NextUint64();
+      uint64_t c2 = contract.rng()->NextUint64();
+      row.AddString(StringPrintf("%08llX%08llX",
+                                 static_cast<unsigned long long>(c1 >> 32),
+                                 static_cast<unsigned long long>(c2 >> 32)));
+      TPCDS_RETURN_NOT_OK(sink->Append(row.fields()));
+    }
+    return Status::OK();
+  }
+};
+
+class ReasonGenerator : public TableGenerator {
+ public:
+  explicit ReasonGenerator(const GeneratorOptions& options)
+      : TableGenerator(options, "reason") {}
+
+  int64_t NumUnits() const override {
+    return ScalingModel::RowCount("reason", sf());
+  }
+
+  Status GenerateUnits(int64_t first, int64_t count,
+                       RowSink* sink) override {
+    RowBuilder row;
+    const Distribution& descs = domains::ReasonDescriptions();
+    for (int64_t i = first; i < first + count; ++i) {
+      row.Reset(3);
+      row.AddKey(i + 1);
+      row.AddString(BusinessKey(static_cast<uint64_t>(i + 1)));
+      row.AddString(descs.value(static_cast<size_t>(i) % descs.size()));
+      TPCDS_RETURN_NOT_OK(sink->Append(row.fields()));
+    }
+    return Status::OK();
+  }
+};
+
+/// customer_demographics is a pure cross-product of its attribute domains
+/// — no RNG involved; row content is the mixed-radix decomposition of the
+/// surrogate index. Development scales (< 1) shrink the purchase-estimate
+/// and dependent-count domains.
+class CustomerDemographicsGenerator : public TableGenerator {
+ public:
+  explicit CustomerDemographicsGenerator(const GeneratorOptions& options)
+      : TableGenerator(options, "customer_demographics") {
+    full_ = options.scale_factor >= 1.0;
+  }
+
+  int64_t NumUnits() const override {
+    return ScalingModel::RowCount("customer_demographics", sf());
+  }
+
+  Status GenerateUnits(int64_t first, int64_t count,
+                       RowSink* sink) override {
+    RowBuilder row;
+    const Distribution& genders = domains::Genders();
+    const Distribution& marital = domains::MaritalStatuses();
+    const Distribution& education = domains::EducationStatuses();
+    const Distribution& credit = domains::CreditRatings();
+    const int64_t purchase_domain = full_ ? 20 : 2;
+    const int64_t dep_domain = full_ ? 7 : 3;
+    for (int64_t i = first; i < first + count; ++i) {
+      int64_t v = i;
+      int64_t gender = v % 2;
+      v /= 2;
+      int64_t ms = v % 5;
+      v /= 5;
+      int64_t edu = v % 7;
+      v /= 7;
+      int64_t purchase = v % purchase_domain;
+      v /= purchase_domain;
+      int64_t cr = v % 4;
+      v /= 4;
+      int64_t dep = v % dep_domain;
+      v /= dep_domain;
+      int64_t dep_emp = v % dep_domain;
+      v /= dep_domain;
+      int64_t dep_col = v % dep_domain;
+      row.Reset(9);
+      row.AddKey(i + 1);
+      row.AddString(genders.value(static_cast<size_t>(gender)));
+      row.AddString(marital.value(static_cast<size_t>(ms)));
+      row.AddString(education.value(static_cast<size_t>(edu)));
+      row.AddInt((purchase + 1) * 500);
+      row.AddString(credit.value(static_cast<size_t>(cr)));
+      row.AddInt(dep);
+      row.AddInt(dep_emp);
+      row.AddInt(dep_col);
+      TPCDS_RETURN_NOT_OK(sink->Append(row.fields()));
+    }
+    return Status::OK();
+  }
+
+ private:
+  bool full_;
+};
+
+/// household_demographics crosses income_band x buy_potential x
+/// dependents x vehicles (20 x 6 x 10 x 6 = 7200 rows at every scale).
+class HouseholdDemographicsGenerator : public TableGenerator {
+ public:
+  explicit HouseholdDemographicsGenerator(const GeneratorOptions& options)
+      : TableGenerator(options, "household_demographics") {}
+
+  int64_t NumUnits() const override { return 7200; }
+
+  Status GenerateUnits(int64_t first, int64_t count,
+                       RowSink* sink) override {
+    RowBuilder row;
+    const Distribution& potentials = domains::BuyPotentials();
+    for (int64_t i = first; i < first + count; ++i) {
+      int64_t v = i;
+      int64_t ib = v % 20;
+      v /= 20;
+      int64_t bp = v % 6;
+      v /= 6;
+      int64_t dep = v % 10;
+      v /= 10;
+      int64_t vehicles = v % 6;
+      row.Reset(5);
+      row.AddKey(i + 1);
+      row.AddKey(ib + 1);
+      row.AddString(potentials.value(static_cast<size_t>(bp)));
+      row.AddInt(dep);
+      row.AddInt(vehicles);
+      TPCDS_RETURN_NOT_OK(sink->Append(row.fields()));
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<TableGenerator> MakeDateDim(const GeneratorOptions& o) {
+  return std::make_unique<DateDimGenerator>(o);
+}
+std::unique_ptr<TableGenerator> MakeTimeDim(const GeneratorOptions& o) {
+  return std::make_unique<TimeDimGenerator>(o);
+}
+std::unique_ptr<TableGenerator> MakeIncomeBand(const GeneratorOptions& o) {
+  return std::make_unique<IncomeBandGenerator>(o);
+}
+std::unique_ptr<TableGenerator> MakeShipMode(const GeneratorOptions& o) {
+  return std::make_unique<ShipModeGenerator>(o);
+}
+std::unique_ptr<TableGenerator> MakeReason(const GeneratorOptions& o) {
+  return std::make_unique<ReasonGenerator>(o);
+}
+std::unique_ptr<TableGenerator> MakeCustomerDemographics(
+    const GeneratorOptions& o) {
+  return std::make_unique<CustomerDemographicsGenerator>(o);
+}
+std::unique_ptr<TableGenerator> MakeHouseholdDemographics(
+    const GeneratorOptions& o) {
+  return std::make_unique<HouseholdDemographicsGenerator>(o);
+}
+
+}  // namespace internal_dsgen
+}  // namespace tpcds

@@ -1,0 +1,107 @@
+#ifndef TPCDS_ENGINE_AST_H_
+#define TPCDS_ENGINE_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/value.h"
+
+namespace tpcds {
+
+struct SelectStmt;
+
+/// Expression AST produced by the SQL parser. One node type with a tag
+/// keeps the tree walkable without a visitor hierarchy.
+struct Expr {
+  enum class Tag {
+    kLiteral,       // value
+    kColumnRef,     // qualifier (optional) + name
+    kStar,          // COUNT(*)
+    kBinary,        // op, children[0], children[1]
+    kUnary,         // op ("-", "NOT"), children[0]
+    kFunction,      // name, children = args, distinct flag
+    kAggregate,     // name (SUM/MIN/MAX/AVG/COUNT), children[0] or Star
+    kWindow,        // name, children[0] = arg, partition_by, order_by
+    kCase,          // children = [when1, then1, when2, then2, ..., else?]
+    kBetween,       // children = [expr, lo, hi]
+    kInList,        // children = [expr, v1, v2, ...]; `negated`
+    kInSubquery,    // children = [expr]; subquery; `negated`
+    kScalarSubquery,  // subquery
+    kExistsSubquery,  // subquery; `negated`
+    kIsNull,        // children = [expr]; `negated`
+    kLike,          // children = [expr, pattern]; `negated`
+    kCast,          // children = [expr]; cast_type
+  };
+
+  Tag tag = Tag::kLiteral;
+  Value literal;
+  std::string qualifier;  // kColumnRef: table alias, may be empty
+  std::string name;       // kColumnRef column / function / operator
+  bool distinct = false;  // aggregate DISTINCT
+  bool negated = false;   // NOT IN / NOT LIKE / IS NOT NULL / NOT EXISTS
+  bool case_has_else = false;
+  std::string cast_type;  // kCast: "date", "integer", "decimal", "char"
+  std::vector<std::unique_ptr<Expr>> children;
+  std::vector<std::unique_ptr<Expr>> partition_by;  // kWindow
+  std::vector<std::unique_ptr<Expr>> order_by;      // kWindow (exprs only)
+  std::vector<bool> order_desc;                     // kWindow
+  std::shared_ptr<SelectStmt> subquery;  // kInSubquery/kScalarSubquery/kExists
+
+  /// Deep copy (templates instantiate per stream; plans rewrite trees).
+  std::unique_ptr<Expr> Clone() const;
+};
+
+/// One item of a SELECT list.
+struct SelectItem {
+  std::unique_ptr<Expr> expr;
+  std::string alias;  // empty -> derived from the expression
+  bool is_star = false;
+};
+
+/// A FROM-clause item: base table or derived table, with optional alias,
+/// plus the join that attaches it to the preceding items (for items after
+/// the first when explicit JOIN syntax is used).
+struct FromItem {
+  std::string table_name;                 // base table when non-empty
+  std::shared_ptr<SelectStmt> derived;    // derived table when set
+  std::string alias;
+  enum class JoinKind { kComma, kInner, kLeft } join_kind = JoinKind::kComma;
+  std::unique_ptr<Expr> join_condition;   // ON ... for kInner/kLeft
+};
+
+struct OrderItem {
+  std::unique_ptr<Expr> expr;
+  bool desc = false;
+};
+
+/// A parsed SELECT statement (possibly a UNION ALL chain, possibly with
+/// WITH-CTEs at the top level).
+struct SelectStmt {
+  // WITH name AS (select), ... — only on the outermost statement.
+  std::vector<std::pair<std::string, std::shared_ptr<SelectStmt>>> ctes;
+
+  std::vector<SelectItem> select_items;
+  bool select_distinct = false;
+  std::vector<FromItem> from_items;
+  std::unique_ptr<Expr> where;
+  std::vector<std::unique_ptr<Expr>> group_by;
+  /// GROUP BY ROLLUP(...): emit all grouping-prefix subtotal levels with
+  /// NULLs in the rolled-up key columns (SQL-99 OLAP amendment).
+  bool group_rollup = false;
+  std::unique_ptr<Expr> having;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  // -1 = no limit
+
+  /// Set-operation branches appended after this select, left-associative.
+  struct SetOpBranch {
+    enum class Kind { kUnionAll, kUnion, kIntersect, kExcept };
+    Kind kind = Kind::kUnionAll;
+    std::shared_ptr<SelectStmt> stmt;
+  };
+  std::vector<SetOpBranch> set_ops;
+};
+
+}  // namespace tpcds
+
+#endif  // TPCDS_ENGINE_AST_H_

@@ -1,0 +1,39 @@
+#ifndef TPCDS_ENGINE_AUDIT_H_
+#define TPCDS_ENGINE_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "schema/schema.h"
+#include "util/result.h"
+
+namespace tpcds {
+
+/// Result of validating one declared constraint.
+struct ConstraintCheck {
+  std::string constraint;   // e.g. "store_sales(ss_item_sk) -> item"
+  int64_t rows_checked = 0;
+  int64_t violations = 0;
+};
+
+struct AuditReport {
+  std::vector<ConstraintCheck> checks;
+
+  int64_t TotalViolations() const {
+    int64_t total = 0;
+    for (const ConstraintCheck& c : checks) total += c.violations;
+    return total;
+  }
+  std::string ToString() const;
+};
+
+/// Validates the loaded database against the schema's declared constraints
+/// — primary-key uniqueness and every foreign key (NULL FK values pass, as
+/// in SQL). This is the "define and validate constraints" step of the
+/// paper's timed load test (§5.2).
+Result<AuditReport> ValidateConstraints(Database* db, const Schema& schema);
+
+}  // namespace tpcds
+
+#endif  // TPCDS_ENGINE_AUDIT_H_

@@ -1,0 +1,83 @@
+#ifndef TPCDS_ENGINE_DATABASE_H_
+#define TPCDS_ENGINE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsgen/options.h"
+#include "engine/planner.h"
+#include "engine/table.h"
+#include "util/result.h"
+
+namespace tpcds {
+
+/// A query result ready for display: column headers plus row-major values.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+
+  /// Renders up to `max_rows` as aligned text (all rows when 0).
+  std::string ToString(size_t max_rows = 20) const;
+
+  /// Renders the full result as CSV with a header row — the output format
+  /// for data-mining extraction queries, whose large results feed
+  /// external tools (paper §4.1). Fields containing commas, quotes or
+  /// newlines are quoted; NULL renders as an empty field.
+  std::string ToCsv() const;
+};
+
+/// The embedded columnar database: catalog of EngineTables, a loader fed
+/// directly by the data generator, and the SQL entry point. This is the
+/// "system under test" substrate the benchmark driver measures.
+class Database {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates empty tables for the full 24-table TPC-DS schema.
+  Status CreateTpcdsTables();
+
+  /// Creates one custom table (tests use this for mini-schemas).
+  Status CreateTable(const std::string& name,
+                     std::vector<EngineTable::ColumnMeta> columns);
+
+  /// Generates and loads every TPC-DS table at options.scale_factor.
+  /// Sales and returns of each channel are produced in one generator pass.
+  Status LoadTpcdsData(const GeneratorOptions& options);
+
+  /// Generates and loads one table.
+  Status LoadTable(const std::string& name, const GeneratorOptions& options);
+
+  EngineTable* FindTable(const std::string& name);
+  const EngineTable* FindTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+  int64_t TotalRows() const;
+
+  /// Parses and executes a SELECT with the database's default planner
+  /// options.
+  Result<QueryResult> Query(const std::string& sql);
+  /// Parses and executes with explicit options (benchmarks use this to
+  /// compare the star-transformation and hash-join paths).
+  Result<QueryResult> Query(const std::string& sql,
+                            const PlannerOptions& options,
+                            ExecStats* stats = nullptr);
+
+  /// Executes the statement and returns its plan trace (one line per
+  /// scan / semi-join reduction / join / aggregation) plus row counters —
+  /// an EXPLAIN ANALYZE equivalent.
+  Result<std::string> Explain(const std::string& sql);
+
+  PlannerOptions& default_options() { return default_options_; }
+
+ private:
+  std::map<std::string, std::unique_ptr<EngineTable>> tables_;
+  PlannerOptions default_options_;
+};
+
+}  // namespace tpcds
+
+#endif  // TPCDS_ENGINE_DATABASE_H_

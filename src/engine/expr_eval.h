@@ -1,0 +1,56 @@
+#ifndef TPCDS_ENGINE_EXPR_EVAL_H_
+#define TPCDS_ENGINE_EXPR_EVAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/ast.h"
+#include "engine/rowset.h"
+#include "util/result.h"
+
+namespace tpcds {
+
+/// A compiled (name-resolved) expression evaluable against rows of one
+/// RowSet shape. Binding happens once per operator; evaluation is
+/// index-based, no string lookups on the per-row path.
+class BoundExpr {
+ public:
+  virtual ~BoundExpr() = default;
+  virtual Value Eval(const std::vector<Value>& row) const = 0;
+};
+
+/// Hook the planner provides so the binder can evaluate uncorrelated
+/// subqueries (IN (SELECT ...), scalar subqueries, EXISTS) at bind time.
+class SubqueryEvaluator {
+ public:
+  virtual ~SubqueryEvaluator() = default;
+  /// Executes the subquery and returns its first column's values.
+  virtual Result<std::vector<Value>> EvaluateColumn(
+      const SelectStmt& stmt) = 0;
+};
+
+/// Binds `expr` against `scope`. Aggregate and window nodes must already
+/// have been rewritten away by the planner; encountering one is an error.
+/// `subqueries` may be nullptr when the expression contains none.
+Result<std::unique_ptr<BoundExpr>> BindExpr(const Expr& expr,
+                                            const RowSet& scope,
+                                            SubqueryEvaluator* subqueries);
+
+/// Canonical text of an expression; used for structural equality when the
+/// planner rewrites aggregate / group-by expressions into column
+/// references, and to derive display names for unaliased select items.
+std::string ExprToString(const Expr& expr);
+
+/// True if the expression (deeply) contains an aggregate node.
+bool ContainsAggregate(const Expr& expr);
+/// True if the expression (deeply) contains a window node.
+bool ContainsWindow(const Expr& expr);
+
+/// SQL arithmetic with type coercion (used by the evaluator and by
+/// aggregate accumulators): +, -, *, / over int/decimal/double/date.
+Value EvalArithmetic(const std::string& op, const Value& a, const Value& b);
+
+}  // namespace tpcds
+
+#endif  // TPCDS_ENGINE_EXPR_EVAL_H_

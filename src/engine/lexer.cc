@@ -1,0 +1,106 @@
+#include "engine/lexer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace tpcds {
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token t;
+    t.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      t.type = Token::Type::kIdentifier;
+      t.text = sql.substr(start, i - start);
+      t.upper = ToUpper(t.text);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool saw_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       (sql[i] == '.' && !saw_dot))) {
+        if (sql[i] == '.') saw_dot = true;
+        ++i;
+      }
+      t.type = Token::Type::kNumber;
+      t.text = sql.substr(start, i - start);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        text += sql[i++];
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(t.position));
+      }
+      t.type = Token::Type::kString;
+      t.text = std::move(text);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Multi-char operators first.
+    auto two = sql.substr(i, 2);
+    if (two == "<=" || two == ">=" || two == "<>" || two == "!=" ||
+        two == "||") {
+      t.type = Token::Type::kOperator;
+      t.text = two == "!=" ? "<>" : two;
+      tokens.push_back(std::move(t));
+      i += 2;
+      continue;
+    }
+    if (std::string("=<>+-*/(),.;").find(c) != std::string::npos) {
+      t.type = Token::Type::kOperator;
+      t.text = std::string(1, c);
+      tokens.push_back(std::move(t));
+      ++i;
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(i));
+  }
+  Token end;
+  end.type = Token::Type::kEnd;
+  end.position = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace tpcds

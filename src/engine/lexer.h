@@ -1,0 +1,31 @@
+#ifndef TPCDS_ENGINE_LEXER_H_
+#define TPCDS_ENGINE_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace tpcds {
+
+struct Token {
+  enum class Type {
+    kIdentifier,  // unquoted word (keywords decided by the parser)
+    kNumber,      // integer or decimal literal
+    kString,      // '...' with '' escaping
+    kOperator,    // = <> != < <= > >= + - * / ( ) , . ;
+    kEnd,
+  };
+
+  Type type = Type::kEnd;
+  std::string text;  // identifiers are upper-cased copies in `upper`
+  std::string upper;
+  size_t position = 0;  // byte offset, for error messages
+};
+
+/// Tokenises a SQL string. SQL comments (-- to end of line) are skipped.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace tpcds
+
+#endif  // TPCDS_ENGINE_LEXER_H_

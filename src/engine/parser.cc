@@ -1,0 +1,662 @@
+#include "engine/parser.h"
+
+#include <cstdlib>
+#include <set>
+
+#include "engine/lexer.h"
+
+namespace tpcds {
+namespace {
+
+/// Keywords that terminate an implicit alias.
+const std::set<std::string>& ClauseKeywords() {
+  static const std::set<std::string>& kw = *new std::set<std::string>{
+      "FROM",  "WHERE",  "GROUP", "HAVING", "ORDER", "LIMIT", "UNION",
+      "JOIN",  "INNER",  "LEFT",  "RIGHT",  "FULL",  "ON",    "AS",
+      "AND",   "OR",     "NOT",   "BETWEEN", "IN",   "LIKE",  "IS",
+      "SELECT", "DISTINCT", "CASE", "WHEN", "THEN", "ELSE",  "END",
+      "OVER",  "PARTITION", "BY",  "ASC",   "DESC",  "WITH",  "EXISTS",
+      "CAST",  "INTERVAL", "DAY", "DAYS", "INTERSECT", "EXCEPT",
+      "ROLLUP"};
+  return kw;
+}
+
+bool IsAggregateName(const std::string& upper) {
+  return upper == "SUM" || upper == "MIN" || upper == "MAX" ||
+         upper == "AVG" || upper == "COUNT" || upper == "STDDEV_SAMP";
+}
+
+bool IsWindowOnlyName(const std::string& upper) {
+  return upper == "RANK" || upper == "ROW_NUMBER" || upper == "DENSE_RANK";
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::shared_ptr<SelectStmt>> ParseStatement() {
+    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<SelectStmt> stmt,
+                           ParseWithSelect());
+    // Allow a trailing semicolon.
+    if (PeekOp(";")) Advance();
+    if (!AtEnd()) {
+      return Status::ParseError("trailing tokens after statement near '" +
+                                Peek().text + "'");
+    }
+    return stmt;
+  }
+
+ private:
+  // ----------------------------------------------------------- utilities
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[idx];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().type == Token::Type::kEnd; }
+
+  bool PeekKeyword(const char* kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.type == Token::Type::kIdentifier && t.upper == kw;
+  }
+  bool PeekOp(const char* op, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.type == Token::Type::kOperator && t.text == op;
+  }
+  bool ConsumeKeyword(const char* kw) {
+    if (PeekKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeOp(const char* op) {
+    if (PeekOp(op)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!ConsumeKeyword(kw)) {
+      return Status::ParseError(std::string("expected ") + kw + " near '" +
+                                Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  Status ExpectOp(const char* op) {
+    if (!ConsumeOp(op)) {
+      return Status::ParseError(std::string("expected '") + op +
+                                "' near '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+
+  // --------------------------------------------------------- statements
+  Result<std::shared_ptr<SelectStmt>> ParseWithSelect() {
+    std::vector<std::pair<std::string, std::shared_ptr<SelectStmt>>> ctes;
+    if (ConsumeKeyword("WITH")) {
+      while (true) {
+        if (Peek().type != Token::Type::kIdentifier) {
+          return Status::ParseError("expected CTE name");
+        }
+        std::string name = Advance().text;
+        TPCDS_RETURN_NOT_OK(ExpectKeyword("AS"));
+        TPCDS_RETURN_NOT_OK(ExpectOp("("));
+        TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<SelectStmt> cte,
+                               ParseSelectCore());
+        TPCDS_RETURN_NOT_OK(ExpectOp(")"));
+        ctes.emplace_back(std::move(name), std::move(cte));
+        if (!ConsumeOp(",")) break;
+      }
+    }
+    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<SelectStmt> stmt,
+                           ParseSelectCore());
+    stmt->ctes = std::move(ctes);
+    return stmt;
+  }
+
+  /// SELECT ... [UNION ALL SELECT ...]* [ORDER BY ...] [LIMIT n]
+  Result<std::shared_ptr<SelectStmt>> ParseSelectCore() {
+    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<SelectStmt> stmt,
+                           ParseBareSelect());
+    while (PeekKeyword("UNION") || PeekKeyword("INTERSECT") ||
+           PeekKeyword("EXCEPT")) {
+      SelectStmt::SetOpBranch branch;
+      if (ConsumeKeyword("UNION")) {
+        branch.kind = ConsumeKeyword("ALL")
+                          ? SelectStmt::SetOpBranch::Kind::kUnionAll
+                          : SelectStmt::SetOpBranch::Kind::kUnion;
+      } else if (ConsumeKeyword("INTERSECT")) {
+        branch.kind = SelectStmt::SetOpBranch::Kind::kIntersect;
+      } else {
+        Advance();  // EXCEPT
+        branch.kind = SelectStmt::SetOpBranch::Kind::kExcept;
+      }
+      TPCDS_ASSIGN_OR_RETURN(branch.stmt, ParseBareSelect());
+      stmt->set_ops.push_back(std::move(branch));
+    }
+    if (ConsumeKeyword("ORDER")) {
+      TPCDS_RETURN_NOT_OK(ExpectKeyword("BY"));
+      while (true) {
+        OrderItem item;
+        TPCDS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (ConsumeKeyword("DESC")) {
+          item.desc = true;
+        } else {
+          ConsumeKeyword("ASC");
+        }
+        stmt->order_by.push_back(std::move(item));
+        if (!ConsumeOp(",")) break;
+      }
+    }
+    if (ConsumeKeyword("LIMIT")) {
+      if (Peek().type != Token::Type::kNumber) {
+        return Status::ParseError("expected number after LIMIT");
+      }
+      stmt->limit = std::strtoll(Advance().text.c_str(), nullptr, 10);
+    }
+    return stmt;
+  }
+
+  Result<std::shared_ptr<SelectStmt>> ParseBareSelect() {
+    TPCDS_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    auto stmt = std::make_shared<SelectStmt>();
+    stmt->select_distinct = ConsumeKeyword("DISTINCT");
+    // Select list.
+    while (true) {
+      SelectItem item;
+      if (PeekOp("*")) {
+        Advance();
+        item.is_star = true;
+      } else {
+        TPCDS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (ConsumeKeyword("AS")) {
+          if (Peek().type != Token::Type::kIdentifier) {
+            return Status::ParseError("expected alias after AS");
+          }
+          item.alias = Advance().text;
+        } else if (Peek().type == Token::Type::kIdentifier &&
+                   ClauseKeywords().count(Peek().upper) == 0) {
+          item.alias = Advance().text;
+        }
+      }
+      stmt->select_items.push_back(std::move(item));
+      if (!ConsumeOp(",")) break;
+    }
+    // FROM
+    TPCDS_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    TPCDS_RETURN_NOT_OK(ParseFromList(stmt.get()));
+    if (ConsumeKeyword("WHERE")) {
+      TPCDS_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    if (ConsumeKeyword("GROUP")) {
+      TPCDS_RETURN_NOT_OK(ExpectKeyword("BY"));
+      bool rollup = ConsumeKeyword("ROLLUP");
+      if (rollup) TPCDS_RETURN_NOT_OK(ExpectOp("("));
+      while (true) {
+        TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, ParseExpr());
+        stmt->group_by.push_back(std::move(e));
+        if (!ConsumeOp(",")) break;
+      }
+      if (rollup) TPCDS_RETURN_NOT_OK(ExpectOp(")"));
+      stmt->group_rollup = rollup;
+    }
+    if (ConsumeKeyword("HAVING")) {
+      TPCDS_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+    }
+    return stmt;
+  }
+
+  Status ParseFromList(SelectStmt* stmt) {
+    TPCDS_ASSIGN_OR_RETURN(FromItem first, ParseFromItem());
+    stmt->from_items.push_back(std::move(first));
+    while (true) {
+      if (ConsumeOp(",")) {
+        TPCDS_ASSIGN_OR_RETURN(FromItem item, ParseFromItem());
+        item.join_kind = FromItem::JoinKind::kComma;
+        stmt->from_items.push_back(std::move(item));
+        continue;
+      }
+      FromItem::JoinKind kind;
+      if (PeekKeyword("JOIN") || PeekKeyword("INNER")) {
+        ConsumeKeyword("INNER");
+        TPCDS_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+        kind = FromItem::JoinKind::kInner;
+      } else if (PeekKeyword("LEFT")) {
+        Advance();
+        ConsumeKeyword("OUTER");
+        TPCDS_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+        kind = FromItem::JoinKind::kLeft;
+      } else {
+        break;
+      }
+      TPCDS_ASSIGN_OR_RETURN(FromItem item, ParseFromItem());
+      item.join_kind = kind;
+      TPCDS_RETURN_NOT_OK(ExpectKeyword("ON"));
+      TPCDS_ASSIGN_OR_RETURN(item.join_condition, ParseExpr());
+      stmt->from_items.push_back(std::move(item));
+    }
+    return Status::OK();
+  }
+
+  Result<FromItem> ParseFromItem() {
+    FromItem item;
+    if (ConsumeOp("(")) {
+      TPCDS_ASSIGN_OR_RETURN(item.derived, ParseSelectCore());
+      TPCDS_RETURN_NOT_OK(ExpectOp(")"));
+    } else {
+      if (Peek().type != Token::Type::kIdentifier) {
+        return Status::ParseError("expected table name near '" +
+                                  Peek().text + "'");
+      }
+      item.table_name = Advance().text;
+    }
+    if (ConsumeKeyword("AS")) {
+      if (Peek().type != Token::Type::kIdentifier) {
+        return Status::ParseError("expected alias after AS");
+      }
+      item.alias = Advance().text;
+    } else if (Peek().type == Token::Type::kIdentifier &&
+               ClauseKeywords().count(Peek().upper) == 0) {
+      item.alias = Advance().text;
+    }
+    if (item.derived != nullptr && item.alias.empty()) {
+      return Status::ParseError("derived table requires an alias");
+    }
+    return item;
+  }
+
+  // -------------------------------------------------------- expressions
+  Result<std::unique_ptr<Expr>> ParseExpr() { return ParseOr(); }
+
+  Result<std::unique_ptr<Expr>> ParseOr() {
+    TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> left, ParseAnd());
+    while (PeekKeyword("OR")) {
+      Advance();
+      TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> right, ParseAnd());
+      left = MakeBinary("OR", std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAnd() {
+    TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> left, ParseNot());
+    while (PeekKeyword("AND")) {
+      Advance();
+      TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> right, ParseNot());
+      left = MakeBinary("AND", std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseNot() {
+    if (ConsumeKeyword("NOT")) {
+      TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseNot());
+      auto e = std::make_unique<Expr>();
+      e->tag = Expr::Tag::kUnary;
+      e->name = "NOT";
+      e->children.push_back(std::move(inner));
+      return e;
+    }
+    return ParsePredicate();
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePredicate() {
+    TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> left, ParseAdditive());
+    bool negated = false;
+    if (PeekKeyword("NOT") &&
+        (PeekKeyword("IN", 1) || PeekKeyword("LIKE", 1) ||
+         PeekKeyword("BETWEEN", 1))) {
+      Advance();
+      negated = true;
+    }
+    if (ConsumeKeyword("BETWEEN")) {
+      auto e = std::make_unique<Expr>();
+      e->tag = Expr::Tag::kBetween;
+      e->negated = negated;
+      e->children.push_back(std::move(left));
+      TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lo, ParseAdditive());
+      TPCDS_RETURN_NOT_OK(ExpectKeyword("AND"));
+      TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> hi, ParseAdditive());
+      e->children.push_back(std::move(lo));
+      e->children.push_back(std::move(hi));
+      return e;
+    }
+    if (ConsumeKeyword("IN")) {
+      TPCDS_RETURN_NOT_OK(ExpectOp("("));
+      if (PeekKeyword("SELECT") || PeekKeyword("WITH")) {
+        auto e = std::make_unique<Expr>();
+        e->tag = Expr::Tag::kInSubquery;
+        e->negated = negated;
+        e->children.push_back(std::move(left));
+        TPCDS_ASSIGN_OR_RETURN(e->subquery, ParseSelectCore());
+        TPCDS_RETURN_NOT_OK(ExpectOp(")"));
+        return e;
+      }
+      auto e = std::make_unique<Expr>();
+      e->tag = Expr::Tag::kInList;
+      e->negated = negated;
+      e->children.push_back(std::move(left));
+      while (true) {
+        TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> v, ParseAdditive());
+        e->children.push_back(std::move(v));
+        if (!ConsumeOp(",")) break;
+      }
+      TPCDS_RETURN_NOT_OK(ExpectOp(")"));
+      return e;
+    }
+    if (ConsumeKeyword("LIKE")) {
+      auto e = std::make_unique<Expr>();
+      e->tag = Expr::Tag::kLike;
+      e->negated = negated;
+      e->children.push_back(std::move(left));
+      TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> pat, ParseAdditive());
+      e->children.push_back(std::move(pat));
+      return e;
+    }
+    if (PeekKeyword("IS")) {
+      Advance();
+      bool is_not = ConsumeKeyword("NOT");
+      TPCDS_RETURN_NOT_OK(ExpectKeyword("NULL"));
+      auto e = std::make_unique<Expr>();
+      e->tag = Expr::Tag::kIsNull;
+      e->negated = is_not;
+      e->children.push_back(std::move(left));
+      return e;
+    }
+    // Comparison operators.
+    static const char* kComparisons[] = {"=", "<>", "<=", ">=", "<", ">"};
+    for (const char* op : kComparisons) {
+      if (PeekOp(op)) {
+        Advance();
+        TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> right, ParseAdditive());
+        return MakeBinary(op, std::move(left), std::move(right));
+      }
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAdditive() {
+    TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> left,
+                           ParseMultiplicative());
+    while (PeekOp("+") || PeekOp("-") || PeekOp("||")) {
+      std::string op = Advance().text;
+      // Date arithmetic with INTERVAL: expr + INTERVAL 'n' DAY.
+      if (PeekKeyword("INTERVAL")) {
+        Advance();
+        int64_t days = 0;
+        if (Peek().type == Token::Type::kNumber ||
+            Peek().type == Token::Type::kString) {
+          days = std::strtoll(Advance().text.c_str(), nullptr, 10);
+        } else {
+          return Status::ParseError("expected interval quantity");
+        }
+        if (!ConsumeKeyword("DAY") && !ConsumeKeyword("DAYS")) {
+          return Status::ParseError("only DAY intervals are supported");
+        }
+        auto lit = std::make_unique<Expr>();
+        lit->tag = Expr::Tag::kLiteral;
+        lit->literal = Value::Int(days);
+        left = MakeBinary(op, std::move(left), std::move(lit));
+        continue;
+      }
+      TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> right,
+                             ParseMultiplicative());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseMultiplicative() {
+    TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> left, ParseUnary());
+    while (PeekOp("*") || PeekOp("/")) {
+      std::string op = Advance().text;
+      TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> right, ParseUnary());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseUnary() {
+    if (ConsumeOp("-")) {
+      TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseUnary());
+      auto e = std::make_unique<Expr>();
+      e->tag = Expr::Tag::kUnary;
+      e->name = "-";
+      e->children.push_back(std::move(inner));
+      return e;
+    }
+    ConsumeOp("+");
+    return ParsePrimary();
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePrimary() {
+    const Token& t = Peek();
+    if (t.type == Token::Type::kNumber) {
+      Advance();
+      auto e = std::make_unique<Expr>();
+      e->tag = Expr::Tag::kLiteral;
+      if (t.text.find('.') != std::string::npos) {
+        TPCDS_ASSIGN_OR_RETURN(Decimal d, Decimal::Parse(t.text));
+        e->literal = Value::Dec(d);
+      } else {
+        e->literal = Value::Int(std::strtoll(t.text.c_str(), nullptr, 10));
+      }
+      return e;
+    }
+    if (t.type == Token::Type::kString) {
+      Advance();
+      auto e = std::make_unique<Expr>();
+      e->tag = Expr::Tag::kLiteral;
+      e->literal = Value::Str(t.text);
+      return e;
+    }
+    if (PeekOp("(")) {
+      Advance();
+      if (PeekKeyword("SELECT") || PeekKeyword("WITH")) {
+        auto e = std::make_unique<Expr>();
+        e->tag = Expr::Tag::kScalarSubquery;
+        TPCDS_ASSIGN_OR_RETURN(e->subquery, ParseSelectCore());
+        TPCDS_RETURN_NOT_OK(ExpectOp(")"));
+        return e;
+      }
+      TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseExpr());
+      TPCDS_RETURN_NOT_OK(ExpectOp(")"));
+      return inner;
+    }
+    if (t.type != Token::Type::kIdentifier) {
+      return Status::ParseError("unexpected token '" + t.text + "'");
+    }
+    // DATE 'YYYY-MM-DD' literal.
+    if (t.upper == "DATE" && Peek(1).type == Token::Type::kString) {
+      Advance();
+      const Token& lit = Advance();
+      TPCDS_ASSIGN_OR_RETURN(Date d, Date::Parse(lit.text));
+      auto e = std::make_unique<Expr>();
+      e->tag = Expr::Tag::kLiteral;
+      e->literal = Value::Dt(d);
+      return e;
+    }
+    if (t.upper == "NULL") {
+      Advance();
+      auto e = std::make_unique<Expr>();
+      e->tag = Expr::Tag::kLiteral;
+      e->literal = Value::Null();
+      return e;
+    }
+    if (t.upper == "CASE") return ParseCase();
+    if (t.upper == "CAST") return ParseCast();
+    if (t.upper == "EXISTS" && PeekOp("(", 1)) {
+      Advance();
+      Advance();
+      auto e = std::make_unique<Expr>();
+      e->tag = Expr::Tag::kExistsSubquery;
+      TPCDS_ASSIGN_OR_RETURN(e->subquery, ParseSelectCore());
+      TPCDS_RETURN_NOT_OK(ExpectOp(")"));
+      return e;
+    }
+    // Function call?
+    if (PeekOp("(", 1)) return ParseFunction();
+    // Column reference: name or qualifier.name.
+    Advance();
+    auto e = std::make_unique<Expr>();
+    e->tag = Expr::Tag::kColumnRef;
+    if (ConsumeOp(".")) {
+      if (Peek().type != Token::Type::kIdentifier) {
+        return Status::ParseError("expected column after '.'");
+      }
+      e->qualifier = t.text;
+      e->name = Advance().text;
+    } else {
+      e->name = t.text;
+    }
+    return e;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseCase() {
+    TPCDS_RETURN_NOT_OK(ExpectKeyword("CASE"));
+    auto e = std::make_unique<Expr>();
+    e->tag = Expr::Tag::kCase;
+    while (ConsumeKeyword("WHEN")) {
+      TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> cond, ParseExpr());
+      TPCDS_RETURN_NOT_OK(ExpectKeyword("THEN"));
+      TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> then, ParseExpr());
+      e->children.push_back(std::move(cond));
+      e->children.push_back(std::move(then));
+    }
+    if (e->children.empty()) {
+      return Status::ParseError("CASE requires at least one WHEN");
+    }
+    if (ConsumeKeyword("ELSE")) {
+      TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> other, ParseExpr());
+      e->children.push_back(std::move(other));
+      e->case_has_else = true;
+    }
+    TPCDS_RETURN_NOT_OK(ExpectKeyword("END"));
+    return e;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseCast() {
+    TPCDS_RETURN_NOT_OK(ExpectKeyword("CAST"));
+    TPCDS_RETURN_NOT_OK(ExpectOp("("));
+    auto e = std::make_unique<Expr>();
+    e->tag = Expr::Tag::kCast;
+    TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseExpr());
+    e->children.push_back(std::move(inner));
+    TPCDS_RETURN_NOT_OK(ExpectKeyword("AS"));
+    if (Peek().type != Token::Type::kIdentifier) {
+      return Status::ParseError("expected type name in CAST");
+    }
+    e->cast_type = Advance().upper;
+    // Optional (p[,s]) on DECIMAL/CHAR.
+    if (ConsumeOp("(")) {
+      while (!PeekOp(")") && !AtEnd()) Advance();
+      TPCDS_RETURN_NOT_OK(ExpectOp(")"));
+    }
+    TPCDS_RETURN_NOT_OK(ExpectOp(")"));
+    return e;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseFunction() {
+    const Token& name_tok = Advance();
+    std::string fname = name_tok.upper;
+    TPCDS_RETURN_NOT_OK(ExpectOp("("));
+    auto e = std::make_unique<Expr>();
+    e->name = fname;
+    bool is_agg = IsAggregateName(fname);
+    bool window_only = IsWindowOnlyName(fname);
+    e->tag = is_agg ? Expr::Tag::kAggregate : Expr::Tag::kFunction;
+    if (is_agg) e->distinct = ConsumeKeyword("DISTINCT");
+    if (PeekOp("*")) {
+      Advance();
+      auto star = std::make_unique<Expr>();
+      star->tag = Expr::Tag::kStar;
+      e->children.push_back(std::move(star));
+    } else if (!PeekOp(")")) {
+      while (true) {
+        TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> arg, ParseExpr());
+        e->children.push_back(std::move(arg));
+        if (!ConsumeOp(",")) break;
+      }
+    }
+    TPCDS_RETURN_NOT_OK(ExpectOp(")"));
+    // OVER clause turns an aggregate (or rank-like) into a window function.
+    if (PeekKeyword("OVER")) {
+      Advance();
+      TPCDS_RETURN_NOT_OK(ExpectOp("("));
+      e->tag = Expr::Tag::kWindow;
+      if (ConsumeKeyword("PARTITION")) {
+        TPCDS_RETURN_NOT_OK(ExpectKeyword("BY"));
+        while (true) {
+          TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> p, ParseExpr());
+          e->partition_by.push_back(std::move(p));
+          if (!ConsumeOp(",")) break;
+        }
+      }
+      if (ConsumeKeyword("ORDER")) {
+        TPCDS_RETURN_NOT_OK(ExpectKeyword("BY"));
+        while (true) {
+          TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> o, ParseExpr());
+          e->order_by.push_back(std::move(o));
+          bool desc = false;
+          if (ConsumeKeyword("DESC")) {
+            desc = true;
+          } else {
+            ConsumeKeyword("ASC");
+          }
+          e->order_desc.push_back(desc);
+          if (!ConsumeOp(",")) break;
+        }
+      }
+      TPCDS_RETURN_NOT_OK(ExpectOp(")"));
+      return e;
+    }
+    if (window_only) {
+      return Status::ParseError(fname + " requires an OVER clause");
+    }
+    return e;
+  }
+
+  static std::unique_ptr<Expr> MakeBinary(const std::string& op,
+                                          std::unique_ptr<Expr> l,
+                                          std::unique_ptr<Expr> r) {
+    auto e = std::make_unique<Expr>();
+    e->tag = Expr::Tag::kBinary;
+    e->name = op;
+    e->children.push_back(std::move(l));
+    e->children.push_back(std::move(r));
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->tag = tag;
+  out->literal = literal;
+  out->qualifier = qualifier;
+  out->name = name;
+  out->distinct = distinct;
+  out->negated = negated;
+  out->case_has_else = case_has_else;
+  out->cast_type = cast_type;
+  out->subquery = subquery;  // subqueries are shared, not deep-copied
+  for (const auto& c : children) out->children.push_back(c->Clone());
+  for (const auto& c : partition_by) out->partition_by.push_back(c->Clone());
+  for (const auto& c : order_by) out->order_by.push_back(c->Clone());
+  out->order_desc = order_desc;
+  return out;
+}
+
+Result<std::shared_ptr<SelectStmt>> ParseSql(const std::string& sql) {
+  TPCDS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace tpcds

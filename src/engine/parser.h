@@ -1,0 +1,25 @@
+#ifndef TPCDS_ENGINE_PARSER_H_
+#define TPCDS_ENGINE_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "engine/ast.h"
+#include "util/result.h"
+
+namespace tpcds {
+
+/// Parses one SQL SELECT statement (optionally prefixed by WITH-CTEs and
+/// followed by UNION ALL branches) into an AST.
+///
+/// The accepted dialect is the SQL-99 subset the TPC-DS query templates
+/// use: joins (comma / INNER / LEFT ... ON), WHERE with AND/OR/NOT,
+/// BETWEEN / IN (list or subquery) / LIKE / IS NULL, GROUP BY / HAVING,
+/// aggregates incl. DISTINCT, window aggregates and RANK/ROW_NUMBER with
+/// OVER (PARTITION BY ... [ORDER BY ...]), CASE, CAST, scalar and EXISTS
+/// subqueries, ORDER BY (expressions, aliases or ordinals) and LIMIT.
+Result<std::shared_ptr<SelectStmt>> ParseSql(const std::string& sql);
+
+}  // namespace tpcds
+
+#endif  // TPCDS_ENGINE_PARSER_H_

@@ -1,0 +1,51 @@
+#ifndef TPCDS_ENGINE_PLANNER_H_
+#define TPCDS_ENGINE_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/ast.h"
+#include "engine/rowset.h"
+#include "util/result.h"
+
+namespace tpcds {
+
+class Database;
+
+/// Execution-strategy switches, exposed so benchmarks can compare plans
+/// (paper §2.1: the schema must exercise both star-schema and 3NF paths).
+struct PlannerOptions {
+  /// Semi-join reduction: before joining, filter the first FROM table (the
+  /// fact table in a star query) against the qualifying-key sets of every
+  /// filtered dimension it equi-joins — the engine's star transformation.
+  /// Off = pure hash-join pipeline (the "3NF" path).
+  bool star_transformation = true;
+
+  /// Index-driven joins (paper §2.1's third DSS access path): an
+  /// unfiltered base table equi-joined on one integer column is never
+  /// scanned; the join probes the table's hash index and fetches matching
+  /// rows directly. Off by default — hash joins are the baseline.
+  bool index_joins = false;
+};
+
+/// Statistics of one statement execution, for benchmarking and EXPLAIN.
+struct ExecStats {
+  int64_t rows_scanned = 0;
+  int64_t rows_joined = 0;
+  int64_t star_filtered_rows = 0;  // fact rows removed by semi-join filters
+  /// Human-readable plan trace: one line per scan / semi-join reduction /
+  /// join / aggregation, in execution order.
+  std::vector<std::string> plan;
+};
+
+/// Plans and executes a parsed SELECT against `db`. The returned RowSet is
+/// fully materialised and truncated to its visible columns.
+Result<std::shared_ptr<RowSet>> ExecuteSelect(Database* db,
+                                              const SelectStmt& stmt,
+                                              const PlannerOptions& options,
+                                              ExecStats* stats = nullptr);
+
+}  // namespace tpcds
+
+#endif  // TPCDS_ENGINE_PLANNER_H_

@@ -1,0 +1,58 @@
+#include "engine/rowset.h"
+
+#include "util/string_util.h"
+
+namespace tpcds {
+
+Result<int> RowSet::Resolve(const std::string& qualifier,
+                            const std::string& name) const {
+  // Visible (projected) columns shadow hidden pass-through columns, so an
+  // ORDER BY on a select alias is never "ambiguous" against the hidden
+  // copy of the underlying column.
+  size_t visible = VisibleCols();
+  if (visible < cols.size()) {
+    Result<int> r = ResolveRange(qualifier, name, 0, visible);
+    if (r.ok()) return r;
+    if (r.status().code() == StatusCode::kInvalidArgument) return r;
+    return ResolveRange(qualifier, name, visible, cols.size());
+  }
+  return ResolveRange(qualifier, name, 0, cols.size());
+}
+
+Result<int> RowSet::ResolveRange(const std::string& qualifier,
+                                 const std::string& name, size_t begin,
+                                 size_t end) const {
+  int found = -1;
+  for (size_t i = begin; i < end; ++i) {
+    if (!EqualsIgnoreCase(cols[i].name, name)) continue;
+    if (!qualifier.empty() && !EqualsIgnoreCase(cols[i].qualifier, qualifier)) {
+      continue;
+    }
+    if (found >= 0) {
+      // Duplicate (qualifier, name) pairs refer to the same source column
+      // (e.g. a projected column plus its hidden copy): first one wins.
+      // Matches under *different* qualifiers make a bare ref ambiguous.
+      if (EqualsIgnoreCase(cols[i].qualifier,
+                           cols[static_cast<size_t>(found)].qualifier)) {
+        continue;
+      }
+      if (qualifier.empty()) {
+        return Status::InvalidArgument("ambiguous column reference: " + name);
+      }
+      continue;
+    }
+    found = static_cast<int>(i);
+  }
+  if (found < 0) {
+    std::string full = qualifier.empty() ? name : qualifier + "." + name;
+    return Status::NotFound("unknown column: " + full);
+  }
+  return found;
+}
+
+std::string RowSet::HeaderOf(size_t i) const {
+  const Col& c = cols[i];
+  return c.qualifier.empty() ? c.name : c.qualifier + "." + c.name;
+}
+
+}  // namespace tpcds

@@ -1,0 +1,52 @@
+#ifndef TPCDS_ENGINE_ROWSET_H_
+#define TPCDS_ENGINE_ROWSET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/value.h"
+#include "util/result.h"
+
+namespace tpcds {
+
+/// A fully materialised intermediate result: named columns, row-major
+/// values. Operators in the executor consume and produce RowSets
+/// (operator-at-a-time execution keeps the engine simple and testable; the
+/// benchmark's comparative shapes do not depend on pipelining).
+struct RowSet {
+  struct Col {
+    std::string qualifier;  // table alias; empty for computed columns
+    std::string name;
+  };
+
+  std::vector<Col> cols;
+  std::vector<std::vector<Value>> rows;
+  /// Number of leading user-visible columns; the remainder are hidden
+  /// pass-through columns kept so ORDER BY can reference non-projected
+  /// expressions. 0 means "all visible".
+  size_t num_visible = 0;
+
+  size_t VisibleCols() const { return num_visible == 0 ? cols.size()
+                                                       : num_visible; }
+  size_t num_cols() const { return cols.size(); }
+  size_t num_rows() const { return rows.size(); }
+
+  /// Resolves a column reference. Empty qualifier matches any column with
+  /// that name, erroring on ambiguity across distinct qualifiers. Visible
+  /// columns shadow hidden ones.
+  Result<int> Resolve(const std::string& qualifier,
+                      const std::string& name) const;
+
+  /// Resolve within [begin, end); helper for visibility shadowing.
+  Result<int> ResolveRange(const std::string& qualifier,
+                           const std::string& name, size_t begin,
+                           size_t end) const;
+
+  /// Display header ("alias.name" or "name").
+  std::string HeaderOf(size_t i) const;
+};
+
+}  // namespace tpcds
+
+#endif  // TPCDS_ENGINE_ROWSET_H_

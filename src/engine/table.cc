@@ -1,0 +1,271 @@
+#include "engine/table.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace tpcds {
+
+Status StorageColumn::AppendParsed(const std::string& field) {
+  if (field.empty()) {
+    nulls_.push_back(1);
+    if (is_string()) {
+      strings_.emplace_back();
+    } else {
+      nums_.push_back(0);
+    }
+    return Status::OK();
+  }
+  nulls_.push_back(0);
+  switch (type_) {
+    case ColumnType::kIdentifier:
+    case ColumnType::kInteger: {
+      char* end = nullptr;
+      int64_t v = std::strtoll(field.c_str(), &end, 10);
+      if (end == field.c_str()) {
+        return Status::ParseError("bad integer field: '" + field + "'");
+      }
+      nums_.push_back(v);
+      return Status::OK();
+    }
+    case ColumnType::kDecimal: {
+      TPCDS_ASSIGN_OR_RETURN(Decimal d, Decimal::Parse(field));
+      nums_.push_back(d.cents());
+      return Status::OK();
+    }
+    case ColumnType::kDate: {
+      TPCDS_ASSIGN_OR_RETURN(Date d, Date::Parse(field));
+      nums_.push_back(d.jdn());
+      return Status::OK();
+    }
+    case ColumnType::kChar:
+    case ColumnType::kVarchar:
+      strings_.push_back(field);
+      return Status::OK();
+  }
+  return Status::Internal("unhandled column type");
+}
+
+Status StorageColumn::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    nulls_.push_back(1);
+    if (is_string()) {
+      strings_.emplace_back();
+    } else {
+      nums_.push_back(0);
+    }
+    return Status::OK();
+  }
+  nulls_.push_back(0);
+  switch (type_) {
+    case ColumnType::kIdentifier:
+    case ColumnType::kInteger:
+      nums_.push_back(v.kind() == Value::Kind::kDecimal
+                          ? v.AsDecimal().cents() / Decimal::kScale
+                          : v.AsInt());
+      return Status::OK();
+    case ColumnType::kDecimal:
+      if (v.kind() == Value::Kind::kDecimal) {
+        nums_.push_back(v.AsDecimal().cents());
+      } else {
+        nums_.push_back(Decimal::FromDouble(v.AsDouble()).cents());
+      }
+      return Status::OK();
+    case ColumnType::kDate:
+      if (v.kind() == Value::Kind::kDate) {
+        nums_.push_back(v.AsDate().jdn());
+        return Status::OK();
+      }
+      if (v.kind() == Value::Kind::kString) {
+        TPCDS_ASSIGN_OR_RETURN(Date d, Date::Parse(v.AsString()));
+        nums_.push_back(d.jdn());
+        return Status::OK();
+      }
+      nums_.push_back(v.AsInt());
+      return Status::OK();
+    case ColumnType::kChar:
+    case ColumnType::kVarchar:
+      strings_.push_back(v.ToDisplayString());
+      return Status::OK();
+  }
+  return Status::Internal("unhandled column type");
+}
+
+Value StorageColumn::Get(size_t row) const {
+  if (nulls_[row]) return Value::Null();
+  switch (type_) {
+    case ColumnType::kIdentifier:
+    case ColumnType::kInteger:
+      return Value::Int(nums_[row]);
+    case ColumnType::kDecimal:
+      return Value::Dec(Decimal::FromCents(nums_[row]));
+    case ColumnType::kDate:
+      return Value::Dt(Date(static_cast<int32_t>(nums_[row])));
+    case ColumnType::kChar:
+    case ColumnType::kVarchar:
+      return Value::Str(strings_[row]);
+  }
+  return Value::Null();
+}
+
+void StorageColumn::Set(size_t row, const Value& v) {
+  if (v.is_null()) {
+    nulls_[row] = 1;
+    return;
+  }
+  nulls_[row] = 0;
+  switch (type_) {
+    case ColumnType::kIdentifier:
+    case ColumnType::kInteger:
+      nums_[row] = v.AsInt();
+      break;
+    case ColumnType::kDecimal:
+      nums_[row] = v.kind() == Value::Kind::kDecimal
+                       ? v.AsDecimal().cents()
+                       : Decimal::FromDouble(v.AsDouble()).cents();
+      break;
+    case ColumnType::kDate:
+      nums_[row] = v.kind() == Value::Kind::kDate
+                       ? v.AsDate().jdn()
+                       : v.AsInt();
+      break;
+    case ColumnType::kChar:
+    case ColumnType::kVarchar:
+      strings_[row] = v.ToDisplayString();
+      break;
+  }
+}
+
+void StorageColumn::Retain(const std::vector<int64_t>& keep) {
+  std::vector<uint8_t> new_nulls;
+  new_nulls.reserve(keep.size());
+  if (is_string()) {
+    std::vector<std::string> new_strings;
+    new_strings.reserve(keep.size());
+    for (int64_t r : keep) {
+      new_strings.push_back(std::move(strings_[static_cast<size_t>(r)]));
+      new_nulls.push_back(nulls_[static_cast<size_t>(r)]);
+    }
+    strings_ = std::move(new_strings);
+  } else {
+    std::vector<int64_t> new_nums;
+    new_nums.reserve(keep.size());
+    for (int64_t r : keep) {
+      new_nums.push_back(nums_[static_cast<size_t>(r)]);
+      new_nulls.push_back(nulls_[static_cast<size_t>(r)]);
+    }
+    nums_ = std::move(new_nums);
+  }
+  nulls_ = std::move(new_nulls);
+}
+
+EngineTable::EngineTable(std::string name, std::vector<ColumnMeta> columns)
+    : name_(std::move(name)), meta_(std::move(columns)) {
+  columns_.reserve(meta_.size());
+  for (size_t i = 0; i < meta_.size(); ++i) {
+    columns_.emplace_back(meta_[i].type);
+    name_to_index_[meta_[i].name] = static_cast<int>(i);
+  }
+}
+
+int EngineTable::ColumnIndex(const std::string& column_name) const {
+  auto it = name_to_index_.find(column_name);
+  return it == name_to_index_.end() ? -1 : it->second;
+}
+
+Status EngineTable::AppendRowStrings(
+    const std::vector<std::string>& fields) {
+  if (fields.size() != meta_.size()) {
+    return Status::InvalidArgument(
+        "row arity mismatch for " + name_ + ": got " +
+        std::to_string(fields.size()) + ", want " +
+        std::to_string(meta_.size()));
+  }
+  for (size_t i = 0; i < fields.size(); ++i) {
+    TPCDS_RETURN_NOT_OK(columns_[i].AppendParsed(fields[i]));
+  }
+  ++num_rows_;
+  InvalidateIndexes();
+  return Status::OK();
+}
+
+Status EngineTable::AppendRowValues(const std::vector<Value>& values) {
+  if (values.size() != meta_.size()) {
+    return Status::InvalidArgument("row arity mismatch for " + name_);
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    TPCDS_RETURN_NOT_OK(columns_[i].AppendValue(values[i]));
+  }
+  ++num_rows_;
+  InvalidateIndexes();
+  return Status::OK();
+}
+
+void EngineTable::SetValue(int64_t row, int col, const Value& v) {
+  columns_[static_cast<size_t>(col)].Set(static_cast<size_t>(row), v);
+  InvalidateIndexes();
+}
+
+std::vector<int64_t> EngineTable::FindRowsIntBetween(int col, int64_t lo,
+                                                     int64_t hi) const {
+  std::vector<int64_t> rows;
+  const StorageColumn& c = columns_[static_cast<size_t>(col)];
+  for (int64_t r = 0; r < num_rows_; ++r) {
+    if (c.IsNull(static_cast<size_t>(r))) continue;
+    int64_t v = c.Num(static_cast<size_t>(r));
+    if (v >= lo && v <= hi) rows.push_back(r);
+  }
+  return rows;
+}
+
+int64_t EngineTable::DeleteRows(const std::vector<int64_t>& sorted_rows) {
+  if (sorted_rows.empty()) return 0;
+  std::vector<int64_t> keep;
+  keep.reserve(static_cast<size_t>(num_rows_) - sorted_rows.size());
+  size_t di = 0;
+  for (int64_t r = 0; r < num_rows_; ++r) {
+    if (di < sorted_rows.size() && sorted_rows[di] == r) {
+      ++di;
+      continue;
+    }
+    keep.push_back(r);
+  }
+  for (StorageColumn& c : columns_) c.Retain(keep);
+  int64_t deleted = num_rows_ - static_cast<int64_t>(keep.size());
+  num_rows_ = static_cast<int64_t>(keep.size());
+  InvalidateIndexes();
+  return deleted;
+}
+
+const EngineTable::HashIndex& EngineTable::GetOrBuildIntIndex(int col) {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  auto it = int_indexes_.find(col);
+  if (it != int_indexes_.end()) return it->second;
+  HashIndex index;
+  const StorageColumn& c = columns_[static_cast<size_t>(col)];
+  index.reserve(static_cast<size_t>(num_rows_));
+  for (int64_t r = 0; r < num_rows_; ++r) {
+    if (c.IsNull(static_cast<size_t>(r))) continue;
+    index[c.Num(static_cast<size_t>(r))].push_back(r);
+  }
+  return int_indexes_.emplace(col, std::move(index)).first->second;
+}
+
+const EngineTable::StringIndex& EngineTable::GetOrBuildStringIndex(int col) {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  auto it = string_indexes_.find(col);
+  if (it != string_indexes_.end()) return it->second;
+  StringIndex index;
+  const StorageColumn& c = columns_[static_cast<size_t>(col)];
+  for (int64_t r = 0; r < num_rows_; ++r) {
+    if (c.IsNull(static_cast<size_t>(r))) continue;
+    index[c.Str(static_cast<size_t>(r))].push_back(r);
+  }
+  return string_indexes_.emplace(col, std::move(index)).first->second;
+}
+
+void EngineTable::InvalidateIndexes() {
+  int_indexes_.clear();
+  string_indexes_.clear();
+}
+
+}  // namespace tpcds

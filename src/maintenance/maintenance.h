@@ -1,0 +1,87 @@
+#ifndef TPCDS_MAINTENANCE_MAINTENANCE_H_
+#define TPCDS_MAINTENANCE_MAINTENANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "util/result.h"
+
+namespace tpcds {
+
+/// Configuration of one data-maintenance run (the paper's ETL workload,
+/// §4.2): a refresh set sized as a fraction of the initial population,
+/// applied as dimension updates plus clustered fact inserts and deletes.
+struct MaintenanceOptions {
+  uint64_t seed = 19620718;
+  double scale_factor = 1.0;
+  /// Which refresh cycle this is (the benchmark's DM run is cycle 1;
+  /// repeated cycles produce disjoint refresh sets).
+  int refresh_cycle = 1;
+  /// Refresh volume as a fraction of the initial fact population.
+  double refresh_fraction = 0.01;
+  /// Rows updated per maintained dimension.
+  int64_t dimension_updates = 100;
+};
+
+/// Outcome of one maintenance operation, for reporting and the metric.
+struct MaintenanceOpResult {
+  std::string operation;
+  int64_t rows_affected = 0;
+  double seconds = 0.0;
+};
+
+struct MaintenanceReport {
+  std::vector<MaintenanceOpResult> operations;
+  double TotalSeconds() const;
+  int64_t TotalRows() const;
+};
+
+/// Runs the full 12-operation data-maintenance workload against `db`:
+///
+///   1-3   history-keeping SCD updates: item, store, web_site (Fig. 9)
+///   4-6   non-history SCD updates: customer, customer_address, promotion
+///         (Fig. 8)
+///   7-9   clustered fact inserts per channel with business-key to
+///         surrogate-key translation (Fig. 10)
+///   10-12 clustered fact range-deletes per channel
+Status RunDataMaintenance(Database* db, const MaintenanceOptions& options,
+                          MaintenanceReport* report);
+
+// --- individual operations (exposed for unit tests) ----------------------
+
+/// Fig. 9: for each updated business key, close the open revision (set
+/// rec_end_date) and insert a new open revision. Returns rows touched
+/// (closed + inserted).
+Result<int64_t> UpdateHistoryKeepingDimension(Database* db,
+                                              const std::string& table,
+                                              int64_t num_updates,
+                                              uint64_t seed);
+
+/// Fig. 8: find each business key's row and overwrite changeable
+/// attributes in place. Returns rows updated.
+Result<int64_t> UpdateNonHistoryDimension(Database* db,
+                                          const std::string& table,
+                                          int64_t num_updates, uint64_t seed);
+
+/// Fig. 10: insert freshly generated fact rows for `channel`
+/// ("store"/"catalog"/"web"), clustered in a refresh date window, with the
+/// update file carrying business keys that are translated to surrogate
+/// keys through the dimensions. Returns rows inserted (sales + returns).
+Result<int64_t> InsertFactRefresh(Database* db, const std::string& channel,
+                                  const MaintenanceOptions& options);
+
+/// Deletes fact rows of `channel` whose sale date falls in the refresh
+/// window preceding the inserted one — the clustered-by-date delete that
+/// models dropping a partition. Returns rows deleted (sales + returns).
+Result<int64_t> DeleteFactRange(Database* db, const std::string& channel,
+                                const MaintenanceOptions& options);
+
+/// The refresh window (begin, end date) of a given cycle: one week per
+/// cycle, walking backwards from the end of the 5-year sales window.
+std::pair<Date, Date> RefreshWindow(int refresh_cycle);
+
+}  // namespace tpcds
+
+#endif  // TPCDS_MAINTENANCE_MAINTENANCE_H_

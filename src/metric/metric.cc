@@ -1,0 +1,44 @@
+#include "metric/metric.h"
+
+#include "util/string_util.h"
+
+namespace tpcds {
+
+double QphDs(const MetricInputs& in) {
+  double denominator = in.t_qr1_sec + in.t_dm_sec + in.t_qr2_sec +
+                       0.01 * in.streams * in.t_load_sec;
+  if (denominator <= 0.0 || in.streams <= 0 || in.scale_factor <= 0.0) {
+    return 0.0;
+  }
+  double total_queries = 2.0 * kQueriesPerRun * in.streams;  // 198 * S
+  return in.scale_factor * 3600.0 * total_queries / denominator;
+}
+
+double PricePerformance(double tco_dollars, double qphds) {
+  if (qphds <= 0.0) return 0.0;
+  return tco_dollars / qphds;
+}
+
+std::string FormatMetricReport(const MetricInputs& in, double tco_dollars) {
+  double qphds = QphDs(in);
+  std::string out;
+  out += StringPrintf("scale factor (SF)         %10.3f\n", in.scale_factor);
+  out += StringPrintf("streams (S)               %10d\n", in.streams);
+  out += StringPrintf("queries executed (198*S)  %10d\n",
+                      2 * kQueriesPerRun * in.streams);
+  out += StringPrintf("T_Load                    %10.3f s\n", in.t_load_sec);
+  out += StringPrintf("T_QR1                     %10.3f s\n", in.t_qr1_sec);
+  out += StringPrintf("T_DM                      %10.3f s\n", in.t_dm_sec);
+  out += StringPrintf("T_QR2                     %10.3f s\n", in.t_qr2_sec);
+  out += StringPrintf("load charge 0.01*S*T_Load %10.3f s\n",
+                      0.01 * in.streams * in.t_load_sec);
+  out += StringPrintf("QphDS@SF                  %10.1f\n", qphds);
+  if (tco_dollars > 0.0) {
+    out += StringPrintf("3yr TCO                   %10.2f $\n", tco_dollars);
+    out += StringPrintf("$/QphDS@SF                %10.4f\n",
+                        PricePerformance(tco_dollars, qphds));
+  }
+  return out;
+}
+
+}  // namespace tpcds

@@ -1,0 +1,58 @@
+#ifndef TPCDS_METRIC_METRIC_H_
+#define TPCDS_METRIC_METRIC_H_
+
+#include <string>
+
+namespace tpcds {
+
+/// Queries per stream per query run (the 99 templates); a benchmark run
+/// executes 198*S queries across its two query runs (paper §5.3).
+inline constexpr int kQueriesPerRun = 99;
+
+/// The measured intervals that feed the primary metric (paper Fig. 11):
+/// timed database load, Query Run 1, the Data Maintenance run, Query Run 2.
+struct MetricInputs {
+  double scale_factor = 0.0;
+  int streams = 0;
+  double t_load_sec = 0.0;
+  double t_qr1_sec = 0.0;
+  double t_dm_sec = 0.0;
+  double t_qr2_sec = 0.0;
+};
+
+/// The primary performance metric (paper §5.3):
+///
+///   QphDS@SF = SF * 3600 * (198 * S) /
+///              (T_QR1 + T_DM + T_QR2 + 0.01 * S * T_Load)
+///
+/// The 0.01*S*T_Load term charges a stream-scaled fraction of the load so
+/// auxiliary-structure construction cannot hide from the metric; the SF
+/// and 3600 factors normalise to queries-per-hour at scale.
+double QphDs(const MetricInputs& inputs);
+
+/// Price/performance: $/QphDS@SF given the 3-year total cost of ownership.
+double PricePerformance(double tco_dollars, double qphds);
+
+/// A simplified TPC price sheet (paper §5.3: the 3-year TCO covers
+/// hardware, software and 24x7 maintenance with 4-hour response).
+struct PriceSheet {
+  double hardware_dollars = 0.0;
+  double software_dollars = 0.0;
+  double maintenance_dollars_per_year = 0.0;
+  double discounts_dollars = 0.0;  // subtracted, must reflect real pricing
+
+  /// The 3-year total cost of ownership.
+  double ThreeYearTco() const {
+    return hardware_dollars + software_dollars +
+           3.0 * maintenance_dollars_per_year - discounts_dollars;
+  }
+};
+
+/// Renders the metric computation as a small report (inputs, denominator
+/// decomposition, result) for benchmark output.
+std::string FormatMetricReport(const MetricInputs& inputs,
+                               double tco_dollars);
+
+}  // namespace tpcds
+
+#endif  // TPCDS_METRIC_METRIC_H_

@@ -1,0 +1,274 @@
+#include "qgen/qgen.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "dist/domains.h"
+#include "dist/zones.h"
+#include "scaling/scaling.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace tpcds {
+
+const char* QueryClassToString(QueryClass c) {
+  switch (c) {
+    case QueryClass::kAdHoc:
+      return "ad-hoc";
+    case QueryClass::kReporting:
+      return "reporting";
+    case QueryClass::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+const char* QueryFlavorToString(QueryFlavor f) {
+  switch (f) {
+    case QueryFlavor::kStandard:
+      return "standard";
+    case QueryFlavor::kIterativeOlap:
+      return "iterative-olap";
+    case QueryFlavor::kDataMining:
+      return "data-mining";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Maps a dist(...) name to its embedded domain.
+Result<const Distribution*> LookupDistribution(const std::string& name) {
+  static const std::map<std::string, const Distribution* (*)()>& table =
+      *new std::map<std::string, const Distribution* (*)()>{
+          {"categories", +[] { return &domains::Categories(); }},
+          {"states", +[] { return &domains::States(); }},
+          {"cities", +[] { return &domains::Cities(); }},
+          {"counties", +[] { return &domains::Counties(); }},
+          {"colors", +[] { return &domains::Colors(); }},
+          {"sizes", +[] { return &domains::Sizes(); }},
+          {"units", +[] { return &domains::Units(); }},
+          {"education", +[] { return &domains::EducationStatuses(); }},
+          {"genders", +[] { return &domains::Genders(); }},
+          {"marital", +[] { return &domains::MaritalStatuses(); }},
+          {"credit_ratings", +[] { return &domains::CreditRatings(); }},
+          {"buy_potentials", +[] { return &domains::BuyPotentials(); }},
+          {"first_names", +[] { return &domains::FirstNames(); }},
+          {"last_names", +[] { return &domains::LastNames(); }},
+          {"ship_mode_types", +[] { return &domains::ShipModeTypes(); }},
+          {"location_types", +[] { return &domains::LocationTypes(); }},
+      };
+  auto it = table.find(name);
+  if (it == table.end()) {
+    return Status::NotFound("unknown distribution in template: " + name);
+  }
+  return it->second();
+}
+
+struct Define {
+  std::string name;
+  std::string function;            // random/date/dist/list/choice
+  std::vector<std::string> args;   // raw argument strings
+};
+
+/// Splits the template into define declarations and the SQL body.
+Result<std::pair<std::vector<Define>, std::string>> SplitTemplate(
+    const std::string& text) {
+  std::vector<Define> defines;
+  std::string sql;
+  bool in_sql = false;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    std::string_view line = Trim(raw_line);
+    if (!in_sql) {
+      if (line.empty() || StartsWith(line, "--")) continue;
+      if (StartsWith(line, "define ")) {
+        // define NAME = func(arg, arg, ...);
+        std::string decl(line.substr(7));
+        size_t eq = decl.find('=');
+        size_t open = decl.find('(');
+        size_t close = decl.rfind(')');
+        if (eq == std::string::npos || open == std::string::npos ||
+            close == std::string::npos || open > close) {
+          return Status::ParseError("malformed define: " + decl);
+        }
+        Define d;
+        d.name = std::string(Trim(decl.substr(0, eq)));
+        d.function = std::string(Trim(decl.substr(eq + 1, open - eq - 1)));
+        std::string args = decl.substr(open + 1, close - open - 1);
+        // choice() uses | so its alternatives may contain commas.
+        char sep = d.function == "choice" ? '|' : ',';
+        for (const std::string& a : Split(args, sep)) {
+          d.args.emplace_back(Trim(a));
+        }
+        defines.push_back(std::move(d));
+        continue;
+      }
+      in_sql = true;
+    }
+    sql += raw_line;
+    sql += '\n';
+  }
+  return std::make_pair(std::move(defines), std::move(sql));
+}
+
+/// Evaluates one define into its substitution text.
+Result<std::string> EvaluateDefine(const Define& d, RngStream* rng) {
+  if (d.function == "random") {
+    if (d.args.size() < 2) {
+      return Status::ParseError("random() needs lo, hi");
+    }
+    int64_t lo = std::strtoll(d.args[0].c_str(), nullptr, 10);
+    int64_t hi = std::strtoll(d.args[1].c_str(), nullptr, 10);
+    return std::to_string(rng->UniformInt(lo, hi));
+  }
+  if (d.function == "date") {
+    if (d.args.size() != 2) {
+      return Status::ParseError("date() needs span_days, zone");
+    }
+    int span = static_cast<int>(std::strtol(d.args[0].c_str(), nullptr, 10));
+    int zone = static_cast<int>(std::strtol(d.args[1].c_str(), nullptr, 10));
+    if (zone < 1 || zone > 3) {
+      return Status::ParseError("date() zone must be 1..3");
+    }
+    const ComparabilityZone& z =
+        ComparabilityZones()[static_cast<size_t>(zone - 1)];
+    // The sales window opens 1998-01-02 and closes 5 years later; keep the
+    // whole span inside one zone of one year.
+    int year = static_cast<int>(rng->UniformInt(1998, 2002));
+    Date zone_begin = Date::FromYmd(year, z.first_month, 1);
+    Date zone_end = Date::FromYmd(year, z.last_month, 1).EndOfMonth();
+    int32_t latest_start = (zone_end - zone_begin) - span;
+    if (latest_start < 0) latest_start = 0;
+    Date start = zone_begin.AddDays(
+        static_cast<int>(rng->UniformInt(0, latest_start)));
+    return start.ToString();
+  }
+  if (d.function == "dist") {
+    if (d.args.size() != 1) return Status::ParseError("dist() needs a name");
+    TPCDS_ASSIGN_OR_RETURN(const Distribution* dist,
+                           LookupDistribution(d.args[0]));
+    // Uniform pick: comparability requires equal likelihood per value.
+    return dist->PickUniform(rng);
+  }
+  if (d.function == "list") {
+    if (d.args.size() != 2) {
+      return Status::ParseError("list() needs name, count");
+    }
+    TPCDS_ASSIGN_OR_RETURN(const Distribution* dist,
+                           LookupDistribution(d.args[0]));
+    size_t want = static_cast<size_t>(
+        std::strtoul(d.args[1].c_str(), nullptr, 10));
+    want = std::min(want, dist->size());
+    std::vector<size_t> picked;
+    while (picked.size() < want) {
+      size_t idx = dist->PickUniformIndex(rng);
+      if (std::find(picked.begin(), picked.end(), idx) == picked.end()) {
+        picked.push_back(idx);
+      }
+    }
+    std::string out;
+    for (size_t i = 0; i < picked.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "'" + dist->value(picked[i]) + "'";
+    }
+    return out;
+  }
+  if (d.function == "choice") {
+    if (d.args.empty()) return Status::ParseError("choice() needs options");
+    return d.args[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(d.args.size()) - 1))];
+  }
+  return Status::ParseError("unknown substitution function: " + d.function);
+}
+
+}  // namespace
+
+QueryGenerator::QueryGenerator(uint64_t seed) : seed_(seed) {}
+
+Result<std::string> QueryGenerator::Instantiate(const QueryTemplate& tmpl,
+                                                int stream,
+                                                int iteration) const {
+  TPCDS_ASSIGN_OR_RETURN(auto parts, SplitTemplate(tmpl.text));
+  auto& [defines, sql] = parts;
+  RngStream rng(DeriveSeed(
+      seed_,
+      static_cast<uint64_t>(tmpl.id) * 1000 + static_cast<uint64_t>(stream),
+      static_cast<uint64_t>(iteration)));
+  std::map<std::string, std::string> values;
+  for (const Define& d : defines) {
+    TPCDS_ASSIGN_OR_RETURN(std::string v, EvaluateDefine(d, &rng));
+    values[d.name] = std::move(v);
+  }
+  // Substitute [NAME] occurrences.
+  std::string out;
+  out.reserve(sql.size());
+  size_t i = 0;
+  while (i < sql.size()) {
+    if (sql[i] == '[') {
+      size_t close = sql.find(']', i);
+      if (close != std::string::npos) {
+        std::string tag = sql.substr(i + 1, close - i - 1);
+        auto it = values.find(tag);
+        if (it != values.end()) {
+          out += it->second;
+          i = close + 1;
+          continue;
+        }
+        return Status::ParseError("template " + tmpl.name +
+                                  " references undefined tag [" + tag + "]");
+      }
+    }
+    out += sql[i++];
+  }
+  return out;
+}
+
+std::vector<int> QueryGenerator::StreamPermutation(int stream,
+                                                   int num_templates) const {
+  std::vector<int> order(static_cast<size_t>(num_templates));
+  for (int i = 0; i < num_templates; ++i) order[static_cast<size_t>(i)] = i;
+  RngStream rng(DeriveSeed(seed_, 777, static_cast<uint64_t>(stream)));
+  for (int i = num_templates - 1; i > 0; --i) {
+    int j = static_cast<int>(rng.UniformInt(0, i));
+    std::swap(order[static_cast<size_t>(i)], order[static_cast<size_t>(j)]);
+  }
+  return order;
+}
+
+std::vector<int> QueryGenerator::StreamPermutation(
+    int stream, const std::vector<QueryTemplate>& templates) const {
+  // Units: singleton templates, plus one unit per OLAP family holding its
+  // steps in ascending template order (the drill-down sequence).
+  std::map<int, std::vector<int>> families;
+  std::vector<std::vector<int>> units;
+  for (size_t i = 0; i < templates.size(); ++i) {
+    if (templates[i].olap_family > 0) {
+      families[templates[i].olap_family].push_back(static_cast<int>(i));
+    } else {
+      units.push_back({static_cast<int>(i)});
+    }
+  }
+  for (auto& [family, indexes] : families) {
+    std::sort(indexes.begin(), indexes.end(),
+              [&](int a, int b) {
+                return templates[static_cast<size_t>(a)].id <
+                       templates[static_cast<size_t>(b)].id;
+              });
+    units.push_back(indexes);
+  }
+  RngStream rng(DeriveSeed(seed_, 778, static_cast<uint64_t>(stream)));
+  for (size_t i = units.size() - 1; i > 0; --i) {
+    size_t j = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(i)));
+    std::swap(units[i], units[j]);
+  }
+  std::vector<int> order;
+  order.reserve(templates.size());
+  for (const std::vector<int>& unit : units) {
+    order.insert(order.end(), unit.begin(), unit.end());
+  }
+  return order;
+}
+
+}  // namespace tpcds

@@ -1,0 +1,48 @@
+#ifndef TPCDS_QGEN_QGEN_H_
+#define TPCDS_QGEN_QGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "qgen/template.h"
+#include "util/result.h"
+
+namespace tpcds {
+
+/// The query generator (the paper's dsqgen, ref [10]): instantiates query
+/// templates by substituting bind variables drawn from the same
+/// distributions the data generator used — the tool coupling that makes
+/// substitutions comparable (paper §3.2, §4.1).
+class QueryGenerator {
+ public:
+  /// `seed` seeds all substitution streams; runs of the benchmark use the
+  /// data generator's master seed so both tools agree on distributions.
+  explicit QueryGenerator(uint64_t seed);
+
+  /// Instantiates `tmpl` for (stream, iteration): parses its define
+  /// block, evaluates each substitution deterministically, splices the
+  /// values into the SQL text. The same (template, stream, iteration)
+  /// always yields the same SQL.
+  Result<std::string> Instantiate(const QueryTemplate& tmpl, int stream,
+                                  int iteration = 0) const;
+
+  /// The order in which a stream executes the 99 templates: a
+  /// deterministic permutation, distinct per stream, so concurrent
+  /// streams do not run the same query simultaneously (paper §5.2).
+  std::vector<int> StreamPermutation(int stream, int num_templates) const;
+
+  /// Family-aware permutation over the given templates: iterative-OLAP
+  /// drill sequences (templates sharing an olap_family) stay contiguous
+  /// and in ascending template order — "syntactically independent but
+  /// logically affiliated" queries run as a session (paper §4.1).
+  /// Returns indexes into `templates`.
+  std::vector<int> StreamPermutation(
+      int stream, const std::vector<QueryTemplate>& templates) const;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace tpcds
+
+#endif  // TPCDS_QGEN_QGEN_H_

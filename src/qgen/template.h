@@ -1,0 +1,52 @@
+#ifndef TPCDS_QGEN_TEMPLATE_H_
+#define TPCDS_QGEN_TEMPLATE_H_
+
+#include <string>
+#include <vector>
+
+namespace tpcds {
+
+/// Workload class of a template (paper §4.1). Ad-hoc queries touch the
+/// store/web channels where complex auxiliary structures are forbidden;
+/// reporting queries touch the catalog channel where they are allowed;
+/// queries touching both are hybrid.
+enum class QueryClass { kAdHoc, kReporting, kHybrid };
+
+/// Behavioural flavour (paper §4.1): standard, one step of an iterative
+/// OLAP drill sequence, or a data-mining extraction returning a large
+/// result destined for external tools.
+enum class QueryFlavor { kStandard, kIterativeOlap, kDataMining };
+
+const char* QueryClassToString(QueryClass c);
+const char* QueryFlavorToString(QueryFlavor f);
+
+/// One of the 99 query templates: SQL text preceded by `define` lines that
+/// declare its bind-variable substitutions, e.g.
+///
+///   define YEAR = random(1998, 2002, uniform);
+///   define MONTH = random(11, 12, uniform);          -- stays in zone 3
+///   define STATE = dist(states);
+///   define CATS = list(categories, 3);
+///   SELECT ... WHERE d_year = [YEAR] AND d_moy = [MONTH]
+///     AND s_state = '[STATE]' AND i_category IN ([CATS])
+///
+/// Substitution functions:
+///   random(lo, hi, uniform)   uniform integer
+///   date(span_days, zone)     'YYYY-MM-DD' such that the span stays in
+///                             the comparability zone (paper §3.2)
+///   dist(name)                uniform pick from a domain distribution
+///   list(name, n)             n distinct quoted picks, comma-separated
+///   choice(a|b|c)             verbatim token pick (aggregate exchange)
+struct QueryTemplate {
+  int id = 0;               // 1..99
+  std::string name;         // "q01".."q99"
+  QueryClass query_class = QueryClass::kAdHoc;
+  QueryFlavor flavor = QueryFlavor::kStandard;
+  /// Iterative OLAP steps of one logical sequence share a family id.
+  int olap_family = 0;
+  std::string text;  // define lines + SQL with [TAG] references
+};
+
+}  // namespace tpcds
+
+#endif  // TPCDS_QGEN_TEMPLATE_H_

@@ -1,0 +1,191 @@
+#include "scaling/scaling.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tpcds {
+namespace {
+
+struct Anchor {
+  double sf;
+  double rows;
+};
+
+/// Geometric (log-log) interpolation through anchors; constant outside the
+/// anchored range. Anchors must be sorted by sf.
+int64_t Interpolate(const std::vector<Anchor>& anchors, double sf) {
+  if (sf <= anchors.front().sf) {
+    // Extrapolate down proportionally to sf so tiny dev scales shrink too,
+    // with a floor of 1 row.
+    double scaled = anchors.front().rows * sf / anchors.front().sf;
+    return std::max<int64_t>(1, static_cast<int64_t>(std::llround(scaled)));
+  }
+  if (sf >= anchors.back().sf) {
+    return static_cast<int64_t>(std::llround(anchors.back().rows));
+  }
+  for (size_t i = 1; i < anchors.size(); ++i) {
+    if (sf <= anchors[i].sf) {
+      const Anchor& lo = anchors[i - 1];
+      const Anchor& hi = anchors[i];
+      double t = (std::log(sf) - std::log(lo.sf)) /
+                 (std::log(hi.sf) - std::log(lo.sf));
+      double rows = lo.rows * std::pow(hi.rows / lo.rows, t);
+      return static_cast<int64_t>(std::llround(rows));
+    }
+  }
+  return static_cast<int64_t>(std::llround(anchors.back().rows));
+}
+
+struct TableScaling {
+  const char* table;
+  bool linear;            // facts: rows = rows_per_sf * sf
+  double rows_per_sf;     // used when linear
+  std::vector<Anchor> anchors;  // used when !linear
+};
+
+/// Linear fact rates are calibrated to the paper's Table 2 at SF 100
+/// (store_sales 288M, store_returns 14M) and to the official kit's channel
+/// proportions for catalog (50% of store volume) and web (25%); returns run
+/// at ~5% of sales for the store channel (paper) and ~10% for the remote
+/// channels.
+const std::vector<TableScaling>& Tables() {
+  static const std::vector<TableScaling>& tables = *new std::vector<
+      TableScaling>{
+      {"store_sales", true, 2880000.0, {}},
+      {"store_returns", true, 140000.0, {}},
+      {"catalog_sales", true, 1440000.0, {}},
+      {"catalog_returns", true, 144000.0, {}},
+      {"web_sales", true, 720000.0, {}},
+      {"web_returns", true, 72000.0, {}},
+      // Dimensions: anchors hit the paper's Table 2 at 100/1000/10000/100000
+      // and the official kit's SF-1 values for dev scales.
+      {"store",
+       false,
+       0,
+       {{1, 12}, {100, 200}, {1000, 500}, {10000, 750}, {100000, 1500}}},
+      {"customer",
+       false,
+       0,
+       {{1, 100000},
+        {100, 2000000},
+        {1000, 8000000},
+        {10000, 20000000},
+        {100000, 100000000}}},
+      {"item",
+       false,
+       0,
+       {{1, 18000},
+        {100, 200000},
+        {1000, 300000},
+        {10000, 400000},
+        {100000, 500000}}},
+      {"customer_address",
+       false,
+       0,
+       {{1, 50000},
+        {100, 1000000},
+        {1000, 4000000},
+        {10000, 10000000},
+        {100000, 50000000}}},
+      {"warehouse",
+       false,
+       0,
+       {{1, 5}, {100, 15}, {1000, 20}, {10000, 25}, {100000, 30}}},
+      {"promotion",
+       false,
+       0,
+       {{1, 300}, {100, 1000}, {1000, 1500}, {10000, 2000}, {100000, 2500}}},
+      {"call_center",
+       false,
+       0,
+       {{1, 6}, {100, 30}, {1000, 42}, {10000, 54}, {100000, 60}}},
+      {"catalog_page",
+       false,
+       0,
+       {{1, 11718},
+        {100, 20400},
+        {1000, 30000},
+        {10000, 40000},
+        {100000, 50000}}},
+      {"web_page",
+       false,
+       0,
+       {{1, 60}, {100, 2040}, {1000, 3000}, {10000, 4002}, {100000, 5004}}},
+      {"web_site",
+       false,
+       0,
+       {{1, 12}, {100, 24}, {1000, 54}, {10000, 78}, {100000, 96}}},
+      {"reason",
+       false,
+       0,
+       {{1, 35}, {100, 55}, {1000, 65}, {10000, 70}, {100000, 75}}},
+  };
+  return tables;
+}
+
+}  // namespace
+
+const std::vector<int>& ScalingModel::ValidScaleFactors() {
+  static const std::vector<int>& sfs =
+      *new std::vector<int>{100, 300, 1000, 3000, 10000, 30000, 100000};
+  return sfs;
+}
+
+bool ScalingModel::IsValidScaleFactor(int sf) {
+  const std::vector<int>& sfs = ValidScaleFactors();
+  return std::find(sfs.begin(), sfs.end(), sf) != sfs.end();
+}
+
+int64_t ScalingModel::RowCount(const std::string& table, double sf) {
+  if (sf <= 0) return 0;
+  // Fixed-size, domain-driven tables.
+  if (table == "date_dim") return DateDimRows();
+  if (table == "time_dim") return 86400;
+  if (table == "income_band") return 20;
+  if (table == "ship_mode") return 20;
+  if (table == "household_demographics") {
+    return 7200;  // 20 income bands x 6 buy potentials x 10 deps x 6 vehicles
+  }
+  if (table == "customer_demographics") {
+    // Full cross-product of the demographic domains. At dev scales (< 1)
+    // a reduced cross-product keeps test databases small.
+    return sf >= 1.0 ? 1920800 : 15120;
+  }
+  if (table == "inventory") {
+    // Weekly snapshots over the 5-year window for every (distinct item,
+    // warehouse) pair. Distinct item ids are half the item rows because the
+    // item dimension is history-keeping with ~2 revisions per business key.
+    int64_t weeks = 261;
+    return weeks * (RowCount("item", sf) / 2) * RowCount("warehouse", sf);
+  }
+  for (const TableScaling& t : Tables()) {
+    if (table == t.table) {
+      if (t.linear) {
+        return std::max<int64_t>(
+            1, static_cast<int64_t>(std::llround(t.rows_per_sf * sf)));
+      }
+      return Interpolate(t.anchors, sf);
+    }
+  }
+  return 0;
+}
+
+int ScalingModel::MinimumStreams(double sf) {
+  if (sf <= 100) return 3;
+  if (sf <= 300) return 5;
+  if (sf <= 1000) return 7;
+  if (sf <= 3000) return 9;
+  if (sf <= 10000) return 11;
+  if (sf <= 30000) return 13;
+  return 15;
+}
+
+Date ScalingModel::SalesBeginDate() { return Date::FromYmd(1998, 1, 2); }
+
+Date ScalingModel::SalesEndDate() { return Date::FromYmd(2003, 1, 2); }
+
+Date ScalingModel::DateDimBeginDate() { return Date::FromYmd(1900, 1, 1); }
+
+int64_t ScalingModel::DateDimRows() { return 73049; }
+
+}  // namespace tpcds

@@ -1,0 +1,52 @@
+#ifndef TPCDS_SCALING_SCALING_H_
+#define TPCDS_SCALING_SCALING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/date.h"
+
+namespace tpcds {
+
+/// TPC-DS's hybrid scaling model (paper §3.1, Table 2).
+///
+/// Fact tables scale linearly with the scale factor (the raw-data size in
+/// GB); dimension tables scale sub-linearly so that customer/item/store
+/// counts stay realistic even at 100 TB, fixing the unrealistic-cardinality
+/// problem the paper calls out in TPC-H. Sub-linear growth is modelled as
+/// log-log (geometric) interpolation through anchor cardinalities that
+/// reproduce the paper's Table 2 at the published scale factors.
+///
+/// Scale factors below 100 (including fractional ones such as 0.01) are not
+/// publishable but are supported for development and testing, mirroring how
+/// the official dsdgen accepts SF 1.
+class ScalingModel {
+ public:
+  /// The discrete scale factors at which results may be published
+  /// (paper §3: 100, 300, 1000, 3000, 10000, 30000, 100000).
+  static const std::vector<int>& ValidScaleFactors();
+  static bool IsValidScaleFactor(int sf);
+
+  /// Row count for `table` at scale factor `sf` (> 0; fractional allowed
+  /// for development scales). Returns 0 for unknown tables.
+  static int64_t RowCount(const std::string& table, double sf);
+
+  /// Minimum number of concurrent query streams required at a published
+  /// scale factor (paper Fig. 12). Development scale factors (< 100) use
+  /// the SF-100 minimum of 3.
+  static int MinimumStreams(double sf);
+
+  /// First calendar day covered by sales transactions (5 business years).
+  static Date SalesBeginDate();
+  /// Last calendar day covered by sales transactions (inclusive).
+  static Date SalesEndDate();
+
+  /// date_dim coverage: 1900-01-01 .. 2100-01-01 (73049 rows).
+  static Date DateDimBeginDate();
+  static int64_t DateDimRows();
+};
+
+}  // namespace tpcds
+
+#endif  // TPCDS_SCALING_SCALING_H_

@@ -1,0 +1,48 @@
+#ifndef TPCDS_SCHEMA_SCHEMA_H_
+#define TPCDS_SCHEMA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "schema/table.h"
+#include "util/status.h"
+
+namespace tpcds {
+
+/// The complete TPC-DS logical schema: the "snowstorm" of multiple
+/// snowflake schemas with shared dimensions (paper §2). 24 tables: 7 fact
+/// tables (three sales channels × {sales, returns} plus the shared
+/// inventory table) and 17 dimensions.
+class Schema {
+ public:
+  Schema() = default;
+
+  const std::vector<TableDef>& tables() const { return tables_; }
+
+  /// Table lookup by name; nullptr when absent.
+  const TableDef* FindTable(const std::string& name) const;
+
+  /// Index of the named table in tables(), or -1.
+  int TableIndex(const std::string& name) const;
+
+  size_t NumFactTables() const;
+  size_t NumDimensionTables() const;
+
+  /// Verifies internal consistency: unique table/column names, primary-key
+  /// and foreign-key columns resolve, FK targets reference primary keys of
+  /// existing tables, column prefixes match the table abbreviation.
+  Status Validate() const;
+
+  /// Mutable access for the schema builder.
+  std::vector<TableDef>* mutable_tables() { return &tables_; }
+
+ private:
+  std::vector<TableDef> tables_;
+};
+
+/// Returns the process-wide TPC-DS schema catalog (built once, immutable).
+const Schema& TpcdsSchema();
+
+}  // namespace tpcds
+
+#endif  // TPCDS_SCHEMA_SCHEMA_H_

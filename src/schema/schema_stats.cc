@@ -1,0 +1,86 @@
+#include "schema/schema_stats.h"
+
+#include <limits>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace tpcds {
+
+SchemaStats ComputeSchemaStats(const Schema& schema) {
+  SchemaStats stats;
+  stats.num_fact_tables = static_cast<int>(schema.NumFactTables());
+  stats.num_dimension_tables =
+      static_cast<int>(schema.NumDimensionTables());
+
+  stats.min_columns = std::numeric_limits<int>::max();
+  stats.min_declared_row_bytes = std::numeric_limits<int>::max();
+  int64_t total_columns = 0;
+  int64_t total_bytes = 0;
+  for (const TableDef& t : schema.tables()) {
+    int cols = static_cast<int>(t.columns.size());
+    total_columns += cols;
+    stats.min_columns = std::min(stats.min_columns, cols);
+    stats.max_columns = std::max(stats.max_columns, cols);
+    stats.num_foreign_keys += static_cast<int>(t.foreign_keys.size());
+    int bytes = t.DeclaredMaxRowBytes();
+    total_bytes += bytes;
+    stats.min_declared_row_bytes = std::min(stats.min_declared_row_bytes,
+                                            bytes);
+    stats.max_declared_row_bytes = std::max(stats.max_declared_row_bytes,
+                                            bytes);
+  }
+  size_t n = schema.tables().size();
+  if (n > 0) {
+    stats.avg_columns = static_cast<double>(total_columns) / n;
+    stats.avg_declared_row_bytes = static_cast<double>(total_bytes) / n;
+  }
+  return stats;
+}
+
+std::string FormatSchemaStats(const SchemaStats& stats) {
+  std::string out;
+  out += StringPrintf("Number of fact tables          %3d\n",
+                      stats.num_fact_tables);
+  out += StringPrintf("Number of dimension tables     %3d\n",
+                      stats.num_dimension_tables);
+  out += StringPrintf("Number of columns        min   %3d\n",
+                      stats.min_columns);
+  out += StringPrintf("                         max   %3d\n",
+                      stats.max_columns);
+  out += StringPrintf("                         avg   %5.1f\n",
+                      stats.avg_columns);
+  out += StringPrintf("Number of foreign keys         %3d\n",
+                      stats.num_foreign_keys);
+  return out;
+}
+
+std::string FormatSnowflake(const Schema& schema,
+                            const std::string& fact_table) {
+  const TableDef* fact = schema.FindTable(fact_table);
+  if (fact == nullptr) return "unknown table: " + fact_table;
+
+  std::string out = fact->name + " (fact)\n";
+  std::set<std::string> first_level;
+  for (const ForeignKeyDef& fk : fact->foreign_keys) {
+    if (fk.referenced_table == fact->name) continue;
+    out += "  -> " + fk.referenced_table;
+    const TableDef* dim = schema.FindTable(fk.referenced_table);
+    if (dim != nullptr && dim->is_fact()) out += " (fact-to-fact)";
+    out += "  [" + Join(fk.columns, ",") + "]\n";
+    if (dim != nullptr && !dim->is_fact()) {
+      first_level.insert(dim->name);
+    }
+  }
+  // Second snowflake layer: dimension-to-dimension edges.
+  for (const std::string& name : first_level) {
+    const TableDef* dim = schema.FindTable(name);
+    for (const ForeignKeyDef& fk : dim->foreign_keys) {
+      out += "       " + dim->name + " -> " + fk.referenced_table + "  [" +
+             Join(fk.columns, ",") + "]\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace tpcds

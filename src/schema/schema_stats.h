@@ -1,0 +1,41 @@
+#ifndef TPCDS_SCHEMA_SCHEMA_STATS_H_
+#define TPCDS_SCHEMA_SCHEMA_STATS_H_
+
+#include <string>
+
+#include "schema/schema.h"
+
+namespace tpcds {
+
+/// Aggregate schema statistics — the quantities reported in Table 1 of the
+/// paper (number of fact/dimension tables, column-count min/max/avg,
+/// foreign-key count, row-length min/max/avg).
+struct SchemaStats {
+  int num_fact_tables = 0;
+  int num_dimension_tables = 0;
+  int min_columns = 0;
+  int max_columns = 0;
+  double avg_columns = 0.0;
+  int num_foreign_keys = 0;
+  /// Declared flat-file row lengths (schema upper bounds). The paper's
+  /// figures are empirical averages from generated data; those are computed
+  /// by bench_table1_schema_stats from generator output.
+  int min_declared_row_bytes = 0;
+  int max_declared_row_bytes = 0;
+  double avg_declared_row_bytes = 0.0;
+};
+
+/// Computes the Table 1 statistics for a schema.
+SchemaStats ComputeSchemaStats(const Schema& schema);
+
+/// Renders an ASCII rendition of the paper's Table 1 from `stats`.
+std::string FormatSchemaStats(const SchemaStats& stats);
+
+/// Renders the store-channel snowflake (paper Fig. 1) as text: each fact
+/// table with its dimension (and dimension-to-dimension) FK edges.
+std::string FormatSnowflake(const Schema& schema,
+                            const std::string& fact_table);
+
+}  // namespace tpcds
+
+#endif  // TPCDS_SCHEMA_SCHEMA_STATS_H_

@@ -1,0 +1,62 @@
+#ifndef TPCDS_SCHEMA_TABLE_H_
+#define TPCDS_SCHEMA_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "schema/column.h"
+
+namespace tpcds {
+
+/// Fact tables store transactions and scale linearly with the scale factor;
+/// dimension tables supply context and scale sub-linearly (paper §2.1, §3.1).
+enum class TableClass { kFact, kDimension };
+
+/// How a table participates in data maintenance (paper §3.3.2, §4.2):
+/// static dimensions are loaded once and never updated; non-history-keeping
+/// dimensions are updated in place (Fig. 8); history-keeping dimensions get
+/// a new revision per update (Fig. 9); fact tables see clustered
+/// insert/delete (Fig. 10).
+enum class MaintenanceClass { kStatic, kNonHistory, kHistory, kFact };
+
+/// The benchmark splits the schema into an ad-hoc part (store + web
+/// channels: no complex auxiliary structures allowed) and a reporting part
+/// (catalog channel: auxiliary structures allowed). Shared dimensions are
+/// "common" (paper §2.2).
+enum class SchemaPart { kAdHoc, kReporting, kCommon };
+
+/// A (possibly composite) foreign-key relationship.
+struct ForeignKeyDef {
+  std::vector<std::string> columns;
+  std::string referenced_table;
+  std::vector<std::string> referenced_columns;
+};
+
+/// Declaration of one schema table.
+struct TableDef {
+  std::string name;
+  /// Column-name prefix, e.g. "ss" for store_sales.
+  std::string abbrev;
+  TableClass table_class = TableClass::kDimension;
+  MaintenanceClass maintenance = MaintenanceClass::kStatic;
+  SchemaPart part = SchemaPart::kCommon;
+  std::vector<ColumnDef> columns;
+  std::vector<std::string> primary_key;
+  std::vector<ForeignKeyDef> foreign_keys;
+
+  /// Index of the named column, or -1.
+  int ColumnIndex(const std::string& column_name) const;
+  bool HasColumn(const std::string& column_name) const {
+    return ColumnIndex(column_name) >= 0;
+  }
+
+  bool is_fact() const { return table_class == TableClass::kFact; }
+
+  /// Sum of per-column MaxFlatWidth() plus delimiters: the declared
+  /// maximum flat-file row length.
+  int DeclaredMaxRowBytes() const;
+};
+
+}  // namespace tpcds
+
+#endif  // TPCDS_SCHEMA_TABLE_H_

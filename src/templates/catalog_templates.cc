@@ -1,0 +1,453 @@
+// Templates 20 and 31..55 (minus 52): the catalog channel and the shared
+// inventory fact table — the *reporting* part of the schema, where complex
+// auxiliary structures are permitted (paper §2.2, §4.1).
+
+#include "templates/templates.h"
+
+namespace tpcds {
+namespace internal_templates {
+namespace {
+
+QueryTemplate T(int id, QueryClass cls, QueryFlavor flavor, int family,
+                const char* text) {
+  QueryTemplate t;
+  t.id = id;
+  t.name = "q" + std::string(id < 10 ? "0" : "") + std::to_string(id);
+  t.query_class = cls;
+  t.flavor = flavor;
+  t.olap_family = family;
+  t.text = text;
+  return t;
+}
+
+}  // namespace
+
+void AppendCatalogTemplates(std::vector<QueryTemplate>* out) {
+  // q20: the paper's Fig. 7 reporting example, verbatim modulo
+  // substitution tags: item revenue share within its class.
+  out->push_back(T(20, QueryClass::kReporting, QueryFlavor::kStandard, 0, R"(
+define CATS = list(categories, 3);
+define SDATE = date(30, 1);
+SELECT i_item_desc, i_category, i_class, i_current_price,
+       SUM(cs_ext_sales_price) AS itemrevenue,
+       SUM(cs_ext_sales_price)*100/SUM(SUM(cs_ext_sales_price)) OVER
+           (PARTITION BY i_class) AS revenueratio
+FROM catalog_sales, item, date_dim
+WHERE cs_item_sk = i_item_sk
+  AND i_category IN ([CATS])
+  AND cs_sold_date_sk = d_date_sk
+  AND d_date BETWEEN '[SDATE]'
+                 AND (CAST('[SDATE]' AS DATE) + 30)
+GROUP BY i_item_id, i_item_desc, i_category, i_class, i_current_price
+ORDER BY i_category, i_class, i_item_id, i_item_desc, revenueratio
+)"));
+
+  // q31: catalog revenue by call center.
+  out->push_back(T(31, QueryClass::kReporting, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT cc.cc_name, cc.cc_class,
+       SUM(cs_net_paid) AS paid,
+       SUM(cs_net_profit) AS profit
+FROM catalog_sales, call_center cc, date_dim d
+WHERE cs_call_center_sk = cc.cc_call_center_sk
+  AND cs_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+GROUP BY cc.cc_name, cc.cc_class
+ORDER BY profit DESC
+)"));
+
+  // q32: catalog page effectiveness per catalog number.
+  out->push_back(T(32, QueryClass::kReporting, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2001, uniform);
+SELECT cp.cp_catalog_number,
+       COUNT(*) AS line_items,
+       SUM(cs_ext_sales_price) AS revenue
+FROM catalog_sales, catalog_page cp, date_dim d
+WHERE cs_catalog_page_sk = cp.cp_catalog_page_sk
+  AND cs_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+GROUP BY cp.cp_catalog_number
+ORDER BY revenue DESC
+LIMIT 100
+)"));
+
+  // q33: shipping lag: days between order and ship by ship mode.
+  out->push_back(T(33, QueryClass::kReporting, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT sm.sm_type, sm.sm_carrier,
+       AVG(cs_ship_date_sk - cs_sold_date_sk) AS avg_lag_days,
+       COUNT(*) AS shipments
+FROM catalog_sales, ship_mode sm, date_dim d
+WHERE cs_ship_mode_sk = sm.sm_ship_mode_sk
+  AND cs_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+GROUP BY sm.sm_type, sm.sm_carrier
+ORDER BY avg_lag_days
+)"));
+
+  // q34: inventory coverage: weeks of stock by warehouse.
+  out->push_back(T(34, QueryClass::kReporting, QueryFlavor::kStandard, 0, R"(
+define MOY = random(1, 7, uniform);
+define YEAR = random(1998, 2002, uniform);
+SELECT w.w_warehouse_name,
+       AVG(inv_quantity_on_hand) AS avg_on_hand,
+       MIN(inv_quantity_on_hand) AS min_on_hand,
+       MAX(inv_quantity_on_hand) AS max_on_hand
+FROM inventory, warehouse w, date_dim d
+WHERE inv_warehouse_sk = w.w_warehouse_sk
+  AND inv_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR] AND d.d_moy = [MOY]
+GROUP BY w.w_warehouse_name
+ORDER BY w.w_warehouse_name
+)"));
+
+  // q35: items whose stock swings more than 50% month over month.
+  out->push_back(T(35, QueryClass::kReporting, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2001, uniform);
+define MOY = random(1, 6, uniform);
+SELECT cur.item_sk,
+       cur.qty AS this_month, nxt.qty AS next_month,
+       nxt.qty / cur.qty AS swing
+FROM (SELECT inv_item_sk AS item_sk, SUM(inv_quantity_on_hand) AS qty
+      FROM inventory, date_dim
+      WHERE inv_date_sk = d_date_sk AND d_year = [YEAR] AND d_moy = [MOY]
+      GROUP BY inv_item_sk) cur,
+     (SELECT inv_item_sk AS item_sk, SUM(inv_quantity_on_hand) AS qty
+      FROM inventory, date_dim
+      WHERE inv_date_sk = d_date_sk AND d_year = [YEAR] AND d_moy = [MOY] + 1
+      GROUP BY inv_item_sk) nxt
+WHERE cur.item_sk = nxt.item_sk
+  AND cur.qty > 0
+  AND (nxt.qty / cur.qty > 1.5 OR nxt.qty / cur.qty < 0.5)
+ORDER BY swing DESC, cur.item_sk
+LIMIT 100
+)"));
+
+  // q36: catalog returns by reason and refund style.
+  out->push_back(T(36, QueryClass::kReporting, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT r.r_reason_desc,
+       SUM(cr_refunded_cash) AS cash,
+       SUM(cr_reversed_charge) AS reversed,
+       SUM(cr_store_credit) AS credit
+FROM catalog_returns, reason r, date_dim d
+WHERE cr_reason_sk = r.r_reason_sk
+  AND cr_returned_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+GROUP BY r.r_reason_desc
+ORDER BY cash DESC
+LIMIT 50
+)"));
+
+  // q37: bill-to vs ship-to: gift orders by state pair.
+  out->push_back(T(37, QueryClass::kReporting, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT bill.ca_state AS bill_state, ship.ca_state AS ship_state,
+       COUNT(*) AS orders,
+       SUM(cs_ext_ship_cost) AS ship_cost
+FROM catalog_sales, customer_address bill, customer_address ship, date_dim d
+WHERE cs_bill_addr_sk = bill.ca_address_sk
+  AND cs_ship_addr_sk = ship.ca_address_sk
+  AND cs_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+  AND cs_bill_customer_sk <> cs_ship_customer_sk
+GROUP BY bill.ca_state, ship.ca_state
+ORDER BY orders DESC
+LIMIT 100
+)"));
+
+  // q38: catalog revenue share per item class (window over classes).
+  out->push_back(T(38, QueryClass::kReporting, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+define CAT = dist(categories);
+SELECT i.i_class,
+       SUM(cs_ext_sales_price) AS revenue,
+       SUM(cs_ext_sales_price) * 100 /
+           SUM(SUM(cs_ext_sales_price)) OVER (PARTITION BY i.i_category)
+           AS class_share
+FROM catalog_sales, item i, date_dim d
+WHERE cs_item_sk = i.i_item_sk
+  AND cs_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+  AND i.i_category = '[CAT]'
+GROUP BY i.i_category, i.i_class
+ORDER BY class_share DESC
+)"));
+
+  // q39: stddev of inventory across warehouses (statistics function).
+  out->push_back(T(39, QueryClass::kReporting, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2001, uniform);
+define MOY = random(1, 7, uniform);
+SELECT w.w_warehouse_name, i.i_item_id,
+       AVG(inv_quantity_on_hand) AS mean_qty,
+       STDDEV_SAMP(inv_quantity_on_hand) AS sd_qty
+FROM inventory, item i, warehouse w, date_dim d
+WHERE inv_item_sk = i.i_item_sk
+  AND inv_warehouse_sk = w.w_warehouse_sk
+  AND inv_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR] AND d.d_moy = [MOY]
+GROUP BY w.w_warehouse_name, i.i_item_id
+HAVING STDDEV_SAMP(inv_quantity_on_hand) > 100
+ORDER BY sd_qty DESC, i.i_item_id
+LIMIT 100
+)"));
+
+  // q40: catalog sales before/after a price-change date per item.
+  out->push_back(T(40, QueryClass::kReporting, QueryFlavor::kStandard, 0, R"(
+define SDATE = date(60, 2);
+SELECT i.i_item_id,
+       SUM(CASE WHEN d.d_date < CAST('[SDATE]' AS DATE) + 30
+                THEN cs_ext_sales_price ELSE 0 END) AS before_rev,
+       SUM(CASE WHEN d.d_date >= CAST('[SDATE]' AS DATE) + 30
+                THEN cs_ext_sales_price ELSE 0 END) AS after_rev
+FROM catalog_sales, item i, date_dim d
+WHERE cs_item_sk = i.i_item_sk
+  AND cs_sold_date_sk = d.d_date_sk
+  AND d.d_date BETWEEN CAST('[SDATE]' AS DATE)
+                   AND (CAST('[SDATE]' AS DATE) + 60)
+GROUP BY i.i_item_id
+ORDER BY i.i_item_id
+LIMIT 100
+)"));
+
+  // q41..q43: iterative OLAP drill on the catalog channel by geography.
+  out->push_back(T(41, QueryClass::kReporting, QueryFlavor::kIterativeOlap,
+                   2, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT ca.ca_state, SUM(cs_ext_sales_price) AS revenue
+FROM catalog_sales, customer_address ca, date_dim d
+WHERE cs_bill_addr_sk = ca.ca_address_sk
+  AND cs_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+GROUP BY ca.ca_state
+ORDER BY revenue DESC
+LIMIT 25
+)"));
+  out->push_back(T(42, QueryClass::kReporting, QueryFlavor::kIterativeOlap,
+                   2, R"(
+define YEAR = random(1998, 2002, uniform);
+define STATE = dist(states);
+SELECT ca.ca_county, SUM(cs_ext_sales_price) AS revenue
+FROM catalog_sales, customer_address ca, date_dim d
+WHERE cs_bill_addr_sk = ca.ca_address_sk
+  AND cs_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+  AND ca.ca_state = '[STATE]'
+GROUP BY ca.ca_county
+ORDER BY revenue DESC
+LIMIT 50
+)"));
+  out->push_back(T(43, QueryClass::kReporting, QueryFlavor::kIterativeOlap,
+                   2, R"(
+define YEAR = random(1998, 2002, uniform);
+define STATE = dist(states);
+SELECT ca.ca_county, ca.ca_city, SUM(cs_ext_sales_price) AS revenue,
+       RANK() OVER (PARTITION BY ca.ca_county
+                    ORDER BY SUM(cs_ext_sales_price) DESC) AS city_rank
+FROM catalog_sales, customer_address ca, date_dim d
+WHERE cs_bill_addr_sk = ca.ca_address_sk
+  AND cs_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+  AND ca.ca_state = '[STATE]'
+GROUP BY ca.ca_county, ca.ca_city
+ORDER BY ca.ca_county, city_rank
+LIMIT 200
+)"));
+
+  // q44: top items by net profit with rank window.
+  out->push_back(T(44, QueryClass::kReporting, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT ranked.i_item_id, ranked.profit, ranked.profit_rank
+FROM (SELECT i.i_item_id AS i_item_id,
+             SUM(cs_net_profit) AS profit,
+             RANK() OVER (ORDER BY SUM(cs_net_profit) DESC) AS profit_rank
+      FROM catalog_sales, item i, date_dim d
+      WHERE cs_item_sk = i.i_item_sk
+        AND cs_sold_date_sk = d.d_date_sk
+        AND d.d_year = [YEAR]
+      GROUP BY i.i_item_id) ranked
+WHERE ranked.profit_rank <= 50
+ORDER BY ranked.profit_rank
+)"));
+
+  // q45: catalog orders shipped unusually late (residual join predicate).
+  out->push_back(T(45, QueryClass::kReporting, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+define LAG = random(60, 100, uniform);
+SELECT w.w_warehouse_name, sm.sm_type,
+       COUNT(*) AS late_orders
+FROM catalog_sales, warehouse w, ship_mode sm, date_dim d
+WHERE cs_warehouse_sk = w.w_warehouse_sk
+  AND cs_ship_mode_sk = sm.sm_ship_mode_sk
+  AND cs_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+  AND cs_ship_date_sk - cs_sold_date_sk > [LAG]
+GROUP BY w.w_warehouse_name, sm.sm_type
+ORDER BY late_orders DESC
+)"));
+
+  // q46: repeat catalog buyers (HAVING on distinct orders).
+  out->push_back(T(46, QueryClass::kReporting, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+define MINORDERS = random(2, 4, uniform);
+SELECT c.c_customer_id, c.c_last_name,
+       COUNT(DISTINCT cs_order_number) AS orders,
+       SUM(cs_net_paid) AS paid
+FROM catalog_sales, customer c, date_dim d
+WHERE cs_bill_customer_sk = c.c_customer_sk
+  AND cs_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+GROUP BY c.c_customer_id, c.c_last_name
+HAVING COUNT(DISTINCT cs_order_number) >= [MINORDERS]
+ORDER BY orders DESC, paid DESC
+LIMIT 100
+)"));
+
+  // q47: month-by-month catalog revenue matrix for one year.
+  out->push_back(T(47, QueryClass::kReporting, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT d.d_moy,
+       SUM(cs_ext_sales_price) AS revenue,
+       SUM(cs_ext_sales_price) * 100 /
+           SUM(SUM(cs_ext_sales_price)) OVER (PARTITION BY d.d_year)
+           AS share_of_year
+FROM catalog_sales, date_dim d
+WHERE cs_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+GROUP BY d.d_year, d.d_moy
+ORDER BY d.d_moy
+)"));
+
+  // q48: current-revision call centers and their return exposure.
+  out->push_back(T(48, QueryClass::kReporting, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT cc.cc_name, cc.cc_manager,
+       SUM(cr_return_amount) AS returned_value,
+       SUM(cr_net_loss) AS net_loss
+FROM catalog_returns, call_center cc, date_dim d
+WHERE cr_call_center_sk = cc.cc_call_center_sk
+  AND cr_returned_date_sk = d.d_date_sk
+  AND cc.cc_rec_end_date IS NULL
+  AND d.d_year = [YEAR]
+GROUP BY cc.cc_name, cc.cc_manager
+ORDER BY net_loss DESC
+)"));
+
+  // q49: inventory on hand vs catalog demand per item (two facts).
+  out->push_back(T(49, QueryClass::kReporting, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2001, uniform);
+define MOY = random(1, 7, uniform);
+SELECT demand.item_sk,
+       demand.units_sold, stock.units_on_hand,
+       stock.units_on_hand / demand.units_sold AS cover_ratio
+FROM (SELECT cs_item_sk AS item_sk, SUM(cs_quantity) AS units_sold
+      FROM catalog_sales, date_dim
+      WHERE cs_sold_date_sk = d_date_sk
+        AND d_year = [YEAR] AND d_moy = [MOY]
+      GROUP BY cs_item_sk) demand,
+     (SELECT inv_item_sk AS item_sk, SUM(inv_quantity_on_hand)
+                 AS units_on_hand
+      FROM inventory, date_dim
+      WHERE inv_date_sk = d_date_sk
+        AND d_year = [YEAR] AND d_moy = [MOY]
+      GROUP BY inv_item_sk) stock
+WHERE demand.item_sk = stock.item_sk
+  AND demand.units_sold > 0
+ORDER BY cover_ratio, demand.item_sk
+LIMIT 100
+)"));
+
+  // q50: gift share of catalog revenue by category (CASE aggregation).
+  out->push_back(T(50, QueryClass::kReporting, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT i.i_category,
+       SUM(CASE WHEN cs_bill_customer_sk <> cs_ship_customer_sk
+                THEN cs_ext_sales_price ELSE 0 END) AS gift_revenue,
+       SUM(cs_ext_sales_price) AS revenue,
+       SUM(CASE WHEN cs_bill_customer_sk <> cs_ship_customer_sk
+                THEN cs_ext_sales_price ELSE 0 END) * 100 /
+           SUM(cs_ext_sales_price) AS gift_pct
+FROM catalog_sales, item i, date_dim d
+WHERE cs_item_sk = i.i_item_sk
+  AND cs_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+GROUP BY i.i_category
+HAVING SUM(cs_ext_sales_price) > 0
+ORDER BY gift_pct DESC
+)"));
+
+  // q51: buyers who returned more than they kept (CTE + HAVING).
+  out->push_back(T(51, QueryClass::kReporting, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+WITH bought AS (
+  SELECT cs_bill_customer_sk AS customer_sk, SUM(cs_quantity) AS units
+  FROM catalog_sales, date_dim
+  WHERE cs_sold_date_sk = d_date_sk AND d_year = [YEAR]
+  GROUP BY cs_bill_customer_sk
+), sent_back AS (
+  SELECT cr_refunded_customer_sk AS customer_sk,
+         SUM(cr_return_quantity) AS units
+  FROM catalog_returns, date_dim
+  WHERE cr_returned_date_sk = d_date_sk AND d_year = [YEAR]
+  GROUP BY cr_refunded_customer_sk
+)
+SELECT b.customer_sk, b.units AS bought_units, s.units AS returned_units
+FROM bought b, sent_back s
+WHERE b.customer_sk = s.customer_sk
+  AND s.units * 2 > b.units
+ORDER BY returned_units DESC, b.customer_sk
+LIMIT 100
+)"));
+
+  // q53: promotions that actually moved catalog volume.
+  out->push_back(T(53, QueryClass::kReporting, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT p.p_promo_name, p.p_channel_catalog,
+       COUNT(*) AS line_items,
+       SUM(cs_ext_sales_price) AS revenue
+FROM catalog_sales, promotion p, date_dim d
+WHERE cs_promo_sk = p.p_promo_sk
+  AND cs_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+  AND p.p_discount_active = 'Y'
+GROUP BY p.p_promo_name, p.p_channel_catalog
+ORDER BY revenue DESC
+LIMIT 100
+)"));
+
+  // q54: data-mining extraction: order-level feature vector feed.
+  out->push_back(T(54, QueryClass::kReporting, QueryFlavor::kDataMining, 0,
+                   R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT cs_order_number,
+       COUNT(*) AS line_items,
+       SUM(cs_quantity) AS units,
+       SUM(cs_ext_sales_price) AS revenue,
+       SUM(cs_ext_ship_cost) AS ship_cost,
+       SUM(cs_net_profit) AS profit,
+       AVG(cs_sales_price) AS avg_price,
+       MAX(cs_ext_list_price) AS max_list
+FROM catalog_sales, date_dim d
+WHERE cs_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+GROUP BY cs_order_number
+ORDER BY revenue DESC
+LIMIT 5000
+)"));
+
+  // q55: quarterly stock build-up ahead of the holiday zone.
+  out->push_back(T(55, QueryClass::kReporting, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2001, uniform);
+SELECT d.d_qoy, w.w_warehouse_name,
+       SUM(inv_quantity_on_hand) AS total_stock
+FROM inventory, warehouse w, date_dim d
+WHERE inv_warehouse_sk = w.w_warehouse_sk
+  AND inv_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+GROUP BY d.d_qoy, w.w_warehouse_name
+ORDER BY w.w_warehouse_name, d.d_qoy
+)"));
+}
+
+}  // namespace internal_templates
+}  // namespace tpcds

@@ -1,0 +1,529 @@
+// Templates 76..99: cross-channel queries. Queries that touch both the
+// ad-hoc part (store/web) and the reporting part (catalog/inventory) are
+// *hybrid* (paper §4.1); pure store+web combinations stay ad-hoc.
+
+#include "templates/templates.h"
+
+namespace tpcds {
+namespace internal_templates {
+namespace {
+
+QueryTemplate T(int id, QueryClass cls, QueryFlavor flavor, int family,
+                const char* text) {
+  QueryTemplate t;
+  t.id = id;
+  t.name = "q" + std::string(id < 10 ? "0" : "") + std::to_string(id);
+  t.query_class = cls;
+  t.flavor = flavor;
+  t.olap_family = family;
+  t.text = text;
+  return t;
+}
+
+}  // namespace
+
+void AppendCrossChannelTemplates(std::vector<QueryTemplate>* out) {
+  // q76: total company revenue by channel (three-way UNION ALL rollup).
+  out->push_back(T(76, QueryClass::kHybrid, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT channel, SUM(revenue) AS revenue, SUM(cnt) AS line_items
+FROM (SELECT 'store' AS channel, ss_ext_sales_price AS revenue, 1 AS cnt
+      FROM store_sales, date_dim d
+      WHERE ss_sold_date_sk = d.d_date_sk AND d.d_year = [YEAR]
+      UNION ALL
+      SELECT 'catalog' AS channel, cs_ext_sales_price AS revenue, 1 AS cnt
+      FROM catalog_sales, date_dim d
+      WHERE cs_sold_date_sk = d.d_date_sk AND d.d_year = [YEAR]
+      UNION ALL
+      SELECT 'web' AS channel, ws_ext_sales_price AS revenue, 1 AS cnt
+      FROM web_sales, date_dim d
+      WHERE ws_sold_date_sk = d.d_date_sk AND d.d_year = [YEAR]) all_sales
+GROUP BY channel
+ORDER BY revenue DESC
+)"));
+
+  // q77: items selling in store but not in catalog (anti-join shape).
+  out->push_back(T(77, QueryClass::kHybrid, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+define CAT = dist(categories);
+SELECT i.i_item_id, SUM(ss_quantity) AS store_units
+FROM store_sales, item i, date_dim d
+WHERE ss_item_sk = i.i_item_sk
+  AND ss_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+  AND i.i_category = '[CAT]'
+  AND ss_item_sk NOT IN (SELECT cs_item_sk FROM catalog_sales, date_dim
+                         WHERE cs_sold_date_sk = d_date_sk
+                           AND d_year = [YEAR])
+GROUP BY i.i_item_id
+ORDER BY store_units DESC, i.i_item_id
+LIMIT 100
+)"));
+
+  // q78: store vs web price realisation for the same items.
+  out->push_back(T(78, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT s.item_sk, s.store_avg, w.web_avg,
+       w.web_avg - s.store_avg AS web_premium
+FROM (SELECT ss_item_sk AS item_sk, AVG(ss_sales_price) AS store_avg
+      FROM store_sales, date_dim
+      WHERE ss_sold_date_sk = d_date_sk AND d_year = [YEAR]
+      GROUP BY ss_item_sk) s,
+     (SELECT ws_item_sk AS item_sk, AVG(ws_sales_price) AS web_avg
+      FROM web_sales, date_dim
+      WHERE ws_sold_date_sk = d_date_sk AND d_year = [YEAR]
+      GROUP BY ws_item_sk) w
+WHERE s.item_sk = w.item_sk
+ORDER BY web_premium DESC, s.item_sk
+LIMIT 100
+)"));
+
+  // q79: customers who shop all three channels in one year.
+  out->push_back(T(79, QueryClass::kHybrid, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT c.c_customer_id, c.c_last_name,
+       SUM(ss_net_paid) AS store_paid
+FROM store_sales, customer c, date_dim d
+WHERE ss_customer_sk = c.c_customer_sk
+  AND ss_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+  AND ss_customer_sk IN (SELECT ws_bill_customer_sk
+                         FROM web_sales, date_dim
+                         WHERE ws_sold_date_sk = d_date_sk
+                           AND d_year = [YEAR])
+  AND ss_customer_sk IN (SELECT cs_bill_customer_sk
+                         FROM catalog_sales, date_dim
+                         WHERE cs_sold_date_sk = d_date_sk
+                           AND d_year = [YEAR])
+GROUP BY c.c_customer_id, c.c_last_name
+ORDER BY store_paid DESC, c.c_customer_id
+LIMIT 100
+)"));
+
+  // q80: channel return rates side by side.
+  out->push_back(T(80, QueryClass::kHybrid, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT channel, SUM(sold) AS sold_value, SUM(returned) AS returned_value,
+       SUM(returned) * 100 / SUM(sold) AS return_pct
+FROM (SELECT 'store' AS channel, ss_ext_sales_price AS sold, 0 AS returned
+      FROM store_sales, date_dim d
+      WHERE ss_sold_date_sk = d.d_date_sk AND d.d_year = [YEAR]
+      UNION ALL
+      SELECT 'store' AS channel, 0 AS sold, sr_return_amt AS returned
+      FROM store_returns, date_dim d
+      WHERE sr_returned_date_sk = d.d_date_sk AND d.d_year = [YEAR]
+      UNION ALL
+      SELECT 'catalog' AS channel, cs_ext_sales_price AS sold, 0 AS returned
+      FROM catalog_sales, date_dim d
+      WHERE cs_sold_date_sk = d.d_date_sk AND d.d_year = [YEAR]
+      UNION ALL
+      SELECT 'catalog' AS channel, 0 AS sold, cr_return_amount AS returned
+      FROM catalog_returns, date_dim d
+      WHERE cr_returned_date_sk = d.d_date_sk AND d.d_year = [YEAR]
+      UNION ALL
+      SELECT 'web' AS channel, ws_ext_sales_price AS sold, 0 AS returned
+      FROM web_sales, date_dim d
+      WHERE ws_sold_date_sk = d.d_date_sk AND d.d_year = [YEAR]
+      UNION ALL
+      SELECT 'web' AS channel, 0 AS sold, wr_return_amt AS returned
+      FROM web_returns, date_dim d
+      WHERE wr_returned_date_sk = d.d_date_sk AND d.d_year = [YEAR]) x
+GROUP BY channel
+HAVING SUM(sold) > 0
+ORDER BY return_pct DESC
+)"));
+
+  // q81: category mix per channel (shared item dimension).
+  out->push_back(T(81, QueryClass::kHybrid, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+define CAT = dist(categories);
+SELECT x.channel, SUM(x.rev) AS revenue
+FROM (SELECT 'store' AS channel, ss_ext_sales_price AS rev, ss_item_sk
+             AS item_sk
+      FROM store_sales, date_dim d
+      WHERE ss_sold_date_sk = d.d_date_sk AND d.d_year = [YEAR]
+      UNION ALL
+      SELECT 'catalog' AS channel, cs_ext_sales_price AS rev, cs_item_sk
+             AS item_sk
+      FROM catalog_sales, date_dim d
+      WHERE cs_sold_date_sk = d.d_date_sk AND d.d_year = [YEAR]
+      UNION ALL
+      SELECT 'web' AS channel, ws_ext_sales_price AS rev, ws_item_sk
+             AS item_sk
+      FROM web_sales, date_dim d
+      WHERE ws_sold_date_sk = d.d_date_sk AND d.d_year = [YEAR]) x, item i
+WHERE x.item_sk = i.i_item_sk
+  AND i.i_category = '[CAT]'
+GROUP BY x.channel
+ORDER BY revenue DESC
+)"));
+
+  // q82: store shoppers who also browse the web (demographic contrast).
+  out->push_back(T(82, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT cd.cd_gender, cd.cd_marital_status,
+       COUNT(DISTINCT ss_customer_sk) AS dual_channel_customers
+FROM store_sales, customer c, customer_demographics cd, date_dim d
+WHERE ss_customer_sk = c.c_customer_sk
+  AND c.c_current_cdemo_sk = cd.cd_demo_sk
+  AND ss_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+  AND ss_customer_sk IN (SELECT ws_bill_customer_sk
+                         FROM web_sales, date_dim
+                         WHERE ws_sold_date_sk = d_date_sk
+                           AND d_year = [YEAR])
+GROUP BY cd.cd_gender, cd.cd_marital_status
+ORDER BY dual_channel_customers DESC
+)"));
+
+  // q83: same item returned across all three channels in one period.
+  out->push_back(T(83, QueryClass::kHybrid, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+WITH sr AS (SELECT sr_item_sk AS item_sk, SUM(sr_return_quantity) AS qty
+            FROM store_returns, date_dim
+            WHERE sr_returned_date_sk = d_date_sk AND d_year = [YEAR]
+            GROUP BY sr_item_sk),
+     crr AS (SELECT cr_item_sk AS item_sk, SUM(cr_return_quantity) AS qty
+             FROM catalog_returns, date_dim
+             WHERE cr_returned_date_sk = d_date_sk AND d_year = [YEAR]
+             GROUP BY cr_item_sk),
+     wrr AS (SELECT wr_item_sk AS item_sk, SUM(wr_return_quantity) AS qty
+             FROM web_returns, date_dim
+             WHERE wr_returned_date_sk = d_date_sk AND d_year = [YEAR]
+             GROUP BY wr_item_sk)
+SELECT sr.item_sk, sr.qty AS store_qty, crr.qty AS catalog_qty,
+       wrr.qty AS web_qty
+FROM sr, crr, wrr
+WHERE sr.item_sk = crr.item_sk AND sr.item_sk = wrr.item_sk
+ORDER BY store_qty DESC, sr.item_sk
+LIMIT 100
+)"));
+
+  // q84: holiday-zone lift per channel (comparability zones in action).
+  out->push_back(T(84, QueryClass::kHybrid, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT x.channel,
+       SUM(CASE WHEN x.moy BETWEEN 11 AND 12 THEN x.rev ELSE 0 END)
+           AS holiday_rev,
+       SUM(CASE WHEN x.moy BETWEEN 1 AND 7 THEN x.rev ELSE 0 END)
+           AS offseason_rev
+FROM (SELECT 'store' AS channel, d.d_moy AS moy,
+             ss_ext_sales_price AS rev
+      FROM store_sales, date_dim d
+      WHERE ss_sold_date_sk = d.d_date_sk AND d.d_year = [YEAR]
+      UNION ALL
+      SELECT 'catalog' AS channel, d.d_moy AS moy,
+             cs_ext_sales_price AS rev
+      FROM catalog_sales, date_dim d
+      WHERE cs_sold_date_sk = d.d_date_sk AND d.d_year = [YEAR]
+      UNION ALL
+      SELECT 'web' AS channel, d.d_moy AS moy, ws_ext_sales_price AS rev
+      FROM web_sales, date_dim d
+      WHERE ws_sold_date_sk = d.d_date_sk AND d.d_year = [YEAR]) x
+GROUP BY x.channel
+ORDER BY x.channel
+)"));
+
+  // q85: store sales of items that are low on inventory (hybrid fact
+  // pair: store_sales + inventory).
+  out->push_back(T(85, QueryClass::kHybrid, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2001, uniform);
+define MOY = random(1, 7, uniform);
+define LOW = random(50, 200, uniform);
+SELECT i.i_item_id, SUM(ss_quantity) AS store_demand
+FROM store_sales, item i, date_dim d
+WHERE ss_item_sk = i.i_item_sk
+  AND ss_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR] AND d.d_moy = [MOY]
+  AND ss_item_sk IN (SELECT inv_item_sk
+                     FROM inventory, date_dim
+                     WHERE inv_date_sk = d_date_sk
+                       AND d_year = [YEAR] AND d_moy = [MOY]
+                       AND inv_quantity_on_hand < [LOW])
+GROUP BY i.i_item_id
+ORDER BY store_demand DESC, i.i_item_id
+LIMIT 100
+)"));
+
+  // q86: year-over-year growth per channel (derived tables).
+  out->push_back(T(86, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1999, 2002, uniform);
+SELECT cur.channel, cur.revenue AS this_year, prior.revenue AS last_year,
+       (cur.revenue - prior.revenue) * 100 / prior.revenue AS growth_pct
+FROM (SELECT 'store' AS channel, SUM(ss_ext_sales_price) AS revenue
+      FROM store_sales, date_dim
+      WHERE ss_sold_date_sk = d_date_sk AND d_year = [YEAR]
+      UNION ALL
+      SELECT 'web' AS channel, SUM(ws_ext_sales_price) AS revenue
+      FROM web_sales, date_dim
+      WHERE ws_sold_date_sk = d_date_sk AND d_year = [YEAR]) cur,
+     (SELECT 'store' AS channel, SUM(ss_ext_sales_price) AS revenue
+      FROM store_sales, date_dim
+      WHERE ss_sold_date_sk = d_date_sk AND d_year = [YEAR] - 1
+      UNION ALL
+      SELECT 'web' AS channel, SUM(ws_ext_sales_price) AS revenue
+      FROM web_sales, date_dim
+      WHERE ws_sold_date_sk = d_date_sk AND d_year = [YEAR] - 1) prior
+WHERE cur.channel = prior.channel
+ORDER BY growth_pct DESC
+)"));
+
+  // q87: brand rank shift between store and catalog.
+  out->push_back(T(87, QueryClass::kHybrid, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+define CAT = dist(categories);
+SELECT s.brand, s.brand_rank AS store_rank, c.brand_rank AS catalog_rank
+FROM (SELECT i.i_brand AS brand,
+             RANK() OVER (ORDER BY SUM(ss_ext_sales_price) DESC)
+                 AS brand_rank
+      FROM store_sales, item i, date_dim d
+      WHERE ss_item_sk = i.i_item_sk AND ss_sold_date_sk = d.d_date_sk
+        AND d.d_year = [YEAR] AND i.i_category = '[CAT]'
+      GROUP BY i.i_brand) s,
+     (SELECT i.i_brand AS brand,
+             RANK() OVER (ORDER BY SUM(cs_ext_sales_price) DESC)
+                 AS brand_rank
+      FROM catalog_sales, item i, date_dim d
+      WHERE cs_item_sk = i.i_item_sk AND cs_sold_date_sk = d.d_date_sk
+        AND d.d_year = [YEAR] AND i.i_category = '[CAT]'
+      GROUP BY i.i_brand) c
+WHERE s.brand = c.brand
+ORDER BY s.brand_rank
+LIMIT 100
+)"));
+
+  // q88: store purchases returned through the web-like remote path:
+  // customers returning by mail (catalog returns) what stores sold.
+  out->push_back(T(88, QueryClass::kHybrid, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT i.i_category,
+       SUM(cr_return_amount) AS remote_returns,
+       SUM(sr_return_amt) AS store_returns
+FROM item i, catalog_returns, store_returns, date_dim d
+WHERE cr_item_sk = i.i_item_sk
+  AND sr_item_sk = i.i_item_sk
+  AND cr_returned_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+GROUP BY i.i_category
+ORDER BY remote_returns DESC
+LIMIT 50
+)"));
+
+  // q89: monthly revenue rank of categories within each channel.
+  out->push_back(T(89, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+define MOY = random(8, 10, uniform);
+SELECT x.channel, i.i_category, SUM(x.rev) AS revenue,
+       RANK() OVER (PARTITION BY x.channel
+                    ORDER BY SUM(x.rev) DESC) AS cat_rank
+FROM (SELECT 'store' AS channel, ss_item_sk AS item_sk,
+             ss_ext_sales_price AS rev
+      FROM store_sales, date_dim d
+      WHERE ss_sold_date_sk = d.d_date_sk
+        AND d.d_year = [YEAR] AND d.d_moy = [MOY]
+      UNION ALL
+      SELECT 'web' AS channel, ws_item_sk AS item_sk,
+             ws_ext_sales_price AS rev
+      FROM web_sales, date_dim d
+      WHERE ws_sold_date_sk = d.d_date_sk
+        AND d.d_year = [YEAR] AND d.d_moy = [MOY]) x, item i
+WHERE x.item_sk = i.i_item_sk
+GROUP BY x.channel, i.i_category
+ORDER BY x.channel, cat_rank
+)"));
+
+  // q90: morning vs evening web-to-store ratio.
+  out->push_back(T(90, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT am.cnt AS am_web_lines, pm.cnt AS pm_web_lines,
+       am.cnt * 1.0 / pm.cnt AS am_pm_ratio
+FROM (SELECT COUNT(*) AS cnt
+      FROM web_sales, time_dim t, date_dim d
+      WHERE ws_sold_time_sk = t.t_time_sk
+        AND ws_sold_date_sk = d.d_date_sk
+        AND d.d_year = [YEAR] AND t.t_hour BETWEEN 7 AND 11) am,
+     (SELECT COUNT(*) AS cnt
+      FROM web_sales, time_dim t, date_dim d
+      WHERE ws_sold_time_sk = t.t_time_sk
+        AND ws_sold_date_sk = d.d_date_sk
+        AND d.d_year = [YEAR] AND t.t_hour BETWEEN 19 AND 23) pm
+WHERE pm.cnt > 0
+)"));
+
+  // q91: call centers losing the most to returns of web-sold items.
+  out->push_back(T(91, QueryClass::kHybrid, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT cc.cc_name,
+       SUM(cr_net_loss) AS loss
+FROM catalog_returns, call_center cc, date_dim d
+WHERE cr_call_center_sk = cc.cc_call_center_sk
+  AND cr_returned_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+  AND cr_item_sk IN (SELECT ws_item_sk FROM web_sales, date_dim
+                     WHERE ws_sold_date_sk = d_date_sk
+                       AND d_year = [YEAR])
+GROUP BY cc.cc_name
+ORDER BY loss DESC
+)"));
+
+  // q92: manufacturer footprint across channels (aggregate exchange:
+  // the [AGG] substitution swaps the aggregate function, paper §4.1).
+  out->push_back(T(92, QueryClass::kHybrid, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+define AGG = choice(SUM|MIN|MAX);
+SELECT i.i_manufact_id,
+       [AGG](s.metric) AS store_metric,
+       [AGG](c.metric) AS catalog_metric
+FROM (SELECT ss_item_sk AS item_sk, SUM(ss_ext_sales_price) AS metric
+      FROM store_sales, date_dim
+      WHERE ss_sold_date_sk = d_date_sk AND d_year = [YEAR]
+      GROUP BY ss_item_sk) s,
+     (SELECT cs_item_sk AS item_sk, SUM(cs_ext_sales_price) AS metric
+      FROM catalog_sales, date_dim
+      WHERE cs_sold_date_sk = d_date_sk AND d_year = [YEAR]
+      GROUP BY cs_item_sk) c,
+     item i
+WHERE s.item_sk = c.item_sk
+  AND s.item_sk = i.i_item_sk
+  AND i.i_manufact_id BETWEEN 1 AND 100
+GROUP BY i.i_manufact_id
+ORDER BY store_metric DESC, i.i_manufact_id
+LIMIT 100
+)"));
+
+  // q93: customers whose first purchase was on the web.
+  out->push_back(T(93, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT d2.d_year AS first_sales_year, COUNT(*) AS web_lines
+FROM web_sales, customer c, date_dim d, date_dim d2
+WHERE ws_bill_customer_sk = c.c_customer_sk
+  AND ws_sold_date_sk = d.d_date_sk
+  AND c.c_first_sales_date_sk = d2.d_date_sk
+  AND d.d_year = [YEAR]
+GROUP BY d2.d_year
+ORDER BY d2.d_year
+)"));
+
+  // q94: average ticket by channel and quarter (wide union group).
+  out->push_back(T(94, QueryClass::kHybrid, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT x.channel, x.qoy, AVG(x.paid) AS avg_line_paid
+FROM (SELECT 'store' AS channel, d.d_qoy AS qoy, ss_net_paid AS paid
+      FROM store_sales, date_dim d
+      WHERE ss_sold_date_sk = d.d_date_sk AND d.d_year = [YEAR]
+      UNION ALL
+      SELECT 'catalog' AS channel, d.d_qoy AS qoy, cs_net_paid AS paid
+      FROM catalog_sales, date_dim d
+      WHERE cs_sold_date_sk = d.d_date_sk AND d.d_year = [YEAR]
+      UNION ALL
+      SELECT 'web' AS channel, d.d_qoy AS qoy, ws_net_paid AS paid
+      FROM web_sales, date_dim d
+      WHERE ws_sold_date_sk = d.d_date_sk AND d.d_year = [YEAR]) x
+GROUP BY x.channel, x.qoy
+ORDER BY x.channel, x.qoy
+)"));
+
+  // q95..q96: iterative OLAP family: company rollup then channel drill.
+  out->push_back(T(95, QueryClass::kHybrid, QueryFlavor::kIterativeOlap, 4,
+                   R"(
+SELECT d.d_year, SUM(ss_ext_sales_price) AS store_rev
+FROM store_sales, date_dim d
+WHERE ss_sold_date_sk = d.d_date_sk
+GROUP BY d.d_year
+ORDER BY d.d_year
+)"));
+  out->push_back(T(96, QueryClass::kHybrid, QueryFlavor::kIterativeOlap, 4,
+                   R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT x.channel, x.moy, SUM(x.rev) AS revenue
+FROM (SELECT 'store' AS channel, d.d_moy AS moy, ss_ext_sales_price AS rev
+      FROM store_sales, date_dim d
+      WHERE ss_sold_date_sk = d.d_date_sk AND d.d_year = [YEAR]
+      UNION ALL
+      SELECT 'catalog' AS channel, d.d_moy AS moy, cs_ext_sales_price AS rev
+      FROM catalog_sales, date_dim d
+      WHERE cs_sold_date_sk = d.d_date_sk AND d.d_year = [YEAR]) x
+GROUP BY x.channel, x.moy
+ORDER BY x.channel, x.moy
+)"));
+
+  // q97: baskets containing both a target category and any other item.
+  out->push_back(T(97, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+define CAT = dist(categories);
+SELECT other.i_category AS bought_with, COUNT(*) AS together_lines
+FROM (SELECT ss_ticket_number AS ticket, ss_item_sk AS item_sk
+      FROM store_sales, item, date_dim
+      WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk
+        AND i_category = '[CAT]'
+        AND d_year = [YEAR] AND d_moy = 12) target_line,
+     store_sales other_line, item other
+WHERE target_line.ticket = other_line.ss_ticket_number
+  AND other_line.ss_item_sk = other.i_item_sk
+  AND other.i_category <> '[CAT]'
+GROUP BY other.i_category
+ORDER BY together_lines DESC
+)"));
+
+  // q98: data-mining extraction: full channel x demographic cube feed.
+  out->push_back(T(98, QueryClass::kHybrid, QueryFlavor::kDataMining, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT x.channel, cd.cd_gender, cd.cd_marital_status,
+       cd.cd_education_status,
+       COUNT(*) AS line_items, SUM(x.rev) AS revenue
+FROM (SELECT 'store' AS channel, ss_cdemo_sk AS cdemo_sk,
+             ss_ext_sales_price AS rev
+      FROM store_sales, date_dim d
+      WHERE ss_sold_date_sk = d.d_date_sk AND d.d_year = [YEAR]
+      UNION ALL
+      SELECT 'catalog' AS channel, cs_bill_cdemo_sk AS cdemo_sk,
+             cs_ext_sales_price AS rev
+      FROM catalog_sales, date_dim d
+      WHERE cs_sold_date_sk = d.d_date_sk AND d.d_year = [YEAR]
+      UNION ALL
+      SELECT 'web' AS channel, ws_bill_cdemo_sk AS cdemo_sk,
+             ws_ext_sales_price AS rev
+      FROM web_sales, date_dim d
+      WHERE ws_sold_date_sk = d.d_date_sk AND d.d_year = [YEAR]) x,
+     customer_demographics cd
+WHERE x.cdemo_sk = cd.cd_demo_sk
+GROUP BY x.channel, cd.cd_gender, cd.cd_marital_status,
+         cd.cd_education_status
+ORDER BY x.channel, revenue DESC
+LIMIT 5000
+)"));
+
+  // q99: the kitchen sink: channel totals with per-channel rank, share
+  // windows and a HAVING floor — the closing stress query.
+  out->push_back(T(99, QueryClass::kHybrid, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+define FLOOR = random(100, 1000, uniform);
+SELECT x.channel, i.i_category,
+       SUM(x.rev) AS revenue,
+       SUM(x.rev) * 100 / SUM(SUM(x.rev)) OVER (PARTITION BY x.channel)
+           AS channel_share,
+       RANK() OVER (PARTITION BY x.channel ORDER BY SUM(x.rev) DESC)
+           AS cat_rank
+FROM (SELECT 'store' AS channel, ss_item_sk AS item_sk,
+             ss_ext_sales_price AS rev
+      FROM store_sales, date_dim d
+      WHERE ss_sold_date_sk = d.d_date_sk AND d.d_year = [YEAR]
+      UNION ALL
+      SELECT 'catalog' AS channel, cs_item_sk AS item_sk,
+             cs_ext_sales_price AS rev
+      FROM catalog_sales, date_dim d
+      WHERE cs_sold_date_sk = d.d_date_sk AND d.d_year = [YEAR]
+      UNION ALL
+      SELECT 'web' AS channel, ws_item_sk AS item_sk,
+             ws_ext_sales_price AS rev
+      FROM web_sales, date_dim d
+      WHERE ws_sold_date_sk = d.d_date_sk AND d.d_year = [YEAR]) x, item i
+WHERE x.item_sk = i.i_item_sk
+GROUP BY x.channel, i.i_category
+HAVING SUM(x.rev) > [FLOOR]
+ORDER BY x.channel, cat_rank
+)"));
+}
+
+}  // namespace internal_templates
+}  // namespace tpcds

@@ -1,0 +1,511 @@
+// Templates 1..30: the store channel (ad-hoc part of the schema).
+
+#include "templates/templates.h"
+
+namespace tpcds {
+namespace internal_templates {
+namespace {
+
+QueryTemplate T(int id, QueryClass cls, QueryFlavor flavor, int family,
+                const char* text) {
+  QueryTemplate t;
+  t.id = id;
+  t.name = "q" + std::string(id < 10 ? "0" : "") + std::to_string(id);
+  t.query_class = cls;
+  t.flavor = flavor;
+  t.olap_family = family;
+  t.text = text;
+  return t;
+}
+
+}  // namespace
+
+void AppendStoreTemplates(std::vector<QueryTemplate>* out) {
+  // q01: store revenue and profit per store for one year.
+  out->push_back(T(1, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT s.s_store_name, s.s_state,
+       SUM(ss_ext_sales_price) AS revenue,
+       SUM(ss_net_profit) AS profit
+FROM store_sales, date_dim d, store s
+WHERE ss_sold_date_sk = d.d_date_sk
+  AND ss_store_sk = s.s_store_sk
+  AND d.d_year = [YEAR]
+GROUP BY s.s_store_name, s.s_state
+ORDER BY profit DESC, s.s_store_name
+LIMIT 100
+)"));
+
+  // q02: return rates by store: fact-to-fact join of sales and returns.
+  out->push_back(T(2, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2001, uniform);
+SELECT s.s_store_name,
+       COUNT(*) AS returned_items,
+       SUM(sr_return_amt) AS returned_value,
+       AVG(sr_return_quantity) AS avg_units_back
+FROM store_sales, store_returns, store s, date_dim d
+WHERE ss_item_sk = sr_item_sk
+  AND ss_ticket_number = sr_ticket_number
+  AND ss_store_sk = s.s_store_sk
+  AND sr_returned_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+GROUP BY s.s_store_name
+ORDER BY returned_value DESC
+LIMIT 100
+)"));
+
+  // q03: brand revenue in a holiday month for one manufacturer band.
+  out->push_back(T(3, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+define MANU = random(1, 900, uniform);
+SELECT d.d_year, i.i_brand_id AS brand_id, i.i_brand AS brand,
+       SUM(ss_ext_sales_price) AS sum_agg
+FROM date_dim d, store_sales, item i
+WHERE d.d_date_sk = ss_sold_date_sk
+  AND ss_item_sk = i.i_item_sk
+  AND i.i_manufact_id BETWEEN [MANU] AND [MANU] + 100
+  AND d.d_moy = 12
+  AND d.d_year = [YEAR]
+GROUP BY d.d_year, i.i_brand, i.i_brand_id
+ORDER BY d.d_year, sum_agg DESC, brand_id
+LIMIT 100
+)"));
+
+  // q04: who spends: customer demographics of high-value store tickets.
+  out->push_back(T(4, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+define EDU = dist(education);
+SELECT cd.cd_gender, cd.cd_marital_status, cd.cd_education_status,
+       COUNT(*) AS cnt, SUM(ss_net_paid) AS spend
+FROM store_sales, customer_demographics cd, date_dim d
+WHERE ss_cdemo_sk = cd.cd_demo_sk
+  AND ss_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+  AND cd.cd_education_status = '[EDU]'
+GROUP BY cd.cd_gender, cd.cd_marital_status, cd.cd_education_status
+HAVING SUM(ss_net_paid) > 0
+ORDER BY spend DESC
+LIMIT 100
+)"));
+
+  // q05: quantity statistics by income band of the buying household.
+  out->push_back(T(5, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define MOY = random(1, 7, uniform);
+define YEAR = random(1998, 2002, uniform);
+SELECT ib.ib_lower_bound, ib.ib_upper_bound,
+       AVG(ss_quantity) AS avg_qty,
+       COUNT(*) AS baskets
+FROM store_sales, household_demographics hd, income_band ib, date_dim d
+WHERE ss_hdemo_sk = hd.hd_demo_sk
+  AND hd.hd_income_band_sk = ib.ib_income_band_sk
+  AND ss_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR] AND d.d_moy = [MOY]
+GROUP BY ib.ib_lower_bound, ib.ib_upper_bound
+ORDER BY ib.ib_lower_bound
+)"));
+
+  // q06: items priced above the category average (scalar subquery).
+  out->push_back(T(6, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define CAT = dist(categories);
+define YEAR = random(1998, 2002, uniform);
+SELECT i.i_item_id, i.i_item_desc, i.i_current_price,
+       SUM(ss_quantity) AS units
+FROM store_sales, item i, date_dim d
+WHERE ss_item_sk = i.i_item_sk
+  AND ss_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+  AND i.i_category = '[CAT]'
+  AND i.i_current_price > (SELECT AVG(i_current_price) FROM item
+                           WHERE i_category = '[CAT]')
+GROUP BY i.i_item_id, i.i_item_desc, i.i_current_price
+ORDER BY units DESC, i.i_item_id
+LIMIT 100
+)"));
+
+  // q07: customer addresses driving holiday-season revenue by county.
+  out->push_back(T(7, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+define MOY = random(11, 12, uniform);
+SELECT ca.ca_county, ca.ca_state,
+       SUM(ss_ext_sales_price) AS revenue
+FROM store_sales, customer_address ca, date_dim d
+WHERE ss_addr_sk = ca.ca_address_sk
+  AND ss_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR] AND d.d_moy = [MOY]
+GROUP BY ca.ca_county, ca.ca_state
+ORDER BY revenue DESC, ca.ca_county
+LIMIT 100
+)"));
+
+  // q08: shopping by shift: which day-parts sell.
+  out->push_back(T(8, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT t.t_shift, t.t_meal_time,
+       COUNT(*) AS line_items,
+       SUM(ss_ext_sales_price) AS revenue
+FROM store_sales, time_dim t, date_dim d
+WHERE ss_sold_time_sk = t.t_time_sk
+  AND ss_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+  AND t.t_meal_time IS NOT NULL
+GROUP BY t.t_shift, t.t_meal_time
+ORDER BY revenue DESC
+)"));
+
+  // q09: basket-size distribution: tickets bucketed by item count.
+  out->push_back(T(9, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT basket.items_in_basket, COUNT(*) AS num_baskets
+FROM (SELECT ss_ticket_number, COUNT(*) AS items_in_basket
+      FROM store_sales, date_dim d
+      WHERE ss_sold_date_sk = d.d_date_sk AND d.d_year = [YEAR]
+      GROUP BY ss_ticket_number) basket
+GROUP BY basket.items_in_basket
+ORDER BY basket.items_in_basket
+)"));
+
+  // q10: promotion lift: revenue on promoted vs unpromoted line items.
+  out->push_back(T(10, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT CASE WHEN ss_promo_sk IS NULL THEN 'no promo'
+            ELSE 'promo' END AS promo_flag,
+       COUNT(*) AS line_items,
+       SUM(ss_ext_sales_price) AS revenue,
+       AVG(ss_ext_discount_amt) AS avg_discount
+FROM store_sales, date_dim d
+WHERE ss_sold_date_sk = d.d_date_sk AND d.d_year = [YEAR]
+GROUP BY CASE WHEN ss_promo_sk IS NULL THEN 'no promo'
+              ELSE 'promo' END
+ORDER BY promo_flag
+)"));
+
+  // q11..q13: iterative OLAP drill-down family: category -> class -> brand.
+  out->push_back(T(11, QueryClass::kAdHoc, QueryFlavor::kIterativeOlap, 1,
+                   R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT i.i_category, SUM(ss_ext_sales_price) AS revenue
+FROM store_sales, item i, date_dim d
+WHERE ss_item_sk = i.i_item_sk
+  AND ss_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+GROUP BY i.i_category
+ORDER BY revenue DESC
+)"));
+  out->push_back(T(12, QueryClass::kAdHoc, QueryFlavor::kIterativeOlap, 1,
+                   R"(
+define YEAR = random(1998, 2002, uniform);
+define CAT = dist(categories);
+SELECT i.i_category, i.i_class, SUM(ss_ext_sales_price) AS revenue
+FROM store_sales, item i, date_dim d
+WHERE ss_item_sk = i.i_item_sk
+  AND ss_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+  AND i.i_category = '[CAT]'
+GROUP BY i.i_category, i.i_class
+ORDER BY revenue DESC
+)"));
+  out->push_back(T(13, QueryClass::kAdHoc, QueryFlavor::kIterativeOlap, 1,
+                   R"(
+define YEAR = random(1998, 2002, uniform);
+define CAT = dist(categories);
+SELECT i.i_category, i.i_class, i.i_brand,
+       SUM(ss_ext_sales_price) AS revenue,
+       RANK() OVER (PARTITION BY i.i_class
+                    ORDER BY SUM(ss_ext_sales_price) DESC) AS brand_rank
+FROM store_sales, item i, date_dim d
+WHERE ss_item_sk = i.i_item_sk
+  AND ss_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+  AND i.i_category = '[CAT]'
+GROUP BY i.i_category, i.i_class, i.i_brand
+ORDER BY i.i_class, brand_rank
+LIMIT 200
+)"));
+
+  // q14: weekly seasonality: the comparability-zone curve made visible.
+  out->push_back(T(14, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2001, uniform);
+SELECT d.d_week_seq, COUNT(*) AS line_items,
+       SUM(ss_ext_sales_price) AS revenue
+FROM store_sales, date_dim d
+WHERE ss_sold_date_sk = d.d_date_sk AND d.d_year = [YEAR]
+GROUP BY d.d_week_seq
+ORDER BY d.d_week_seq
+)"));
+
+  // q15: slice by a 30-day window inside one comparability zone.
+  out->push_back(T(15, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define SDATE = date(30, 2);
+SELECT i.i_category, SUM(ss_ext_sales_price) AS revenue,
+       AVG(ss_sales_price) AS avg_price
+FROM store_sales, item i, date_dim d
+WHERE ss_item_sk = i.i_item_sk
+  AND ss_sold_date_sk = d.d_date_sk
+  AND d.d_date BETWEEN CAST('[SDATE]' AS DATE)
+                   AND (CAST('[SDATE]' AS DATE) + 30)
+GROUP BY i.i_category
+ORDER BY revenue DESC
+)"));
+
+  // q16: top spenders: customer names (frequent-name skew visible).
+  out->push_back(T(16, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT c.c_last_name, c.c_first_name,
+       SUM(ss_net_paid) AS total_paid
+FROM store_sales, customer c, date_dim d
+WHERE ss_customer_sk = c.c_customer_sk
+  AND ss_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+GROUP BY c.c_last_name, c.c_first_name
+ORDER BY total_paid DESC, c.c_last_name
+LIMIT 100
+)"));
+
+  // q17: current vs transaction address — the circular customer_address
+  // relationship the paper highlights (§2.2, Fig. 1).
+  out->push_back(T(17, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT sold_to.ca_state AS shipped_state,
+       lives_in.ca_state AS home_state,
+       COUNT(*) AS cnt
+FROM store_sales, customer c,
+     customer_address sold_to, customer_address lives_in, date_dim d
+WHERE ss_customer_sk = c.c_customer_sk
+  AND ss_addr_sk = sold_to.ca_address_sk
+  AND c.c_current_addr_sk = lives_in.ca_address_sk
+  AND ss_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+  AND sold_to.ca_state <> lives_in.ca_state
+GROUP BY sold_to.ca_state, lives_in.ca_state
+ORDER BY cnt DESC
+LIMIT 100
+)"));
+
+  // q18: store revenue per square foot (store attributes in play).
+  out->push_back(T(18, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT s.s_store_name, s.s_floor_space,
+       SUM(ss_net_paid) / s.s_floor_space AS paid_per_sqft
+FROM store_sales, store s, date_dim d
+WHERE ss_store_sk = s.s_store_sk
+  AND ss_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+  AND s.s_rec_end_date IS NULL
+GROUP BY s.s_store_name, s.s_floor_space
+ORDER BY paid_per_sqft DESC
+LIMIT 100
+)"));
+
+  // q19: reasons for returns, ranked.
+  out->push_back(T(19, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT r.r_reason_desc,
+       COUNT(*) AS returns_cnt,
+       SUM(sr_return_amt) AS value_back,
+       RANK() OVER (ORDER BY SUM(sr_return_amt) DESC) AS value_rank
+FROM store_returns, reason r, date_dim d
+WHERE sr_reason_sk = r.r_reason_sk
+  AND sr_returned_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+GROUP BY r.r_reason_desc
+ORDER BY value_rank
+LIMIT 50
+)"));
+
+  // q21: gender/marital mix of preferred customers buying in zone 3.
+  out->push_back(T(21, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT cd.cd_gender, cd.cd_marital_status, COUNT(DISTINCT c.c_customer_sk)
+         AS customers
+FROM store_sales, customer c, customer_demographics cd, date_dim d
+WHERE ss_customer_sk = c.c_customer_sk
+  AND c.c_current_cdemo_sk = cd.cd_demo_sk
+  AND ss_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR] AND d.d_moy BETWEEN 11 AND 12
+  AND c.c_preferred_cust_flag = 'Y'
+GROUP BY cd.cd_gender, cd.cd_marital_status
+ORDER BY customers DESC
+)"));
+
+  // q22: slow sellers: items with store sales but no December sales.
+  out->push_back(T(22, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT i.i_item_id, i.i_item_desc,
+       SUM(ss_quantity) AS units
+FROM store_sales, item i, date_dim d
+WHERE ss_item_sk = i.i_item_sk
+  AND ss_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+  AND ss_item_sk NOT IN (SELECT ss_item_sk
+                         FROM store_sales, date_dim
+                         WHERE ss_sold_date_sk = d_date_sk
+                           AND d_year = [YEAR] AND d_moy = 12)
+GROUP BY i.i_item_id, i.i_item_desc
+ORDER BY units DESC, i.i_item_id
+LIMIT 100
+)"));
+
+  // q23: discount sensitivity: coupons share of revenue by category.
+  out->push_back(T(23, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT i.i_category,
+       SUM(ss_coupon_amt) AS coupons,
+       SUM(ss_ext_sales_price) AS revenue,
+       SUM(ss_coupon_amt) / SUM(ss_ext_sales_price) * 100 AS coupon_pct
+FROM store_sales, item i, date_dim d
+WHERE ss_item_sk = i.i_item_sk
+  AND ss_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+GROUP BY i.i_category
+HAVING SUM(ss_ext_sales_price) > 0
+ORDER BY coupon_pct DESC
+)"));
+
+  // q24: revision-aware pricing: sales joined to the item revision that
+  // was current at the sale date (SCD probe, paper §3.3.2).
+  out->push_back(T(24, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define CAT = dist(categories);
+SELECT i.i_item_id, COUNT(*) AS line_items,
+       MIN(i.i_current_price) AS rev_price_min,
+       MAX(i.i_current_price) AS rev_price_max
+FROM store_sales, item i, date_dim d
+WHERE ss_item_sk = i.i_item_sk
+  AND ss_sold_date_sk = d.d_date_sk
+  AND i.i_category = '[CAT]'
+  AND d.d_date >= i.i_rec_start_date
+  AND (i.i_rec_end_date IS NULL OR d.d_date <= i.i_rec_end_date)
+GROUP BY i.i_item_id
+ORDER BY line_items DESC, i.i_item_id
+LIMIT 100
+)"));
+
+  // q25: dependents and vehicles: household profile of big baskets.
+  out->push_back(T(25, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+define DEP = random(2, 7, uniform);
+SELECT hd.hd_dep_count, hd.hd_vehicle_count,
+       AVG(ss_quantity) AS avg_units,
+       COUNT(*) AS line_items
+FROM store_sales, household_demographics hd, date_dim d
+WHERE ss_hdemo_sk = hd.hd_demo_sk
+  AND ss_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+  AND hd.hd_dep_count <= [DEP]
+GROUP BY hd.hd_dep_count, hd.hd_vehicle_count
+ORDER BY hd.hd_dep_count, hd.hd_vehicle_count
+)"));
+
+  // q26: weekend vs weekday revenue by store.
+  out->push_back(T(26, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT s.s_store_name,
+       SUM(CASE WHEN d.d_weekend = 'Y'
+                THEN ss_ext_sales_price ELSE 0 END) AS weekend_rev,
+       SUM(CASE WHEN d.d_weekend = 'N'
+                THEN ss_ext_sales_price ELSE 0 END) AS weekday_rev
+FROM store_sales, store s, date_dim d
+WHERE ss_store_sk = s.s_store_sk
+  AND ss_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+GROUP BY s.s_store_name
+ORDER BY s.s_store_name
+)"));
+
+  // q27: quarter-over-quarter store growth via derived tables.
+  out->push_back(T(27, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2001, uniform);
+SELECT cur.store_name,
+       cur.revenue AS q4_revenue,
+       prior.revenue AS q3_revenue,
+       cur.revenue - prior.revenue AS delta
+FROM (SELECT s.s_store_name AS store_name, SUM(ss_ext_sales_price) AS revenue
+      FROM store_sales, store s, date_dim d
+      WHERE ss_store_sk = s.s_store_sk AND ss_sold_date_sk = d.d_date_sk
+        AND d.d_year = [YEAR] AND d.d_qoy = 4
+      GROUP BY s.s_store_name) cur,
+     (SELECT s.s_store_name AS store_name, SUM(ss_ext_sales_price) AS revenue
+      FROM store_sales, store s, date_dim d
+      WHERE ss_store_sk = s.s_store_sk AND ss_sold_date_sk = d.d_date_sk
+        AND d.d_year = [YEAR] AND d.d_qoy = 3
+      GROUP BY s.s_store_name) prior
+WHERE cur.store_name = prior.store_name
+ORDER BY delta DESC
+LIMIT 100
+)"));
+
+  // q28: quantity-bucket price statistics (multi-bucket UNION ALL).
+  out->push_back(T(28, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define B1 = random(1, 20, uniform);
+define B2 = random(40, 60, uniform);
+SELECT 'low' AS bucket, AVG(ss_list_price) AS avg_price,
+       COUNT(*) AS cnt, COUNT(DISTINCT ss_list_price) AS distinct_prices
+FROM store_sales WHERE ss_quantity BETWEEN 1 AND [B1]
+UNION ALL
+SELECT 'mid' AS bucket, AVG(ss_list_price) AS avg_price,
+       COUNT(*) AS cnt, COUNT(DISTINCT ss_list_price) AS distinct_prices
+FROM store_sales WHERE ss_quantity BETWEEN 21 AND [B2]
+UNION ALL
+SELECT 'high' AS bucket, AVG(ss_list_price) AS avg_price,
+       COUNT(*) AS cnt, COUNT(DISTINCT ss_list_price) AS distinct_prices
+FROM store_sales WHERE ss_quantity BETWEEN 61 AND 100
+ORDER BY bucket
+)"));
+
+  // q29: store manager scorecard over an SCD dimension (current revision).
+  out->push_back(T(29, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define MOY = random(8, 10, uniform);
+define YEAR = random(1998, 2002, uniform);
+SELECT s.s_manager, COUNT(DISTINCT ss_ticket_number) AS tickets,
+       SUM(ss_net_profit) AS profit
+FROM store_sales, store s, date_dim d
+WHERE ss_store_sk = s.s_store_sk
+  AND ss_sold_date_sk = d.d_date_sk
+  AND s.s_rec_end_date IS NULL
+  AND d.d_year = [YEAR] AND d.d_moy = [MOY]
+GROUP BY s.s_manager
+ORDER BY profit DESC
+LIMIT 100
+)"));
+
+  // q30: data-mining extraction: wide customer purchase profile feed.
+  out->push_back(T(30, QueryClass::kAdHoc, QueryFlavor::kDataMining, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT c.c_customer_id, c.c_last_name, c.c_first_name,
+       ca.ca_state, cd.cd_gender, cd.cd_education_status,
+       COUNT(*) AS line_items,
+       SUM(ss_ext_sales_price) AS revenue,
+       SUM(ss_net_profit) AS profit,
+       AVG(ss_quantity) AS avg_qty
+FROM store_sales, customer c, customer_address ca,
+     customer_demographics cd, date_dim d
+WHERE ss_customer_sk = c.c_customer_sk
+  AND c.c_current_addr_sk = ca.ca_address_sk
+  AND c.c_current_cdemo_sk = cd.cd_demo_sk
+  AND ss_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+GROUP BY c.c_customer_id, c.c_last_name, c.c_first_name,
+         ca.ca_state, cd.cd_gender, cd.cd_education_status
+ORDER BY revenue DESC
+LIMIT 5000
+)"));
+
+  // q52: the paper's Fig. 6 ad-hoc example, verbatim modulo substitution
+  // tags: brand revenue for one manager's items in a holiday month.
+  out->push_back(T(52, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+define MANAGER = random(1, 100, uniform);
+SELECT dt.d_year, item.i_brand_id brand_id, item.i_brand brand,
+       SUM(ss_ext_sales_price) ext_price
+FROM date_dim dt, store_sales, item
+WHERE dt.d_date_sk = store_sales.ss_sold_date_sk
+  AND store_sales.ss_item_sk = item.i_item_sk
+  AND item.i_manager_id = [MANAGER]
+  AND dt.d_moy = 11
+  AND dt.d_year = [YEAR]
+GROUP BY dt.d_year, item.i_brand, item.i_brand_id
+ORDER BY dt.d_year, ext_price DESC, brand_id
+)"));
+}
+
+}  // namespace internal_templates
+}  // namespace tpcds

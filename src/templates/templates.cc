@@ -1,0 +1,31 @@
+#include "templates/templates.h"
+
+#include <algorithm>
+
+namespace tpcds {
+
+const std::vector<QueryTemplate>& AllTemplates() {
+  static const std::vector<QueryTemplate>& templates = *[] {
+    auto* v = new std::vector<QueryTemplate>();
+    internal_templates::AppendStoreTemplates(v);
+    internal_templates::AppendCatalogTemplates(v);
+    internal_templates::AppendWebTemplates(v);
+    internal_templates::AppendCrossChannelTemplates(v);
+    std::sort(v->begin(), v->end(),
+              [](const QueryTemplate& a, const QueryTemplate& b) {
+                return a.id < b.id;
+              });
+    return v;
+  }();
+  return templates;
+}
+
+const QueryTemplate* FindTemplate(int id) {
+  const std::vector<QueryTemplate>& all = AllTemplates();
+  for (const QueryTemplate& t : all) {
+    if (t.id == id) return &t;
+  }
+  return nullptr;
+}
+
+}  // namespace tpcds

@@ -1,0 +1,30 @@
+#ifndef TPCDS_TEMPLATES_TEMPLATES_H_
+#define TPCDS_TEMPLATES_TEMPLATES_H_
+
+#include <vector>
+
+#include "qgen/template.h"
+
+namespace tpcds {
+
+/// The 99 query templates of the workload (paper §4.1): ad-hoc (store/web
+/// channels), reporting (catalog channel incl. inventory), and hybrid
+/// cross-channel queries, with iterative-OLAP drill sequences and
+/// data-mining extractions mixed in. Template 52 and template 20 are the
+/// paper's Fig. 6 / Fig. 7 examples.
+const std::vector<QueryTemplate>& AllTemplates();
+
+/// Template by id (1..99); nullptr when out of range.
+const QueryTemplate* FindTemplate(int id);
+
+namespace internal_templates {
+// Implementation detail: per-channel template blocks.
+void AppendStoreTemplates(std::vector<QueryTemplate>* out);     // 1..30
+void AppendCatalogTemplates(std::vector<QueryTemplate>* out);   // 31..55
+void AppendWebTemplates(std::vector<QueryTemplate>* out);       // 56..75
+void AppendCrossChannelTemplates(std::vector<QueryTemplate>* out);  // 76..99
+}  // namespace internal_templates
+
+}  // namespace tpcds
+
+#endif  // TPCDS_TEMPLATES_TEMPLATES_H_

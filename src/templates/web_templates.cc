@@ -1,0 +1,336 @@
+// Templates 56..75: the web channel (ad-hoc part of the schema).
+
+#include "templates/templates.h"
+
+namespace tpcds {
+namespace internal_templates {
+namespace {
+
+QueryTemplate T(int id, QueryClass cls, QueryFlavor flavor, int family,
+                const char* text) {
+  QueryTemplate t;
+  t.id = id;
+  t.name = "q" + std::string(id < 10 ? "0" : "") + std::to_string(id);
+  t.query_class = cls;
+  t.flavor = flavor;
+  t.olap_family = family;
+  t.text = text;
+  return t;
+}
+
+}  // namespace
+
+void AppendWebTemplates(std::vector<QueryTemplate>* out) {
+  // q56: web revenue and profit per site for one year.
+  out->push_back(T(56, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT web.web_name,
+       SUM(ws_ext_sales_price) AS revenue,
+       SUM(ws_net_profit) AS profit
+FROM web_sales, web_site web, date_dim d
+WHERE ws_web_site_sk = web.web_site_sk
+  AND ws_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+GROUP BY web.web_name
+ORDER BY profit DESC
+)"));
+
+  // q57: page-type conversion: which page types sell.
+  out->push_back(T(57, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT wp.wp_type,
+       COUNT(*) AS line_items,
+       SUM(ws_ext_sales_price) AS revenue,
+       AVG(ws_quantity) AS avg_units
+FROM web_sales, web_page wp, date_dim d
+WHERE ws_web_page_sk = wp.wp_web_page_sk
+  AND ws_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+GROUP BY wp.wp_type
+ORDER BY revenue DESC
+)"));
+
+  // q58: night-shift e-commerce: orders placed outside store hours.
+  out->push_back(T(58, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT t.t_sub_shift, d.d_moy,
+       COUNT(*) AS line_items,
+       SUM(ws_net_paid) AS paid
+FROM web_sales, time_dim t, date_dim d
+WHERE ws_sold_time_sk = t.t_time_sk
+  AND ws_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+  AND t.t_sub_shift IN ('night', 'evening')
+GROUP BY t.t_sub_shift, d.d_moy
+ORDER BY d.d_moy, t.t_sub_shift
+)"));
+
+  // q59: web buyers far from home: billing state vs site placement.
+  out->push_back(T(59, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+define STATES = list(states, 5);
+SELECT ca.ca_state,
+       COUNT(DISTINCT ws_bill_customer_sk) AS customers,
+       SUM(ws_ext_sales_price) AS revenue
+FROM web_sales, customer_address ca, date_dim d
+WHERE ws_bill_addr_sk = ca.ca_address_sk
+  AND ws_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+  AND ca.ca_state IN ([STATES])
+GROUP BY ca.ca_state
+ORDER BY revenue DESC
+)"));
+
+  // q60: web returns: value lost per reason in the holiday zone.
+  out->push_back(T(60, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT r.r_reason_desc,
+       SUM(wr_return_amt) AS value_back,
+       SUM(wr_net_loss) AS net_loss
+FROM web_returns, reason r, date_dim d
+WHERE wr_reason_sk = r.r_reason_sk
+  AND wr_returned_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR] AND d.d_moy BETWEEN 11 AND 12
+GROUP BY r.r_reason_desc
+ORDER BY net_loss DESC
+LIMIT 50
+)"));
+
+  // q61: ship-mode mix for web orders above a value threshold.
+  out->push_back(T(61, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+define FLOOR = random(500, 1500, uniform);
+SELECT sm.sm_type,
+       COUNT(*) AS orders,
+       AVG(ws_ext_ship_cost) AS avg_ship_cost
+FROM web_sales, ship_mode sm, date_dim d
+WHERE ws_ship_mode_sk = sm.sm_ship_mode_sk
+  AND ws_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+  AND ws_ext_sales_price > [FLOOR]
+GROUP BY sm.sm_type
+ORDER BY orders DESC
+)"));
+
+  // q62: web item revenue share within class (reporting twin of q20,
+  // phrased over the ad-hoc part).
+  out->push_back(T(62, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define CATS = list(categories, 3);
+define SDATE = date(30, 3);
+SELECT i_item_desc, i_category, i_class, i_current_price,
+       SUM(ws_ext_sales_price) AS itemrevenue,
+       SUM(ws_ext_sales_price)*100/SUM(SUM(ws_ext_sales_price)) OVER
+           (PARTITION BY i_class) AS revenueratio
+FROM web_sales, item, date_dim
+WHERE ws_item_sk = i_item_sk
+  AND i_category IN ([CATS])
+  AND ws_sold_date_sk = d_date_sk
+  AND d_date BETWEEN CAST('[SDATE]' AS DATE)
+                 AND (CAST('[SDATE]' AS DATE) + 30)
+GROUP BY i_item_id, i_item_desc, i_category, i_class, i_current_price
+ORDER BY i_category, i_class, i_item_id, i_item_desc, revenueratio
+)"));
+
+  // q63: gift shipping on the web: bill/ship demographic mismatch.
+  out->push_back(T(63, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT d.d_moy, COUNT(*) AS gift_lines,
+       SUM(ws_ext_ship_cost) AS gift_ship_cost
+FROM web_sales, date_dim d
+WHERE ws_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+  AND ws_bill_customer_sk <> ws_ship_customer_sk
+GROUP BY d.d_moy
+ORDER BY d.d_moy
+)"));
+
+  // q64: top web customers by profit with dense rank.
+  out->push_back(T(64, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT ranked.c_customer_id, ranked.profit, ranked.profit_rank
+FROM (SELECT c.c_customer_id AS c_customer_id,
+             SUM(ws_net_profit) AS profit,
+             DENSE_RANK() OVER (ORDER BY SUM(ws_net_profit) DESC)
+                 AS profit_rank
+      FROM web_sales, customer c, date_dim d
+      WHERE ws_bill_customer_sk = c.c_customer_sk
+        AND ws_sold_date_sk = d.d_date_sk
+        AND d.d_year = [YEAR]
+      GROUP BY c.c_customer_id) ranked
+WHERE ranked.profit_rank <= 100
+ORDER BY ranked.profit_rank, ranked.c_customer_id
+)"));
+
+  // q65: web vs returns timing: how fast do web purchases come back.
+  out->push_back(T(65, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT CASE WHEN lag.days_out <= 30 THEN '0-30'
+            WHEN lag.days_out <= 60 THEN '31-60'
+            ELSE '61+' END AS return_window,
+       COUNT(*) AS returns_cnt,
+       SUM(lag.amount) AS value_back
+FROM (SELECT wr_returned_date_sk - ws_sold_date_sk AS days_out,
+             wr_return_amt AS amount
+      FROM web_sales, web_returns, date_dim d
+      WHERE ws_item_sk = wr_item_sk
+        AND ws_order_number = wr_order_number
+        AND ws_sold_date_sk = d.d_date_sk
+        AND d.d_year = [YEAR]) lag
+GROUP BY CASE WHEN lag.days_out <= 30 THEN '0-30'
+              WHEN lag.days_out <= 60 THEN '31-60'
+              ELSE '61+' END
+ORDER BY return_window
+)"));
+
+  // q66: autogenerated pages: do personalised pages sell more?
+  out->push_back(T(66, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT wp.wp_autogen_flag,
+       COUNT(*) AS line_items,
+       AVG(ws_ext_sales_price) AS avg_line_value
+FROM web_sales, web_page wp, date_dim d
+WHERE ws_web_page_sk = wp.wp_web_page_sk
+  AND ws_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+GROUP BY wp.wp_autogen_flag
+ORDER BY wp.wp_autogen_flag
+)"));
+
+  // q67..q68: iterative OLAP on the web channel: year -> month drill.
+  out->push_back(T(67, QueryClass::kAdHoc, QueryFlavor::kIterativeOlap, 3,
+                   R"(
+SELECT d.d_year, SUM(ws_ext_sales_price) AS revenue
+FROM web_sales, date_dim d
+WHERE ws_sold_date_sk = d.d_date_sk
+GROUP BY d.d_year
+ORDER BY d.d_year
+)"));
+  out->push_back(T(68, QueryClass::kAdHoc, QueryFlavor::kIterativeOlap, 3,
+                   R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT d.d_moy, SUM(ws_ext_sales_price) AS revenue,
+       SUM(ws_ext_sales_price) * 100 /
+           SUM(SUM(ws_ext_sales_price)) OVER (PARTITION BY d.d_year)
+           AS month_share
+FROM web_sales, date_dim d
+WHERE ws_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+GROUP BY d.d_year, d.d_moy
+ORDER BY d.d_moy
+)"));
+
+  // q69: heavy web items: quantity outliers per warehouse.
+  out->push_back(T(69, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+define QTY = random(80, 100, uniform);
+SELECT w.w_warehouse_name, i.i_item_id,
+       SUM(ws_quantity) AS units
+FROM web_sales, warehouse w, item i, date_dim d
+WHERE ws_warehouse_sk = w.w_warehouse_sk
+  AND ws_item_sk = i.i_item_sk
+  AND ws_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+  AND ws_quantity >= [QTY]
+GROUP BY w.w_warehouse_name, i.i_item_id
+ORDER BY units DESC, i.i_item_id
+LIMIT 100
+)"));
+
+  // q70: returning customers differ from buyers (web returns).
+  out->push_back(T(70, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT CASE WHEN wr_refunded_customer_sk = wr_returning_customer_sk
+            THEN 'same person' ELSE 'different person' END AS who_returned,
+       COUNT(*) AS returns_cnt,
+       SUM(wr_return_amt) AS value_back
+FROM web_returns, date_dim d
+WHERE wr_returned_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+GROUP BY CASE WHEN wr_refunded_customer_sk = wr_returning_customer_sk
+              THEN 'same person' ELSE 'different person' END
+ORDER BY who_returned
+)"));
+
+  // q71: birthday-month shoppers on the web.
+  out->push_back(T(71, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT d.d_moy, COUNT(*) AS birthday_lines,
+       SUM(ws_ext_sales_price) AS revenue
+FROM web_sales, customer c, date_dim d
+WHERE ws_bill_customer_sk = c.c_customer_sk
+  AND ws_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+  AND c.c_birth_month = d.d_moy
+GROUP BY d.d_moy
+ORDER BY d.d_moy
+)"));
+
+  // q72: long-tail items: sold on the web but never above list discount.
+  out->push_back(T(72, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+define COLOR1 = dist(colors);
+define COLOR2 = dist(colors);
+SELECT i.i_item_id, i.i_color,
+       SUM(ws_quantity) AS units,
+       SUM(ws_ext_discount_amt) AS discount_given
+FROM web_sales, item i, date_dim d
+WHERE ws_item_sk = i.i_item_sk
+  AND ws_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+  AND i.i_color IN ('[COLOR1]', '[COLOR2]')
+GROUP BY i.i_item_id, i.i_color
+ORDER BY units DESC, i.i_item_id
+LIMIT 100
+)"));
+
+  // q73: web order size distribution (derived + bucket group).
+  out->push_back(T(73, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT orders.lines_per_order, COUNT(*) AS orders_cnt
+FROM (SELECT ws_order_number, COUNT(*) AS lines_per_order
+      FROM web_sales, date_dim d
+      WHERE ws_sold_date_sk = d.d_date_sk AND d.d_year = [YEAR]
+      GROUP BY ws_order_number) orders
+GROUP BY orders.lines_per_order
+ORDER BY orders.lines_per_order
+)"));
+
+  // q74: education profile of web spenders (snowflake through customer).
+  out->push_back(T(74, QueryClass::kAdHoc, QueryFlavor::kStandard, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+define GENDER = dist(genders);
+SELECT cd.cd_education_status,
+       COUNT(DISTINCT c.c_customer_sk) AS customers,
+       SUM(ws_net_paid) AS paid
+FROM web_sales, customer c, customer_demographics cd, date_dim d
+WHERE ws_bill_customer_sk = c.c_customer_sk
+  AND c.c_current_cdemo_sk = cd.cd_demo_sk
+  AND ws_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+  AND cd.cd_gender = '[GENDER]'
+GROUP BY cd.cd_education_status
+ORDER BY paid DESC
+)"));
+
+  // q75: data-mining extraction: web session-style feature dump.
+  out->push_back(T(75, QueryClass::kAdHoc, QueryFlavor::kDataMining, 0, R"(
+define YEAR = random(1998, 2002, uniform);
+SELECT ws_bill_customer_sk AS customer_sk,
+       COUNT(DISTINCT ws_order_number) AS orders,
+       COUNT(*) AS line_items,
+       SUM(ws_quantity) AS units,
+       SUM(ws_ext_sales_price) AS revenue,
+       SUM(ws_ext_ship_cost) AS ship_cost,
+       MIN(ws_sold_date_sk) AS first_day,
+       MAX(ws_sold_date_sk) AS last_day
+FROM web_sales, date_dim d
+WHERE ws_sold_date_sk = d.d_date_sk
+  AND d.d_year = [YEAR]
+GROUP BY ws_bill_customer_sk
+ORDER BY revenue DESC
+LIMIT 5000
+)"));
+}
+
+}  // namespace internal_templates
+}  // namespace tpcds

@@ -1,0 +1,79 @@
+#include "util/decimal.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tpcds {
+
+Decimal Decimal::FromDouble(double value) {
+  double scaled = value * kScale;
+  return Decimal(static_cast<int64_t>(
+      scaled >= 0 ? std::floor(scaled + 0.5) : std::ceil(scaled - 0.5)));
+}
+
+Result<Decimal> Decimal::Parse(const std::string& text) {
+  if (text.empty()) return Status::ParseError("empty decimal literal");
+  const char* p = text.c_str();
+  bool negative = false;
+  if (*p == '-' || *p == '+') {
+    negative = (*p == '-');
+    ++p;
+  }
+  if (!std::isdigit(static_cast<unsigned char>(*p)) && *p != '.') {
+    return Status::ParseError("invalid decimal literal: '" + text + "'");
+  }
+  int64_t units = 0;
+  while (std::isdigit(static_cast<unsigned char>(*p))) {
+    units = units * 10 + (*p - '0');
+    ++p;
+  }
+  int64_t cents = units * kScale;
+  if (*p == '.') {
+    ++p;
+    // First two fractional digits contribute; a third rounds.
+    int64_t frac = 0;
+    int digits = 0;
+    while (std::isdigit(static_cast<unsigned char>(*p))) {
+      if (digits < 2) {
+        frac = frac * 10 + (*p - '0');
+      } else if (digits == 2 && *p >= '5') {
+        ++frac;
+      }
+      ++digits;
+      ++p;
+    }
+    if (digits == 0) {
+      return Status::ParseError("invalid decimal literal: '" + text + "'");
+    }
+    if (digits == 1) frac *= 10;
+    cents += frac;
+  }
+  if (*p != '\0') {
+    return Status::ParseError("trailing garbage in decimal: '" + text + "'");
+  }
+  return Decimal::FromCents(negative ? -cents : cents);
+}
+
+std::string Decimal::ToString() const {
+  int64_t c = cents_;
+  const char* sign = "";
+  if (c < 0) {
+    sign = "-";
+    c = -c;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%lld.%02lld", sign,
+                static_cast<long long>(c / kScale),
+                static_cast<long long>(c % kScale));
+  return buf;
+}
+
+Decimal Decimal::MultipliedBy(double factor) const {
+  double scaled = static_cast<double>(cents_) * factor;
+  return Decimal::FromCents(static_cast<int64_t>(
+      scaled >= 0 ? std::floor(scaled + 0.5) : std::ceil(scaled - 0.5)));
+}
+
+}  // namespace tpcds

@@ -1,0 +1,68 @@
+#ifndef TPCDS_UTIL_DECIMAL_H_
+#define TPCDS_UTIL_DECIMAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+
+namespace tpcds {
+
+/// Fixed-point decimal with two fractional digits, the scale used by every
+/// monetary column in the TPC-DS schema (DECIMAL(7,2)). Stored as an
+/// int64 count of hundredths ("cents"), so sums over billions of fact rows
+/// stay exact. Multiplication/division round half away from zero, matching
+/// typical money semantics.
+class Decimal {
+ public:
+  static constexpr int64_t kScale = 100;
+
+  Decimal() : cents_(0) {}
+
+  /// Builds from a raw count of hundredths.
+  static Decimal FromCents(int64_t cents) { return Decimal(cents); }
+  /// Builds from a whole number of units (e.g. dollars).
+  static Decimal FromUnits(int64_t units) { return Decimal(units * kScale); }
+  /// Builds from a double, rounding half away from zero to 2 digits.
+  static Decimal FromDouble(double value);
+  /// Parses "[-]digits[.digits]"; more than 2 fractional digits round.
+  static Result<Decimal> Parse(const std::string& text);
+
+  int64_t cents() const { return cents_; }
+  double ToDouble() const { return static_cast<double>(cents_) / kScale; }
+
+  /// Renders "[-]units.cc" with exactly two fractional digits.
+  std::string ToString() const;
+
+  Decimal operator+(Decimal o) const { return Decimal(cents_ + o.cents_); }
+  Decimal operator-(Decimal o) const { return Decimal(cents_ - o.cents_); }
+  Decimal operator-() const { return Decimal(-cents_); }
+  Decimal& operator+=(Decimal o) {
+    cents_ += o.cents_;
+    return *this;
+  }
+  Decimal& operator-=(Decimal o) {
+    cents_ -= o.cents_;
+    return *this;
+  }
+
+  /// Scales by an integer factor (e.g. price * quantity); exact.
+  Decimal operator*(int64_t factor) const { return Decimal(cents_ * factor); }
+
+  /// Scales by a double factor (e.g. price * 0.07 tax), rounding to cents.
+  Decimal MultipliedBy(double factor) const;
+
+  friend bool operator==(Decimal a, Decimal b) = default;
+  friend auto operator<=>(Decimal a, Decimal b) {
+    return a.cents_ <=> b.cents_;
+  }
+
+ private:
+  explicit Decimal(int64_t cents) : cents_(cents) {}
+
+  int64_t cents_;
+};
+
+}  // namespace tpcds
+
+#endif  // TPCDS_UTIL_DECIMAL_H_

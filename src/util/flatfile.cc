@@ -1,0 +1,58 @@
+#include "util/flatfile.h"
+
+#include "util/string_util.h"
+
+namespace tpcds {
+
+FlatFileWriter::~FlatFileWriter() {
+  if (out_.is_open()) out_.close();
+}
+
+Status FlatFileWriter::Open(const std::string& path) {
+  path_ = path;
+  out_.open(path, std::ios::out | std::ios::trunc | std::ios::binary);
+  if (!out_) return Status::IoError("cannot open '" + path + "' for writing");
+  return Status::OK();
+}
+
+Status FlatFileWriter::Append(const std::vector<std::string>& fields) {
+  std::string line;
+  size_t needed = 1;
+  for (const std::string& f : fields) needed += f.size() + 1;
+  line.reserve(needed);
+  for (const std::string& f : fields) {
+    line += f;
+    line += '|';
+  }
+  line += '\n';
+  out_.write(line.data(), static_cast<std::streamsize>(line.size()));
+  if (!out_) return Status::IoError("write failed on '" + path_ + "'");
+  bytes_written_ += line.size();
+  ++rows_written_;
+  return Status::OK();
+}
+
+Status FlatFileWriter::Close() {
+  if (out_.is_open()) {
+    out_.close();
+    if (!out_) return Status::IoError("close failed on '" + path_ + "'");
+  }
+  return Status::OK();
+}
+
+Status FlatFileReader::Open(const std::string& path) {
+  in_.open(path, std::ios::in | std::ios::binary);
+  if (!in_) return Status::IoError("cannot open '" + path + "' for reading");
+  return Status::OK();
+}
+
+bool FlatFileReader::Next(std::vector<std::string>* fields) {
+  std::string line;
+  if (!std::getline(in_, line)) return false;
+  // Records end in "...|", so splitting yields one empty trailing field.
+  *fields = Split(line, '|');
+  if (!fields->empty() && fields->back().empty()) fields->pop_back();
+  return true;
+}
+
+}  // namespace tpcds

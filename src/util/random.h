@@ -1,0 +1,75 @@
+#ifndef TPCDS_UTIL_RANDOM_H_
+#define TPCDS_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tpcds {
+
+/// Scrambles a 64-bit value into a well-mixed 64-bit value (SplitMix64
+/// finalizer). Used both to derive per-column seeds and to whiten raw LCG
+/// output, whose low bits alone are weak.
+uint64_t Mix64(uint64_t x);
+
+/// A deterministic, seekable pseudo-random stream.
+///
+/// The core is a 64-bit multiplicative-congruential generator
+/// (Knuth MMIX constants) whose raw output is whitened with Mix64. The
+/// defining feature, copied from the official dsdgen design, is *seeking*:
+/// the stream can jump to its n-th draw in O(log n) via modular
+/// exponentiation of the LCG transition. When every column consumes a fixed
+/// number of draws per row, any worker can position its stream at an
+/// arbitrary row and generate a chunk that is bit-identical to what a serial
+/// pass would have produced.
+class RngStream {
+ public:
+  explicit RngStream(uint64_t seed) : seed_(seed), state_(Mix64(seed)) {}
+
+  /// Raw next value, advancing the stream by exactly one draw.
+  uint64_t NextUint64();
+
+  /// Uniform double in [0, 1), one draw.
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive, one draw. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal deviate via the Acklam inverse-CDF approximation.
+  /// Exactly one draw (unlike Box-Muller), which keeps draws-per-row fixed.
+  double Gaussian();
+
+  /// Gaussian with the given mean and standard deviation, one draw.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Picks an index in [0, weights.size()) with probability proportional to
+  /// weights[i]. Exactly one draw. Weights must be non-negative, not all 0.
+  size_t WeightedPick(const std::vector<double>& weights);
+
+  /// Repositions the stream so the next call to NextUint64() returns the
+  /// draw with absolute index `offset` (0-based from the seed state).
+  /// O(log offset); may seek forwards or backwards.
+  void SeekTo(uint64_t offset);
+
+  /// Number of draws consumed so far (equivalently, the absolute index of
+  /// the next draw).
+  uint64_t offset() const { return offset_; }
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  uint64_t seed_;
+  uint64_t state_;
+  uint64_t offset_ = 0;
+};
+
+/// Derives a stable sub-seed for a (table, column) pair from a master seed,
+/// so that every column owns an independent stream.
+uint64_t DeriveSeed(uint64_t master_seed, uint64_t table_id,
+                    uint64_t column_id);
+
+}  // namespace tpcds
+
+#endif  // TPCDS_UTIL_RANDOM_H_

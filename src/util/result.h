@@ -1,0 +1,78 @@
+#ifndef TPCDS_UTIL_RESULT_H_
+#define TPCDS_UTIL_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace tpcds {
+
+/// Value-or-error return type: holds either a T or an error Status.
+///
+/// Construction from T or from a (non-OK) Status is implicit so call sites
+/// can `return value;` or `return Status::InvalidArgument(...)`. Access the
+/// value only after checking ok(); ValueOrDie() asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional, see above.
+  Result(T value) : repr_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional, see above.
+  Result(Status status) : repr_(std::move(status)) {
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Error status; returns OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns the Status,
+/// otherwise assigns the value to `lhs` (which must be a declaration).
+#define TPCDS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define TPCDS_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define TPCDS_ASSIGN_OR_RETURN_NAME(a, b) TPCDS_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define TPCDS_ASSIGN_OR_RETURN(lhs, rexpr) \
+  TPCDS_ASSIGN_OR_RETURN_IMPL(             \
+      TPCDS_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, rexpr)
+
+}  // namespace tpcds
+
+#endif  // TPCDS_UTIL_RESULT_H_

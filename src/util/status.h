@@ -1,0 +1,90 @@
+#ifndef TPCDS_UTIL_STATUS_H_
+#define TPCDS_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace tpcds {
+
+/// Error categories used across the library. Modelled on the Arrow/RocksDB
+/// convention: functions that can fail return a Status (or a Result<T>)
+/// instead of throwing exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kNotImplemented,
+  kIoError,
+  kParseError,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code ("Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation: either OK or an error code with a message.
+///
+/// The OK status carries no allocation; error statuses carry a message that
+/// should describe the failure in enough detail to act on it.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "Code: message" for logging; "OK" for success.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates an error Status out of the enclosing function.
+#define TPCDS_RETURN_NOT_OK(expr)                 \
+  do {                                            \
+    ::tpcds::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+}  // namespace tpcds
+
+#endif  // TPCDS_UTIL_STATUS_H_

@@ -1,0 +1,33 @@
+#ifndef TPCDS_UTIL_STOPWATCH_H_
+#define TPCDS_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace tpcds {
+
+/// Monotonic wall-clock timer for the benchmark driver's timed intervals
+/// (load test, query runs, data-maintenance run).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMillis() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tpcds
+
+#endif  // TPCDS_UTIL_STOPWATCH_H_

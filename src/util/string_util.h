@@ -1,0 +1,39 @@
+#ifndef TPCDS_UTIL_STRING_UTIL_H_
+#define TPCDS_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tpcds {
+
+/// Splits on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// ASCII upper/lower-casing (SQL identifiers and keywords are ASCII).
+std::string ToUpper(std::string_view text);
+std::string ToLower(std::string_view text);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders a count with thousands separators ("12,345,678").
+std::string FormatWithCommas(int64_t value);
+
+}  // namespace tpcds
+
+#endif  // TPCDS_UTIL_STRING_UTIL_H_

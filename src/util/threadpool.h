@@ -1,0 +1,46 @@
+#ifndef TPCDS_UTIL_THREADPOOL_H_
+#define TPCDS_UTIL_THREADPOOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tpcds {
+
+/// Fixed-size worker pool. The benchmark driver runs its S concurrent query
+/// streams on this pool, and the data generator uses it for chunk-parallel
+/// table generation.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; tasks may run in any order across workers.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is drained and every worker is idle.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace tpcds
+
+#endif  // TPCDS_UTIL_THREADPOOL_H_

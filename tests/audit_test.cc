@@ -1,0 +1,71 @@
+// Constraint-validation tests: the generated database satisfies every
+// declared primary key and foreign key, and keeps satisfying them through
+// data maintenance (paper §5.2: "define and validate constraints" is part
+// of the load test).
+
+#include <gtest/gtest.h>
+
+#include "engine/audit.h"
+#include "schema/schema_stats.h"
+#include "maintenance/maintenance.h"
+
+namespace tpcds {
+namespace {
+
+class AuditTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>();
+    ASSERT_TRUE(db_->CreateTpcdsTables().ok());
+    GeneratorOptions options;
+    options.scale_factor = 0.002;
+    ASSERT_TRUE(db_->LoadTpcdsData(options).ok());
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(AuditTest, FreshLoadSatisfiesAllConstraints) {
+  Result<AuditReport> report = ValidateConstraints(db_.get(), TpcdsSchema());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // 24 PK checks + one check per FK.
+  SchemaStats stats = ComputeSchemaStats(TpcdsSchema());
+  EXPECT_EQ(report->checks.size(),
+            24u + static_cast<size_t>(stats.num_foreign_keys));
+  EXPECT_EQ(report->TotalViolations(), 0) << report->ToString();
+}
+
+TEST_F(AuditTest, ConstraintsSurviveDataMaintenance) {
+  MaintenanceOptions options;
+  options.scale_factor = 0.002;
+  options.refresh_fraction = 0.05;
+  options.dimension_updates = 20;
+  MaintenanceReport dm;
+  ASSERT_TRUE(RunDataMaintenance(db_.get(), options, &dm).ok());
+
+  Result<AuditReport> report = ValidateConstraints(db_.get(), TpcdsSchema());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->TotalViolations(), 0) << report->ToString();
+}
+
+TEST_F(AuditTest, DetectsViolations) {
+  // Break a foreign key on purpose: point a sales row at a missing item.
+  EngineTable* sales = db_->FindTable("store_sales");
+  int item_col = sales->ColumnIndex("ss_item_sk");
+  sales->SetValue(0, item_col, Value::Int(99999999));
+  Result<AuditReport> report = ValidateConstraints(db_.get(), TpcdsSchema());
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->TotalViolations(), 1);
+  bool found = false;
+  for (const ConstraintCheck& c : report->checks) {
+    if (c.constraint.find("store_sales(ss_item_sk) -> item") !=
+            std::string::npos &&
+        c.violations >= 1) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << report->ToString();
+}
+
+}  // namespace
+}  // namespace tpcds

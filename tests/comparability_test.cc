@@ -1,0 +1,136 @@
+// The comparability property as a test (paper §3.2, Fig. 4): query
+// substitutions drawn inside one comparability zone qualify a
+// near-constant number of rows, while unconstrained substitutions swing
+// with the seasonal step. Also covers CSV extraction output.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/zones.h"
+#include "engine/database.h"
+#include "qgen/qgen.h"
+#include "util/string_util.h"
+
+namespace tpcds {
+namespace {
+
+class ComparabilityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    ASSERT_TRUE(db_->CreateTpcdsTables().ok());
+    GeneratorOptions options;
+    options.scale_factor = 0.005;
+    ASSERT_TRUE(db_->LoadTpcdsData(options).ok());
+  }
+
+  /// Coefficient of variation of qualifying-row counts across
+  /// substitutions of a 30-day date-range query.
+  static double MeasureCv(const std::string& define_line, int runs) {
+    QueryGenerator qgen(19620718);
+    QueryTemplate t;
+    t.id = 901;
+    t.name = "cmp";
+    t.text = define_line +
+             "\nSELECT COUNT(*) FROM store_sales, date_dim "
+             "WHERE ss_sold_date_sk = d_date_sk "
+             "  AND d_date BETWEEN CAST('[D]' AS DATE) "
+             "                 AND (CAST('[D]' AS DATE) + 30)";
+    std::vector<double> counts;
+    for (int s = 0; s < runs; ++s) {
+      Result<std::string> sql = qgen.Instantiate(t, s);
+      EXPECT_TRUE(sql.ok());
+      Result<QueryResult> r = db_->Query(*sql);
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+      counts.push_back(static_cast<double>(r->rows[0][0].AsInt()));
+    }
+    double mean = 0;
+    for (double c : counts) mean += c;
+    mean /= static_cast<double>(counts.size());
+    double var = 0;
+    for (double c : counts) var += (c - mean) * (c - mean);
+    var /= static_cast<double>(counts.size());
+    return mean > 0 ? std::sqrt(var) / mean : 0.0;
+  }
+
+  static Database* db_;
+};
+
+Database* ComparabilityTest::db_ = nullptr;
+
+TEST_F(ComparabilityTest, InZoneWindowsHaveIdenticalExpectedSelectivity) {
+  // The design property, deterministically: the *expected* qualifying-row
+  // mass of a 30-day window is the sum of its days' likelihood weights.
+  // Every window that stays inside one zone has exactly the same weight
+  // sum (uniform-within-zone); windows straddling a zone boundary do not.
+  SalesDateDistribution dist(Date::FromYmd(1998, 1, 2),
+                             Date::FromYmd(2003, 1, 2));
+  auto window_weight = [&](Date start) {
+    double total = 0;
+    for (int d = 0; d <= 30; ++d) {
+      total += dist.WeightOfDate(start.AddDays(d));
+    }
+    return total;
+  };
+  // All 30-day windows inside zone 1 of 1999 (Jan 1 .. Jul 31-30d).
+  double reference = window_weight(Date::FromYmd(1999, 1, 1));
+  for (int offset = 0; offset <= 181; ++offset) {
+    Date start = Date::FromYmd(1999, 1, 1).AddDays(offset);
+    ASSERT_NEAR(window_weight(start), reference, 1e-9)
+        << start.ToString();
+  }
+  // The qgen substitution function always lands in such windows.
+  QueryGenerator qgen(19620718);
+  for (int s = 0; s < 50; ++s) {
+    QueryTemplate t;
+    t.id = 903;
+    t.name = "zone-pick";
+    t.text = "define D = date(30, 2);\n[D]";
+    Result<std::string> sql = qgen.Instantiate(t, s);
+    ASSERT_TRUE(sql.ok());
+    Result<Date> start = Date::Parse(std::string(Trim(*sql)));
+    ASSERT_TRUE(start.ok());
+    double zone2_reference =
+        window_weight(Date::FromYmd(start->year(), 8, 1));
+    EXPECT_NEAR(window_weight(*start), zone2_reference, 1e-9);
+  }
+  // A boundary-straddling window has a different weight sum.
+  double straddle = window_weight(Date::FromYmd(1999, 10, 20));  // 2 -> 3
+  EXPECT_GT(std::abs(straddle - window_weight(Date::FromYmd(1999, 9, 1))),
+            0.5);
+}
+
+TEST_F(ComparabilityTest, EndToEndInZoneVarianceIsBounded) {
+  // End to end (generator + engine): in-zone substitution variance stays
+  // within the basket-clustering noise band. Tight statistical contrasts
+  // live in bench_fig4_comparability where sample sizes are larger.
+  double zone1_cv = MeasureCv("define D = date(30, 1);", 20);
+  EXPECT_GT(zone1_cv, 0.0);
+  EXPECT_LT(zone1_cv, 0.6);
+}
+
+TEST_F(ComparabilityTest, CsvExtractionFormat) {
+  Result<QueryResult> r = db_->Query(
+      "SELECT i_item_id, i_category, i_current_price FROM item "
+      "ORDER BY i_item_sk LIMIT 3");
+  ASSERT_TRUE(r.ok());
+  std::string csv = r->ToCsv();
+  std::vector<std::string> lines = Split(csv, '\n');
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "i_item_id,i_category,i_current_price");
+  EXPECT_EQ(Split(lines[1], ',').size(), 3u);
+  // Quoting: a value with a comma round-trips quoted.
+  QueryResult fake;
+  fake.columns = {"c"};
+  fake.rows.push_back({Value::Str("a,b\"x\"")});
+  EXPECT_EQ(fake.ToCsv(), "c\n\"a,b\"\"x\"\"\"\n");
+  // NULL renders empty.
+  QueryResult with_null;
+  with_null.columns = {"a", "b"};
+  with_null.rows.push_back({Value::Null(), Value::Int(1)});
+  EXPECT_EQ(with_null.ToCsv(), "a,b\n,1\n");
+}
+
+}  // namespace
+}  // namespace tpcds

@@ -1,0 +1,197 @@
+// Tests of the domain distributions and comparability zones (paper §3.2,
+// Figs. 2/3).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "dist/distribution.h"
+#include "dist/domains.h"
+#include "dist/zones.h"
+
+namespace tpcds {
+namespace {
+
+TEST(DistributionTest, WeightedAndUniformPicks) {
+  Distribution d("test", {{"a", 8.0}, {"b", 1.0}, {"c", 1.0}});
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.IndexOf("b"), 1);
+  EXPECT_EQ(d.IndexOf("zzz"), -1);
+  RngStream rng(1);
+  std::map<std::string, int> weighted;
+  std::map<std::string, int> uniform;
+  constexpr int kN = 30000;
+  for (int i = 0; i < kN; ++i) {
+    ++weighted[d.PickWeighted(&rng)];
+    ++uniform[d.PickUniform(&rng)];
+  }
+  // Weighted: "a" dominates 80/10/10.
+  EXPECT_NEAR(weighted["a"] / static_cast<double>(kN), 0.8, 0.02);
+  // Uniform: all equal regardless of weights (comparability requirement).
+  EXPECT_NEAR(uniform["a"] / static_cast<double>(kN), 1.0 / 3, 0.02);
+  EXPECT_NEAR(uniform["c"] / static_cast<double>(kN), 1.0 / 3, 0.02);
+}
+
+TEST(DomainsTest, KeyDomainsPopulated) {
+  EXPECT_GE(domains::FirstNames().size(), 90u);
+  EXPECT_GE(domains::LastNames().size(), 90u);
+  EXPECT_GE(domains::Cities().size(), 90u);
+  EXPECT_GE(domains::Counties().size(), 100u);
+  EXPECT_EQ(domains::States().size(), 50u);
+  EXPECT_EQ(domains::Categories().size(), 10u);
+  EXPECT_GE(domains::Colors().size(), 80u);
+  EXPECT_GE(domains::Words().size(), 300u);
+  EXPECT_GE(domains::ReasonDescriptions().size(), 75u);
+}
+
+TEST(DomainsTest, FrequentNamesCarryCensusSkew) {
+  // Paper §3.2: real-world skew such as frequent names. Smith must be
+  // materially more likely than the tail.
+  const Distribution& names = domains::LastNames();
+  int smith = names.IndexOf("Smith");
+  ASSERT_GE(smith, 0);
+  double max_w = 0;
+  for (size_t i = 0; i < names.size(); ++i) max_w = std::max(max_w,
+                                                             names.weight(i));
+  EXPECT_EQ(names.weight(static_cast<size_t>(smith)), max_w);
+  EXPECT_GT(max_w / names.weight(names.size() - 1), 5.0);
+}
+
+TEST(DomainsTest, ItemHierarchyIsSingleInheritance) {
+  // Paper Fig. 5: each class belongs to exactly one category.
+  std::set<std::string> seen_classes;
+  for (int cat = 0; cat < 10; ++cat) {
+    const Distribution& classes = domains::ClassesOf(cat);
+    ASSERT_GE(classes.size(), 4u);
+    for (size_t i = 0; i < classes.size(); ++i) {
+      std::string qualified =
+          classes.name();  // class lists are distinct per category
+      EXPECT_TRUE(seen_classes.insert(classes.name() + "/" +
+                                      classes.value(i)).second)
+          << classes.value(i);
+    }
+  }
+}
+
+TEST(ZonesTest, CensusIndexIsNormalised) {
+  const std::array<double, 12>& census = CensusMonthlyRetailIndex();
+  double total = 0;
+  for (double share : census) {
+    EXPECT_GT(share, 0.0);
+    total += share;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // December is the annual peak (holiday spike, paper Fig. 2).
+  for (int m = 0; m < 11; ++m) EXPECT_GT(census[11], census[m]);
+}
+
+TEST(ZonesTest, ThreeZonesWithIncreasingLikelihood) {
+  const std::array<ComparabilityZone, 3>& zones = ComparabilityZones();
+  EXPECT_EQ(zones[0].first_month, 1);
+  EXPECT_EQ(zones[0].last_month, 7);
+  EXPECT_EQ(zones[1].first_month, 8);
+  EXPECT_EQ(zones[1].last_month, 10);
+  EXPECT_EQ(zones[2].first_month, 11);
+  EXPECT_EQ(zones[2].last_month, 12);
+  // Paper: zone 1 low, zone 2 medium, zone 3 high.
+  EXPECT_NEAR(zones[0].daily_weight, 1.0, 1e-9);
+  EXPECT_GT(zones[1].daily_weight, zones[0].daily_weight);
+  EXPECT_GT(zones[2].daily_weight, zones[1].daily_weight);
+}
+
+TEST(ZonesTest, ZoneOfMonth) {
+  EXPECT_EQ(ZoneOfMonth(1), 1);
+  EXPECT_EQ(ZoneOfMonth(7), 1);
+  EXPECT_EQ(ZoneOfMonth(8), 2);
+  EXPECT_EQ(ZoneOfMonth(10), 2);
+  EXPECT_EQ(ZoneOfMonth(11), 3);
+  EXPECT_EQ(ZoneOfMonth(12), 3);
+}
+
+TEST(ZonesTest, SalesDatePickFollowsZoneWeights) {
+  Date begin = Date::FromYmd(1998, 1, 1);
+  Date end = Date::FromYmd(1998, 12, 31);
+  SalesDateDistribution dist(begin, end);
+  RngStream rng(23);
+  std::array<int64_t, 3> zone_days{};
+  std::array<int64_t, 3> zone_picks{};
+  for (int32_t i = 0; i <= end - begin; ++i) {
+    ++zone_days[static_cast<size_t>(ZoneOfMonth(begin.AddDays(i).month())) -
+                1];
+  }
+  constexpr int kN = 60000;
+  for (int i = 0; i < kN; ++i) {
+    Date d = dist.Pick(&rng);
+    ASSERT_GE(d.jdn(), begin.jdn());
+    ASSERT_LE(d.jdn(), end.jdn());
+    ++zone_picks[static_cast<size_t>(dist.ZoneOfDate(d)) - 1];
+  }
+  // Per-day pick rates must line up with the configured zone weights.
+  const std::array<ComparabilityZone, 3>& zones = ComparabilityZones();
+  double base_rate = static_cast<double>(zone_picks[0]) / zone_days[0];
+  for (int z = 1; z < 3; ++z) {
+    double rate = static_cast<double>(zone_picks[static_cast<size_t>(z)]) /
+                  zone_days[static_cast<size_t>(z)];
+    EXPECT_NEAR(rate / base_rate,
+                zones[static_cast<size_t>(z)].daily_weight, 0.12)
+        << "zone " << z + 1;
+  }
+}
+
+TEST(ZonesTest, UniformWithinZone) {
+  // Paper §3.2: all domain values in one zone occur with the same
+  // likelihood — the property that makes substitutions comparable.
+  Date begin = Date::FromYmd(1999, 1, 1);
+  Date end = Date::FromYmd(1999, 12, 31);
+  SalesDateDistribution dist(begin, end);
+  RngStream rng(29);
+  std::map<int, int> march_days;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    Date d = dist.Pick(&rng);
+    if (d.month() == 3) ++march_days[d.day()];
+  }
+  double total = 0;
+  for (const auto& [day, cnt] : march_days) total += cnt;
+  double expected = total / 31.0;
+  for (const auto& [day, cnt] : march_days) {
+    EXPECT_NEAR(cnt / expected, 1.0, 0.25) << "March " << day;
+  }
+}
+
+TEST(ZonesTest, SyntheticGaussianShape) {
+  // Paper Fig. 3: weekly sales follow a Gaussian with mu=200, sigma=50 —
+  // peak near week 29 (day 200), low tails.
+  double peak_week = 0;
+  double peak_weight = 0;
+  for (int w = 1; w <= 52; ++w) {
+    double weight = SyntheticGaussianWeekWeight(w);
+    EXPECT_GE(weight, 0.0);
+    if (weight > peak_weight) {
+      peak_weight = weight;
+      peak_week = w;
+    }
+  }
+  EXPECT_NEAR(peak_week, 29, 1);
+  EXPECT_GT(peak_weight / SyntheticGaussianWeekWeight(1), 100.0);
+  // The weekly series integrates to ~1 (it tiles the Gaussian).
+  double total = 0;
+  for (int w = 1; w <= 53; ++w) total += SyntheticGaussianWeekWeight(w);
+  EXPECT_NEAR(total, 1.0, 0.01);
+}
+
+TEST(ZonesTest, WeightOfDateMatchesZone) {
+  SalesDateDistribution dist(Date::FromYmd(1998, 1, 1),
+                             Date::FromYmd(2002, 12, 31));
+  const std::array<ComparabilityZone, 3>& zones = ComparabilityZones();
+  EXPECT_EQ(dist.WeightOfDate(Date::FromYmd(1999, 3, 10)),
+            zones[0].daily_weight);
+  EXPECT_EQ(dist.WeightOfDate(Date::FromYmd(1999, 9, 10)),
+            zones[1].daily_weight);
+  EXPECT_EQ(dist.WeightOfDate(Date::FromYmd(1999, 12, 10)),
+            zones[2].daily_weight);
+}
+
+}  // namespace
+}  // namespace tpcds

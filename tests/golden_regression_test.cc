@@ -1,0 +1,87 @@
+// Golden regression test: with the default master seed at SF 0.002, the
+// whole stack (scaling -> generation -> load -> SQL execution) must keep
+// producing byte-identical results. Any change to RNG streams, draw
+// budgets, distributions, pricing, the loader or the executor that alters
+// generated data or query semantics trips this test — intentionally. If a
+// change is deliberate, regenerate the constants below (they are printed
+// by the failing assertions).
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+
+namespace tpcds {
+namespace {
+
+class GoldenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    ASSERT_TRUE(db_->CreateTpcdsTables().ok());
+    GeneratorOptions options;
+    options.scale_factor = 0.002;  // default seed 19620718
+    ASSERT_TRUE(db_->LoadTpcdsData(options).ok());
+  }
+
+  static Database* db_;
+};
+
+Database* GoldenTest::db_ = nullptr;
+
+TEST_F(GoldenTest, StoreSalesTotals) {
+  Result<QueryResult> r = db_->Query(
+      "SELECT COUNT(*), SUM(ss_quantity), SUM(ss_ext_sales_price) "
+      "FROM store_sales");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsInt(), 5655);
+  EXPECT_EQ(r->rows[0][1].AsInt(), 283585);
+  EXPECT_EQ(r->rows[0][2].AsDecimal().ToString(), "10618231.98");
+}
+
+TEST_F(GoldenTest, CatalogSalesProfit) {
+  Result<QueryResult> r = db_->Query(
+      "SELECT COUNT(*), SUM(cs_net_profit) FROM catalog_sales");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsInt(), 2743);
+  EXPECT_EQ(r->rows[0][1].AsDecimal().ToString(), "-2066405.79");
+}
+
+TEST_F(GoldenTest, WebReturnsLoss) {
+  Result<QueryResult> r = db_->Query(
+      "SELECT COUNT(*), SUM(wr_net_loss) FROM web_returns");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsInt(), 129);
+  EXPECT_EQ(r->rows[0][1].AsDecimal().ToString(), "43747.77");
+}
+
+TEST_F(GoldenTest, DistinctTickets) {
+  Result<QueryResult> r = db_->Query(
+      "SELECT COUNT(DISTINCT ss_ticket_number) FROM store_sales");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsInt(), 549);  // = ChannelNumUnits at SF 0.002
+}
+
+TEST_F(GoldenTest, ItemCategoryBreakdown) {
+  Result<QueryResult> r = db_->Query(
+      "SELECT i_category, COUNT(*) FROM item GROUP BY i_category "
+      "ORDER BY i_category LIMIT 3");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 3u);
+  EXPECT_EQ(r->rows[0][0].AsString(), "Books");
+  EXPECT_EQ(r->rows[0][1].AsInt(), 3);
+  EXPECT_EQ(r->rows[1][0].AsString(), "Children");
+  EXPECT_EQ(r->rows[1][1].AsInt(), 3);
+  EXPECT_EQ(r->rows[2][0].AsString(), "Electronics");
+  EXPECT_EQ(r->rows[2][1].AsInt(), 7);
+}
+
+TEST_F(GoldenTest, DateDimBounds) {
+  Result<QueryResult> r = db_->Query(
+      "SELECT MIN(d_date), MAX(d_date) FROM date_dim");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsDate().ToString(), "1900-01-01");
+  EXPECT_EQ(r->rows[0][1].AsDate().ToString(), "2099-12-31");
+}
+
+}  // namespace
+}  // namespace tpcds

@@ -1,0 +1,188 @@
+// Data-maintenance workload tests: the SCD update algorithms (paper
+// Figs. 8/9), fact insert with business-key translation (Fig. 10) and the
+// clustered fact range delete.
+
+#include <gtest/gtest.h>
+
+#include "dsgen/keys.h"
+#include "maintenance/maintenance.h"
+#include "scaling/scaling.h"
+
+namespace tpcds {
+namespace {
+
+constexpr double kSf = 0.002;
+
+class MaintenanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>();
+    ASSERT_TRUE(db_->CreateTpcdsTables().ok());
+    GeneratorOptions options;
+    options.scale_factor = kSf;
+    Status st = db_->LoadTpcdsData(options);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+
+  MaintenanceOptions Options() {
+    MaintenanceOptions o;
+    o.scale_factor = kSf;
+    o.refresh_cycle = 1;
+    o.refresh_fraction = 0.05;
+    o.dimension_updates = 20;
+    return o;
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(MaintenanceTest, HistoryKeepingUpdateCreatesRevisions) {
+  EngineTable* item = db_->FindTable("item");
+  int64_t before = item->num_rows();
+  int end_col = item->ColumnIndex("i_rec_end_date");
+  int bk_col = item->ColumnIndex("i_item_id");
+  int64_t distinct_keys = static_cast<int64_t>(
+      item->GetOrBuildStringIndex(bk_col).size());
+  int64_t expected = std::min<int64_t>(20, distinct_keys);
+
+  Result<int64_t> touched =
+      UpdateHistoryKeepingDimension(db_.get(), "item", 20, 7);
+  ASSERT_TRUE(touched.ok()) << touched.status().ToString();
+  EXPECT_EQ(*touched, 2 * expected);  // each key: close + insert
+  EXPECT_EQ(item->num_rows(), before + expected);
+
+  // Invariant (Fig. 9): per business key exactly one open revision.
+  const EngineTable::StringIndex& index =
+      item->GetOrBuildStringIndex(bk_col);
+  for (const auto& [key, rows] : index) {
+    int open = 0;
+    for (int64_t row : rows) {
+      if (item->GetValue(row, end_col).is_null()) ++open;
+    }
+    EXPECT_EQ(open, 1) << "business key " << key;
+  }
+}
+
+TEST_F(MaintenanceTest, NonHistoryUpdateKeepsRowCount) {
+  EngineTable* customer = db_->FindTable("customer");
+  int64_t before = customer->num_rows();
+  Result<int64_t> updated =
+      UpdateNonHistoryDimension(db_.get(), "customer", 25, 11);
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  EXPECT_EQ(*updated, 25);
+  EXPECT_EQ(customer->num_rows(), before);  // in-place, Fig. 8
+}
+
+TEST_F(MaintenanceTest, DeleteThenInsertRefillsWindow) {
+  EngineTable* sales = db_->FindTable("store_sales");
+  EngineTable* returns = db_->FindTable("store_returns");
+  int date_col = sales->ColumnIndex("ss_sold_date_sk");
+  auto [begin, end] = RefreshWindow(1);
+  int64_t in_window_before =
+      static_cast<int64_t>(sales->FindRowsIntBetween(
+          date_col, DateToSk(begin), DateToSk(end)).size());
+  ASSERT_GT(in_window_before, 0);
+
+  MaintenanceOptions options = Options();
+  Result<int64_t> deleted = DeleteFactRange(db_.get(), "store", options);
+  ASSERT_TRUE(deleted.ok()) << deleted.status().ToString();
+  EXPECT_GE(*deleted, in_window_before);
+  EXPECT_TRUE(sales->FindRowsIntBetween(date_col, DateToSk(begin),
+                                        DateToSk(end)).empty());
+
+  int64_t sales_before = sales->num_rows();
+  int64_t returns_before = returns->num_rows();
+  Result<int64_t> inserted = InsertFactRefresh(db_.get(), "store", options);
+  ASSERT_TRUE(inserted.ok()) << inserted.status().ToString();
+  EXPECT_GT(*inserted, 0);
+  EXPECT_EQ(sales->num_rows() + returns->num_rows(),
+            sales_before + returns_before + *inserted);
+  // Inserts are clustered in the refresh window (Fig. 10's partition
+  // orientation).
+  EXPECT_FALSE(sales->FindRowsIntBetween(date_col, DateToSk(begin),
+                                         DateToSk(end)).empty());
+}
+
+TEST_F(MaintenanceTest, InsertTranslatesToOpenItemRevision) {
+  // Run the SCD update first so some business keys have *new* open
+  // revisions, then verify inserted facts reference only open revisions.
+  ASSERT_TRUE(UpdateHistoryKeepingDimension(db_.get(), "item", 50, 7).ok());
+  MaintenanceOptions options = Options();
+  EngineTable* sales = db_->FindTable("web_sales");
+  int64_t rows_before = sales->num_rows();
+  ASSERT_TRUE(InsertFactRefresh(db_.get(), "web", options).ok());
+
+  EngineTable* item = db_->FindTable("item");
+  int item_col = sales->ColumnIndex("ws_item_sk");
+  int end_col = item->ColumnIndex("i_rec_end_date");
+  const EngineTable::HashIndex& sk_index = item->GetOrBuildIntIndex(0);
+  // Only the freshly inserted rows (beyond the pre-insert count) carry
+  // translated keys; initial-load rows may reference older revisions.
+  std::vector<int64_t> fresh;
+  for (int64_t r = rows_before; r < sales->num_rows(); ++r) {
+    fresh.push_back(r);
+  }
+  ASSERT_FALSE(fresh.empty());
+  for (int64_t row : fresh) {
+    int64_t sk = sales->GetValue(row, item_col).AsInt();
+    auto it = sk_index.find(sk);
+    ASSERT_NE(it, sk_index.end());
+    EXPECT_TRUE(item->GetValue(it->second.front(), end_col).is_null())
+        << "fact references closed item revision " << sk;
+  }
+}
+
+TEST_F(MaintenanceTest, RefreshWindowsWalkBackwardsWeekByWeek) {
+  auto [b1, e1] = RefreshWindow(1);
+  auto [b2, e2] = RefreshWindow(2);
+  auto [b3, e3] = RefreshWindow(3);
+  EXPECT_EQ(e1.ToString(), "2003-01-02");  // sales window end
+  EXPECT_EQ(e1 - b1, 6);                   // one week inclusive
+  EXPECT_EQ(e2, b1.AddDays(-1));           // cycles tile without overlap
+  EXPECT_EQ(e3, b2.AddDays(-1));
+}
+
+TEST_F(MaintenanceTest, ErrorsOnWrongDimensionClass) {
+  // customer is non-history-keeping: the Fig. 9 algorithm must refuse it.
+  EXPECT_FALSE(
+      UpdateHistoryKeepingDimension(db_.get(), "customer", 5, 1).ok());
+  EXPECT_FALSE(UpdateNonHistoryDimension(db_.get(), "no_table", 5, 1).ok());
+  EXPECT_FALSE(InsertFactRefresh(db_.get(), "mail", Options()).ok());
+  EXPECT_FALSE(DeleteFactRange(db_.get(), "mail", Options()).ok());
+}
+
+TEST_F(MaintenanceTest, FullTwelveOperationRun) {
+  MaintenanceReport report;
+  Status st = RunDataMaintenance(db_.get(), Options(), &report);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_EQ(report.operations.size(), 12u);
+  EXPECT_GT(report.TotalRows(), 0);
+  // Every operation class is present.
+  int scd = 0;
+  int inplace = 0;
+  int deletes = 0;
+  int inserts = 0;
+  for (const MaintenanceOpResult& op : report.operations) {
+    if (op.operation.starts_with("scd_update")) ++scd;
+    if (op.operation.starts_with("inplace_update")) ++inplace;
+    if (op.operation.starts_with("fact_delete")) ++deletes;
+    if (op.operation.starts_with("fact_insert")) ++inserts;
+  }
+  EXPECT_EQ(scd, 3);
+  EXPECT_EQ(inplace, 3);
+  EXPECT_EQ(deletes, 3);
+  EXPECT_EQ(inserts, 3);
+}
+
+TEST_F(MaintenanceTest, QueriesStillRunAfterMaintenance) {
+  MaintenanceReport report;
+  ASSERT_TRUE(RunDataMaintenance(db_.get(), Options(), &report).ok());
+  Result<QueryResult> r = db_->Query(
+      "SELECT COUNT(*) FROM store_sales, item "
+      "WHERE ss_item_sk = i_item_sk AND i_rec_end_date IS NULL");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->rows[0][0].AsInt(), 0);
+}
+
+}  // namespace
+}  // namespace tpcds

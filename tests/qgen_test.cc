@@ -1,0 +1,157 @@
+// Query-generator tests: the substitution language, comparability-zone
+// dates, determinism, and error handling (paper §3.2, §4.1, ref [10]).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "dist/zones.h"
+#include "qgen/qgen.h"
+#include "util/date.h"
+#include "util/string_util.h"
+
+namespace tpcds {
+namespace {
+
+QueryTemplate Tmpl(const char* text) {
+  QueryTemplate t;
+  t.id = 1;
+  t.name = "t1";
+  t.text = text;
+  return t;
+}
+
+TEST(QgenTest, RandomSubstitution) {
+  QueryGenerator qgen(1);
+  QueryTemplate t = Tmpl(
+      "define N = random(5, 9, uniform);\nSELECT [N] FROM t WHERE x = [N]");
+  for (int stream = 0; stream < 20; ++stream) {
+    auto sql = qgen.Instantiate(t, stream);
+    ASSERT_TRUE(sql.ok());
+    // Both occurrences of [N] get the same value.
+    size_t pos = sql->find("SELECT ") + 7;
+    std::string value = sql->substr(pos, sql->find(' ', pos) - pos);
+    int v = std::stoi(value);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+    EXPECT_NE(sql->find("x = " + value), std::string::npos);
+  }
+}
+
+class ZoneDateTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ZoneDateTest, DateSpanStaysInsideZone) {
+  // The comparability property (paper §3.2): a date(span, zone)
+  // substitution plus its span never leaves the zone, so every
+  // substitution qualifies a comparable number of rows.
+  auto [zone, stream] = GetParam();
+  QueryGenerator qgen(7);
+  QueryTemplate t = Tmpl(
+      ("define D = date(30, " + std::to_string(zone) + ");\n[D]").c_str());
+  auto sql = qgen.Instantiate(t, stream);
+  ASSERT_TRUE(sql.ok());
+  Result<Date> start = Date::Parse(std::string(Trim(*sql)));
+  ASSERT_TRUE(start.ok()) << *sql;
+  EXPECT_EQ(ZoneOfMonth(start->month()), zone);
+  EXPECT_EQ(ZoneOfMonth(start->AddDays(30).month()), zone);
+  EXPECT_GE(start->year(), 1998);
+  EXPECT_LE(start->year(), 2002);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ZonesAndStreams, ZoneDateTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7, 8, 9)));
+
+TEST(QgenTest, DistAndListSubstitution) {
+  QueryGenerator qgen(3);
+  QueryTemplate t = Tmpl(
+      "define CAT = dist(categories);\n"
+      "define CATS = list(categories, 3);\n"
+      "'[CAT]' IN ([CATS])");
+  auto sql = qgen.Instantiate(t, 1);
+  ASSERT_TRUE(sql.ok());
+  // list() renders three distinct quoted values.
+  size_t quotes = 0;
+  for (char c : *sql) quotes += c == '\'' ? 1 : 0;
+  EXPECT_EQ(quotes, 8u);  // 1 value (2) + 3 list values (6)
+}
+
+TEST(QgenTest, ChoiceSubstitution) {
+  QueryGenerator qgen(5);
+  QueryTemplate t = Tmpl("define AGG = choice(SUM|MIN|MAX);\n[AGG](x)");
+  std::set<std::string> seen;
+  for (int stream = 0; stream < 30; ++stream) {
+    auto sql = qgen.Instantiate(t, stream);
+    ASSERT_TRUE(sql.ok());
+    std::string token(Trim(sql->substr(0, sql->find('('))));
+    EXPECT_TRUE(token == "SUM" || token == "MIN" || token == "MAX") << token;
+    seen.insert(token);
+  }
+  EXPECT_GE(seen.size(), 2u);  // variation across streams
+}
+
+TEST(QgenTest, IterationVariesSubstitution) {
+  QueryGenerator qgen(5);
+  QueryTemplate t = Tmpl(
+      "define N = random(1, 1000000, uniform);\n[N]");
+  auto a = qgen.Instantiate(t, 1, 0);
+  auto b = qgen.Instantiate(t, 1, 1);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(*a, *b);
+}
+
+TEST(QgenTest, Errors) {
+  QueryGenerator qgen(1);
+  EXPECT_FALSE(qgen.Instantiate(Tmpl("SELECT [UNDEFINED]"), 0).ok());
+  EXPECT_FALSE(
+      qgen.Instantiate(Tmpl("define X = bogus(1);\n[X]"), 0).ok());
+  EXPECT_FALSE(
+      qgen.Instantiate(Tmpl("define X = date(30, 9);\n[X]"), 0).ok());
+  EXPECT_FALSE(
+      qgen.Instantiate(Tmpl("define X = dist(nonexistent);\n[X]"), 0).ok());
+  EXPECT_FALSE(qgen.Instantiate(Tmpl("define X y z\nSELECT 1"), 0).ok());
+}
+
+TEST(QgenTest, PermutationEdgeCases) {
+  QueryGenerator qgen(1);
+  EXPECT_EQ(qgen.StreamPermutation(0, 1), std::vector<int>{0});
+  std::vector<int> p = qgen.StreamPermutation(5, 4);
+  std::set<int> s(p.begin(), p.end());
+  EXPECT_EQ(s, (std::set<int>{0, 1, 2, 3}));
+}
+
+TEST(QgenTest, FamilyAwarePermutationKeepsDrillSequencesTogether) {
+  // Templates 0..5; 1,3,5 form OLAP family 9 (ids make 3 < 1 < 5 by id to
+  // prove ordering follows template id, not index).
+  std::vector<QueryTemplate> templates(6);
+  for (int i = 0; i < 6; ++i) {
+    templates[static_cast<size_t>(i)].id = 10 + i;
+  }
+  templates[1].olap_family = 9;
+  templates[1].id = 50;
+  templates[3].olap_family = 9;
+  templates[3].id = 40;
+  templates[5].olap_family = 9;
+  templates[5].id = 60;
+  QueryGenerator qgen(1);
+  for (int stream = 0; stream < 8; ++stream) {
+    std::vector<int> order = qgen.StreamPermutation(stream, templates);
+    ASSERT_EQ(order.size(), 6u);
+    // The family appears as the contiguous run 3,1,5 (ascending by id).
+    auto it = std::find(order.begin(), order.end(), 3);
+    ASSERT_NE(it, order.end());
+    size_t pos = static_cast<size_t>(it - order.begin());
+    ASSERT_LE(pos + 2, order.size() - 1 + 1);
+    EXPECT_EQ(order[pos], 3);
+    EXPECT_EQ(order[pos + 1], 1);
+    EXPECT_EQ(order[pos + 2], 5);
+    // Still a permutation.
+    std::set<int> seen(order.begin(), order.end());
+    EXPECT_EQ(seen.size(), 6u);
+  }
+}
+
+}  // namespace
+}  // namespace tpcds

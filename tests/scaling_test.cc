@@ -1,0 +1,121 @@
+// Tests of the hybrid scaling model against the paper's Table 2 and §3.1.
+
+#include <gtest/gtest.h>
+
+#include "scaling/scaling.h"
+
+namespace tpcds {
+namespace {
+
+TEST(ScalingTest, ValidScaleFactors) {
+  EXPECT_EQ(ScalingModel::ValidScaleFactors(),
+            (std::vector<int>{100, 300, 1000, 3000, 10000, 30000, 100000}));
+  EXPECT_TRUE(ScalingModel::IsValidScaleFactor(100));
+  EXPECT_TRUE(ScalingModel::IsValidScaleFactor(100000));
+  EXPECT_FALSE(ScalingModel::IsValidScaleFactor(1));
+  EXPECT_FALSE(ScalingModel::IsValidScaleFactor(500));
+}
+
+TEST(ScalingTest, Table2FactTablesScaleLinearly) {
+  // Paper Table 2, store_sales row: 288M / ~2.9B / ~29B / ~288B.
+  EXPECT_EQ(ScalingModel::RowCount("store_sales", 100), 288000000);
+  EXPECT_EQ(ScalingModel::RowCount("store_sales", 1000), 2880000000LL);
+  EXPECT_EQ(ScalingModel::RowCount("store_sales", 10000), 28800000000LL);
+  EXPECT_EQ(ScalingModel::RowCount("store_sales", 100000), 288000000000LL);
+  // store_returns: 14M at SF 100 (papers' ~4.9% return rate).
+  EXPECT_EQ(ScalingModel::RowCount("store_returns", 100), 14000000);
+  EXPECT_EQ(ScalingModel::RowCount("store_returns", 1000), 140000000);
+}
+
+TEST(ScalingTest, Table2DimensionsScaleSubLinearly) {
+  // Paper Table 2 anchors, exact.
+  EXPECT_EQ(ScalingModel::RowCount("store", 100), 200);
+  EXPECT_EQ(ScalingModel::RowCount("store", 1000), 500);
+  EXPECT_EQ(ScalingModel::RowCount("store", 10000), 750);
+  EXPECT_EQ(ScalingModel::RowCount("store", 100000), 1500);
+  EXPECT_EQ(ScalingModel::RowCount("customer", 100), 2000000);
+  EXPECT_EQ(ScalingModel::RowCount("customer", 1000), 8000000);
+  EXPECT_EQ(ScalingModel::RowCount("customer", 10000), 20000000);
+  EXPECT_EQ(ScalingModel::RowCount("customer", 100000), 100000000);
+  EXPECT_EQ(ScalingModel::RowCount("item", 100), 200000);
+  EXPECT_EQ(ScalingModel::RowCount("item", 1000), 300000);
+  EXPECT_EQ(ScalingModel::RowCount("item", 10000), 400000);
+  EXPECT_EQ(ScalingModel::RowCount("item", 100000), 500000);
+}
+
+TEST(ScalingTest, SubLinearMeansSlowerThanLinear) {
+  // Paper §3.1: growing SF by 1000x grows dimensions far less than 1000x
+  // — this is what keeps cardinalities "realistic" at 100 TB.
+  for (const char* dim : {"store", "customer", "item", "warehouse",
+                          "promotion", "call_center", "web_site"}) {
+    double ratio = static_cast<double>(ScalingModel::RowCount(dim, 100000)) /
+                   static_cast<double>(ScalingModel::RowCount(dim, 100));
+    EXPECT_LT(ratio, 60.0) << dim;  // vs 1000x for facts
+    EXPECT_GE(ratio, 1.0) << dim;
+  }
+  double fact_ratio =
+      static_cast<double>(ScalingModel::RowCount("store_sales", 100000)) /
+      static_cast<double>(ScalingModel::RowCount("store_sales", 100));
+  EXPECT_NEAR(fact_ratio, 1000.0, 1.0);
+}
+
+class ScalingMonotonicityTest : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(ScalingMonotonicityTest, RowCountsNeverShrink) {
+  const char* table = GetParam();
+  int64_t prev = 0;
+  for (double sf : {0.01, 0.1, 1.0, 10.0, 100.0, 300.0, 1000.0, 3000.0,
+                    10000.0, 30000.0, 100000.0}) {
+    int64_t rows = ScalingModel::RowCount(table, sf);
+    EXPECT_GE(rows, prev) << table << " at SF " << sf;
+    EXPECT_GE(rows, 1) << table << " at SF " << sf;
+    prev = rows;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTables, ScalingMonotonicityTest,
+    ::testing::Values("store_sales", "store_returns", "catalog_sales",
+                      "catalog_returns", "web_sales", "web_returns",
+                      "inventory", "store", "customer", "customer_address",
+                      "item", "warehouse", "promotion", "call_center",
+                      "catalog_page", "web_page", "web_site", "reason"));
+
+TEST(ScalingTest, FixedDomainTables) {
+  for (double sf : {0.01, 1.0, 100.0, 100000.0}) {
+    EXPECT_EQ(ScalingModel::RowCount("date_dim", sf), 73049);
+    EXPECT_EQ(ScalingModel::RowCount("time_dim", sf), 86400);
+    EXPECT_EQ(ScalingModel::RowCount("income_band", sf), 20);
+    EXPECT_EQ(ScalingModel::RowCount("ship_mode", sf), 20);
+    EXPECT_EQ(ScalingModel::RowCount("household_demographics", sf), 7200);
+  }
+  // customer_demographics: full cross product at SF >= 1.
+  EXPECT_EQ(ScalingModel::RowCount("customer_demographics", 1), 1920800);
+  EXPECT_EQ(ScalingModel::RowCount("customer_demographics", 100000),
+            1920800);
+  EXPECT_EQ(ScalingModel::RowCount("customer_demographics", 0.01), 15120);
+}
+
+TEST(ScalingTest, InventoryTiesToItemsAndWarehouses) {
+  // inventory = 261 weeks x distinct items x warehouses.
+  int64_t expected = 261 * (ScalingModel::RowCount("item", 100) / 2) *
+                     ScalingModel::RowCount("warehouse", 100);
+  EXPECT_EQ(ScalingModel::RowCount("inventory", 100), expected);
+}
+
+TEST(ScalingTest, UnknownTableAndEdgeCases) {
+  EXPECT_EQ(ScalingModel::RowCount("no_such_table", 100), 0);
+  EXPECT_EQ(ScalingModel::RowCount("store_sales", 0), 0);
+  EXPECT_EQ(ScalingModel::RowCount("store_sales", -5), 0);
+}
+
+TEST(ScalingTest, SalesWindowIsFiveYears) {
+  EXPECT_EQ(ScalingModel::SalesBeginDate().ToString(), "1998-01-02");
+  EXPECT_EQ(ScalingModel::SalesEndDate().ToString(), "2003-01-02");
+  EXPECT_EQ(ScalingModel::DateDimBeginDate().ToString(), "1900-01-01");
+  EXPECT_EQ(ScalingModel::DateDimRows(), 73049);
+}
+
+}  // namespace
+}  // namespace tpcds
