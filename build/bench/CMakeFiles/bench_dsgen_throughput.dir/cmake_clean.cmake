@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dsgen_throughput.dir/bench_dsgen_throughput.cc.o"
+  "CMakeFiles/bench_dsgen_throughput.dir/bench_dsgen_throughput.cc.o.d"
+  "bench_dsgen_throughput"
+  "bench_dsgen_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dsgen_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_comparability.dir/bench_fig4_comparability.cc.o"
+  "CMakeFiles/bench_fig4_comparability.dir/bench_fig4_comparability.cc.o.d"
+  "bench_fig4_comparability"
+  "bench_fig4_comparability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_comparability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_item_hierarchy.dir/bench_fig5_item_hierarchy.cc.o"
+  "CMakeFiles/bench_fig5_item_hierarchy.dir/bench_fig5_item_hierarchy.cc.o.d"
+  "bench_fig5_item_hierarchy"
+  "bench_fig5_item_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_item_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

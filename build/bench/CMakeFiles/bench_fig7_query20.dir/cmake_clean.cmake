@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_query20.dir/bench_fig7_query20.cc.o"
+  "CMakeFiles/bench_fig7_query20.dir/bench_fig7_query20.cc.o.d"
+  "bench_fig7_query20"
+  "bench_fig7_query20.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_query20.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

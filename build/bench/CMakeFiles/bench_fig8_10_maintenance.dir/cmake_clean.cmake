@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_10_maintenance.dir/bench_fig8_10_maintenance.cc.o"
+  "CMakeFiles/bench_fig8_10_maintenance.dir/bench_fig8_10_maintenance.cc.o.d"
+  "bench_fig8_10_maintenance"
+  "bench_fig8_10_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_10_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_metric_sensitivity.dir/bench_metric_sensitivity.cc.o"
+  "CMakeFiles/bench_metric_sensitivity.dir/bench_metric_sensitivity.cc.o.d"
+  "bench_metric_sensitivity"
+  "bench_metric_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_metric_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

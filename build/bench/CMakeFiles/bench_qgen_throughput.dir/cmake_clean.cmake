@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qgen_throughput.dir/bench_qgen_throughput.cc.o"
+  "CMakeFiles/bench_qgen_throughput.dir/bench_qgen_throughput.cc.o.d"
+  "bench_qgen_throughput"
+  "bench_qgen_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qgen_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

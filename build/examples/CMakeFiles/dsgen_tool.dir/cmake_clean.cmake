@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsgen_tool.dir/dsgen_tool.cpp.o"
+  "CMakeFiles/dsgen_tool.dir/dsgen_tool.cpp.o.d"
+  "dsgen_tool"
+  "dsgen_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsgen_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

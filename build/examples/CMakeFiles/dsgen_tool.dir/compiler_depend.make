@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dsgen_tool.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extraction_tool.dir/extraction_tool.cpp.o"
+  "CMakeFiles/extraction_tool.dir/extraction_tool.cpp.o.d"
+  "extraction_tool"
+  "extraction_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extraction_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_benchmark.dir/full_benchmark.cpp.o"
+  "CMakeFiles/full_benchmark.dir/full_benchmark.cpp.o.d"
+  "full_benchmark"
+  "full_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

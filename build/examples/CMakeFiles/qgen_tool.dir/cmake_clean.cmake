@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qgen_tool.dir/qgen_tool.cpp.o"
+  "CMakeFiles/qgen_tool.dir/qgen_tool.cpp.o.d"
+  "qgen_tool"
+  "qgen_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qgen_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

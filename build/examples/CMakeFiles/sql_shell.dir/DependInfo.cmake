@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/sql_shell.cpp" "examples/CMakeFiles/sql_shell.dir/sql_shell.cpp.o" "gcc" "examples/CMakeFiles/sql_shell.dir/sql_shell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/tpcds_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/tpcds_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsgen/CMakeFiles/tpcds_dsgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/qgen/CMakeFiles/tpcds_qgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/templates/CMakeFiles/tpcds_templates.dir/DependInfo.cmake"
+  "/root/repo/build/src/maintenance/CMakeFiles/tpcds_maintenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/metric/CMakeFiles/tpcds_metric.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/tpcds_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/scaling/CMakeFiles/tpcds_scaling.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/tpcds_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tpcds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("schema")
+subdirs("scaling")
+subdirs("dist")
+subdirs("dsgen")
+subdirs("engine")
+subdirs("qgen")
+subdirs("templates")
+subdirs("maintenance")
+subdirs("driver")
+subdirs("metric")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/distribution.cc" "src/dist/CMakeFiles/tpcds_dist.dir/distribution.cc.o" "gcc" "src/dist/CMakeFiles/tpcds_dist.dir/distribution.cc.o.d"
+  "/root/repo/src/dist/domains.cc" "src/dist/CMakeFiles/tpcds_dist.dir/domains.cc.o" "gcc" "src/dist/CMakeFiles/tpcds_dist.dir/domains.cc.o.d"
+  "/root/repo/src/dist/zones.cc" "src/dist/CMakeFiles/tpcds_dist.dir/zones.cc.o" "gcc" "src/dist/CMakeFiles/tpcds_dist.dir/zones.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tpcds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcds_dist.dir/distribution.cc.o"
+  "CMakeFiles/tpcds_dist.dir/distribution.cc.o.d"
+  "CMakeFiles/tpcds_dist.dir/domains.cc.o"
+  "CMakeFiles/tpcds_dist.dir/domains.cc.o.d"
+  "CMakeFiles/tpcds_dist.dir/zones.cc.o"
+  "CMakeFiles/tpcds_dist.dir/zones.cc.o.d"
+  "libtpcds_dist.a"
+  "libtpcds_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcds_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

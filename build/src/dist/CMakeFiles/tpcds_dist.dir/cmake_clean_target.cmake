@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtpcds_dist.a"
+)

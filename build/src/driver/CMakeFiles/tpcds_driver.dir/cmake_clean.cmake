@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcds_driver.dir/driver.cc.o"
+  "CMakeFiles/tpcds_driver.dir/driver.cc.o.d"
+  "libtpcds_driver.a"
+  "libtpcds_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcds_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsgen/address.cc" "src/dsgen/CMakeFiles/tpcds_dsgen.dir/address.cc.o" "gcc" "src/dsgen/CMakeFiles/tpcds_dsgen.dir/address.cc.o.d"
+  "/root/repo/src/dsgen/business_dims.cc" "src/dsgen/CMakeFiles/tpcds_dsgen.dir/business_dims.cc.o" "gcc" "src/dsgen/CMakeFiles/tpcds_dsgen.dir/business_dims.cc.o.d"
+  "/root/repo/src/dsgen/customer_dims.cc" "src/dsgen/CMakeFiles/tpcds_dsgen.dir/customer_dims.cc.o" "gcc" "src/dsgen/CMakeFiles/tpcds_dsgen.dir/customer_dims.cc.o.d"
+  "/root/repo/src/dsgen/generator.cc" "src/dsgen/CMakeFiles/tpcds_dsgen.dir/generator.cc.o" "gcc" "src/dsgen/CMakeFiles/tpcds_dsgen.dir/generator.cc.o.d"
+  "/root/repo/src/dsgen/inventory.cc" "src/dsgen/CMakeFiles/tpcds_dsgen.dir/inventory.cc.o" "gcc" "src/dsgen/CMakeFiles/tpcds_dsgen.dir/inventory.cc.o.d"
+  "/root/repo/src/dsgen/item.cc" "src/dsgen/CMakeFiles/tpcds_dsgen.dir/item.cc.o" "gcc" "src/dsgen/CMakeFiles/tpcds_dsgen.dir/item.cc.o.d"
+  "/root/repo/src/dsgen/keys.cc" "src/dsgen/CMakeFiles/tpcds_dsgen.dir/keys.cc.o" "gcc" "src/dsgen/CMakeFiles/tpcds_dsgen.dir/keys.cc.o.d"
+  "/root/repo/src/dsgen/parallel.cc" "src/dsgen/CMakeFiles/tpcds_dsgen.dir/parallel.cc.o" "gcc" "src/dsgen/CMakeFiles/tpcds_dsgen.dir/parallel.cc.o.d"
+  "/root/repo/src/dsgen/pricing.cc" "src/dsgen/CMakeFiles/tpcds_dsgen.dir/pricing.cc.o" "gcc" "src/dsgen/CMakeFiles/tpcds_dsgen.dir/pricing.cc.o.d"
+  "/root/repo/src/dsgen/sales.cc" "src/dsgen/CMakeFiles/tpcds_dsgen.dir/sales.cc.o" "gcc" "src/dsgen/CMakeFiles/tpcds_dsgen.dir/sales.cc.o.d"
+  "/root/repo/src/dsgen/scd.cc" "src/dsgen/CMakeFiles/tpcds_dsgen.dir/scd.cc.o" "gcc" "src/dsgen/CMakeFiles/tpcds_dsgen.dir/scd.cc.o.d"
+  "/root/repo/src/dsgen/static_dims.cc" "src/dsgen/CMakeFiles/tpcds_dsgen.dir/static_dims.cc.o" "gcc" "src/dsgen/CMakeFiles/tpcds_dsgen.dir/static_dims.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tpcds_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/tpcds_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/scaling/CMakeFiles/tpcds_scaling.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcds_dsgen.dir/address.cc.o"
+  "CMakeFiles/tpcds_dsgen.dir/address.cc.o.d"
+  "CMakeFiles/tpcds_dsgen.dir/business_dims.cc.o"
+  "CMakeFiles/tpcds_dsgen.dir/business_dims.cc.o.d"
+  "CMakeFiles/tpcds_dsgen.dir/customer_dims.cc.o"
+  "CMakeFiles/tpcds_dsgen.dir/customer_dims.cc.o.d"
+  "CMakeFiles/tpcds_dsgen.dir/generator.cc.o"
+  "CMakeFiles/tpcds_dsgen.dir/generator.cc.o.d"
+  "CMakeFiles/tpcds_dsgen.dir/inventory.cc.o"
+  "CMakeFiles/tpcds_dsgen.dir/inventory.cc.o.d"
+  "CMakeFiles/tpcds_dsgen.dir/item.cc.o"
+  "CMakeFiles/tpcds_dsgen.dir/item.cc.o.d"
+  "CMakeFiles/tpcds_dsgen.dir/keys.cc.o"
+  "CMakeFiles/tpcds_dsgen.dir/keys.cc.o.d"
+  "CMakeFiles/tpcds_dsgen.dir/parallel.cc.o"
+  "CMakeFiles/tpcds_dsgen.dir/parallel.cc.o.d"
+  "CMakeFiles/tpcds_dsgen.dir/pricing.cc.o"
+  "CMakeFiles/tpcds_dsgen.dir/pricing.cc.o.d"
+  "CMakeFiles/tpcds_dsgen.dir/sales.cc.o"
+  "CMakeFiles/tpcds_dsgen.dir/sales.cc.o.d"
+  "CMakeFiles/tpcds_dsgen.dir/scd.cc.o"
+  "CMakeFiles/tpcds_dsgen.dir/scd.cc.o.d"
+  "CMakeFiles/tpcds_dsgen.dir/static_dims.cc.o"
+  "CMakeFiles/tpcds_dsgen.dir/static_dims.cc.o.d"
+  "libtpcds_dsgen.a"
+  "libtpcds_dsgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcds_dsgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/audit.cc" "src/engine/CMakeFiles/tpcds_engine.dir/audit.cc.o" "gcc" "src/engine/CMakeFiles/tpcds_engine.dir/audit.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/engine/CMakeFiles/tpcds_engine.dir/database.cc.o" "gcc" "src/engine/CMakeFiles/tpcds_engine.dir/database.cc.o.d"
+  "/root/repo/src/engine/expr_eval.cc" "src/engine/CMakeFiles/tpcds_engine.dir/expr_eval.cc.o" "gcc" "src/engine/CMakeFiles/tpcds_engine.dir/expr_eval.cc.o.d"
+  "/root/repo/src/engine/lexer.cc" "src/engine/CMakeFiles/tpcds_engine.dir/lexer.cc.o" "gcc" "src/engine/CMakeFiles/tpcds_engine.dir/lexer.cc.o.d"
+  "/root/repo/src/engine/parser.cc" "src/engine/CMakeFiles/tpcds_engine.dir/parser.cc.o" "gcc" "src/engine/CMakeFiles/tpcds_engine.dir/parser.cc.o.d"
+  "/root/repo/src/engine/planner.cc" "src/engine/CMakeFiles/tpcds_engine.dir/planner.cc.o" "gcc" "src/engine/CMakeFiles/tpcds_engine.dir/planner.cc.o.d"
+  "/root/repo/src/engine/rowset.cc" "src/engine/CMakeFiles/tpcds_engine.dir/rowset.cc.o" "gcc" "src/engine/CMakeFiles/tpcds_engine.dir/rowset.cc.o.d"
+  "/root/repo/src/engine/table.cc" "src/engine/CMakeFiles/tpcds_engine.dir/table.cc.o" "gcc" "src/engine/CMakeFiles/tpcds_engine.dir/table.cc.o.d"
+  "/root/repo/src/engine/value.cc" "src/engine/CMakeFiles/tpcds_engine.dir/value.cc.o" "gcc" "src/engine/CMakeFiles/tpcds_engine.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tpcds_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/tpcds_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsgen/CMakeFiles/tpcds_dsgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/tpcds_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/scaling/CMakeFiles/tpcds_scaling.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcds_engine.dir/audit.cc.o"
+  "CMakeFiles/tpcds_engine.dir/audit.cc.o.d"
+  "CMakeFiles/tpcds_engine.dir/database.cc.o"
+  "CMakeFiles/tpcds_engine.dir/database.cc.o.d"
+  "CMakeFiles/tpcds_engine.dir/expr_eval.cc.o"
+  "CMakeFiles/tpcds_engine.dir/expr_eval.cc.o.d"
+  "CMakeFiles/tpcds_engine.dir/lexer.cc.o"
+  "CMakeFiles/tpcds_engine.dir/lexer.cc.o.d"
+  "CMakeFiles/tpcds_engine.dir/parser.cc.o"
+  "CMakeFiles/tpcds_engine.dir/parser.cc.o.d"
+  "CMakeFiles/tpcds_engine.dir/planner.cc.o"
+  "CMakeFiles/tpcds_engine.dir/planner.cc.o.d"
+  "CMakeFiles/tpcds_engine.dir/rowset.cc.o"
+  "CMakeFiles/tpcds_engine.dir/rowset.cc.o.d"
+  "CMakeFiles/tpcds_engine.dir/table.cc.o"
+  "CMakeFiles/tpcds_engine.dir/table.cc.o.d"
+  "CMakeFiles/tpcds_engine.dir/value.cc.o"
+  "CMakeFiles/tpcds_engine.dir/value.cc.o.d"
+  "libtpcds_engine.a"
+  "libtpcds_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcds_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

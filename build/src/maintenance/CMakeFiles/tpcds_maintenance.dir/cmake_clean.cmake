@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcds_maintenance.dir/maintenance.cc.o"
+  "CMakeFiles/tpcds_maintenance.dir/maintenance.cc.o.d"
+  "libtpcds_maintenance.a"
+  "libtpcds_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcds_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcds_metric.dir/metric.cc.o"
+  "CMakeFiles/tpcds_metric.dir/metric.cc.o.d"
+  "libtpcds_metric.a"
+  "libtpcds_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcds_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcds_qgen.dir/qgen.cc.o"
+  "CMakeFiles/tpcds_qgen.dir/qgen.cc.o.d"
+  "libtpcds_qgen.a"
+  "libtpcds_qgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcds_qgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcds_scaling.dir/scaling.cc.o"
+  "CMakeFiles/tpcds_scaling.dir/scaling.cc.o.d"
+  "libtpcds_scaling.a"
+  "libtpcds_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcds_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcds_schema.dir/schema.cc.o"
+  "CMakeFiles/tpcds_schema.dir/schema.cc.o.d"
+  "CMakeFiles/tpcds_schema.dir/schema_stats.cc.o"
+  "CMakeFiles/tpcds_schema.dir/schema_stats.cc.o.d"
+  "libtpcds_schema.a"
+  "libtpcds_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcds_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/templates/catalog_templates.cc" "src/templates/CMakeFiles/tpcds_templates.dir/catalog_templates.cc.o" "gcc" "src/templates/CMakeFiles/tpcds_templates.dir/catalog_templates.cc.o.d"
+  "/root/repo/src/templates/cross_templates.cc" "src/templates/CMakeFiles/tpcds_templates.dir/cross_templates.cc.o" "gcc" "src/templates/CMakeFiles/tpcds_templates.dir/cross_templates.cc.o.d"
+  "/root/repo/src/templates/store_templates.cc" "src/templates/CMakeFiles/tpcds_templates.dir/store_templates.cc.o" "gcc" "src/templates/CMakeFiles/tpcds_templates.dir/store_templates.cc.o.d"
+  "/root/repo/src/templates/templates.cc" "src/templates/CMakeFiles/tpcds_templates.dir/templates.cc.o" "gcc" "src/templates/CMakeFiles/tpcds_templates.dir/templates.cc.o.d"
+  "/root/repo/src/templates/web_templates.cc" "src/templates/CMakeFiles/tpcds_templates.dir/web_templates.cc.o" "gcc" "src/templates/CMakeFiles/tpcds_templates.dir/web_templates.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qgen/CMakeFiles/tpcds_qgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/tpcds_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/scaling/CMakeFiles/tpcds_scaling.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tpcds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

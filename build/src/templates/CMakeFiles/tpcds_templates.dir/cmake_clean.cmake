@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcds_templates.dir/catalog_templates.cc.o"
+  "CMakeFiles/tpcds_templates.dir/catalog_templates.cc.o.d"
+  "CMakeFiles/tpcds_templates.dir/cross_templates.cc.o"
+  "CMakeFiles/tpcds_templates.dir/cross_templates.cc.o.d"
+  "CMakeFiles/tpcds_templates.dir/store_templates.cc.o"
+  "CMakeFiles/tpcds_templates.dir/store_templates.cc.o.d"
+  "CMakeFiles/tpcds_templates.dir/templates.cc.o"
+  "CMakeFiles/tpcds_templates.dir/templates.cc.o.d"
+  "CMakeFiles/tpcds_templates.dir/web_templates.cc.o"
+  "CMakeFiles/tpcds_templates.dir/web_templates.cc.o.d"
+  "libtpcds_templates.a"
+  "libtpcds_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcds_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

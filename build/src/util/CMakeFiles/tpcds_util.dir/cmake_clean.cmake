@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcds_util.dir/date.cc.o"
+  "CMakeFiles/tpcds_util.dir/date.cc.o.d"
+  "CMakeFiles/tpcds_util.dir/decimal.cc.o"
+  "CMakeFiles/tpcds_util.dir/decimal.cc.o.d"
+  "CMakeFiles/tpcds_util.dir/flatfile.cc.o"
+  "CMakeFiles/tpcds_util.dir/flatfile.cc.o.d"
+  "CMakeFiles/tpcds_util.dir/random.cc.o"
+  "CMakeFiles/tpcds_util.dir/random.cc.o.d"
+  "CMakeFiles/tpcds_util.dir/status.cc.o"
+  "CMakeFiles/tpcds_util.dir/status.cc.o.d"
+  "CMakeFiles/tpcds_util.dir/string_util.cc.o"
+  "CMakeFiles/tpcds_util.dir/string_util.cc.o.d"
+  "CMakeFiles/tpcds_util.dir/threadpool.cc.o"
+  "CMakeFiles/tpcds_util.dir/threadpool.cc.o.d"
+  "libtpcds_util.a"
+  "libtpcds_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcds_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparability_test.dir/comparability_test.cc.o"
+  "CMakeFiles/comparability_test.dir/comparability_test.cc.o.d"
+  "comparability_test"
+  "comparability_test.pdb"
+  "comparability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsgen_content_test.dir/dsgen_content_test.cc.o"
+  "CMakeFiles/dsgen_content_test.dir/dsgen_content_test.cc.o.d"
+  "dsgen_content_test"
+  "dsgen_content_test.pdb"
+  "dsgen_content_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsgen_content_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

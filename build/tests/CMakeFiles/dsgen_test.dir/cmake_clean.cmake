@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsgen_test.dir/dsgen_test.cc.o"
+  "CMakeFiles/dsgen_test.dir/dsgen_test.cc.o.d"
+  "dsgen_test"
+  "dsgen_test.pdb"
+  "dsgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

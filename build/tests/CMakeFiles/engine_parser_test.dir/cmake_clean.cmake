@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_parser_test.dir/engine_parser_test.cc.o"
+  "CMakeFiles/engine_parser_test.dir/engine_parser_test.cc.o.d"
+  "engine_parser_test"
+  "engine_parser_test.pdb"
+  "engine_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_value_test.dir/engine_value_test.cc.o"
+  "CMakeFiles/engine_value_test.dir/engine_value_test.cc.o.d"
+  "engine_value_test"
+  "engine_value_test.pdb"
+  "engine_value_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

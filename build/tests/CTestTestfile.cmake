@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/engine_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/templates_test[1]_include.cmake")
+include("/root/repo/build/tests/maintenance_test[1]_include.cmake")
+include("/root/repo/build/tests/driver_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/schema_test[1]_include.cmake")
+include("/root/repo/build/tests/scaling_test[1]_include.cmake")
+include("/root/repo/build/tests/dist_test[1]_include.cmake")
+include("/root/repo/build/tests/dsgen_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_exec_test[1]_include.cmake")
+include("/root/repo/build/tests/qgen_test[1]_include.cmake")
+include("/root/repo/build/tests/golden_regression_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_differential_test[1]_include.cmake")
+include("/root/repo/build/tests/audit_test[1]_include.cmake")
+include("/root/repo/build/tests/comparability_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_value_test[1]_include.cmake")
+include("/root/repo/build/tests/dsgen_content_test[1]_include.cmake")
