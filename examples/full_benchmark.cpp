@@ -4,7 +4,8 @@
 // $/QphDS@SF.
 //
 //   ./examples/full_benchmark [-scale SF] [-streams S] [-queries N]
-//                             [-tco DOLLARS] [-no-star]
+//                             [-tco DOLLARS] [-no-star] [-index-joins]
+//                             [-parallelism W] [-power]
 
 #include <algorithm>
 #include <cstdio>
@@ -37,13 +38,15 @@ int main(int argc, char** argv) {
       config.planner.star_transformation = false;
     } else if (arg == "-index-joins") {
       config.planner.index_joins = true;
+    } else if (arg == "-parallelism") {
+      config.planner.parallelism = std::atoi(next());
     } else if (arg == "-power") {
       run_power = true;
     } else {
       std::fprintf(stderr,
                    "usage: full_benchmark [-scale SF] [-streams S] "
                    "[-queries N] [-tco $] [-no-star] [-index-joins] "
-                   "[-power]\n");
+                   "[-parallelism W] [-power]\n");
       return 1;
     }
   }

@@ -3,7 +3,9 @@
 //
 //   ./examples/sql_shell [scale_factor]
 //
-// Meta commands: \tables, \d <table>, \q
+// Meta commands: \tables, \d <table>, \parallel <workers>, \q
+// EXPLAIN <select> prints the physical operator tree with per-operator
+// row counts and self times instead of the result rows.
 
 #include <cstdio>
 #include <cstdlib>
@@ -48,7 +50,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("%lld rows loaded. \\tables lists tables, \\d TABLE "
-              "describes one, \\q quits.\n",
+              "describes one, \\parallel N sets worker threads, \\q "
+              "quits.\n",
               static_cast<long long>(db.TotalRows()));
 
   std::string buffer;
@@ -69,6 +72,23 @@ int main(int argc, char** argv) {
     }
     if (tpcds::StartsWith(trimmed, "\\d ")) {
       DescribeTable(db, std::string(tpcds::Trim(trimmed.substr(3))));
+      std::printf("tpcds> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (tpcds::StartsWith(trimmed, "\\parallel")) {
+      std::string arg(tpcds::Trim(trimmed.substr(9)));
+      if (arg.empty() ||
+          arg.find_first_not_of("0123456789") != std::string::npos) {
+        std::printf("usage: \\parallel N   (N workers; 0 = all cores)\n");
+        std::printf("tpcds> ");
+        std::fflush(stdout);
+        continue;
+      }
+      int workers = std::atoi(arg.c_str());
+      db.default_options().parallelism = workers;
+      std::printf("parallelism = %d%s\n", workers,
+                  workers == 0 ? " (all hardware cores)" : "");
       std::printf("tpcds> ");
       std::fflush(stdout);
       continue;

@@ -179,8 +179,20 @@ Result<std::string> Database::Explain(const std::string& sql) {
   TPCDS_ASSIGN_OR_RETURN(QueryResult result,
                          Query(sql, default_options_, &stats));
   std::string out;
-  for (const std::string& line : stats.plan) {
-    out += "  " + line + "\n";
+  // Physical operator tree, pre-order, with per-operator row counts and
+  // self time. Operators elided at run time (memoised duplicates) show
+  // their label only.
+  for (const ExecStats::OpStat& op : stats.operators) {
+    out += "  ";
+    out.append(static_cast<size_t>(op.depth) * 2, ' ');
+    out += "-> " + op.label;
+    if (op.executed) {
+      out += StringPrintf(" [%lld -> %lld rows, %.3f ms]",
+                          static_cast<long long>(op.rows_in),
+                          static_cast<long long>(op.rows_out),
+                          op.seconds * 1e3);
+    }
+    out += "\n";
   }
   out += StringPrintf(
       "  => %zu result rows (scanned %lld, joined %lld, star-pruned %lld)\n",

@@ -1,0 +1,1088 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "engine/database.h"
+#include "engine/expr_eval.h"
+#include "engine/table.h"
+#include "util/string_util.h"
+#include "util/threadpool.h"
+
+namespace tpcds {
+namespace {
+
+/// Fixed morsel size. Deliberately independent of the worker count: the
+/// partial-result structure (and therefore every merge order and every
+/// floating-point reassociation) is a function of the input alone, which
+/// makes query results byte-identical across parallelism levels.
+constexpr size_t kMorselRows = 1024;
+
+/// Hash-join build partitions. Like the morsel size, a constant — the
+/// per-key match lists come out identical for any worker count.
+constexpr size_t kJoinPartitions = 16;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// ------------------------------------------------------------ value keys
+
+struct VecValueHash {
+  size_t operator()(const std::vector<Value>& key) const {
+    size_t h = 1469598103u;
+    for (const Value& v : key) h = h * 1099511628211ULL ^ v.Hash();
+    return h;
+  }
+};
+struct VecValueEq {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      bool an = a[i].is_null();
+      bool bn = b[i].is_null();
+      if (an != bn) return false;
+      if (!an && Value::Compare(a[i], b[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+struct ValueHasher {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+struct ValueEq {
+  bool operator()(const Value& a, const Value& b) const {
+    if (a.is_null() && b.is_null()) return true;
+    if (a.is_null() || b.is_null()) return false;
+    return Value::Compare(a, b) == 0;
+  }
+};
+using ValueSet = std::unordered_set<Value, ValueHasher, ValueEq>;
+
+// ------------------------------------------------------------ aggregates
+
+class Accumulator {
+ public:
+  explicit Accumulator(const PlanAggSpec* spec) : spec_(spec) {}
+
+  void Add(const Value& v) {
+    if (spec_->star) {
+      ++count_;
+      return;
+    }
+    if (v.is_null()) return;
+    if (spec_->distinct) {
+      distinct_.insert(v);
+      return;
+    }
+    Accept(v);
+  }
+
+  /// Folds a partial accumulator (one morsel's worth) into this one.
+  /// Callers merge strictly in morsel order so the result is reproducible.
+  void Merge(const Accumulator& o) {
+    count_ += o.count_;
+    sum_int_ += o.sum_int_;
+    sum_cents_ += o.sum_cents_;
+    sum_double_ += o.sum_double_;
+    sum_squares_ += o.sum_squares_;
+    saw_decimal_ |= o.saw_decimal_;
+    saw_double_ |= o.saw_double_;
+    if (!o.min_.is_null() &&
+        (min_.is_null() || Value::Compare(o.min_, min_) < 0)) {
+      min_ = o.min_;
+    }
+    if (!o.max_.is_null() &&
+        (max_.is_null() || Value::Compare(o.max_, max_) > 0)) {
+      max_ = o.max_;
+    }
+    for (const Value& v : o.distinct_) distinct_.insert(v);
+  }
+
+  Value Finalize() const {
+    if (spec_->distinct && !spec_->star) {
+      Accumulator plain(&plain_spec());
+      for (const Value& v : distinct_) plain.Accept(v);
+      plain.count_ = static_cast<int64_t>(distinct_.size());
+      return plain.FinalizePlain(spec_->function);
+    }
+    return FinalizePlain(spec_->function);
+  }
+
+ private:
+  static const PlanAggSpec& plain_spec() {
+    static const PlanAggSpec& s = *new PlanAggSpec{};
+    return s;
+  }
+
+  void Accept(const Value& v) {
+    ++count_;
+    double d = v.AsDouble();
+    sum_double_ += d;
+    sum_squares_ += d * d;
+    if (v.kind() == Value::Kind::kDecimal) {
+      sum_cents_ += v.AsDecimal().cents();
+      saw_decimal_ = true;
+    } else if (v.kind() == Value::Kind::kInt) {
+      sum_int_ += v.AsInt();
+    } else {
+      saw_double_ = true;
+    }
+    if (min_.is_null() || Value::Compare(v, min_) < 0) min_ = v;
+    if (max_.is_null() || Value::Compare(v, max_) > 0) max_ = v;
+  }
+
+  Value FinalizePlain(const std::string& function) const {
+    if (function == "COUNT") return Value::Int(count_);
+    if (count_ == 0) return Value::Null();
+    if (function == "SUM") {
+      if (saw_double_) return Value::Dbl(sum_double_);
+      if (saw_decimal_) {
+        return Value::Dec(
+            Decimal::FromCents(sum_cents_ + sum_int_ * Decimal::kScale));
+      }
+      return Value::Int(sum_int_);
+    }
+    if (function == "AVG") {
+      return Value::Dbl(sum_double_ / static_cast<double>(count_));
+    }
+    if (function == "MIN") return min_;
+    if (function == "MAX") return max_;
+    if (function == "STDDEV_SAMP") {
+      if (count_ < 2) return Value::Null();
+      double n = static_cast<double>(count_);
+      double var = (sum_squares_ - sum_double_ * sum_double_ / n) / (n - 1);
+      return Value::Dbl(var < 0 ? 0.0 : std::sqrt(var));
+    }
+    return Value::Null();
+  }
+
+  const PlanAggSpec* spec_;
+  int64_t count_ = 0;
+  int64_t sum_int_ = 0;
+  int64_t sum_cents_ = 0;
+  double sum_double_ = 0.0;
+  double sum_squares_ = 0.0;
+  bool saw_decimal_ = false;
+  bool saw_double_ = false;
+  Value min_;
+  Value max_;
+  ValueSet distinct_;
+};
+
+/// Direct slot passthrough (ORDER BY ordinals, star expansion).
+class SlotExpr : public BoundExpr {
+ public:
+  explicit SlotExpr(int idx) : idx_(idx) {}
+  Value Eval(const std::vector<Value>& row) const override {
+    return row[static_cast<size_t>(idx_)];
+  }
+
+ private:
+  int idx_;
+};
+
+// -------------------------------------------------------------- executor
+
+class PlanExecutor : public SubqueryEvaluator {
+ public:
+  /// Top-level executor: owns the intra-query pool when parallelism > 1.
+  PlanExecutor(Database* db, const PlannerOptions& options, ExecStats* stats,
+               const PhysicalPlan* plan)
+      : db_(db), options_(options), stats_(stats), plan_(plan) {
+    int workers = options.parallelism;
+    if (workers == 0) {
+      workers = static_cast<int>(std::thread::hardware_concurrency());
+    }
+    if (workers > 1) {
+      owned_pool_ = std::make_unique<ThreadPool>(
+          static_cast<size_t>(workers));
+      pool_ = owned_pool_.get();
+    }
+  }
+
+  /// Nested executor for uncorrelated subqueries: shares the parent's
+  /// pool, CTE results, and stat counters (subquery scans count, exactly
+  /// as the pre-plan-tree executor counted them).
+  PlanExecutor(Database* db, const PlannerOptions& options, ExecStats* stats,
+               const PhysicalPlan* plan, ThreadPool* pool,
+               const std::map<std::string, std::shared_ptr<RowSet>>& ctes)
+      : db_(db),
+        options_(options),
+        stats_(stats),
+        plan_(plan),
+        pool_(pool),
+        cte_results_(ctes) {}
+
+  Result<std::shared_ptr<RowSet>> Run() {
+    for (const auto& [name, node] : plan_->ctes) {
+      TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> rs, Exec(node));
+      cte_results_[name] = std::move(rs);
+    }
+    return Exec(plan_->root);
+  }
+
+  // SubqueryEvaluator: first visible column of the subquery result.
+  Result<std::vector<Value>> EvaluateColumn(const SelectStmt& stmt) override {
+    TPCDS_ASSIGN_OR_RETURN(
+        PhysicalPlan sub,
+        BuildSubqueryPlan(db_, stmt, options_, plan_->cte_schemas));
+    PlanExecutor nested(db_, options_, stats_, &sub, pool_, cte_results_);
+    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> rs, nested.Run());
+    std::vector<Value> out;
+    out.reserve(rs->rows.size());
+    for (const auto& row : rs->rows) {
+      if (!row.empty()) out.push_back(row[0]);
+    }
+    return out;
+  }
+
+ private:
+  using RowList = std::vector<std::vector<Value>>;
+
+  // ---- infrastructure -------------------------------------------------
+
+  Result<std::shared_ptr<RowSet>> Exec(
+      const std::shared_ptr<PlanNode>& node) {
+    if (node->memoize) {
+      auto it = memo_.find(node.get());
+      if (it != memo_.end()) return it->second;
+    }
+    double saved_child = child_seconds_;
+    child_seconds_ = 0;
+    double start = NowSeconds();
+    Result<std::shared_ptr<RowSet>> result = Dispatch(*node);
+    double total = NowSeconds() - start;
+    node->stats.executed = true;
+    node->stats.seconds = total - child_seconds_;
+    child_seconds_ = saved_child + total;
+    if (!result.ok()) return result;
+    if (!node->children.empty()) {
+      int64_t in = 0;
+      for (const auto& c : node->children) in += c->stats.rows_out;
+      node->stats.rows_in = in;
+    }
+    node->stats.rows_out = static_cast<int64_t>((*result)->rows.size());
+    if (node->memoize) memo_[node.get()] = *result;
+    return result;
+  }
+
+  Result<std::shared_ptr<RowSet>> Dispatch(const PlanNode& node) {
+    switch (node.kind) {
+      case PlanKind::kScan: return ExecScan(node);
+      case PlanKind::kCteRef: return ExecCteRef(node);
+      case PlanKind::kDerived: return ExecDerived(node);
+      case PlanKind::kIndexJoin: return ExecIndexJoin(node);
+      case PlanKind::kSemiJoinReduce: return ExecSemiJoinReduce(node);
+      case PlanKind::kHashJoin: return ExecHashJoin(node);
+      case PlanKind::kFilter: return ExecFilter(node);
+      case PlanKind::kAggregate: return ExecAggregate(node);
+      case PlanKind::kWindow: return ExecWindow(node);
+      case PlanKind::kProject: return ExecProject(node);
+      case PlanKind::kDistinct: return ExecDistinct(node);
+      case PlanKind::kSort: return ExecSort(node);
+      case PlanKind::kLimit: return ExecLimit(node);
+      case PlanKind::kTruncate: return ExecTruncate(node);
+      case PlanKind::kSetOp: return ExecSetOp(node);
+    }
+    return Status::InvalidArgument("unknown plan node");
+  }
+
+  /// Executes a child whose result this operator will mutate in place.
+  /// Memoised (shared) results are copied; exclusive ones pass through.
+  Result<std::shared_ptr<RowSet>> ExecOwned(
+      const std::shared_ptr<PlanNode>& child) {
+    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> rs, Exec(child));
+    if (child->memoize) return std::make_shared<RowSet>(*rs);
+    return rs;
+  }
+
+  static size_t MorselCount(size_t n) {
+    return (n + kMorselRows - 1) / kMorselRows;
+  }
+
+  /// Runs fn(i) for every i in [0, count). With a pool, work units are
+  /// pulled from a shared atomic counter by up to num_threads() pool
+  /// workers *and the calling thread* — one submitted task per worker,
+  /// not per unit, so scheduling overhead is O(workers). `fn` must be
+  /// pure w.r.t. shared state except its own unit's slot; which thread
+  /// runs a unit never affects the result.
+  template <typename Fn>
+  void ParallelFor(size_t count, const Fn& fn) {
+    if (pool_ == nullptr || count <= 1) {
+      for (size_t i = 0; i < count; ++i) fn(i);
+      return;
+    }
+    std::atomic<size_t> next{0};
+    auto drain = [&next, &fn, count] {
+      for (size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+        fn(i);
+      }
+    };
+    size_t helpers = std::min(pool_->num_threads(), count - 1);
+    for (size_t t = 0; t < helpers; ++t) pool_->Submit(drain);
+    drain();
+    pool_->WaitIdle();
+  }
+
+  /// Runs fn(begin, end, morsel_index) over [0, n) in fixed-size morsels.
+  template <typename Fn>
+  void ForEachMorsel(size_t n, const Fn& fn) {
+    ParallelFor(MorselCount(n), [&fn, n](size_t m) {
+      size_t b = m * kMorselRows;
+      fn(b, std::min(n, b + kMorselRows), m);
+    });
+  }
+
+  /// Concatenates per-morsel output buffers in morsel order — this is what
+  /// keeps parallel row order identical to the serial row order.
+  static void ConcatMorsels(std::vector<RowList>* bufs, RowList* out) {
+    size_t total = 0;
+    for (const RowList& b : *bufs) total += b.size();
+    out->reserve(out->size() + total);
+    for (RowList& b : *bufs) {
+      for (auto& row : b) out->push_back(std::move(row));
+    }
+  }
+
+  Result<std::vector<std::unique_ptr<BoundExpr>>> BindAll(
+      const std::vector<const Expr*>& exprs, const RowSet& scope) {
+    std::vector<std::unique_ptr<BoundExpr>> out;
+    out.reserve(exprs.size());
+    for (const Expr* e : exprs) {
+      TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> b,
+                             BindExpr(*e, scope, this));
+      out.push_back(std::move(b));
+    }
+    return out;
+  }
+
+  static bool PassesAll(const std::vector<std::unique_ptr<BoundExpr>>& preds,
+                        const std::vector<Value>& row) {
+    for (const auto& p : preds) {
+      Value v = p->Eval(row);
+      if (v.is_null() || !v.IsTruthy()) return false;
+    }
+    return true;
+  }
+
+  void Trace(std::string line) {
+    if (stats_ != nullptr) stats_->plan.push_back(std::move(line));
+  }
+
+  // ---- leaf operators -------------------------------------------------
+
+  Result<std::shared_ptr<RowSet>> ExecScan(const PlanNode& node) {
+    EngineTable* table = db_->FindTable(node.table_name);
+    if (table == nullptr) {
+      return Status::NotFound("unknown table: " + node.table_name);
+    }
+    RowSet scope;
+    scope.cols = node.schema;
+    TPCDS_ASSIGN_OR_RETURN(std::vector<std::unique_ptr<BoundExpr>> filters,
+                           BindAll(node.predicates, scope));
+
+    auto rs = std::make_shared<RowSet>();
+    rs->cols = node.schema;
+    int64_t n = table->num_rows();
+    node.stats.rows_in = n;
+    if (stats_ != nullptr) stats_->rows_scanned += n;
+
+    std::vector<RowList> bufs(MorselCount(static_cast<size_t>(n)));
+    ForEachMorsel(static_cast<size_t>(n), [&](size_t b, size_t e, size_t m) {
+      RowList& buf = bufs[m];
+      std::vector<Value> row;
+      for (size_t r = b; r < e; ++r) {
+        row.clear();
+        row.reserve(node.scan_cols.size());
+        for (int c : node.scan_cols) {
+          row.push_back(table->GetValue(static_cast<int64_t>(r), c));
+        }
+        if (PassesAll(filters, row)) buf.push_back(row);
+      }
+    });
+    ConcatMorsels(&bufs, &rs->rows);
+    Trace(StringPrintf(
+        "scan %s%s%s: %zu cols, %zu pushed filters, %lld -> %zu rows",
+        table->name().c_str(), node.alias.empty() ? "" : " as ",
+        node.alias.c_str(), node.scan_cols.size(), filters.size(),
+        static_cast<long long>(n), rs->rows.size()));
+    return rs;
+  }
+
+  Result<std::shared_ptr<RowSet>> ExecCteRef(const PlanNode& node) {
+    auto it = cte_results_.find(node.cte_name);
+    if (it == cte_results_.end()) {
+      return Status::InvalidArgument("unknown CTE: " + node.cte_name);
+    }
+    // Copy: the same CTE may be consumed (and re-qualified) several times.
+    auto rs = std::make_shared<RowSet>(*it->second);
+    rs->cols = node.schema;
+    rs->num_visible = node.num_visible;
+    node.stats.rows_in = static_cast<int64_t>(rs->rows.size());
+    return rs;
+  }
+
+  Result<std::shared_ptr<RowSet>> ExecDerived(const PlanNode& node) {
+    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> rs,
+                           ExecOwned(node.children[0]));
+    rs->cols = node.schema;  // re-qualified under the FROM alias
+    rs->num_visible = node.num_visible;
+    return rs;
+  }
+
+  // ---- joins ----------------------------------------------------------
+
+  Result<std::shared_ptr<RowSet>> ExecSemiJoinReduce(const PlanNode& node) {
+    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> fact,
+                           ExecOwned(node.children[0]));
+    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> dim,
+                           Exec(node.children[1]));
+    TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> fact_key,
+                           BindExpr(*node.fact_key, *fact, this));
+    TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> dim_key,
+                           BindExpr(*node.dim_key, *dim, this));
+
+    size_t nd = dim->rows.size();
+    std::vector<Value> dim_keys(nd);
+    ForEachMorsel(nd, [&](size_t b, size_t e, size_t) {
+      for (size_t r = b; r < e; ++r) dim_keys[r] = dim_key->Eval(dim->rows[r]);
+    });
+    ValueSet keys;
+    for (Value& v : dim_keys) {
+      if (!v.is_null()) keys.insert(std::move(v));
+    }
+
+    size_t before = fact->rows.size();
+    std::vector<RowList> bufs(MorselCount(before));
+    ForEachMorsel(before, [&](size_t b, size_t e, size_t m) {
+      RowList& buf = bufs[m];
+      for (size_t r = b; r < e; ++r) {
+        Value v = fact_key->Eval(fact->rows[r]);
+        if (!v.is_null() && keys.find(v) != keys.end()) {
+          buf.push_back(std::move(fact->rows[r]));
+        }
+      }
+    });
+    fact->rows.clear();
+    ConcatMorsels(&bufs, &fact->rows);
+    if (stats_ != nullptr) {
+      stats_->star_filtered_rows +=
+          static_cast<int64_t>(before - fact->rows.size());
+    }
+    Trace(StringPrintf(
+        "star semi-join on %s (%zu dim keys): %zu -> %zu fact rows",
+        ExprToString(*node.fact_key).c_str(), keys.size(), before,
+        fact->rows.size()));
+    return fact;
+  }
+
+  Result<std::shared_ptr<RowSet>> ExecHashJoin(const PlanNode& node) {
+    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> left,
+                           Exec(node.children[0]));
+    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> right,
+                           Exec(node.children[1]));
+
+    auto out = std::make_shared<RowSet>();
+    out->cols = node.schema;
+
+    std::vector<std::unique_ptr<BoundExpr>> lkeys, rkeys;
+    for (const PlanEquiKey& pair : node.equi) {
+      TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> l,
+                             BindExpr(*pair.left, *left, this));
+      TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> r,
+                             BindExpr(*pair.right, *right, this));
+      lkeys.push_back(std::move(l));
+      rkeys.push_back(std::move(r));
+    }
+    RowSet combined_scope;
+    combined_scope.cols = node.schema;
+    TPCDS_ASSIGN_OR_RETURN(std::vector<std::unique_ptr<BoundExpr>> residual,
+                           BindAll(node.residual, combined_scope));
+
+    // Emits lrow ++ rrow into `buf` if the residual predicates pass.
+    auto emit = [&](const std::vector<Value>& lrow,
+                    const std::vector<Value>& rrow, RowList* buf) {
+      std::vector<Value> combined;
+      combined.reserve(out->cols.size());
+      combined.insert(combined.end(), lrow.begin(), lrow.end());
+      combined.insert(combined.end(), rrow.begin(), rrow.end());
+      for (const auto& rb : residual) {
+        Value v = rb->Eval(combined);
+        if (v.is_null() || !v.IsTruthy()) return false;
+      }
+      buf->push_back(std::move(combined));
+      return true;
+    };
+
+    size_t nl = left->rows.size();
+    std::vector<RowList> bufs(MorselCount(nl));
+    if (node.equi.empty()) {
+      // Nested-loop (cross product with residual filter).
+      ForEachMorsel(nl, [&](size_t b, size_t e, size_t m) {
+        RowList& buf = bufs[m];
+        for (size_t lr = b; lr < e; ++lr) {
+          const auto& lrow = left->rows[lr];
+          bool matched = false;
+          for (const auto& rrow : right->rows) {
+            matched |= emit(lrow, rrow, &buf);
+          }
+          if (node.left_outer && !matched) {
+            std::vector<Value> combined = lrow;
+            combined.resize(out->cols.size());
+            buf.push_back(std::move(combined));
+          }
+        }
+      });
+    } else {
+      // Partitioned build: hash every build-side key in parallel, assign
+      // rows to a fixed number of partitions serially (cheap), then build
+      // the per-partition tables in parallel. Row indices enter each
+      // match list in ascending order, so probe output is deterministic.
+      size_t nr = right->rows.size();
+      struct BuildKey {
+        std::vector<Value> key;
+        size_t hash = 0;
+        bool has_null = false;
+      };
+      std::vector<BuildKey> bkeys(nr);
+      ForEachMorsel(nr, [&](size_t b, size_t e, size_t) {
+        for (size_t r = b; r < e; ++r) {
+          BuildKey& bk = bkeys[r];
+          bk.key.reserve(rkeys.size());
+          for (const auto& k : rkeys) {
+            Value v = k->Eval(right->rows[r]);
+            bk.has_null |= v.is_null();
+            bk.key.push_back(std::move(v));
+          }
+          if (!bk.has_null) bk.hash = VecValueHash()(bk.key);
+        }
+      });
+      std::vector<std::vector<size_t>> part_rows(kJoinPartitions);
+      for (size_t r = 0; r < nr; ++r) {
+        if (!bkeys[r].has_null) {  // NULL keys never match
+          part_rows[bkeys[r].hash % kJoinPartitions].push_back(r);
+        }
+      }
+      using JoinTable =
+          std::unordered_map<std::vector<Value>, std::vector<size_t>,
+                             VecValueHash, VecValueEq>;
+      std::vector<JoinTable> tables(kJoinPartitions);
+      ParallelFor(kJoinPartitions, [&](size_t p) {
+        JoinTable& t = tables[p];
+        t.reserve(part_rows[p].size());
+        for (size_t r : part_rows[p]) {
+          t[std::move(bkeys[r].key)].push_back(r);
+        }
+      });
+
+      ForEachMorsel(nl, [&](size_t b, size_t e, size_t m) {
+        RowList& buf = bufs[m];
+        std::vector<Value> key;
+        for (size_t lr = b; lr < e; ++lr) {
+          const auto& lrow = left->rows[lr];
+          key.clear();
+          key.reserve(lkeys.size());
+          bool has_null = false;
+          for (const auto& k : lkeys) {
+            Value v = k->Eval(lrow);
+            has_null |= v.is_null();
+            key.push_back(std::move(v));
+          }
+          bool matched = false;
+          if (!has_null) {
+            const JoinTable& t =
+                tables[VecValueHash()(key) % kJoinPartitions];
+            auto it = t.find(key);
+            if (it != t.end()) {
+              for (size_t r : it->second) {
+                matched |= emit(lrow, right->rows[r], &buf);
+              }
+            }
+          }
+          if (node.left_outer && !matched) {
+            std::vector<Value> combined = lrow;
+            combined.resize(out->cols.size());
+            buf.push_back(std::move(combined));
+          }
+        }
+      });
+    }
+    ConcatMorsels(&bufs, &out->rows);
+    if (stats_ != nullptr) {
+      stats_->rows_joined += static_cast<int64_t>(out->rows.size());
+    }
+    Trace(StringPrintf(
+        "%s%s: %zu equi keys, %zu residual, %zu x %zu -> %zu rows",
+        node.equi.empty() ? "nested-loop join" : "hash join",
+        node.left_outer ? " (left outer)" : "", node.equi.size(),
+        node.residual.size(), left->rows.size(), right->rows.size(),
+        out->rows.size()));
+    return out;
+  }
+
+  Result<std::shared_ptr<RowSet>> ExecIndexJoin(const PlanNode& node) {
+    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> left,
+                           Exec(node.children[0]));
+    EngineTable* table = db_->FindTable(node.table_name);
+    if (table == nullptr) {
+      return Status::NotFound("unknown table: " + node.table_name);
+    }
+    auto out = std::make_shared<RowSet>();
+    out->cols = node.schema;
+
+    TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> probe,
+                           BindExpr(*node.probe_key, *left, this));
+    // Built (or fetched) before the parallel probes: the getter mutates
+    // the table's lazy index cache under its own mutex.
+    const EngineTable::HashIndex& index =
+        table->GetOrBuildIntIndex(node.index_col);
+
+    size_t nl = left->rows.size();
+    std::vector<RowList> bufs(MorselCount(nl));
+    ForEachMorsel(nl, [&](size_t b, size_t e, size_t m) {
+      RowList& buf = bufs[m];
+      for (size_t lr = b; lr < e; ++lr) {
+        const auto& lrow = left->rows[lr];
+        Value v = probe->Eval(lrow);
+        if (v.is_null()) continue;
+        auto it = index.find(v.AsInt());
+        if (it == index.end()) continue;
+        for (int64_t r : it->second) {
+          std::vector<Value> combined;
+          combined.reserve(out->cols.size());
+          combined.insert(combined.end(), lrow.begin(), lrow.end());
+          for (int c : node.scan_cols) {
+            combined.push_back(table->GetValue(r, c));
+          }
+          buf.push_back(std::move(combined));
+        }
+      }
+    });
+    ConcatMorsels(&bufs, &out->rows);
+    if (stats_ != nullptr) {
+      stats_->rows_joined += static_cast<int64_t>(out->rows.size());
+    }
+    Trace(StringPrintf(
+        "index join %s on %s: %zu probes -> %zu rows (no scan)",
+        table->name().c_str(),
+        table->column_meta(static_cast<size_t>(node.index_col)).name.c_str(),
+        left->rows.size(), out->rows.size()));
+    return out;
+  }
+
+  // ---- row-wise operators ---------------------------------------------
+
+  Result<std::shared_ptr<RowSet>> ExecFilter(const PlanNode& node) {
+    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> rs,
+                           ExecOwned(node.children[0]));
+    TPCDS_ASSIGN_OR_RETURN(std::vector<std::unique_ptr<BoundExpr>> preds,
+                           BindAll(node.predicates, *rs));
+    size_t n = rs->rows.size();
+    std::vector<RowList> bufs(MorselCount(n));
+    ForEachMorsel(n, [&](size_t b, size_t e, size_t m) {
+      RowList& buf = bufs[m];
+      for (size_t r = b; r < e; ++r) {
+        if (PassesAll(preds, rs->rows[r])) {
+          buf.push_back(std::move(rs->rows[r]));
+        }
+      }
+    });
+    rs->rows.clear();
+    ConcatMorsels(&bufs, &rs->rows);
+    return rs;
+  }
+
+  Result<std::shared_ptr<RowSet>> ExecProject(const PlanNode& node) {
+    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> input,
+                           Exec(node.children[0]));
+    std::vector<std::unique_ptr<BoundExpr>> projections;
+    projections.reserve(node.projections.size());
+    for (const PlanProjection& p : node.projections) {
+      if (p.expr == nullptr) {
+        projections.push_back(std::make_unique<SlotExpr>(p.slot));
+      } else {
+        TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> b,
+                               BindExpr(*p.expr, *input, this));
+        projections.push_back(std::move(b));
+      }
+    }
+    auto out = std::make_shared<RowSet>();
+    out->cols = node.schema;
+    out->num_visible = node.num_visible;
+    size_t n = input->rows.size();
+    out->rows.resize(n);  // 1:1 mapping: write morsel outputs in place
+    ForEachMorsel(n, [&](size_t b, size_t e, size_t) {
+      for (size_t r = b; r < e; ++r) {
+        const auto& row = input->rows[r];
+        std::vector<Value> projected;
+        projected.reserve(out->cols.size());
+        for (const auto& p : projections) projected.push_back(p->Eval(row));
+        for (const Value& v : row) projected.push_back(v);
+        out->rows[r] = std::move(projected);
+      }
+    });
+    return out;
+  }
+
+  Result<std::shared_ptr<RowSet>> ExecDistinct(const PlanNode& node) {
+    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> rs,
+                           ExecOwned(node.children[0]));
+    DistinctRows(rs.get());
+    return rs;
+  }
+
+  Result<std::shared_ptr<RowSet>> ExecSort(const PlanNode& node) {
+    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> rs,
+                           ExecOwned(node.children[0]));
+    std::vector<std::unique_ptr<BoundExpr>> bound;
+    std::vector<bool> desc;
+    for (const PlanSortKey& key : node.sort_keys) {
+      desc.push_back(key.desc);
+      if (key.expr == nullptr) {
+        bound.push_back(std::make_unique<SlotExpr>(key.ordinal));
+      } else {
+        TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> b,
+                               BindExpr(*key.expr, *rs, this));
+        bound.push_back(std::move(b));
+      }
+    }
+    size_t n = rs->rows.size();
+    std::vector<std::vector<Value>> keys(n);
+    ForEachMorsel(n, [&](size_t b, size_t e, size_t) {
+      for (size_t r = b; r < e; ++r) {
+        keys[r].reserve(bound.size());
+        for (const auto& k : bound) keys[r].push_back(k->Eval(rs->rows[r]));
+      }
+    });
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      for (size_t k = 0; k < bound.size(); ++k) {
+        int c = Value::Compare(keys[a][k], keys[b][k]);
+        if (c != 0) return desc[k] ? c > 0 : c < 0;
+      }
+      return false;
+    });
+    RowList sorted;
+    sorted.reserve(n);
+    for (size_t idx : order) sorted.push_back(std::move(rs->rows[idx]));
+    rs->rows = std::move(sorted);
+    return rs;
+  }
+
+  Result<std::shared_ptr<RowSet>> ExecLimit(const PlanNode& node) {
+    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> rs,
+                           ExecOwned(node.children[0]));
+    if (node.limit >= 0 &&
+        rs->rows.size() > static_cast<size_t>(node.limit)) {
+      rs->rows.resize(static_cast<size_t>(node.limit));
+    }
+    return rs;
+  }
+
+  Result<std::shared_ptr<RowSet>> ExecTruncate(const PlanNode& node) {
+    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> rs,
+                           ExecOwned(node.children[0]));
+    rs->cols = node.schema;
+    for (auto& row : rs->rows) row.resize(node.schema.size());
+    rs->num_visible = 0;
+    return rs;
+  }
+
+  Result<std::shared_ptr<RowSet>> ExecSetOp(const PlanNode& node) {
+    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> acc,
+                           ExecOwned(node.children[0]));
+    for (size_t i = 1; i < node.children.size(); ++i) {
+      TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> rs,
+                             ExecOwned(node.children[i]));
+      using Kind = SelectStmt::SetOpBranch::Kind;
+      switch (node.set_kinds[i - 1]) {
+        case Kind::kUnionAll:
+          for (auto& row : rs->rows) acc->rows.push_back(std::move(row));
+          break;
+        case Kind::kUnion:
+          for (auto& row : rs->rows) acc->rows.push_back(std::move(row));
+          DistinctRows(acc.get());
+          break;
+        case Kind::kIntersect:
+        case Kind::kExcept: {
+          std::unordered_set<std::vector<Value>, VecValueHash, VecValueEq>
+              other(rs->rows.begin(), rs->rows.end());
+          bool keep_present = node.set_kinds[i - 1] == Kind::kIntersect;
+          RowList kept;
+          for (auto& row : acc->rows) {
+            if ((other.count(row) != 0) == keep_present) {
+              kept.push_back(std::move(row));
+            }
+          }
+          acc->rows = std::move(kept);
+          DistinctRows(acc.get());  // set semantics
+          break;
+        }
+      }
+    }
+    return acc;
+  }
+
+  // ---- aggregation ----------------------------------------------------
+
+  Result<std::shared_ptr<RowSet>> ExecAggregate(const PlanNode& node) {
+    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> input,
+                           Exec(node.children[0]));
+    TPCDS_ASSIGN_OR_RETURN(std::vector<std::unique_ptr<BoundExpr>> key_exprs,
+                           BindAll(node.group_by, *input));
+    std::vector<std::unique_ptr<BoundExpr>> arg_exprs;
+    for (const PlanAggSpec& spec : node.aggs) {
+      if (spec.arg == nullptr) {
+        arg_exprs.push_back(nullptr);
+      } else {
+        TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> b,
+                               BindExpr(*spec.arg, *input, this));
+        arg_exprs.push_back(std::move(b));
+      }
+    }
+
+    using GroupMap =
+        std::unordered_map<std::vector<Value>, std::vector<Accumulator>,
+                           VecValueHash, VecValueEq>;
+    GroupMap groups;
+    std::vector<std::vector<Value>> group_order;
+    // Key depths: n for plain GROUP BY; n, n-1, ..., 0 for ROLLUP (the
+    // SQL-99 subtotal levels). Rolled-up key slots hold NULL.
+    std::vector<size_t> depths;
+    depths.push_back(key_exprs.size());
+    if (node.rollup) {
+      for (size_t d = key_exprs.size(); d-- > 0;) depths.push_back(d);
+    }
+    size_t n = input->rows.size();
+    for (size_t depth : depths) {
+      // Parallel partial aggregation: each morsel fills its own group map
+      // (recording first-appearance order), then partials merge serially
+      // in morsel order. The merge sequence — and therefore group order
+      // and any floating-point reassociation — depends only on the input.
+      size_t morsels = MorselCount(n);
+      std::vector<GroupMap> pmaps(morsels);
+      std::vector<std::vector<std::vector<Value>>> porders(morsels);
+      ForEachMorsel(n, [&](size_t b, size_t e, size_t m) {
+        GroupMap& pm = pmaps[m];
+        auto& po = porders[m];
+        for (size_t r = b; r < e; ++r) {
+          const auto& row = input->rows[r];
+          std::vector<Value> key(key_exprs.size());
+          for (size_t k = 0; k < depth; ++k) key[k] = key_exprs[k]->Eval(row);
+          auto it = pm.find(key);
+          if (it == pm.end()) {
+            std::vector<Accumulator> accs;
+            accs.reserve(node.aggs.size());
+            for (const PlanAggSpec& spec : node.aggs) accs.emplace_back(&spec);
+            it = pm.emplace(key, std::move(accs)).first;
+            po.push_back(key);
+          }
+          for (size_t i = 0; i < node.aggs.size(); ++i) {
+            if (node.aggs[i].star) {
+              it->second[i].Add(Value::Int(1));
+            } else {
+              it->second[i].Add(arg_exprs[i]->Eval(row));
+            }
+          }
+        }
+      });
+      for (size_t m = 0; m < morsels; ++m) {
+        for (auto& key : porders[m]) {
+          auto pit = pmaps[m].find(key);
+          auto it = groups.find(key);
+          if (it == groups.end()) {
+            groups.emplace(std::move(key), std::move(pit->second));
+            group_order.push_back(pit->first);
+          } else {
+            for (size_t i = 0; i < node.aggs.size(); ++i) {
+              it->second[i].Merge(pit->second[i]);
+            }
+          }
+        }
+      }
+    }
+    // No GROUP BY and no input rows still yields one (empty) group.
+    if (node.group_by.empty() && groups.empty()) {
+      std::vector<Accumulator> accs;
+      for (const PlanAggSpec& spec : node.aggs) accs.emplace_back(&spec);
+      groups.emplace(std::vector<Value>{}, std::move(accs));
+      group_order.emplace_back();
+    }
+
+    auto out = std::make_shared<RowSet>();
+    out->cols = node.schema;
+    out->rows.reserve(groups.size());
+    for (const auto& key : group_order) {
+      const std::vector<Accumulator>& accs = groups.at(key);
+      std::vector<Value> row = key;
+      for (const Accumulator& acc : accs) row.push_back(acc.Finalize());
+      out->rows.push_back(std::move(row));
+    }
+    Trace(StringPrintf(
+        "aggregate%s: %zu keys, %zu aggregates, %zu -> %zu groups",
+        node.rollup ? " (rollup)" : "", node.group_by.size(),
+        node.aggs.size(), input->rows.size(), out->rows.size()));
+    return out;
+  }
+
+  // ---- window functions -----------------------------------------------
+
+  Result<std::shared_ptr<RowSet>> ExecWindow(const PlanNode& node) {
+    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> scope,
+                           ExecOwned(node.children[0]));
+    for (const PlanWindowFn& fn : node.windows) {
+      TPCDS_ASSIGN_OR_RETURN(
+          std::vector<std::unique_ptr<BoundExpr>> part_exprs,
+          BindAll(fn.partition_by, *scope));
+      std::unordered_map<std::vector<Value>, std::vector<size_t>,
+                         VecValueHash, VecValueEq>
+          partitions;
+      for (size_t r = 0; r < scope->rows.size(); ++r) {
+        std::vector<Value> key;
+        key.reserve(part_exprs.size());
+        for (const auto& p : part_exprs) key.push_back(p->Eval(scope->rows[r]));
+        partitions[std::move(key)].push_back(r);
+      }
+
+      std::vector<Value> results(scope->rows.size());
+      if (fn.function == "RANK" || fn.function == "ROW_NUMBER" ||
+          fn.function == "DENSE_RANK") {
+        TPCDS_ASSIGN_OR_RETURN(
+            std::vector<std::unique_ptr<BoundExpr>> order_exprs,
+            BindAll(fn.order_by, *scope));
+        for (auto& [key, rows] : partitions) {
+          std::vector<std::vector<Value>> sort_keys(rows.size());
+          for (size_t i = 0; i < rows.size(); ++i) {
+            for (const auto& o : order_exprs) {
+              sort_keys[i].push_back(o->Eval(scope->rows[rows[i]]));
+            }
+          }
+          std::vector<size_t> idx(rows.size());
+          for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+          std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+            for (size_t k = 0; k < order_exprs.size(); ++k) {
+              int c = Value::Compare(sort_keys[a][k], sort_keys[b][k]);
+              if (c != 0) return fn.order_desc[k] ? c > 0 : c < 0;
+            }
+            return false;
+          });
+          int64_t rank = 0;
+          int64_t dense = 0;
+          for (size_t i = 0; i < idx.size(); ++i) {
+            bool tie = i > 0 &&
+                       VecValueEq()(sort_keys[idx[i]], sort_keys[idx[i - 1]]);
+            if (fn.function == "ROW_NUMBER") {
+              rank = static_cast<int64_t>(i) + 1;
+            } else if (fn.function == "RANK") {
+              if (!tie) rank = static_cast<int64_t>(i) + 1;
+            } else {  // DENSE_RANK
+              if (!tie) ++dense;
+              rank = dense;
+            }
+            results[rows[idx[i]]] = Value::Int(rank);
+          }
+        }
+      } else {
+        // Aggregate over the whole partition.
+        PlanAggSpec spec;
+        spec.function = fn.function;
+        spec.star = fn.star;
+        std::unique_ptr<BoundExpr> arg;
+        if (!spec.star && fn.arg != nullptr) {
+          TPCDS_ASSIGN_OR_RETURN(arg, BindExpr(*fn.arg, *scope, this));
+        }
+        for (auto& [key, rows] : partitions) {
+          Accumulator acc(&spec);
+          for (size_t r : rows) {
+            acc.Add(spec.star ? Value::Int(1) : arg->Eval(scope->rows[r]));
+          }
+          Value v = acc.Finalize();
+          for (size_t r : rows) results[r] = v;
+        }
+      }
+
+      RowSet::Col col;
+      col.name = fn.out_col;
+      scope->cols.push_back(std::move(col));
+      for (size_t r = 0; r < scope->rows.size(); ++r) {
+        scope->rows[r].push_back(results[r]);
+      }
+    }
+    return scope;
+  }
+
+  void DistinctRows(RowSet* rs) {
+    std::unordered_set<std::vector<Value>, VecValueHash, VecValueEq> seen;
+    RowList unique_rows;
+    size_t visible = rs->VisibleCols();
+    for (auto& row : rs->rows) {
+      std::vector<Value> key(row.begin(),
+                             row.begin() + static_cast<long>(visible));
+      if (seen.insert(std::move(key)).second) {
+        unique_rows.push_back(std::move(row));
+      }
+    }
+    rs->rows = std::move(unique_rows);
+  }
+
+  Database* db_;
+  PlannerOptions options_;
+  ExecStats* stats_;
+  const PhysicalPlan* plan_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;
+  std::map<std::string, std::shared_ptr<RowSet>> cte_results_;
+  std::map<const PlanNode*, std::shared_ptr<RowSet>> memo_;
+  double child_seconds_ = 0.0;
+};
+
+void EmitOperator(const PlanNode* node, int depth, ExecStats* stats,
+                  std::set<const PlanNode*>* visited) {
+  ExecStats::OpStat op;
+  op.label = PlanNodeLabel(*node);
+  op.depth = depth;
+  op.rows_in = node->stats.rows_in;
+  op.rows_out = node->stats.rows_out;
+  op.seconds = node->stats.seconds;
+  op.executed = node->stats.executed;
+  bool first_visit = visited->insert(node).second;
+  if (!first_visit) op.label += " (shared)";
+  stats->operators.push_back(std::move(op));
+  if (!first_visit) return;  // shared subtree already listed
+  for (const auto& c : node->children) {
+    EmitOperator(c.get(), depth + 1, stats, visited);
+  }
+}
+
+}  // namespace
+
+Result<std::shared_ptr<RowSet>> ExecutePlan(Database* db,
+                                            const PhysicalPlan& plan,
+                                            const PlannerOptions& options,
+                                            ExecStats* stats) {
+  PlanExecutor executor(db, options, stats, &plan);
+  Result<std::shared_ptr<RowSet>> result = executor.Run();
+  if (result.ok() && stats != nullptr) {
+    std::set<const PlanNode*> visited;
+    for (const auto& [name, node] : plan.ctes) {
+      EmitOperator(node.get(), 0, stats, &visited);
+    }
+    EmitOperator(plan.root.get(), 0, stats, &visited);
+  }
+  return result;
+}
+
+}  // namespace tpcds

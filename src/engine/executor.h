@@ -1,0 +1,31 @@
+#ifndef TPCDS_ENGINE_EXECUTOR_H_
+#define TPCDS_ENGINE_EXECUTOR_H_
+
+#include <memory>
+
+#include "engine/plan.h"
+#include "engine/planner.h"
+#include "engine/rowset.h"
+#include "util/result.h"
+
+namespace tpcds {
+
+class Database;
+
+/// Runs a physical plan against `db`. With `options.parallelism` > 1 the
+/// executor runs morsel-style intra-query parallelism on a per-query
+/// thread pool (0 = one worker per hardware core): partition-parallel
+/// scans and filters, partitioned hash-join build + probe, and parallel
+/// partial aggregation with deterministic merge. Morsels have a fixed row
+/// count independent of the worker count and partial results are always
+/// combined in morsel order, so results are byte-identical across
+/// parallelism levels. Fills `stats` (row counters, legacy plan trace,
+/// per-operator timings) when non-null.
+Result<std::shared_ptr<RowSet>> ExecutePlan(Database* db,
+                                            const PhysicalPlan& plan,
+                                            const PlannerOptions& options,
+                                            ExecStats* stats = nullptr);
+
+}  // namespace tpcds
+
+#endif  // TPCDS_ENGINE_EXECUTOR_H_

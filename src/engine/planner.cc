@@ -1,1329 +1,22 @@
 #include "engine/planner.h"
 
-#include <algorithm>
-#include <cmath>
-#include <map>
-#include <unordered_map>
-#include <unordered_set>
-
-#include "engine/database.h"
-#include "engine/expr_eval.h"
-#include "engine/table.h"
-#include "util/string_util.h"
+#include "engine/executor.h"
+#include "engine/plan.h"
 
 namespace tpcds {
-namespace {
 
-// ------------------------------------------------------------ value keys
-
-struct VecValueHash {
-  size_t operator()(const std::vector<Value>& key) const {
-    size_t h = 1469598103u;
-    for (const Value& v : key) h = h * 1099511628211ULL ^ v.Hash();
-    return h;
-  }
-};
-struct VecValueEq {
-  bool operator()(const std::vector<Value>& a,
-                  const std::vector<Value>& b) const {
-    if (a.size() != b.size()) return false;
-    for (size_t i = 0; i < a.size(); ++i) {
-      bool an = a[i].is_null();
-      bool bn = b[i].is_null();
-      if (an != bn) return false;
-      if (!an && Value::Compare(a[i], b[i]) != 0) return false;
-    }
-    return true;
-  }
-};
-
-struct ValueHasher {
-  size_t operator()(const Value& v) const { return v.Hash(); }
-};
-struct ValueEq {
-  bool operator()(const Value& a, const Value& b) const {
-    if (a.is_null() && b.is_null()) return true;
-    if (a.is_null() || b.is_null()) return false;
-    return Value::Compare(a, b) == 0;
-  }
-};
-using ValueSet = std::unordered_set<Value, ValueHasher, ValueEq>;
-
-// --------------------------------------------------------- AST utilities
-
-void FlattenConjuncts(const Expr* e, std::vector<const Expr*>* out) {
-  if (e == nullptr) return;
-  if (e->tag == Expr::Tag::kBinary && e->name == "AND") {
-    FlattenConjuncts(e->children[0].get(), out);
-    FlattenConjuncts(e->children[1].get(), out);
-    return;
-  }
-  out->push_back(e);
-}
-
-void CollectColumnRefs(const Expr& e,
-                       std::vector<const Expr*>* out) {
-  if (e.tag == Expr::Tag::kColumnRef) out->push_back(&e);
-  for (const auto& c : e.children) CollectColumnRefs(*c, out);
-  for (const auto& c : e.partition_by) CollectColumnRefs(*c, out);
-  for (const auto& c : e.order_by) CollectColumnRefs(*c, out);
-  // Subquery bodies bind their own scopes (uncorrelated only).
-}
-
-void CollectStmtColumnRefs(const SelectStmt& stmt,
-                           std::vector<const Expr*>* out) {
-  for (const SelectItem& item : stmt.select_items) {
-    if (item.expr != nullptr) CollectColumnRefs(*item.expr, out);
-  }
-  for (const FromItem& f : stmt.from_items) {
-    if (f.join_condition != nullptr) CollectColumnRefs(*f.join_condition, out);
-  }
-  if (stmt.where != nullptr) CollectColumnRefs(*stmt.where, out);
-  for (const auto& g : stmt.group_by) CollectColumnRefs(*g, out);
-  if (stmt.having != nullptr) CollectColumnRefs(*stmt.having, out);
-  for (const OrderItem& o : stmt.order_by) CollectColumnRefs(*o.expr, out);
-}
-
-bool ResolvableIn(const Expr& e, const RowSet& scope) {
-  std::vector<const Expr*> refs;
-  CollectColumnRefs(e, &refs);
-  for (const Expr* r : refs) {
-    if (!scope.Resolve(r->qualifier, r->name).ok()) return false;
-  }
-  return true;
-}
-
-bool ExprHasSubquery(const Expr& e) {
-  if (e.tag == Expr::Tag::kInSubquery ||
-      e.tag == Expr::Tag::kScalarSubquery ||
-      e.tag == Expr::Tag::kExistsSubquery) {
-    return true;
-  }
-  for (const auto& c : e.children) {
-    if (ExprHasSubquery(*c)) return true;
-  }
-  return false;
-}
-
-// ------------------------------------------------------------- aggregates
-
-struct AggSpec {
-  std::string key;       // canonical text (dedup)
-  std::string function;  // SUM/MIN/MAX/AVG/COUNT/STDDEV_SAMP
-  bool distinct = false;
-  bool star = false;     // COUNT(*)
-  const Expr* arg = nullptr;
-};
-
-class Accumulator {
- public:
-  explicit Accumulator(const AggSpec* spec) : spec_(spec) {}
-
-  void Add(const Value& v) {
-    if (spec_->star) {
-      ++count_;
-      return;
-    }
-    if (v.is_null()) return;
-    if (spec_->distinct) {
-      distinct_.insert(v);
-      return;
-    }
-    Accept(v);
-  }
-
-  Value Finalize() const {
-    if (spec_->distinct && !spec_->star) {
-      Accumulator plain(&plain_spec());
-      for (const Value& v : distinct_) plain.Accept(v);
-      plain.count_ = static_cast<int64_t>(distinct_.size());
-      return plain.FinalizePlain(spec_->function);
-    }
-    return FinalizePlain(spec_->function);
-  }
-
- private:
-  static const AggSpec& plain_spec() {
-    static const AggSpec& s = *new AggSpec{};
-    return s;
-  }
-
-  void Accept(const Value& v) {
-    ++count_;
-    double d = v.AsDouble();
-    sum_double_ += d;
-    sum_squares_ += d * d;
-    if (v.kind() == Value::Kind::kDecimal) {
-      sum_cents_ += v.AsDecimal().cents();
-      saw_decimal_ = true;
-    } else if (v.kind() == Value::Kind::kInt) {
-      sum_int_ += v.AsInt();
-    } else {
-      saw_double_ = true;
-    }
-    if (min_.is_null() || Value::Compare(v, min_) < 0) min_ = v;
-    if (max_.is_null() || Value::Compare(v, max_) > 0) max_ = v;
-  }
-
-  Value FinalizePlain(const std::string& function) const {
-    if (function == "COUNT") return Value::Int(count_);
-    if (count_ == 0) return Value::Null();
-    if (function == "SUM") {
-      if (saw_double_) return Value::Dbl(sum_double_);
-      if (saw_decimal_) {
-        return Value::Dec(Decimal::FromCents(
-            sum_cents_ + sum_int_ * Decimal::kScale));
-      }
-      return Value::Int(sum_int_);
-    }
-    if (function == "AVG") {
-      return Value::Dbl(sum_double_ / static_cast<double>(count_));
-    }
-    if (function == "MIN") return min_;
-    if (function == "MAX") return max_;
-    if (function == "STDDEV_SAMP") {
-      if (count_ < 2) return Value::Null();
-      double n = static_cast<double>(count_);
-      double var = (sum_squares_ - sum_double_ * sum_double_ / n) / (n - 1);
-      return Value::Dbl(var < 0 ? 0.0 : std::sqrt(var));
-    }
-    return Value::Null();
-  }
-
-  const AggSpec* spec_;
-  int64_t count_ = 0;
-  int64_t sum_int_ = 0;
-  int64_t sum_cents_ = 0;
-  double sum_double_ = 0.0;
-  double sum_squares_ = 0.0;
-  bool saw_decimal_ = false;
-  bool saw_double_ = false;
-  Value min_;
-  Value max_;
-  ValueSet distinct_;
-};
-
-void CollectAggregates(const Expr& e, std::vector<AggSpec>* specs) {
-  if (e.tag == Expr::Tag::kAggregate) {
-    AggSpec spec;
-    spec.key = ExprToString(e);
-    spec.function = e.name;
-    spec.distinct = e.distinct;
-    spec.star = !e.children.empty() && e.children[0]->tag == Expr::Tag::kStar;
-    spec.arg = spec.star || e.children.empty() ? nullptr
-                                               : e.children[0].get();
-    for (const AggSpec& s : *specs) {
-      if (s.key == spec.key) return;  // dedup; aggregates don't nest
-    }
-    specs->push_back(spec);
-    return;
-  }
-  for (const auto& c : e.children) CollectAggregates(*c, specs);
-  for (const auto& c : e.partition_by) CollectAggregates(*c, specs);
-  for (const auto& c : e.order_by) CollectAggregates(*c, specs);
-}
-
-// --------------------------------------------------------------- windows
-
-struct WindowSpec {
-  std::string key;
-  const Expr* node = nullptr;
-};
-
-void CollectWindows(const Expr& e, std::vector<WindowSpec>* specs) {
-  if (e.tag == Expr::Tag::kWindow) {
-    WindowSpec spec{ExprToString(e), &e};
-    for (const WindowSpec& s : *specs) {
-      if (s.key == spec.key) return;
-    }
-    specs->push_back(spec);
-    return;
-  }
-  for (const auto& c : e.children) CollectWindows(*c, specs);
-}
-
-/// Rewrites an expression tree, replacing sub-expressions whose canonical
-/// text appears in `replacements` with bare column references.
-std::unique_ptr<Expr> RewriteExpr(
-    const Expr& e, const std::map<std::string, std::string>& replacements) {
-  auto it = replacements.find(ExprToString(e));
-  if (it != replacements.end()) {
-    auto ref = std::make_unique<Expr>();
-    ref->tag = Expr::Tag::kColumnRef;
-    // Replacement targets are spelled "name" or "qualifier.name".
-    size_t dot = it->second.find('.');
-    if (dot == std::string::npos) {
-      ref->name = it->second;
-    } else {
-      ref->qualifier = it->second.substr(0, dot);
-      ref->name = it->second.substr(dot + 1);
-    }
-    return ref;
-  }
-  std::unique_ptr<Expr> out = e.Clone();
-  out->children.clear();
-  out->partition_by.clear();
-  out->order_by.clear();
-  for (const auto& c : e.children) {
-    out->children.push_back(RewriteExpr(*c, replacements));
-  }
-  for (const auto& c : e.partition_by) {
-    out->partition_by.push_back(RewriteExpr(*c, replacements));
-  }
-  for (const auto& c : e.order_by) {
-    out->order_by.push_back(RewriteExpr(*c, replacements));
-  }
-  return out;
-}
-
-// -------------------------------------------------------------- executor
-
-class Executor : public SubqueryEvaluator {
- public:
-  Executor(Database* db, const PlannerOptions& options, ExecStats* stats)
-      : db_(db), options_(options), stats_(stats) {}
-
-  Result<std::shared_ptr<RowSet>> Run(const SelectStmt& stmt) {
-    for (const auto& [name, cte] : stmt.ctes) {
-      TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> rs,
-                             RunSelectCore(*cte));
-      ctes_[ToLower(name)] = std::move(rs);
-    }
-    return RunSelectCore(stmt);
-  }
-
-  // SubqueryEvaluator: first visible column of the subquery result.
-  Result<std::vector<Value>> EvaluateColumn(const SelectStmt& stmt) override {
-    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> rs, RunSelectCore(stmt));
-    std::vector<Value> out;
-    out.reserve(rs->rows.size());
-    for (const auto& row : rs->rows) {
-      if (!row.empty()) out.push_back(row[0]);
-    }
-    return out;
-  }
-
- private:
-  // select core = bare select (+ unions) + order/limit; returns a rowset
-  // truncated to visible columns.
-  Result<std::shared_ptr<RowSet>> RunSelectCore(const SelectStmt& stmt) {
-    if (stmt.set_ops.empty()) {
-      TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> rs,
-                             RunBareSelect(stmt, &stmt.order_by, stmt.limit));
-      Truncate(rs.get());
-      return rs;
-    }
-    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> acc,
-                           RunBareSelect(stmt, nullptr, -1));
-    Truncate(acc.get());
-    for (const auto& branch : stmt.set_ops) {
-      TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> rs,
-                             RunBareSelect(*branch.stmt, nullptr, -1));
-      Truncate(rs.get());
-      if (rs->cols.size() != acc->cols.size()) {
-        return Status::InvalidArgument("set operation arity mismatch");
-      }
-      using Kind = SelectStmt::SetOpBranch::Kind;
-      switch (branch.kind) {
-        case Kind::kUnionAll:
-          for (auto& row : rs->rows) acc->rows.push_back(std::move(row));
-          break;
-        case Kind::kUnion: {
-          for (auto& row : rs->rows) acc->rows.push_back(std::move(row));
-          Distinct(acc.get());
-          break;
-        }
-        case Kind::kIntersect:
-        case Kind::kExcept: {
-          std::unordered_set<std::vector<Value>, VecValueHash, VecValueEq>
-              other(rs->rows.begin(), rs->rows.end());
-          bool keep_present = branch.kind == Kind::kIntersect;
-          std::vector<std::vector<Value>> kept;
-          for (auto& row : acc->rows) {
-            if ((other.count(row) != 0) == keep_present) {
-              kept.push_back(std::move(row));
-            }
-          }
-          acc->rows = std::move(kept);
-          Distinct(acc.get());  // set semantics
-          break;
-        }
-      }
-    }
-    // ORDER BY over the combined output: aliases / ordinals / names.
-    if (!stmt.order_by.empty()) {
-      TPCDS_RETURN_NOT_OK(SortRowSet(acc.get(), stmt.order_by));
-    }
-    ApplyLimit(acc.get(), stmt.limit);
-    return acc;
-  }
-
-  static void Truncate(RowSet* rs) {
-    size_t visible = rs->VisibleCols();
-    if (visible == rs->cols.size()) {
-      rs->num_visible = 0;
-      return;
-    }
-    rs->cols.resize(visible);
-    for (auto& row : rs->rows) row.resize(visible);
-    rs->num_visible = 0;
-  }
-
-  static void ApplyLimit(RowSet* rs, int64_t limit) {
-    if (limit >= 0 && rs->rows.size() > static_cast<size_t>(limit)) {
-      rs->rows.resize(static_cast<size_t>(limit));
-    }
-  }
-
-  /// Sorts on order items resolved against the rowset (visible first).
-  Status SortRowSet(RowSet* rs, const std::vector<OrderItem>& order_by) {
-    struct SortKey {
-      std::vector<Value> values;
-    };
-    std::vector<std::unique_ptr<BoundExpr>> bound;
-    std::vector<bool> desc;
-    for (const OrderItem& item : order_by) {
-      desc.push_back(item.desc);
-      // Ordinal reference.
-      if (item.expr->tag == Expr::Tag::kLiteral &&
-          item.expr->literal.kind() == Value::Kind::kInt) {
-        int64_t ordinal = item.expr->literal.AsInt();
-        if (ordinal < 1 ||
-            ordinal > static_cast<int64_t>(rs->VisibleCols())) {
-          return Status::InvalidArgument("ORDER BY ordinal out of range");
-        }
-        bound.push_back(std::make_unique<OrdinalExpr>(
-            static_cast<int>(ordinal - 1)));
-        continue;
-      }
-      TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> b,
-                             BindExpr(*item.expr, *rs, this));
-      bound.push_back(std::move(b));
-    }
-    std::vector<size_t> order(rs->rows.size());
-    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::vector<SortKey> keys(rs->rows.size());
-    for (size_t i = 0; i < rs->rows.size(); ++i) {
-      keys[i].values.reserve(bound.size());
-      for (const auto& b : bound) keys[i].values.push_back(b->Eval(rs->rows[i]));
-    }
-    std::stable_sort(order.begin(), order.end(),
-                     [&](size_t a, size_t b) {
-                       for (size_t k = 0; k < bound.size(); ++k) {
-                         int c = Value::Compare(keys[a].values[k],
-                                                keys[b].values[k]);
-                         if (c != 0) return desc[k] ? c > 0 : c < 0;
-                       }
-                       return false;
-                     });
-    std::vector<std::vector<Value>> sorted;
-    sorted.reserve(rs->rows.size());
-    for (size_t idx : order) sorted.push_back(std::move(rs->rows[idx]));
-    rs->rows = std::move(sorted);
-    return Status::OK();
-  }
-
-  class OrdinalExpr : public BoundExpr {
-   public:
-    explicit OrdinalExpr(int idx) : idx_(idx) {}
-    Value Eval(const std::vector<Value>& row) const override {
-      return row[static_cast<size_t>(idx_)];
-    }
-
-   private:
-    int idx_;
-  };
-
-  /// One SELECT block without unions. Returns an *extended* rowset: the
-  /// projected items first (visible), then the full input scope (hidden).
-  /// Applies ORDER BY/LIMIT when `order_by` is provided.
-  Result<std::shared_ptr<RowSet>> RunBareSelect(
-      const SelectStmt& stmt, const std::vector<OrderItem>* order_by,
-      int64_t limit) {
-    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> scope, PlanFrom(stmt));
-
-    // ---- aggregation --------------------------------------------------
-    std::map<std::string, std::string> rewrites;
-    bool has_aggregates = !stmt.group_by.empty();
-    std::vector<AggSpec> agg_specs;
-    auto scan_exprs = [&](const SelectStmt& s) {
-      for (const SelectItem& item : s.select_items) {
-        if (item.expr != nullptr) CollectAggregates(*item.expr, &agg_specs);
-      }
-      if (s.having != nullptr) CollectAggregates(*s.having, &agg_specs);
-      for (const OrderItem& o : s.order_by) {
-        CollectAggregates(*o.expr, &agg_specs);
-      }
-    };
-    scan_exprs(stmt);
-    has_aggregates = has_aggregates || !agg_specs.empty();
-
-    if (has_aggregates) {
-      TPCDS_ASSIGN_OR_RETURN(
-          scope, Aggregate(stmt, *scope, agg_specs, &rewrites));
-      if (stmt.having != nullptr) {
-        std::unique_ptr<Expr> having = RewriteExpr(*stmt.having, rewrites);
-        TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> bound,
-                               BindExpr(*having, *scope, this));
-        FilterRows(scope.get(), *bound);
-      }
-    }
-
-    // ---- window functions --------------------------------------------
-    std::vector<WindowSpec> window_specs;
-    for (const SelectItem& item : stmt.select_items) {
-      if (item.expr != nullptr) CollectWindows(*item.expr, &window_specs);
-    }
-    if (order_by != nullptr) {
-      for (const OrderItem& o : *order_by) {
-        CollectWindows(*o.expr, &window_specs);
-      }
-    }
-    if (!window_specs.empty()) {
-      TPCDS_RETURN_NOT_OK(
-          ComputeWindows(window_specs, rewrites, scope.get(), &rewrites));
-    }
-
-    // ---- projection ----------------------------------------------------
-    auto out = std::make_shared<RowSet>();
-    std::vector<std::unique_ptr<BoundExpr>> projections;
-    for (const SelectItem& item : stmt.select_items) {
-      if (item.is_star) {
-        for (size_t i = 0; i < scope->cols.size(); ++i) {
-          out->cols.push_back(scope->cols[i]);
-          projections.push_back(std::make_unique<OrdinalExpr>(
-              static_cast<int>(i)));
-        }
-        continue;
-      }
-      std::unique_ptr<Expr> rewritten = RewriteExpr(*item.expr, rewrites);
-      TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> bound,
-                             BindExpr(*rewritten, *scope, this));
-      projections.push_back(std::move(bound));
-      RowSet::Col col;
-      if (!item.alias.empty()) {
-        col.name = item.alias;
-      } else if (item.expr->tag == Expr::Tag::kColumnRef) {
-        col.qualifier = item.expr->qualifier;
-        col.name = item.expr->name;
-      } else {
-        col.name = ExprToString(*item.expr);
-      }
-      out->cols.push_back(std::move(col));
-    }
-    size_t visible = out->cols.size();
-    for (const RowSet::Col& c : scope->cols) out->cols.push_back(c);
-    out->num_visible = visible;
-
-    out->rows.reserve(scope->rows.size());
-    for (const auto& row : scope->rows) {
-      std::vector<Value> projected;
-      projected.reserve(out->cols.size());
-      for (const auto& p : projections) projected.push_back(p->Eval(row));
-      for (const Value& v : row) projected.push_back(v);
-      out->rows.push_back(std::move(projected));
-    }
-
-    if (stmt.select_distinct) Distinct(out.get());
-
-    if (order_by != nullptr && !order_by->empty()) {
-      // Rewrite aggregates/windows in ORDER BY before binding.
-      std::vector<OrderItem> rewritten_order;
-      for (const OrderItem& o : *order_by) {
-        OrderItem item;
-        item.desc = o.desc;
-        item.expr = RewriteExpr(*o.expr, rewrites);
-        rewritten_order.push_back(std::move(item));
-      }
-      TPCDS_RETURN_NOT_OK(SortRowSet(out.get(), rewritten_order));
-    }
-    ApplyLimit(out.get(), limit);
-    return out;
-  }
-
-  void Distinct(RowSet* rs) {
-    std::unordered_set<std::vector<Value>, VecValueHash, VecValueEq> seen;
-    std::vector<std::vector<Value>> unique_rows;
-    size_t visible = rs->VisibleCols();
-    for (auto& row : rs->rows) {
-      std::vector<Value> key(row.begin(),
-                             row.begin() + static_cast<long>(visible));
-      if (seen.insert(std::move(key)).second) {
-        unique_rows.push_back(std::move(row));
-      }
-    }
-    rs->rows = std::move(unique_rows);
-  }
-
-  static void FilterRows(RowSet* rs, const BoundExpr& predicate) {
-    std::vector<std::vector<Value>> kept;
-    kept.reserve(rs->rows.size());
-    for (auto& row : rs->rows) {
-      Value v = predicate.Eval(row);
-      if (!v.is_null() && v.IsTruthy()) kept.push_back(std::move(row));
-    }
-    rs->rows = std::move(kept);
-  }
-
-  // ---- aggregation ----------------------------------------------------
-  Result<std::shared_ptr<RowSet>> Aggregate(
-      const SelectStmt& stmt, const RowSet& input,
-      const std::vector<AggSpec>& specs,
-      std::map<std::string, std::string>* rewrites) {
-    // Bind group-by keys and aggregate arguments against the input.
-    std::vector<std::unique_ptr<BoundExpr>> key_exprs;
-    for (const auto& g : stmt.group_by) {
-      TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> b,
-                             BindExpr(*g, input, this));
-      key_exprs.push_back(std::move(b));
-    }
-    std::vector<std::unique_ptr<BoundExpr>> arg_exprs;
-    for (const AggSpec& spec : specs) {
-      if (spec.arg == nullptr) {
-        arg_exprs.push_back(nullptr);
-      } else {
-        TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> b,
-                               BindExpr(*spec.arg, input, this));
-        arg_exprs.push_back(std::move(b));
-      }
-    }
-
-    std::unordered_map<std::vector<Value>, std::vector<Accumulator>,
-                       VecValueHash, VecValueEq>
-        groups;
-    std::vector<std::vector<Value>> group_order;
-    // Key depths: n for plain GROUP BY; n, n-1, ..., 0 for ROLLUP (the
-    // SQL-99 subtotal levels). Rolled-up key slots hold NULL.
-    std::vector<size_t> depths;
-    depths.push_back(key_exprs.size());
-    if (stmt.group_rollup) {
-      for (size_t d = key_exprs.size(); d-- > 0;) depths.push_back(d);
-    }
-    for (size_t depth : depths) {
-      for (const auto& row : input.rows) {
-        std::vector<Value> key(key_exprs.size());
-        for (size_t k = 0; k < depth; ++k) key[k] = key_exprs[k]->Eval(row);
-        auto it = groups.find(key);
-        if (it == groups.end()) {
-          std::vector<Accumulator> accs;
-          accs.reserve(specs.size());
-          for (const AggSpec& spec : specs) accs.emplace_back(&spec);
-          it = groups.emplace(key, std::move(accs)).first;
-          group_order.push_back(key);
-        }
-        for (size_t i = 0; i < specs.size(); ++i) {
-          if (specs[i].star) {
-            it->second[i].Add(Value::Int(1));
-          } else {
-            it->second[i].Add(arg_exprs[i]->Eval(row));
-          }
-        }
-      }
-    }
-    // No GROUP BY and no input rows still yields one (empty) group.
-    if (stmt.group_by.empty() && groups.empty()) {
-      std::vector<Accumulator> accs;
-      for (const AggSpec& spec : specs) accs.emplace_back(&spec);
-      groups.emplace(std::vector<Value>{}, std::move(accs));
-      group_order.emplace_back();
-    }
-
-    auto out = std::make_shared<RowSet>();
-    for (size_t g = 0; g < stmt.group_by.size(); ++g) {
-      RowSet::Col col;
-      const Expr& e = *stmt.group_by[g];
-      if (e.tag == Expr::Tag::kColumnRef) {
-        col.qualifier = e.qualifier;
-        col.name = e.name;
-      } else {
-        col.name = "#gb" + std::to_string(g);
-      }
-      (*rewrites)[ExprToString(e)] =
-          col.qualifier.empty() ? col.name : col.qualifier + "." + col.name;
-      out->cols.push_back(std::move(col));
-    }
-    for (size_t i = 0; i < specs.size(); ++i) {
-      RowSet::Col col;
-      col.name = "#agg" + std::to_string(i);
-      (*rewrites)[specs[i].key] = col.name;
-      out->cols.push_back(std::move(col));
-    }
-    out->rows.reserve(groups.size());
-    for (const auto& key : group_order) {
-      const std::vector<Accumulator>& accs = groups.at(key);
-      std::vector<Value> row = key;
-      for (const Accumulator& acc : accs) row.push_back(acc.Finalize());
-      out->rows.push_back(std::move(row));
-    }
-    if (stats_ != nullptr) {
-      stats_->plan.push_back(StringPrintf(
-          "aggregate%s: %zu keys, %zu aggregates, %zu -> %zu groups",
-          stmt.group_rollup ? " (rollup)" : "", stmt.group_by.size(),
-          specs.size(), input.rows.size(), out->rows.size()));
-    }
-    return out;
-  }
-
-  // ---- window functions -----------------------------------------------
-  Status ComputeWindows(const std::vector<WindowSpec>& specs,
-                        const std::map<std::string, std::string>& rewrites,
-                        RowSet* scope,
-                        std::map<std::string, std::string>* out_rewrites) {
-    for (size_t w = 0; w < specs.size(); ++w) {
-      const Expr& node = *specs[w].node;
-      // Partition keys.
-      std::vector<std::unique_ptr<BoundExpr>> part_exprs;
-      for (const auto& p : node.partition_by) {
-        std::unique_ptr<Expr> rewritten = RewriteExpr(*p, rewrites);
-        TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> b,
-                               BindExpr(*rewritten, *scope, this));
-        part_exprs.push_back(std::move(b));
-      }
-      std::unordered_map<std::vector<Value>, std::vector<size_t>,
-                         VecValueHash, VecValueEq>
-          partitions;
-      std::vector<std::vector<Value>> keys(scope->rows.size());
-      for (size_t r = 0; r < scope->rows.size(); ++r) {
-        std::vector<Value> key;
-        key.reserve(part_exprs.size());
-        for (const auto& p : part_exprs) {
-          key.push_back(p->Eval(scope->rows[r]));
-        }
-        partitions[key].push_back(r);
-        keys[r] = std::move(key);
-      }
-
-      std::vector<Value> results(scope->rows.size());
-      const std::string fname = node.name;
-      if (fname == "RANK" || fname == "ROW_NUMBER" || fname == "DENSE_RANK") {
-        std::vector<std::unique_ptr<BoundExpr>> order_exprs;
-        for (const auto& o : node.order_by) {
-          std::unique_ptr<Expr> rewritten = RewriteExpr(*o, rewrites);
-          TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> b,
-                                 BindExpr(*rewritten, *scope, this));
-          order_exprs.push_back(std::move(b));
-        }
-        for (auto& [key, rows] : partitions) {
-          std::vector<std::vector<Value>> sort_keys(rows.size());
-          for (size_t i = 0; i < rows.size(); ++i) {
-            for (const auto& o : order_exprs) {
-              sort_keys[i].push_back(o->Eval(scope->rows[rows[i]]));
-            }
-          }
-          std::vector<size_t> idx(rows.size());
-          for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
-          std::stable_sort(idx.begin(), idx.end(),
-                           [&](size_t a, size_t b) {
-                             for (size_t k = 0; k < order_exprs.size(); ++k) {
-                               int c = Value::Compare(sort_keys[a][k],
-                                                      sort_keys[b][k]);
-                               if (c != 0) {
-                                 return node.order_desc[k] ? c > 0 : c < 0;
-                               }
-                             }
-                             return false;
-                           });
-          int64_t rank = 0;
-          int64_t dense = 0;
-          for (size_t i = 0; i < idx.size(); ++i) {
-            bool tie = i > 0 &&
-                       VecValueEq()(sort_keys[idx[i]], sort_keys[idx[i - 1]]);
-            if (fname == "ROW_NUMBER") {
-              rank = static_cast<int64_t>(i) + 1;
-            } else if (fname == "RANK") {
-              if (!tie) rank = static_cast<int64_t>(i) + 1;
-            } else {  // DENSE_RANK
-              if (!tie) ++dense;
-              rank = dense;
-            }
-            results[rows[idx[i]]] = Value::Int(rank);
-          }
-        }
-      } else {
-        // Aggregate over the whole partition.
-        AggSpec spec;
-        spec.function = fname;
-        spec.star =
-            !node.children.empty() && node.children[0]->tag == Expr::Tag::kStar;
-        std::unique_ptr<BoundExpr> arg;
-        if (!spec.star && !node.children.empty()) {
-          std::unique_ptr<Expr> rewritten =
-              RewriteExpr(*node.children[0], rewrites);
-          TPCDS_ASSIGN_OR_RETURN(arg, BindExpr(*rewritten, *scope, this));
-        }
-        for (auto& [key, rows] : partitions) {
-          Accumulator acc(&spec);
-          for (size_t r : rows) {
-            acc.Add(spec.star ? Value::Int(1) : arg->Eval(scope->rows[r]));
-          }
-          Value v = acc.Finalize();
-          for (size_t r : rows) results[r] = v;
-        }
-      }
-
-      std::string col_name = "#win" + std::to_string(w);
-      (*out_rewrites)[specs[w].key] = col_name;
-      RowSet::Col col;
-      col.name = col_name;
-      scope->cols.push_back(std::move(col));
-      for (size_t r = 0; r < scope->rows.size(); ++r) {
-        scope->rows[r].push_back(results[r]);
-      }
-    }
-    return Status::OK();
-  }
-
-  // ---- FROM planning ---------------------------------------------------
-  Result<std::shared_ptr<RowSet>> PlanFrom(const SelectStmt& stmt);
-  Result<std::shared_ptr<RowSet>> BuildFromItem(
-      const SelectStmt& stmt, const FromItem& item,
-      const std::vector<const Expr*>& conjuncts,
-      std::vector<bool>* consumed);
-  void PruneColumns(const SelectStmt& stmt, const std::string& qualifier,
-                    EngineTable* table, std::vector<int>* needed,
-                    std::vector<RowSet::Col>* out_cols);
-  Result<std::shared_ptr<RowSet>> ScanTable(
-      const SelectStmt& stmt, const std::string& table_name,
-      const std::string& alias, const std::vector<const Expr*>& conjuncts,
-      std::vector<bool>* consumed);
-  Result<std::shared_ptr<RowSet>> HashJoin(std::shared_ptr<RowSet> left,
-                                           std::shared_ptr<RowSet> right,
-                                           const std::vector<const Expr*>&
-                                               join_conjuncts,
-                                           bool left_outer);
-  Result<std::shared_ptr<RowSet>> IndexJoin(const SelectStmt& stmt,
-                                            std::shared_ptr<RowSet> left,
-                                            EngineTable* table,
-                                            const std::string& qualifier,
-                                            const Expr& left_key_expr,
-                                            int index_col);
-
-  Database* db_;
-  PlannerOptions options_;
-  ExecStats* stats_;
-  std::map<std::string, std::shared_ptr<RowSet>> ctes_;
-};
-
-}  // namespace
-
-// ---------------------------------------------------------------- scans
-
-void Executor::PruneColumns(const SelectStmt& stmt,
-                            const std::string& qualifier,
-                            EngineTable* table, std::vector<int>* needed,
-                            std::vector<RowSet::Col>* out_cols) {
-  // Column pruning: a column is needed if any reference in the statement
-  // can resolve to it through this alias.
-  std::vector<const Expr*> refs;
-  CollectStmtColumnRefs(stmt, &refs);
-  std::unordered_set<std::string> added;
-  for (const Expr* ref : refs) {
-    if (!ref->qualifier.empty() &&
-        !EqualsIgnoreCase(ref->qualifier, qualifier)) {
-      continue;
-    }
-    int idx = table->ColumnIndex(ToLower(ref->name));
-    if (idx < 0) continue;
-    std::string key = ToLower(ref->name);
-    if (!added.insert(key).second) continue;
-    needed->push_back(idx);
-    out_cols->push_back(RowSet::Col{qualifier, table->column_meta(
-                                                   static_cast<size_t>(idx))
-                                                   .name});
-  }
-}
-
-Result<std::shared_ptr<RowSet>> Executor::ScanTable(
-    const SelectStmt& stmt, const std::string& table_name,
-    const std::string& alias, const std::vector<const Expr*>& conjuncts,
-    std::vector<bool>* consumed) {
-  EngineTable* table = db_->FindTable(ToLower(table_name));
-  if (table == nullptr) {
-    return Status::NotFound("unknown table: " + table_name);
-  }
-  std::string qualifier = alias.empty() ? table_name : alias;
-  std::vector<int> needed;
-  std::vector<RowSet::Col> out_cols;
-  PruneColumns(stmt, qualifier, table, &needed, &out_cols);
-
-  auto rs = std::make_shared<RowSet>();
-  rs->cols = std::move(out_cols);
-
-  // Local filter pushdown: conjuncts fully resolvable against this scan
-  // (and without subqueries, which the scan scope can't evaluate lazily).
-  std::vector<std::unique_ptr<BoundExpr>> filters;
-  for (size_t i = 0; i < conjuncts.size(); ++i) {
-    if ((*consumed)[i]) continue;
-    if (ExprHasSubquery(*conjuncts[i])) continue;
-    if (ContainsAggregate(*conjuncts[i]) || ContainsWindow(*conjuncts[i])) {
-      continue;
-    }
-    if (!ResolvableIn(*conjuncts[i], *rs)) continue;
-    TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> bound,
-                           BindExpr(*conjuncts[i], *rs, this));
-    filters.push_back(std::move(bound));
-    (*consumed)[i] = true;
-  }
-
-  int64_t n = table->num_rows();
-  if (stats_ != nullptr) stats_->rows_scanned += n;
-  std::vector<Value> row;
-  for (int64_t r = 0; r < n; ++r) {
-    row.clear();
-    row.reserve(needed.size());
-    for (int c : needed) row.push_back(table->GetValue(r, c));
-    bool pass = true;
-    for (const auto& f : filters) {
-      Value v = f->Eval(row);
-      if (v.is_null() || !v.IsTruthy()) {
-        pass = false;
-        break;
-      }
-    }
-    if (pass) rs->rows.push_back(row);
-  }
-  if (stats_ != nullptr) {
-    stats_->plan.push_back(StringPrintf(
-        "scan %s%s%s: %zu cols, %zu pushed filters, %lld -> %zu rows",
-        table->name().c_str(), alias.empty() ? "" : " as ",
-        alias.c_str(), needed.size(), filters.size(),
-        static_cast<long long>(n), rs->rows.size()));
-  }
-  return rs;
-}
-
-Result<std::shared_ptr<RowSet>> Executor::BuildFromItem(
-    const SelectStmt& stmt, const FromItem& item,
-    const std::vector<const Expr*>& conjuncts, std::vector<bool>* consumed) {
-  std::string qualifier =
-      item.alias.empty() ? item.table_name : item.alias;
-  std::shared_ptr<RowSet> rs;
-  if (item.derived != nullptr) {
-    TPCDS_ASSIGN_OR_RETURN(rs, RunSelectCore(*item.derived));
-  } else {
-    auto cte = ctes_.find(ToLower(item.table_name));
-    if (cte != ctes_.end()) {
-      rs = std::make_shared<RowSet>(*cte->second);  // copy: may re-qualify
-    } else {
-      return ScanTable(stmt, item.table_name, item.alias, conjuncts,
-                       consumed);
-    }
-  }
-  // Re-qualify derived/CTE output under the FROM alias.
-  for (RowSet::Col& c : rs->cols) c.qualifier = qualifier;
-  // Push applicable filters (post-materialisation).
-  for (size_t i = 0; i < conjuncts.size(); ++i) {
-    if ((*consumed)[i]) continue;
-    if (ExprHasSubquery(*conjuncts[i])) continue;
-    if (!ResolvableIn(*conjuncts[i], *rs)) continue;
-    TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> bound,
-                           BindExpr(*conjuncts[i], *rs, this));
-    FilterRows(rs.get(), *bound);
-    (*consumed)[i] = true;
-  }
-  return rs;
-}
-
-Result<std::shared_ptr<RowSet>> Executor::HashJoin(
-    std::shared_ptr<RowSet> left, std::shared_ptr<RowSet> right,
-    const std::vector<const Expr*>& join_conjuncts, bool left_outer) {
-  // Split into equi pairs and residual predicates.
-  struct EquiPair {
-    std::unique_ptr<BoundExpr> left_key;
-    std::unique_ptr<BoundExpr> right_key;
-  };
-  std::vector<EquiPair> equi;
-  std::vector<const Expr*> residual;
-  for (const Expr* c : join_conjuncts) {
-    if (c->tag == Expr::Tag::kBinary && c->name == "=") {
-      const Expr& a = *c->children[0];
-      const Expr& b = *c->children[1];
-      if (ResolvableIn(a, *left) && ResolvableIn(b, *right)) {
-        EquiPair pair;
-        TPCDS_ASSIGN_OR_RETURN(pair.left_key, BindExpr(a, *left, this));
-        TPCDS_ASSIGN_OR_RETURN(pair.right_key, BindExpr(b, *right, this));
-        equi.push_back(std::move(pair));
-        continue;
-      }
-      if (ResolvableIn(b, *left) && ResolvableIn(a, *right)) {
-        EquiPair pair;
-        TPCDS_ASSIGN_OR_RETURN(pair.left_key, BindExpr(b, *left, this));
-        TPCDS_ASSIGN_OR_RETURN(pair.right_key, BindExpr(a, *right, this));
-        equi.push_back(std::move(pair));
-        continue;
-      }
-    }
-    residual.push_back(c);
-  }
-
-  auto out = std::make_shared<RowSet>();
-  out->cols = left->cols;
-  out->cols.insert(out->cols.end(), right->cols.begin(), right->cols.end());
-
-  std::vector<std::unique_ptr<BoundExpr>> residual_bound;
-  for (const Expr* c : residual) {
-    TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> b,
-                           BindExpr(*c, *out, this));
-    residual_bound.push_back(std::move(b));
-  }
-
-  auto emit = [&](const std::vector<Value>& l, const std::vector<Value>& r) {
-    std::vector<Value> combined;
-    combined.reserve(l.size() + r.size());
-    combined.insert(combined.end(), l.begin(), l.end());
-    combined.insert(combined.end(), r.begin(), r.end());
-    for (const auto& rb : residual_bound) {
-      Value v = rb->Eval(combined);
-      if (v.is_null() || !v.IsTruthy()) return false;
-    }
-    out->rows.push_back(std::move(combined));
-    return true;
-  };
-
-  if (equi.empty()) {
-    // Nested-loop (cross product with residual filter).
-    for (const auto& lrow : left->rows) {
-      bool matched = false;
-      for (const auto& rrow : right->rows) {
-        matched |= emit(lrow, rrow);
-      }
-      if (left_outer && !matched) {
-        std::vector<Value> combined = lrow;
-        combined.resize(out->cols.size());
-        out->rows.push_back(std::move(combined));
-      }
-    }
-  } else {
-    // Build on the right (the newly joined table, usually the dimension).
-    std::unordered_map<std::vector<Value>, std::vector<size_t>, VecValueHash,
-                       VecValueEq>
-        hash_table;
-    for (size_t r = 0; r < right->rows.size(); ++r) {
-      std::vector<Value> key;
-      key.reserve(equi.size());
-      bool has_null = false;
-      for (const auto& pair : equi) {
-        Value v = pair.right_key->Eval(right->rows[r]);
-        has_null |= v.is_null();
-        key.push_back(std::move(v));
-      }
-      if (has_null) continue;  // NULL keys never match
-      hash_table[std::move(key)].push_back(r);
-    }
-    for (const auto& lrow : left->rows) {
-      std::vector<Value> key;
-      key.reserve(equi.size());
-      bool has_null = false;
-      for (const auto& pair : equi) {
-        Value v = pair.left_key->Eval(lrow);
-        has_null |= v.is_null();
-        key.push_back(std::move(v));
-      }
-      bool matched = false;
-      if (!has_null) {
-        auto it = hash_table.find(key);
-        if (it != hash_table.end()) {
-          for (size_t r : it->second) {
-            matched |= emit(lrow, right->rows[r]);
-          }
-        }
-      }
-      if (left_outer && !matched) {
-        std::vector<Value> combined = lrow;
-        combined.resize(out->cols.size());
-        out->rows.push_back(std::move(combined));
-      }
-    }
-  }
-  if (stats_ != nullptr) {
-    stats_->rows_joined += static_cast<int64_t>(out->rows.size());
-    stats_->plan.push_back(StringPrintf(
-        "%s%s: %zu equi keys, %zu residual, %zu x %zu -> %zu rows",
-        equi.empty() ? "nested-loop join" : "hash join",
-        left_outer ? " (left outer)" : "", equi.size(), residual.size(),
-        left->rows.size(), right->rows.size(), out->rows.size()));
-  }
-  return out;
-}
-
-Result<std::shared_ptr<RowSet>> Executor::IndexJoin(
-    const SelectStmt& stmt, std::shared_ptr<RowSet> left,
-    EngineTable* table, const std::string& qualifier,
-    const Expr& left_key_expr, int index_col) {
-  std::vector<int> needed;
-  std::vector<RowSet::Col> out_cols;
-  PruneColumns(stmt, qualifier, table, &needed, &out_cols);
-
-  auto out = std::make_shared<RowSet>();
-  out->cols = left->cols;
-  out->cols.insert(out->cols.end(), out_cols.begin(), out_cols.end());
-
-  TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> probe,
-                         BindExpr(left_key_expr, *left, this));
-  const EngineTable::HashIndex& index = table->GetOrBuildIntIndex(index_col);
-  for (const auto& lrow : left->rows) {
-    Value v = probe->Eval(lrow);
-    if (v.is_null()) continue;
-    auto it = index.find(v.AsInt());
-    if (it == index.end()) continue;
-    for (int64_t r : it->second) {
-      std::vector<Value> combined;
-      combined.reserve(out->cols.size());
-      combined.insert(combined.end(), lrow.begin(), lrow.end());
-      for (int c : needed) combined.push_back(table->GetValue(r, c));
-      out->rows.push_back(std::move(combined));
-    }
-  }
-  if (stats_ != nullptr) {
-    stats_->rows_joined += static_cast<int64_t>(out->rows.size());
-    stats_->plan.push_back(StringPrintf(
-        "index join %s on %s: %zu probes -> %zu rows (no scan)",
-        table->name().c_str(),
-        table->column_meta(static_cast<size_t>(index_col)).name.c_str(),
-        left->rows.size(), out->rows.size()));
-  }
-  return out;
-}
-
-Result<std::shared_ptr<RowSet>> Executor::PlanFrom(const SelectStmt& stmt) {
-  std::vector<const Expr*> conjuncts;
-  FlattenConjuncts(stmt.where.get(), &conjuncts);
-  std::vector<bool> consumed(conjuncts.size(), false);
-
-  // Index-join deferral (options_.index_joins): a comma-joined base table
-  // with no local filters, joined to the preceding scope by exactly one
-  // equi conjunct on one of its integer columns, is never scanned — its
-  // hash index is probed at join time instead. Decide eligibility on
-  // column *metadata* before any scanning.
-  struct Deferred {
-    EngineTable* table = nullptr;
-    std::string qualifier;
-    const Expr* left_key = nullptr;  // expression over the earlier scope
-    int index_col = -1;
-  };
-  std::vector<Deferred> deferred(stmt.from_items.size());
-  if (options_.index_joins) {
-    // Metadata scope of items 0..t-1 (alias-qualified column names only).
-    RowSet earlier_meta;
-    for (size_t t = 0; t < stmt.from_items.size(); ++t) {
-      const FromItem& item = stmt.from_items[t];
-      std::string qualifier =
-          item.alias.empty() ? item.table_name : item.alias;
-      EngineTable* base = item.derived == nullptr &&
-                                  ctes_.count(ToLower(item.table_name)) == 0
-                              ? db_->FindTable(ToLower(item.table_name))
-                              : nullptr;
-      RowSet my_meta;
-      if (base != nullptr) {
-        for (size_t c = 0; c < base->num_columns(); ++c) {
-          my_meta.cols.push_back(
-              RowSet::Col{qualifier, base->column_meta(c).name});
-        }
-      }
-      // Derived/CTE columns are unknown pre-execution; they simply stay
-      // hash-join candidates (my_meta empty disables matching on them).
-      if (t > 0 && base != nullptr &&
-          item.join_kind == FromItem::JoinKind::kComma) {
-        bool has_local_filter = false;
-        const Expr* equi = nullptr;
-        const Expr* left_side = nullptr;
-        const Expr* right_side = nullptr;
-        int spanning = 0;
-        for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
-          if (consumed[ci]) continue;
-          const Expr* c = conjuncts[ci];
-          if (ExprHasSubquery(*c)) continue;
-          if (ResolvableIn(*c, my_meta)) {
-            has_local_filter = true;
-            break;
-          }
-          // Does this conjunct span earlier scope + this table?
-          if (c->tag == Expr::Tag::kBinary && c->name == "=") {
-            const Expr& a = *c->children[0];
-            const Expr& b = *c->children[1];
-            if (ResolvableIn(a, earlier_meta) && ResolvableIn(b, my_meta)) {
-              ++spanning;
-              equi = c;
-              left_side = &a;
-              right_side = &b;
-              continue;
-            }
-            if (ResolvableIn(b, earlier_meta) && ResolvableIn(a, my_meta)) {
-              ++spanning;
-              equi = c;
-              left_side = &b;
-              right_side = &a;
-              continue;
-            }
-          }
-          // Any other conjunct touching this table forces a scan.
-          RowSet combined = earlier_meta;
-          combined.cols.insert(combined.cols.end(), my_meta.cols.begin(),
-                               my_meta.cols.end());
-          if (!ResolvableIn(*c, earlier_meta) && ResolvableIn(*c, combined)) {
-            spanning += 2;  // disqualify
-          }
-        }
-        if (!has_local_filter && spanning == 1 && equi != nullptr &&
-            right_side->tag == Expr::Tag::kColumnRef) {
-          int col = base->ColumnIndex(ToLower(right_side->name));
-          if (col >= 0) {
-            ColumnType type = base->column_meta(
-                                      static_cast<size_t>(col)).type;
-            if (type == ColumnType::kIdentifier ||
-                type == ColumnType::kInteger) {
-              deferred[t].table = base;
-              deferred[t].qualifier = qualifier;
-              deferred[t].left_key = left_side;
-              deferred[t].index_col = col;
-              // Consume the equi conjunct: the index join implements it.
-              for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
-                if (conjuncts[ci] == equi) consumed[ci] = true;
-              }
-            }
-          }
-        }
-      }
-      earlier_meta.cols.insert(earlier_meta.cols.end(),
-                               my_meta.cols.begin(), my_meta.cols.end());
-    }
-  }
-
-  // Scan every non-deferred FROM item (filters pushed down per table).
-  std::vector<std::shared_ptr<RowSet>> inputs;
-  inputs.reserve(stmt.from_items.size());
-  for (size_t t = 0; t < stmt.from_items.size(); ++t) {
-    if (deferred[t].table != nullptr) {
-      inputs.push_back(nullptr);
-      continue;
-    }
-    TPCDS_ASSIGN_OR_RETURN(
-        std::shared_ptr<RowSet> rs,
-        BuildFromItem(stmt, stmt.from_items[t], conjuncts, &consumed));
-    inputs.push_back(std::move(rs));
-  }
-
-  // Star transformation (semi-join reduction): restrict the first table by
-  // every later comma-joined input that (a) was filtered below its full
-  // table size is unknowable here, so: (b) equi-joins the first table on a
-  // single key pair. Using the qualifying key set is always correct; it
-  // pays off when dimensions carry selective predicates.
-  if (options_.star_transformation && inputs.size() > 2 &&
-      !inputs.empty()) {
-    RowSet& fact = *inputs[0];
-    for (size_t t = 1; t < stmt.from_items.size(); ++t) {
-      if (inputs[t] == nullptr) continue;  // deferred to an index join
-      if (stmt.from_items[t].join_kind != FromItem::JoinKind::kComma) {
-        continue;
-      }
-      // Find a single unconsumed equi conjunct fact.col = dim.col.
-      for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
-        if (consumed[ci]) continue;
-        const Expr* c = conjuncts[ci];
-        if (c->tag != Expr::Tag::kBinary || c->name != "=") continue;
-        const Expr& a = *c->children[0];
-        const Expr& b = *c->children[1];
-        const Expr* fact_side = nullptr;
-        const Expr* dim_side = nullptr;
-        if (ResolvableIn(a, fact) && ResolvableIn(b, *inputs[t])) {
-          fact_side = &a;
-          dim_side = &b;
-        } else if (ResolvableIn(b, fact) && ResolvableIn(a, *inputs[t])) {
-          fact_side = &b;
-          dim_side = &a;
-        } else {
-          continue;
-        }
-        TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> dim_key,
-                               BindExpr(*dim_side, *inputs[t], this));
-        ValueSet keys;
-        for (const auto& row : inputs[t]->rows) {
-          Value v = dim_key->Eval(row);
-          if (!v.is_null()) keys.insert(std::move(v));
-        }
-        TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> fact_key,
-                               BindExpr(*fact_side, fact, this));
-        size_t before = fact.rows.size();
-        std::vector<std::vector<Value>> kept;
-        kept.reserve(fact.rows.size());
-        for (auto& row : fact.rows) {
-          Value v = fact_key->Eval(row);
-          if (!v.is_null() && keys.find(v) != keys.end()) {
-            kept.push_back(std::move(row));
-          }
-        }
-        fact.rows = std::move(kept);
-        if (stats_ != nullptr) {
-          stats_->star_filtered_rows +=
-              static_cast<int64_t>(before - fact.rows.size());
-          stats_->plan.push_back(StringPrintf(
-              "star semi-join on %s (%zu dim keys): %zu -> %zu fact rows",
-              ExprToString(*fact_side).c_str(), keys.size(), before,
-              fact.rows.size()));
-        }
-        // The conjunct stays unconsumed: the hash join still needs it to
-        // pair fact rows with the right dimension rows.
-        break;
-      }
-    }
-  }
-
-  // Left-deep join pipeline in FROM order.
-  std::shared_ptr<RowSet> current = inputs[0];
-  for (size_t t = 1; t < stmt.from_items.size(); ++t) {
-    const FromItem& item = stmt.from_items[t];
-    if (deferred[t].table != nullptr) {
-      TPCDS_ASSIGN_OR_RETURN(
-          current,
-          IndexJoin(stmt, current, deferred[t].table,
-                    deferred[t].qualifier, *deferred[t].left_key,
-                    deferred[t].index_col));
-      continue;
-    }
-    std::vector<const Expr*> join_conjuncts;
-    if (item.join_kind == FromItem::JoinKind::kComma) {
-      // WHERE conjuncts that span exactly the current scope + this table.
-      RowSet combined_scope;
-      combined_scope.cols = current->cols;
-      combined_scope.cols.insert(combined_scope.cols.end(),
-                                 inputs[t]->cols.begin(),
-                                 inputs[t]->cols.end());
-      for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
-        if (consumed[ci]) continue;
-        if (ExprHasSubquery(*conjuncts[ci])) continue;
-        if (ResolvableIn(*conjuncts[ci], combined_scope)) {
-          join_conjuncts.push_back(conjuncts[ci]);
-          consumed[ci] = true;
-        }
-      }
-      TPCDS_ASSIGN_OR_RETURN(
-          current, HashJoin(current, inputs[t], join_conjuncts, false));
-    } else {
-      std::vector<const Expr*> on_conjuncts;
-      FlattenConjuncts(item.join_condition.get(), &on_conjuncts);
-      TPCDS_ASSIGN_OR_RETURN(
-          current,
-          HashJoin(current, inputs[t], on_conjuncts,
-                   item.join_kind == FromItem::JoinKind::kLeft));
-    }
-  }
-
-  // Residual WHERE conjuncts (subqueries, cross-scope ORs, ...).
-  for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
-    if (consumed[ci]) continue;
-    TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> bound,
-                           BindExpr(*conjuncts[ci], *current, this));
-    FilterRows(current.get(), *bound);
-  }
-  return current;
-}
-
+// Execution is split into two phases (see docs/EXECUTOR.md): BuildPlan
+// turns the AST into a physical operator tree — resolving tables, pruning
+// columns, splitting equi-join keys, applying the star transformation —
+// without touching table data, and ExecutePlan runs the tree, binding
+// expressions to column slots once per operator and parallelising row
+// work across morsels when options.parallelism allows.
 Result<std::shared_ptr<RowSet>> ExecuteSelect(Database* db,
                                               const SelectStmt& stmt,
                                               const PlannerOptions& options,
                                               ExecStats* stats) {
-  Executor executor(db, options, stats);
-  return executor.Run(stmt);
+  TPCDS_ASSIGN_OR_RETURN(PhysicalPlan plan, BuildPlan(db, stmt, options));
+  return ExecutePlan(db, plan, options, stats);
 }
 
 }  // namespace tpcds

@@ -27,6 +27,12 @@ struct PlannerOptions {
   /// scanned; the join probes the table's hash index and fetches matching
   /// rows directly. Off by default — hash joins are the baseline.
   bool index_joins = false;
+
+  /// Intra-query worker threads. 1 = serial (default), 0 = one worker per
+  /// hardware core. Results are byte-identical at every setting: morsels
+  /// have a fixed row count and partial results always merge in morsel
+  /// order, so no ordering or float reassociation depends on this knob.
+  int parallelism = 1;
 };
 
 /// Statistics of one statement execution, for benchmarking and EXPLAIN.
@@ -37,6 +43,19 @@ struct ExecStats {
   /// Human-readable plan trace: one line per scan / semi-join reduction /
   /// join / aggregation, in execution order.
   std::vector<std::string> plan;
+
+  /// One entry per physical-plan operator, pre-order with `depth` giving
+  /// the tree indentation. `executed` is false for operators skipped at
+  /// run time (e.g. a memoised subtree's duplicate listing).
+  struct OpStat {
+    std::string label;
+    int depth = 0;
+    int64_t rows_in = 0;
+    int64_t rows_out = 0;
+    double seconds = 0.0;  // self time, children excluded
+    bool executed = false;
+  };
+  std::vector<OpStat> operators;
 };
 
 /// Plans and executes a parsed SELECT against `db`. The returned RowSet is
