@@ -5,7 +5,13 @@
 //
 //   ./examples/full_benchmark [-scale SF] [-streams S] [-queries N]
 //                             [-tco DOLLARS] [-no-star] [-index-joins]
-//                             [-parallelism W] [-power]
+//                             [-parallelism W] [-power] [-timeout MS]
+//                             [-mem-budget MB] [-retries N] [-faults SPEC]
+//
+// Governance flags: -timeout and -mem-budget bound every stream query;
+// -retries sets attempts per work item before it lands in the failure
+// report; -faults arms the deterministic fault injector (same grammar as
+// the TPCDS_FAULTS environment variable, e.g. "morsel=nth:40").
 
 #include <algorithm>
 #include <cstdio>
@@ -15,6 +21,7 @@
 
 #include "driver/driver.h"
 #include "metric/metric.h"
+#include "util/fault.h"
 
 int main(int argc, char** argv) {
   tpcds::BenchmarkConfig config;
@@ -42,11 +49,26 @@ int main(int argc, char** argv) {
       config.planner.parallelism = std::atoi(next());
     } else if (arg == "-power") {
       run_power = true;
+    } else if (arg == "-timeout") {
+      config.planner.timeout_ms = std::strtod(next(), nullptr);
+    } else if (arg == "-mem-budget") {
+      config.planner.memory_budget_bytes = static_cast<int64_t>(
+          std::strtod(next(), nullptr) * 1024.0 * 1024.0);
+    } else if (arg == "-retries") {
+      config.max_query_attempts = std::atoi(next());
+    } else if (arg == "-faults") {
+      tpcds::Status st = tpcds::FaultInjector::Global().Configure(next());
+      if (!st.ok()) {
+        std::fprintf(stderr, "bad -faults spec: %s\n",
+                     st.ToString().c_str());
+        return 1;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: full_benchmark [-scale SF] [-streams S] "
                    "[-queries N] [-tco $] [-no-star] [-index-joins] "
-                   "[-parallelism W] [-power]\n");
+                   "[-parallelism W] [-power] [-timeout MS] "
+                   "[-mem-budget MB] [-retries N] [-faults SPEC]\n");
       return 1;
     }
   }
@@ -86,6 +108,11 @@ int main(int argc, char** argv) {
                 sorted[i].template_id, sorted[i].stream,
                 sorted[i].seconds,
                 static_cast<long long>(sorted[i].result_rows));
+  }
+
+  if (!result->failures.empty()) {
+    std::printf("\n--- failure report ---\n%s",
+                result->failures.ToString().c_str());
   }
 
   std::printf("\n--- primary metrics (paper §5.3) ---\n%s",

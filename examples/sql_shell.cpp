@@ -3,7 +3,8 @@
 //
 //   ./examples/sql_shell [scale_factor]
 //
-// Meta commands: \tables, \d <table>, \parallel <workers>, \q
+// Meta commands: \tables, \d <table>, \parallel <workers>,
+// \timeout <ms>, \membudget <mb>, \q
 // EXPLAIN <select> prints the physical operator tree with per-operator
 // row counts and self times instead of the result rows.
 
@@ -50,8 +51,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("%lld rows loaded. \\tables lists tables, \\d TABLE "
-              "describes one, \\parallel N sets worker threads, \\q "
-              "quits.\n",
+              "describes one, \\parallel N sets worker threads, "
+              "\\timeout MS sets a query deadline, \\membudget MB sets a "
+              "query memory budget (0 = unlimited), \\q quits.\n",
               static_cast<long long>(db.TotalRows()));
 
   std::string buffer;
@@ -89,6 +91,40 @@ int main(int argc, char** argv) {
       db.default_options().parallelism = workers;
       std::printf("parallelism = %d%s\n", workers,
                   workers == 0 ? " (all hardware cores)" : "");
+      std::printf("tpcds> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (tpcds::StartsWith(trimmed, "\\timeout")) {
+      std::string arg(tpcds::Trim(trimmed.substr(8)));
+      char* end = nullptr;
+      double ms = std::strtod(arg.c_str(), &end);
+      if (arg.empty() || end == arg.c_str() || ms < 0.0) {
+        std::printf("usage: \\timeout MS   (wall-clock deadline per query; "
+                    "0 = unlimited)\n");
+      } else {
+        db.default_options().timeout_ms = ms;
+        std::printf(ms == 0.0 ? "timeout unlimited\n" : "timeout = %.3f ms\n",
+                    ms);
+      }
+      std::printf("tpcds> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (tpcds::StartsWith(trimmed, "\\membudget")) {
+      std::string arg(tpcds::Trim(trimmed.substr(10)));
+      char* end = nullptr;
+      double mb = std::strtod(arg.c_str(), &end);
+      if (arg.empty() || end == arg.c_str() || mb < 0.0) {
+        std::printf("usage: \\membudget MB   (materialised-bytes budget per "
+                    "query; 0 = unlimited)\n");
+      } else {
+        db.default_options().memory_budget_bytes =
+            static_cast<int64_t>(mb * 1024.0 * 1024.0);
+        std::printf(mb == 0.0 ? "memory budget unlimited\n"
+                              : "memory budget = %.1f MB\n",
+                    mb);
+      }
       std::printf("tpcds> ");
       std::fflush(stdout);
       continue;

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Builds the tree with AddressSanitizer (+ LeakSanitizer where available)
+# and runs the engine, driver and governance test binaries — proving that
+# every governed error path (deadline, budget trip, injected fault,
+# cancellation) unwinds without leaking partial operator state.
+#
+#   scripts/check_asan.sh [build-dir]
+#
+# Thin wrapper over check_tsan.sh, which accepts the sanitizer via
+# TPCDS_SANITIZE; the dedicated build dir keeps ASan and TSan object
+# files from clobbering each other.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+TPCDS_SANITIZE=address exec scripts/check_tsan.sh "$BUILD_DIR"

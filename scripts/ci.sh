@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# The full pre-merge gate, in increasing order of cost:
+#
+#   1. plain build + complete ctest suite
+#   2. AddressSanitizer pass over the engine/driver/governance tests
+#   3. ThreadSanitizer pass over the same set
+#
+#   scripts/ci.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "== build + ctest"
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+echo "== asan"
+scripts/check_asan.sh build-asan
+
+echo "== tsan"
+scripts/check_tsan.sh build-tsan
+
+echo "== ci clean"

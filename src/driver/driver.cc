@@ -1,8 +1,10 @@
 #include "driver/driver.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <mutex>
+#include <thread>
 
 #include "engine/audit.h"
 #include "schema/schema.h"
@@ -10,10 +12,31 @@
 #include "qgen/qgen.h"
 #include "scaling/scaling.h"
 #include "templates/templates.h"
+#include "util/random.h"
 #include "util/stopwatch.h"
+#include "util/string_util.h"
 #include "util/threadpool.h"
 
 namespace tpcds {
+namespace {
+
+/// Jittered exponential backoff before retry `attempt` (1-based count of
+/// attempts already made): base * 2^(attempt-1), scaled by a deterministic
+/// jitter in [0.5, 1.5) so colliding streams don't retry in lock-step.
+void BackoffBeforeRetry(double base_ms, int attempt, uint64_t jitter_key) {
+  if (base_ms <= 0.0) return;
+  double factor = static_cast<double>(1u << std::min(attempt - 1, 10));
+  double jitter =
+      0.5 + static_cast<double>(Mix64(jitter_key ^
+                                      static_cast<uint64_t>(attempt)) >>
+                                11) /
+                9007199254740992.0;  // 2^53
+  double sleep_ms = base_ms * factor * jitter;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+      sleep_ms));
+}
+
+}  // namespace
 
 Result<double> RunLoadTest(const BenchmarkConfig& config, Database* db) {
   // Untimed preparation would live here (creating the database instance);
@@ -50,12 +73,15 @@ Result<double> RunLoadTest(const BenchmarkConfig& config, Database* db) {
 
 Result<double> RunQueryRun(const BenchmarkConfig& config, Database* db,
                            int stream_base,
-                           std::vector<QueryExecution>* executions) {
+                           std::vector<QueryExecution>* executions,
+                           FailureReport* failures,
+                           const std::string& phase) {
   const std::vector<QueryTemplate>& templates = AllTemplates();
   QueryGenerator qgen(config.seed);
   int streams = config.streams > 0
                     ? config.streams
                     : ScalingModel::MinimumStreams(config.scale_factor);
+  int max_attempts = std::max(1, config.max_query_attempts);
 
   std::mutex mu;
   Status first_error;
@@ -76,14 +102,41 @@ Result<double> RunQueryRun(const BenchmarkConfig& config, Database* db,
               templates[static_cast<size_t>(order[static_cast<size_t>(k)])];
           Result<std::string> sql = qgen.Instantiate(tmpl, stream_id);
           if (!sql.ok()) {
+            // Instantiation is deterministic — retrying cannot help.
             std::lock_guard<std::mutex> lock(mu);
+            if (failures != nullptr) {
+              failures->failures.push_back(QueryFailure{
+                  tmpl.id, stream_id, 1, phase, sql.status().message()});
+              continue;
+            }
             if (first_error.ok()) first_error = sql.status();
             return;
           }
+          // Stream isolation: transient failures (injected faults, budget
+          // trips from a co-scheduled governor) are retried with backoff;
+          // an exhausted budget lands in the FailureReport and the stream
+          // moves to its next query — no failure stops another stream.
           Stopwatch query_timer;
           Result<QueryResult> result = db->Query(*sql, config.planner);
+          int attempts = 1;
+          while (!result.ok() && failures != nullptr &&
+                 attempts < max_attempts) {
+            BackoffBeforeRetry(config.retry_backoff_ms, attempts,
+                               config.seed ^
+                                   Mix64(static_cast<uint64_t>(stream_id)) ^
+                                   static_cast<uint64_t>(tmpl.id));
+            result = db->Query(*sql, config.planner);
+            ++attempts;
+          }
           if (!result.ok()) {
             std::lock_guard<std::mutex> lock(mu);
+            if (failures != nullptr) {
+              failures->total_retries += attempts - 1;
+              failures->failures.push_back(
+                  QueryFailure{tmpl.id, stream_id, attempts, phase,
+                               result.status().message()});
+              continue;
+            }
             if (first_error.ok()) {
               first_error = Status(
                   result.status().code(),
@@ -97,7 +150,9 @@ Result<double> RunQueryRun(const BenchmarkConfig& config, Database* db,
           exec.stream = stream_id;
           exec.seconds = query_timer.ElapsedSeconds();
           exec.result_rows = static_cast<int64_t>(result->rows.size());
+          exec.attempts = attempts;
           std::lock_guard<std::mutex> lock(mu);
+          if (failures != nullptr) failures->total_retries += attempts - 1;
           executions->push_back(exec);
         }
       });
@@ -145,12 +200,22 @@ Result<BenchmarkResult> RunBenchmark(const BenchmarkConfig& config,
   if (db == nullptr) {
     owned = std::make_unique<Database>();
     db = owned.get();
+  } else if (!db->TableNames().empty()) {
+    // The benchmark owns the timed load (Fig. 11); running it against a
+    // pre-loaded database would double-load tables, corrupt T_Load, and
+    // desynchronise the refresh bookkeeping. Fail fast instead of
+    // producing a silently invalid result.
+    return Status::InvalidArgument(StringPrintf(
+        "RunBenchmark requires an empty database, but %zu table(s) already "
+        "exist; pass a fresh Database (or nullptr to use an internal one)",
+        db->TableNames().size()));
   }
   BenchmarkResult result;
   result.scale_factor = config.scale_factor;
   result.streams = config.streams > 0
                        ? config.streams
                        : ScalingModel::MinimumStreams(config.scale_factor);
+  int max_attempts = std::max(1, config.max_query_attempts);
 
   // Fig. 11: Database Load Test.
   TPCDS_ASSIGN_OR_RETURN(result.t_load_sec, RunLoadTest(config, db));
@@ -158,9 +223,14 @@ Result<BenchmarkResult> RunBenchmark(const BenchmarkConfig& config,
   // Query Run 1: streams 1..S.
   TPCDS_ASSIGN_OR_RETURN(
       result.t_qr1_sec,
-      RunQueryRun(config, db, /*stream_base=*/1, &result.qr1_queries));
+      RunQueryRun(config, db, /*stream_base=*/1, &result.qr1_queries,
+                  &result.failures, "qr1"));
 
-  // Data Maintenance run.
+  // Data Maintenance run. RunDataMaintenance rolls the database back to
+  // its pre-run state on failure, so each retry starts from a clean
+  // snapshot; an exhausted retry budget is recorded (phase "dm") and the
+  // benchmark proceeds to Query Run 2 against the un-refreshed data —
+  // reported, not metric-valid.
   {
     MaintenanceOptions dm;
     dm.seed = config.seed;
@@ -169,7 +239,19 @@ Result<BenchmarkResult> RunBenchmark(const BenchmarkConfig& config,
     dm.refresh_fraction = config.refresh_fraction;
     dm.dimension_updates = config.dimension_updates;
     Stopwatch timer;
-    TPCDS_RETURN_NOT_OK(RunDataMaintenance(db, dm, &result.dm_report));
+    Status status = RunDataMaintenance(db, dm, &result.dm_report);
+    int attempts = 1;
+    while (!status.ok() && attempts < max_attempts) {
+      BackoffBeforeRetry(config.retry_backoff_ms, attempts,
+                         config.seed ^ 0xD11D11D11D11D11Dull);
+      status = RunDataMaintenance(db, dm, &result.dm_report);
+      ++attempts;
+    }
+    result.failures.total_retries += attempts - 1;
+    if (!status.ok()) {
+      result.failures.failures.push_back(
+          QueryFailure{0, -1, attempts, "dm", status.message()});
+    }
     result.t_dm_sec = timer.ElapsedSeconds();
   }
 
@@ -179,7 +261,7 @@ Result<BenchmarkResult> RunBenchmark(const BenchmarkConfig& config,
   TPCDS_ASSIGN_OR_RETURN(
       result.t_qr2_sec,
       RunQueryRun(config, db, /*stream_base=*/result.streams + 1,
-                  &result.qr2_queries));
+                  &result.qr2_queries, &result.failures, "qr2"));
   return result;
 }
 

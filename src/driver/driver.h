@@ -27,6 +27,12 @@ struct BenchmarkConfig {
   /// Refresh volume of the data-maintenance run.
   double refresh_fraction = 0.01;
   int64_t dimension_updates = 50;
+  /// Stream isolation: attempts per work item (query or maintenance run)
+  /// before it is recorded in the FailureReport. 1 = no retries.
+  int max_query_attempts = 3;
+  /// Base of the jittered exponential backoff between attempts
+  /// (base * 2^(attempt-1), scaled by a deterministic jitter in [0.5, 1.5)).
+  double retry_backoff_ms = 10.0;
 };
 
 /// One executed query instance.
@@ -35,6 +41,7 @@ struct QueryExecution {
   int stream = 0;
   double seconds = 0.0;
   int64_t result_rows = 0;
+  int attempts = 1;  // attempts needed to succeed, including the first
 };
 
 /// Everything measured during one benchmark execution.
@@ -48,6 +55,9 @@ struct BenchmarkResult {
   std::vector<QueryExecution> qr1_queries;
   std::vector<QueryExecution> qr2_queries;
   MaintenanceReport dm_report;
+  /// Work items that exhausted their retries, per phase. Failures no
+  /// longer abort the run: the failing stream records and proceeds.
+  FailureReport failures;
 
   MetricInputs ToMetricInputs() const {
     MetricInputs in;
@@ -57,13 +67,17 @@ struct BenchmarkResult {
     in.t_qr1_sec = t_qr1_sec;
     in.t_dm_sec = t_dm_sec;
     in.t_qr2_sec = t_qr2_sec;
+    in.failed_queries = static_cast<int>(failures.failures.size());
     return in;
   }
 };
 
 /// Runs the complete benchmark on a fresh in-process database. When `db`
-/// is supplied the caller keeps access to the loaded database afterwards;
-/// otherwise an internal one is used and discarded.
+/// is supplied it must be empty (RunBenchmark owns the timed load;
+/// pre-loaded tables would corrupt T_Load and the refresh bookkeeping) —
+/// a non-empty database fails fast with InvalidArgument. The caller keeps
+/// access to the loaded database afterwards; otherwise an internal one is
+/// used and discarded.
 Result<BenchmarkResult> RunBenchmark(const BenchmarkConfig& config,
                                      Database* db = nullptr);
 
@@ -74,9 +88,17 @@ Result<double> RunLoadTest(const BenchmarkConfig& config, Database* db);
 /// One query run: S streams, each executing its own permutation of the 99
 /// templates with stream-specific substitutions. `stream_base` offsets the
 /// stream ids so Query Run 2 uses different substitutions than Run 1.
+///
+/// With a non-null `failures`, failed queries are retried up to
+/// config.max_query_attempts times with jittered exponential backoff and
+/// then recorded under `phase` while the stream moves on — no failure
+/// stops another stream. With a null `failures` the legacy behaviour
+/// holds: the first error aborts the run.
 Result<double> RunQueryRun(const BenchmarkConfig& config, Database* db,
                            int stream_base,
-                           std::vector<QueryExecution>* executions);
+                           std::vector<QueryExecution>* executions,
+                           FailureReport* failures = nullptr,
+                           const std::string& phase = "qr");
 
 /// Outcome of the historical single-user "power test" that TPC-DS
 /// deliberately dropped (paper §5.3): queries run sequentially and the

@@ -204,10 +204,11 @@ Result<std::string> Database::Explain(const std::string& sql) {
 
 Result<QueryResult> Database::Query(const std::string& sql,
                                     const PlannerOptions& options,
-                                    ExecStats* stats) {
+                                    ExecStats* stats,
+                                    QueryGovernor* governor) {
   TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<SelectStmt> stmt, ParseSql(sql));
   TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> rs,
-                         ExecuteSelect(this, *stmt, options, stats));
+                         ExecuteSelect(this, *stmt, options, stats, governor));
   QueryResult result;
   result.columns.reserve(rs->cols.size());
   for (size_t i = 0; i < rs->cols.size(); ++i) {

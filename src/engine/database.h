@@ -61,10 +61,13 @@ class Database {
   /// options.
   Result<QueryResult> Query(const std::string& sql);
   /// Parses and executes with explicit options (benchmarks use this to
-  /// compare the star-transformation and hash-join paths).
+  /// compare the star-transformation and hash-join paths). A non-null
+  /// `governor` overrides the options' limits and lets another thread
+  /// cancel the running query.
   Result<QueryResult> Query(const std::string& sql,
                             const PlannerOptions& options,
-                            ExecStats* stats = nullptr);
+                            ExecStats* stats = nullptr,
+                            QueryGovernor* governor = nullptr);
 
   /// Executes the statement and returns its plan trace (one line per
   /// scan / semi-join reduction / join / aggregation) plus row counters —

@@ -12,7 +12,9 @@
 
 #include "engine/database.h"
 #include "engine/expr_eval.h"
+#include "engine/governor.h"
 #include "engine/table.h"
+#include "util/fault.h"
 #include "util/string_util.h"
 #include "util/threadpool.h"
 
@@ -198,9 +200,16 @@ class SlotExpr : public BoundExpr {
 class PlanExecutor : public SubqueryEvaluator {
  public:
   /// Top-level executor: owns the intra-query pool when parallelism > 1.
+  /// `governor` enforces the options' limits and is shared by every nested
+  /// subquery executor so the whole statement obeys one budget.
   PlanExecutor(Database* db, const PlannerOptions& options, ExecStats* stats,
-               const PhysicalPlan* plan)
-      : db_(db), options_(options), stats_(stats), plan_(plan) {
+               const PhysicalPlan* plan, QueryGovernor* governor)
+      : db_(db),
+        options_(options),
+        stats_(stats),
+        plan_(plan),
+        governor_(governor),
+        track_(governor->has_limits() || FaultInjector::Global().enabled()) {
     int workers = options.parallelism;
     if (workers == 0) {
       workers = static_cast<int>(std::thread::hardware_concurrency());
@@ -213,15 +222,18 @@ class PlanExecutor : public SubqueryEvaluator {
   }
 
   /// Nested executor for uncorrelated subqueries: shares the parent's
-  /// pool, CTE results, and stat counters (subquery scans count, exactly
-  /// as the pre-plan-tree executor counted them).
+  /// pool, governor, CTE results, and stat counters (subquery scans count,
+  /// exactly as the pre-plan-tree executor counted them).
   PlanExecutor(Database* db, const PlannerOptions& options, ExecStats* stats,
-               const PhysicalPlan* plan, ThreadPool* pool,
+               const PhysicalPlan* plan, QueryGovernor* governor,
+               ThreadPool* pool,
                const std::map<std::string, std::shared_ptr<RowSet>>& ctes)
       : db_(db),
         options_(options),
         stats_(stats),
         plan_(plan),
+        governor_(governor),
+        track_(governor->has_limits() || FaultInjector::Global().enabled()),
         pool_(pool),
         cte_results_(ctes) {}
 
@@ -238,7 +250,8 @@ class PlanExecutor : public SubqueryEvaluator {
     TPCDS_ASSIGN_OR_RETURN(
         PhysicalPlan sub,
         BuildSubqueryPlan(db_, stmt, options_, plan_->cte_schemas));
-    PlanExecutor nested(db_, options_, stats_, &sub, pool_, cte_results_);
+    PlanExecutor nested(db_, options_, stats_, &sub, governor_, pool_,
+                        cte_results_);
     TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> rs, nested.Run());
     std::vector<Value> out;
     out.reserve(rs->rows.size());
@@ -259,6 +272,7 @@ class PlanExecutor : public SubqueryEvaluator {
       auto it = memo_.find(node.get());
       if (it != memo_.end()) return it->second;
     }
+    if (track_) TPCDS_FAULT_POINT("op-open");
     double saved_child = child_seconds_;
     child_seconds_ = 0;
     double start = NowSeconds();
@@ -268,6 +282,11 @@ class PlanExecutor : public SubqueryEvaluator {
     node->stats.seconds = total - child_seconds_;
     child_seconds_ = saved_child + total;
     if (!result.ok()) return result;
+    // Morsel workers don't propagate errors themselves — a tripped
+    // governor (deadline, budget, cancel, injected morsel fault) leaves
+    // partial operator output behind, which must never be returned as a
+    // real result.
+    if (governor_->cancelled()) return governor_->status();
     if (!node->children.empty()) {
       int64_t in = 0;
       for (const auto& c : node->children) in += c->stats.rows_out;
@@ -317,16 +336,23 @@ class PlanExecutor : public SubqueryEvaluator {
   /// workers *and the calling thread* — one submitted task per worker,
   /// not per unit, so scheduling overhead is O(workers). `fn` must be
   /// pure w.r.t. shared state except its own unit's slot; which thread
-  /// runs a unit never affects the result.
+  /// runs a unit never affects the result. A tripped governor makes every
+  /// worker stop pulling units; the enclosing Exec() turns the partial
+  /// output into the governor's error.
   template <typename Fn>
   void ParallelFor(size_t count, const Fn& fn) {
+    QueryGovernor* gov = governor_;
     if (pool_ == nullptr || count <= 1) {
-      for (size_t i = 0; i < count; ++i) fn(i);
+      for (size_t i = 0; i < count; ++i) {
+        if (gov->cancelled()) return;
+        fn(i);
+      }
       return;
     }
     std::atomic<size_t> next{0};
-    auto drain = [&next, &fn, count] {
+    auto drain = [&next, &fn, gov, count] {
       for (size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+        if (gov->cancelled()) return;
         fn(i);
       }
     };
@@ -337,12 +363,34 @@ class PlanExecutor : public SubqueryEvaluator {
   }
 
   /// Runs fn(begin, end, morsel_index) over [0, n) in fixed-size morsels.
+  /// Each morsel passes the governor's boundary check (cancellation token,
+  /// deadline, "morsel" fault site) before it runs — the unit of
+  /// responsiveness the limits are specified in.
   template <typename Fn>
   void ForEachMorsel(size_t n, const Fn& fn) {
-    ParallelFor(MorselCount(n), [&fn, n](size_t m) {
+    QueryGovernor* gov = governor_;
+    bool checked = track_;
+    ParallelFor(MorselCount(n), [&fn, gov, checked, n](size_t m) {
+      if (checked && !gov->BeginMorsel()) return;
       size_t b = m * kMorselRows;
       fn(b, std::min(n, b + kMorselRows), m);
     });
+  }
+
+  /// Charges one operator's freshly materialised buffer against the row
+  /// and memory budgets (and the "alloc" fault site). No-op while the
+  /// query is ungoverned and no faults are armed, so the hot path pays a
+  /// single branch.
+  void ChargeRows(const RowList& buf, size_t from = 0) {
+    if (!track_ || buf.size() <= from) return;
+    int64_t bytes = 0;
+    for (size_t i = from; i < buf.size(); ++i) {
+      bytes += ApproxRowBytes(buf[i]);
+    }
+    if (!governor_->ChargeRows(static_cast<int64_t>(buf.size() - from))) {
+      return;
+    }
+    governor_->Reserve(bytes);
   }
 
   /// Concatenates per-morsel output buffers in morsel order — this is what
@@ -411,6 +459,7 @@ class PlanExecutor : public SubqueryEvaluator {
         }
         if (PassesAll(filters, row)) buf.push_back(row);
       }
+      ChargeRows(buf);
     });
     ConcatMorsels(&bufs, &rs->rows);
     Trace(StringPrintf(
@@ -529,10 +578,15 @@ class PlanExecutor : public SubqueryEvaluator {
     size_t nl = left->rows.size();
     std::vector<RowList> bufs(MorselCount(nl));
     if (node.equi.empty()) {
-      // Nested-loop (cross product with residual filter).
+      // Nested-loop (cross product with residual filter). This is the
+      // runaway shape a bad substitution produces, so the governor is
+      // consulted per *left row*, not just per morsel: one morsel of left
+      // rows can emit left*right rows before the next boundary check.
       ForEachMorsel(nl, [&](size_t b, size_t e, size_t m) {
         RowList& buf = bufs[m];
         for (size_t lr = b; lr < e; ++lr) {
+          if (track_ && !governor_->Tick()) return;
+          size_t emitted_before = buf.size();
           const auto& lrow = left->rows[lr];
           bool matched = false;
           for (const auto& rrow : right->rows) {
@@ -543,6 +597,7 @@ class PlanExecutor : public SubqueryEvaluator {
             combined.resize(out->cols.size());
             buf.push_back(std::move(combined));
           }
+          ChargeRows(buf, emitted_before);
         }
       });
     } else {
@@ -558,6 +613,7 @@ class PlanExecutor : public SubqueryEvaluator {
       };
       std::vector<BuildKey> bkeys(nr);
       ForEachMorsel(nr, [&](size_t b, size_t e, size_t) {
+        int64_t key_bytes = 0;
         for (size_t r = b; r < e; ++r) {
           BuildKey& bk = bkeys[r];
           bk.key.reserve(rkeys.size());
@@ -567,7 +623,11 @@ class PlanExecutor : public SubqueryEvaluator {
             bk.key.push_back(std::move(v));
           }
           if (!bk.has_null) bk.hash = VecValueHash()(bk.key);
+          if (track_) key_bytes += ApproxRowBytes(bk.key);
         }
+        // Hash-build memory: the materialised build keys are what a large
+        // build side costs, so a budget violation fires mid-build.
+        if (track_) governor_->Reserve(key_bytes);
       });
       std::vector<std::vector<size_t>> part_rows(kJoinPartitions);
       for (size_t r = 0; r < nr; ++r) {
@@ -617,6 +677,7 @@ class PlanExecutor : public SubqueryEvaluator {
             buf.push_back(std::move(combined));
           }
         }
+        ChargeRows(buf);
       });
     }
     ConcatMorsels(&bufs, &out->rows);
@@ -669,6 +730,7 @@ class PlanExecutor : public SubqueryEvaluator {
           buf.push_back(std::move(combined));
         }
       }
+      ChargeRows(buf);
     });
     ConcatMorsels(&bufs, &out->rows);
     if (stats_ != nullptr) {
@@ -724,13 +786,18 @@ class PlanExecutor : public SubqueryEvaluator {
     size_t n = input->rows.size();
     out->rows.resize(n);  // 1:1 mapping: write morsel outputs in place
     ForEachMorsel(n, [&](size_t b, size_t e, size_t) {
+      int64_t bytes = 0;
       for (size_t r = b; r < e; ++r) {
         const auto& row = input->rows[r];
         std::vector<Value> projected;
         projected.reserve(out->cols.size());
         for (const auto& p : projections) projected.push_back(p->Eval(row));
         for (const Value& v : row) projected.push_back(v);
+        if (track_) bytes += ApproxRowBytes(projected);
         out->rows[r] = std::move(projected);
+      }
+      if (track_ && governor_->ChargeRows(static_cast<int64_t>(e - b))) {
+        governor_->Reserve(bytes);
       }
     });
     return out;
@@ -761,10 +828,15 @@ class PlanExecutor : public SubqueryEvaluator {
     size_t n = rs->rows.size();
     std::vector<std::vector<Value>> keys(n);
     ForEachMorsel(n, [&](size_t b, size_t e, size_t) {
+      int64_t bytes = 0;
       for (size_t r = b; r < e; ++r) {
         keys[r].reserve(bound.size());
         for (const auto& k : bound) keys[r].push_back(k->Eval(rs->rows[r]));
+        if (track_) bytes += ApproxRowBytes(keys[r]);
       }
+      // Sort keys are a second materialisation of the input; count them
+      // against the memory budget (rows were charged upstream).
+      if (track_) governor_->Reserve(bytes);
     });
     std::vector<size_t> order(n);
     for (size_t i = 0; i < n; ++i) order[i] = i;
@@ -878,6 +950,7 @@ class PlanExecutor : public SubqueryEvaluator {
       ForEachMorsel(n, [&](size_t b, size_t e, size_t m) {
         GroupMap& pm = pmaps[m];
         auto& po = porders[m];
+        int64_t group_bytes = 0;
         for (size_t r = b; r < e; ++r) {
           const auto& row = input->rows[r];
           std::vector<Value> key(key_exprs.size());
@@ -887,6 +960,11 @@ class PlanExecutor : public SubqueryEvaluator {
             std::vector<Accumulator> accs;
             accs.reserve(node.aggs.size());
             for (const PlanAggSpec& spec : node.aggs) accs.emplace_back(&spec);
+            if (track_) {
+              group_bytes += ApproxRowBytes(key) +
+                             static_cast<int64_t>(node.aggs.size() *
+                                                  sizeof(Accumulator));
+            }
             it = pm.emplace(key, std::move(accs)).first;
             po.push_back(key);
           }
@@ -897,6 +975,11 @@ class PlanExecutor : public SubqueryEvaluator {
               it->second[i].Add(arg_exprs[i]->Eval(row));
             }
           }
+        }
+        // Charge the aggregate hash-table build: each new group holds its
+        // key plus one accumulator per aggregate.
+        if (track_ && governor_->ChargeRows(static_cast<int64_t>(po.size()))) {
+          governor_->Reserve(group_bytes);
         }
       });
       for (size_t m = 0; m < morsels; ++m) {
@@ -1042,6 +1125,8 @@ class PlanExecutor : public SubqueryEvaluator {
   PlannerOptions options_;
   ExecStats* stats_;
   const PhysicalPlan* plan_;
+  QueryGovernor* governor_;  // never null; default governor is a no-op
+  bool track_ = false;       // charge rows/bytes only when limits or faults on
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_ = nullptr;
   std::map<std::string, std::shared_ptr<RowSet>> cte_results_;
@@ -1072,8 +1157,17 @@ void EmitOperator(const PlanNode* node, int depth, ExecStats* stats,
 Result<std::shared_ptr<RowSet>> ExecutePlan(Database* db,
                                             const PhysicalPlan& plan,
                                             const PlannerOptions& options,
-                                            ExecStats* stats) {
-  PlanExecutor executor(db, options, stats, &plan);
+                                            ExecStats* stats,
+                                            QueryGovernor* governor) {
+  // An external governor (cancellation from another thread) takes
+  // precedence; otherwise build one from the options' limits.
+  GovernorLimits limits;
+  limits.timeout_ms = options.timeout_ms;
+  limits.memory_budget_bytes = options.memory_budget_bytes;
+  limits.row_budget = options.row_budget;
+  QueryGovernor local(limits);
+  QueryGovernor* gov = governor != nullptr ? governor : &local;
+  PlanExecutor executor(db, options, stats, &plan, gov);
   Result<std::shared_ptr<RowSet>> result = executor.Run();
   if (result.ok() && stats != nullptr) {
     std::set<const PlanNode*> visited;

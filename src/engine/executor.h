@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "engine/governor.h"
 #include "engine/plan.h"
 #include "engine/planner.h"
 #include "engine/rowset.h"
@@ -21,10 +22,17 @@ class Database;
 /// combined in morsel order, so results are byte-identical across
 /// parallelism levels. Fills `stats` (row counters, legacy plan trace,
 /// per-operator timings) when non-null.
+///
+/// Governance: the executor enforces the options' GovernorLimits (deadline,
+/// memory budget, row budget) at morsel boundaries. Callers that need to
+/// cancel the query from another thread pass their own `governor`, which
+/// then takes precedence over the options' limits.
 Result<std::shared_ptr<RowSet>> ExecutePlan(Database* db,
                                             const PhysicalPlan& plan,
                                             const PlannerOptions& options,
-                                            ExecStats* stats = nullptr);
+                                            ExecStats* stats = nullptr,
+                                            QueryGovernor* governor =
+                                                nullptr);
 
 }  // namespace tpcds
 

@@ -1,0 +1,118 @@
+#ifndef TPCDS_ENGINE_GOVERNOR_H_
+#define TPCDS_ENGINE_GOVERNOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/value.h"
+#include "util/status.h"
+
+namespace tpcds {
+
+/// Per-query resource limits. Zero means unlimited. Carried on
+/// PlannerOptions (so every entry point — shell, driver, tests — can set
+/// them) and enforced by a QueryGovernor inside the executor.
+struct GovernorLimits {
+  /// Wall-clock deadline for the whole statement, measured from governor
+  /// construction (i.e. query start).
+  double timeout_ms = 0.0;
+  /// Budget on bytes of intermediate results materialised over the query's
+  /// lifetime (a conservative proxy for peak memory: operators charge what
+  /// they build and nothing is credited back mid-query).
+  int64_t memory_budget_bytes = 0;
+  /// Budget on rows materialised across all operators — the guard against
+  /// runaway cross joins from pathological parameterizations.
+  int64_t row_budget = 0;
+
+  bool any() const {
+    return timeout_ms > 0.0 || memory_budget_bytes > 0 || row_budget > 0;
+  }
+};
+
+/// Execution governor for one query: deadline, memory budget, row budget,
+/// and an external cancellation token, all checked at morsel boundaries by
+/// the executor. Thread-safe — morsel workers race against Cancel() and
+/// against each other; the first violation wins and is the status every
+/// caller sees.
+///
+/// The cancellation token is a single atomic: once tripped, workers stop
+/// picking up morsels, partially-built operator state unwinds through the
+/// normal Result<> error path, and the query returns a clean error (one of
+/// kDeadlineExceeded / kResourceExhausted / kCancelled) instead of
+/// crashing the process or burning the rest of the stream's time slot.
+class QueryGovernor {
+ public:
+  /// Unlimited governor (still usable as a cancellation token).
+  QueryGovernor();
+  explicit QueryGovernor(const GovernorLimits& limits);
+
+  QueryGovernor(const QueryGovernor&) = delete;
+  QueryGovernor& operator=(const QueryGovernor&) = delete;
+
+  /// External cancellation (another thread). Idempotent; the first trip —
+  /// whether a limit or a cancel — wins.
+  void Cancel(const std::string& reason);
+
+  /// True once any limit tripped or Cancel() was called.
+  bool cancelled() const {
+    return tripped_.load(std::memory_order_acquire);
+  }
+
+  /// OK while running; the first violation's status afterwards.
+  Status status() const;
+
+  /// Morsel-boundary check: fires the "morsel" fault site, then the
+  /// deadline. Returns false when the morsel must not run.
+  bool BeginMorsel();
+
+  /// Lightweight per-row check for non-morselised inner loops (the
+  /// nested-loop join): cancellation flag plus deadline.
+  bool Tick();
+
+  /// Tracking-allocator entry: charges `bytes` against the memory budget
+  /// (and fires the "alloc" fault site). Returns false once over budget.
+  bool Reserve(int64_t bytes);
+  /// Returns bytes to the tracker (final teardown; mid-query intermediate
+  /// results are deliberately not credited back, see GovernorLimits).
+  void Release(int64_t bytes);
+
+  /// Charges materialised rows against the row budget.
+  bool ChargeRows(int64_t rows);
+
+  const GovernorLimits& limits() const { return limits_; }
+  bool has_limits() const { return limits_.any(); }
+  int64_t bytes_reserved() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  int64_t peak_bytes() const {
+    return peak_bytes_.load(std::memory_order_relaxed);
+  }
+  int64_t rows_charged() const {
+    return rows_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Records the first violation and flips the cancellation token.
+  void Trip(Status status);
+  bool CheckDeadline();
+
+  GovernorLimits limits_;
+  double deadline_seconds_ = 0.0;  // absolute steady-clock; 0 = none
+  std::atomic<int64_t> bytes_{0};
+  std::atomic<int64_t> peak_bytes_{0};
+  std::atomic<int64_t> rows_{0};
+  std::atomic<bool> tripped_{false};
+  mutable std::mutex mu_;  // guards trip_status_
+  Status trip_status_;
+};
+
+/// Approximate heap footprint of one materialised row (values plus string
+/// payloads); the unit the executor charges against the memory budget.
+int64_t ApproxRowBytes(const std::vector<Value>& row);
+
+}  // namespace tpcds
+
+#endif  // TPCDS_ENGINE_GOVERNOR_H_

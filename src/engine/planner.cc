@@ -14,9 +14,10 @@ namespace tpcds {
 Result<std::shared_ptr<RowSet>> ExecuteSelect(Database* db,
                                               const SelectStmt& stmt,
                                               const PlannerOptions& options,
-                                              ExecStats* stats) {
+                                              ExecStats* stats,
+                                              QueryGovernor* governor) {
   TPCDS_ASSIGN_OR_RETURN(PhysicalPlan plan, BuildPlan(db, stmt, options));
-  return ExecutePlan(db, plan, options, stats);
+  return ExecutePlan(db, plan, options, stats, governor);
 }
 
 }  // namespace tpcds

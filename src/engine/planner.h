@@ -12,6 +12,7 @@
 namespace tpcds {
 
 class Database;
+class QueryGovernor;
 
 /// Execution-strategy switches, exposed so benchmarks can compare plans
 /// (paper §2.1: the schema must exercise both star-schema and 3NF paths).
@@ -33,6 +34,14 @@ struct PlannerOptions {
   /// have a fixed row count and partial results always merge in morsel
   /// order, so no ordering or float reassociation depends on this knob.
   int parallelism = 1;
+
+  /// Query-governance limits, enforced at morsel boundaries by a
+  /// QueryGovernor (docs/ROBUSTNESS.md). All zero = ungoverned. A query
+  /// over any limit returns a clean kDeadlineExceeded / kResourceExhausted
+  /// error; queries under the limits are byte-identical to ungoverned runs.
+  double timeout_ms = 0.0;          // wall-clock deadline, 0 = unlimited
+  int64_t memory_budget_bytes = 0;  // materialised-bytes budget, 0 = unlimited
+  int64_t row_budget = 0;           // materialised-rows budget, 0 = unlimited
 };
 
 /// Statistics of one statement execution, for benchmarking and EXPLAIN.
@@ -59,11 +68,16 @@ struct ExecStats {
 };
 
 /// Plans and executes a parsed SELECT against `db`. The returned RowSet is
-/// fully materialised and truncated to its visible columns.
+/// fully materialised and truncated to its visible columns. `governor`,
+/// when supplied, overrides the governor the executor would build from the
+/// options' limits — callers hold it to cancel the query from another
+/// thread.
 Result<std::shared_ptr<RowSet>> ExecuteSelect(Database* db,
                                               const SelectStmt& stmt,
                                               const PlannerOptions& options,
-                                              ExecStats* stats = nullptr);
+                                              ExecStats* stats = nullptr,
+                                              QueryGovernor* governor =
+                                                  nullptr);
 
 }  // namespace tpcds
 

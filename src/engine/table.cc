@@ -268,4 +268,22 @@ void EngineTable::InvalidateIndexes() {
   string_indexes_.clear();
 }
 
+std::unique_ptr<EngineTable> EngineTable::Clone() const {
+  auto copy = std::make_unique<EngineTable>(name_, meta_);
+  copy->columns_ = columns_;
+  copy->num_rows_ = num_rows_;
+  return copy;
+}
+
+Status EngineTable::RestoreFrom(const EngineTable& snapshot) {
+  if (snapshot.meta_.size() != meta_.size()) {
+    return Status::InvalidArgument(
+        "snapshot schema does not match table " + name_);
+  }
+  columns_ = snapshot.columns_;
+  num_rows_ = snapshot.num_rows_;
+  InvalidateIndexes();
+  return Status::OK();
+}
+
 }  // namespace tpcds

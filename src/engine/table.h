@@ -113,6 +113,15 @@ class EngineTable {
 
   void InvalidateIndexes();
 
+  /// Deep copy of the table's storage for maintenance snapshot/rollback.
+  /// Indexes are not copied — they rebuild lazily on first use.
+  std::unique_ptr<EngineTable> Clone() const;
+
+  /// Replaces this table's rows with `snapshot`'s (schemas must match) and
+  /// invalidates indexes. Restoring from a Clone() taken earlier rolls the
+  /// table back to that point.
+  Status RestoreFrom(const EngineTable& snapshot);
+
  private:
   std::string name_;
   std::vector<ColumnMeta> meta_;

@@ -7,6 +7,7 @@
 #include "dsgen/keys.h"
 #include "schema/schema.h"
 #include "scaling/scaling.h"
+#include "util/fault.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -440,8 +441,27 @@ Result<int64_t> DeleteFactRange(Database* db, const std::string& channel,
 Status RunDataMaintenance(Database* db, const MaintenanceOptions& options,
                           MaintenanceReport* report) {
   report->operations.clear();
+
+  // Snapshot every table the workload mutates. The 12 operations are not
+  // individually atomic — a failure between the SCD update and the fact
+  // insert that depends on it would otherwise strand the database in a
+  // state violating the SCD and fact-to-fact invariants. On any error
+  // (including an injected "maintenance" fault) the whole run rolls back.
+  static const char* const kMutatedTables[] = {
+      "item",          "store",          "web_site",
+      "customer",      "customer_address", "promotion",
+      "store_sales",   "store_returns",  "catalog_sales",
+      "catalog_returns", "web_sales",    "web_returns"};
+  std::vector<std::pair<EngineTable*, std::unique_ptr<EngineTable>>>
+      snapshots;
+  for (const char* name : kMutatedTables) {
+    EngineTable* table = db->FindTable(name);
+    if (table != nullptr) snapshots.emplace_back(table, table->Clone());
+  }
+
   auto timed = [&](const std::string& name,
                    auto&& fn) -> Status {
+    TPCDS_FAULT_POINT("maintenance");
     Stopwatch timer;
     Result<int64_t> rows = fn();
     if (!rows.ok()) return rows.status();
@@ -450,37 +470,49 @@ Status RunDataMaintenance(Database* db, const MaintenanceOptions& options,
     return Status::OK();
   };
 
-  // 1-3: history-keeping SCD updates (Fig. 9).
-  for (const char* dim : {"item", "store", "web_site"}) {
-    TPCDS_RETURN_NOT_OK(timed(StringPrintf("scd_update:%s", dim), [&] {
-      return UpdateHistoryKeepingDimension(
-          db, dim, options.dimension_updates,
-          Mix64(options.seed ^ static_cast<uint64_t>(
-                                   options.refresh_cycle)));
-    }));
+  auto apply = [&]() -> Status {
+    // 1-3: history-keeping SCD updates (Fig. 9).
+    for (const char* dim : {"item", "store", "web_site"}) {
+      TPCDS_RETURN_NOT_OK(timed(StringPrintf("scd_update:%s", dim), [&] {
+        return UpdateHistoryKeepingDimension(
+            db, dim, options.dimension_updates,
+            Mix64(options.seed ^ static_cast<uint64_t>(
+                                     options.refresh_cycle)));
+      }));
+    }
+    // 4-6: non-history updates (Fig. 8).
+    for (const char* dim : {"customer", "customer_address", "promotion"}) {
+      TPCDS_RETURN_NOT_OK(timed(StringPrintf("inplace_update:%s", dim), [&] {
+        return UpdateNonHistoryDimension(
+            db, dim, options.dimension_updates,
+            Mix64(options.seed * 31 ^ static_cast<uint64_t>(
+                                          options.refresh_cycle)));
+      }));
+    }
+    // 7-9: clustered deletes; 10-12: clustered inserts with key translation
+    // (Fig. 10). Deletes run first: the insert refills the emptied window.
+    for (const char* channel : {"store", "catalog", "web"}) {
+      TPCDS_RETURN_NOT_OK(timed(StringPrintf("fact_delete:%s", channel), [&] {
+        return DeleteFactRange(db, channel, options);
+      }));
+    }
+    for (const char* channel : {"store", "catalog", "web"}) {
+      TPCDS_RETURN_NOT_OK(timed(StringPrintf("fact_insert:%s", channel), [&] {
+        return InsertFactRefresh(db, channel, options);
+      }));
+    }
+    return Status::OK();
+  };
+
+  Status status = apply();
+  if (!status.ok()) {
+    for (auto& [table, snapshot] : snapshots) {
+      Status restored = table->RestoreFrom(*snapshot);
+      if (!restored.ok()) return restored;  // rollback itself failed
+    }
+    report->operations.clear();
   }
-  // 4-6: non-history updates (Fig. 8).
-  for (const char* dim : {"customer", "customer_address", "promotion"}) {
-    TPCDS_RETURN_NOT_OK(timed(StringPrintf("inplace_update:%s", dim), [&] {
-      return UpdateNonHistoryDimension(
-          db, dim, options.dimension_updates,
-          Mix64(options.seed * 31 ^ static_cast<uint64_t>(
-                                        options.refresh_cycle)));
-    }));
-  }
-  // 7-9: clustered deletes; 10-12: clustered inserts with key translation
-  // (Fig. 10). Deletes run first: the insert refills the emptied window.
-  for (const char* channel : {"store", "catalog", "web"}) {
-    TPCDS_RETURN_NOT_OK(timed(StringPrintf("fact_delete:%s", channel), [&] {
-      return DeleteFactRange(db, channel, options);
-    }));
-  }
-  for (const char* channel : {"store", "catalog", "web"}) {
-    TPCDS_RETURN_NOT_OK(timed(StringPrintf("fact_insert:%s", channel), [&] {
-      return InsertFactRefresh(db, channel, options);
-    }));
-  }
-  return Status::OK();
+  return status;
 }
 
 }  // namespace tpcds

@@ -14,6 +14,25 @@ double QphDs(const MetricInputs& in) {
   return in.scale_factor * 3600.0 * total_queries / denominator;
 }
 
+std::string FailureReport::ToString() const {
+  if (empty()) return "no failures, no retries\n";
+  std::string out = StringPrintf(
+      "%zu failed work item(s), %lld retr%s total\n", failures.size(),
+      static_cast<long long>(total_retries),
+      total_retries == 1 ? "y" : "ies");
+  for (const QueryFailure& f : failures) {
+    if (f.phase == "dm") {
+      out += StringPrintf("  [dm] after %d attempt(s): %s\n", f.attempts,
+                          f.error.c_str());
+    } else {
+      out += StringPrintf("  [%s] query%02d stream %d after %d attempt(s): %s\n",
+                          f.phase.c_str(), f.template_id, f.stream,
+                          f.attempts, f.error.c_str());
+    }
+  }
+  return out;
+}
+
 double PricePerformance(double tco_dollars, double qphds) {
   if (qphds <= 0.0) return 0.0;
   return tco_dollars / qphds;
@@ -33,6 +52,11 @@ std::string FormatMetricReport(const MetricInputs& in, double tco_dollars) {
   out += StringPrintf("load charge 0.01*S*T_Load %10.3f s\n",
                       0.01 * in.streams * in.t_load_sec);
   out += StringPrintf("QphDS@SF                  %10.1f\n", qphds);
+  if (in.failed_queries > 0) {
+    out += StringPrintf(
+        "failed work items         %10d  (run NOT metric-valid)\n",
+        in.failed_queries);
+  }
   if (tco_dollars > 0.0) {
     out += StringPrintf("3yr TCO                   %10.2f $\n", tco_dollars);
     out += StringPrintf("$/QphDS@SF                %10.4f\n",

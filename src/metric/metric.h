@@ -1,7 +1,9 @@
 #ifndef TPCDS_METRIC_METRIC_H_
 #define TPCDS_METRIC_METRIC_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 namespace tpcds {
 
@@ -18,6 +20,31 @@ struct MetricInputs {
   double t_qr1_sec = 0.0;
   double t_dm_sec = 0.0;
   double t_qr2_sec = 0.0;
+  /// Queries (or maintenance runs) that exhausted their retries. A run
+  /// with failures completes and reports, but is not metric-valid.
+  int failed_queries = 0;
+};
+
+/// One work item that exhausted its retry budget during a benchmark run.
+struct QueryFailure {
+  int template_id = 0;  // 0 for non-query phases (data maintenance)
+  int stream = 0;       // -1 for non-query phases
+  int attempts = 0;     // attempts made, including the first
+  std::string phase;    // "qr1", "qr2", or "dm"
+  std::string error;    // the final attempt's error message
+};
+
+/// Per-run failure accounting: the driver isolates failures to their
+/// stream — a failed query is retried with backoff, then recorded here
+/// while every other stream proceeds (robustness over abort-the-world).
+struct FailureReport {
+  std::vector<QueryFailure> failures;
+  /// Extra attempts beyond the first across all work items, whether the
+  /// retry eventually succeeded or not.
+  int64_t total_retries = 0;
+
+  bool empty() const { return failures.empty() && total_retries == 0; }
+  std::string ToString() const;
 };
 
 /// The primary performance metric (paper §5.3):

@@ -1,0 +1,170 @@
+#include "util/fault.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace tpcds {
+namespace {
+
+/// Catalog of fault sites. Keep in sync with the call sites listed in
+/// docs/ROBUSTNESS.md:
+///   alloc        governor memory reservation (RowSet / join / agg builds)
+///   op-open      physical-plan operator open (executor Dispatch)
+///   morsel       per-morsel work unit (executor ForEachMorsel)
+///   maintenance  one data-maintenance operation apply
+const std::vector<std::string>& SiteCatalog() {
+  static const std::vector<std::string>* sites = new std::vector<std::string>{
+      "alloc", "op-open", "morsel", "maintenance"};
+  return *sites;
+}
+
+int SiteIndex(const char* site) {
+  const std::vector<std::string>& sites = SiteCatalog();
+  for (size_t i = 0; i < sites.size(); ++i) {
+    if (sites[i] == site) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector() : rules_(SiteCatalog().size()) {
+  const char* env = std::getenv("TPCDS_FAULTS");
+  if (env != nullptr && *env != '\0') {
+    Status st = Configure(env);
+    if (!st.ok()) {
+      std::fprintf(stderr, "TPCDS_FAULTS ignored: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+const std::vector<std::string>& FaultInjector::Sites() {
+  return SiteCatalog();
+}
+
+void FaultInjector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_relaxed);
+  for (Rule& rule : rules_) {
+    rule.kind = Rule::Kind::kNone;
+    rule.n = 0;
+    rule.p = 0.0;
+    rule.seed = 1;
+    rule.calls.store(0, std::memory_order_relaxed);
+  }
+}
+
+Status FaultInjector::Configure(const std::string& spec) {
+  Clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  bool any = false;
+  for (const std::string& part : Split(spec, ',')) {
+    std::string rule_text(Trim(part));
+    if (rule_text.empty()) continue;
+    size_t eq = rule_text.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("fault rule missing '=': " + rule_text);
+    }
+    std::string site(Trim(rule_text.substr(0, eq)));
+    std::string trigger(Trim(rule_text.substr(eq + 1)));
+    int idx = SiteIndex(site.c_str());
+    if (idx < 0) {
+      std::string known;
+      for (const std::string& s : SiteCatalog()) {
+        if (!known.empty()) known += ", ";
+        known += s;
+      }
+      return Status::InvalidArgument("unknown fault site '" + site +
+                                     "' (known: " + known + ")");
+    }
+    Rule& rule = rules_[static_cast<size_t>(idx)];
+    if (StartsWith(trigger, "nth:") || StartsWith(trigger, "every:")) {
+      bool one_shot = StartsWith(trigger, "nth:");
+      std::string num(trigger.substr(one_shot ? 4 : 6));
+      char* end = nullptr;
+      long long n = std::strtoll(num.c_str(), &end, 10);
+      if (end == num.c_str() || *end != '\0' || n <= 0) {
+        return Status::InvalidArgument("bad fault count in: " + rule_text);
+      }
+      rule.kind = one_shot ? Rule::Kind::kNth : Rule::Kind::kEvery;
+      rule.n = static_cast<uint64_t>(n);
+    } else if (StartsWith(trigger, "prob:")) {
+      std::vector<std::string> fields = Split(trigger.substr(5), ':');
+      if (fields.empty() || fields.size() > 2) {
+        return Status::InvalidArgument("bad prob trigger in: " + rule_text);
+      }
+      char* end = nullptr;
+      double p = std::strtod(fields[0].c_str(), &end);
+      if (end == fields[0].c_str() || p < 0.0 || p > 1.0) {
+        return Status::InvalidArgument("bad probability in: " + rule_text);
+      }
+      rule.kind = Rule::Kind::kProb;
+      rule.p = p;
+      if (fields.size() == 2) {
+        rule.seed = static_cast<uint64_t>(
+            std::strtoull(fields[1].c_str(), nullptr, 10));
+      }
+    } else {
+      return Status::InvalidArgument(
+          "unknown fault trigger (want nth:/every:/prob:): " + rule_text);
+    }
+    any = true;
+  }
+  armed_.store(any, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+FaultInjector::Rule* FaultInjector::FindRule(const char* site) {
+  int idx = SiteIndex(site);
+  return idx < 0 ? nullptr : &rules_[static_cast<size_t>(idx)];
+}
+
+Status FaultInjector::Maybe(const char* site) {
+  if (!enabled()) return Status::OK();
+  Rule* rule = FindRule(site);
+  if (rule == nullptr) {
+    return Status::Internal(std::string("unregistered fault site: ") + site);
+  }
+  // 1-based call index; counted even for rule-less sites so sweeps can
+  // assert a site was actually exercised.
+  int64_t call = rule->calls.fetch_add(1, std::memory_order_relaxed) + 1;
+  bool fire = false;
+  switch (rule->kind) {
+    case Rule::Kind::kNone:
+      return Status::OK();
+    case Rule::Kind::kNth:
+      fire = static_cast<uint64_t>(call) == rule->n;
+      break;
+    case Rule::Kind::kEvery:
+      fire = static_cast<uint64_t>(call) % rule->n == 0;
+      break;
+    case Rule::Kind::kProb: {
+      uint64_t h = Mix64(rule->seed * 0x9E3779B97F4A7C15ULL ^
+                         static_cast<uint64_t>(call));
+      fire = static_cast<double>(h) <
+             rule->p * 1.8446744073709552e19;  // p * 2^64
+      break;
+    }
+  }
+  if (!fire) return Status::OK();
+  return Status::Cancelled(StringPrintf(
+      "injected fault at site '%s' (call #%lld)", site,
+      static_cast<long long>(call)));
+}
+
+int64_t FaultInjector::CallsAt(const std::string& site) {
+  Rule* rule = FindRule(site.c_str());
+  return rule == nullptr ? 0 : rule->calls.load(std::memory_order_relaxed);
+}
+
+}  // namespace tpcds

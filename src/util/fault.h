@@ -1,0 +1,102 @@
+#ifndef TPCDS_UTIL_FAULT_H_
+#define TPCDS_UTIL_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tpcds {
+
+/// Deterministic fault injection for robustness testing.
+///
+/// Production code calls TPCDS_FAULT_POINT("site") (or
+/// FaultInjector::Global().Maybe("site")) at named sites; the call is a
+/// single relaxed atomic load when no faults are configured. A configured
+/// rule makes the site return an error Status instead, letting tests prove
+/// that every error path unwinds cleanly (no leaks under ASan, no races
+/// under TSan, no broken invariants after driver-level recovery).
+///
+/// Spec grammar (TPCDS_FAULTS environment variable or Configure()):
+///
+///   spec    := rule ("," rule)*
+///   rule    := site "=" trigger
+///   trigger := "nth:" N            fail exactly the N-th call (1-based,
+///                                  one-shot; later calls succeed)
+///           |  "every:" N          fail every N-th call
+///           |  "prob:" P [":" S]   fail call i iff hash(S, i) < P; the
+///                                  firing set is a deterministic function
+///                                  of the seed S (default 1), independent
+///                                  of thread interleaving
+///
+/// Example: TPCDS_FAULTS="morsel=nth:40,maintenance=prob:0.5:7"
+///
+/// Call counters are global per site (atomic across threads); *which*
+/// call index a given worker draws depends on scheduling, but the set of
+/// failing indices does not.
+class FaultInjector {
+ public:
+  /// Process-wide injector. First use seeds it from TPCDS_FAULTS (when
+  /// set); tests reconfigure it with Configure()/Clear().
+  static FaultInjector& Global();
+
+  /// Replaces the active rule set. Unknown sites are an error so typos in
+  /// TPCDS_FAULTS fail loudly instead of silently injecting nothing.
+  Status Configure(const std::string& spec);
+
+  /// Removes all rules (and the calls-so-far counters).
+  void Clear();
+
+  /// True when at least one rule is active.
+  bool enabled() const {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Returns an error iff the named site should fail this call.
+  Status Maybe(const char* site);
+
+  /// Total calls observed at a site since the last Configure/Clear
+  /// (0 while disabled — counting only happens when rules are armed).
+  int64_t CallsAt(const std::string& site);
+
+  /// The catalog of valid site names.
+  static const std::vector<std::string>& Sites();
+
+ private:
+  FaultInjector();
+
+  struct Rule {
+    enum class Kind { kNone, kNth, kEvery, kProb };
+    Kind kind = Kind::kNone;
+    uint64_t n = 0;     // kNth / kEvery
+    double p = 0.0;     // kProb
+    uint64_t seed = 1;  // kProb
+    std::atomic<int64_t> calls{0};
+  };
+
+  Rule* FindRule(const char* site);
+
+  std::atomic<bool> armed_{false};
+  std::mutex mu_;  // guards reconfiguration; Maybe reads lock-free
+  // One slot per catalog site, index-aligned with Sites().
+  std::vector<Rule> rules_;
+};
+
+/// Convenience: returns the injected error Status out of the enclosing
+/// function when the site fires. Compiles to one relaxed load when the
+/// injector is disarmed.
+#define TPCDS_FAULT_POINT(site)                                       \
+  do {                                                                \
+    if (::tpcds::FaultInjector::Global().enabled()) {                 \
+      ::tpcds::Status _fault_st =                                     \
+          ::tpcds::FaultInjector::Global().Maybe(site);               \
+      if (!_fault_st.ok()) return _fault_st;                          \
+    }                                                                 \
+  } while (false)
+
+}  // namespace tpcds
+
+#endif  // TPCDS_UTIL_FAULT_H_

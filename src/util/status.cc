@@ -22,6 +22,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "Parse error";
     case StatusCode::kInternal:
       return "Internal error";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -19,6 +19,9 @@ enum class StatusCode {
   kIoError,
   kParseError,
   kInternal,
+  kDeadlineExceeded,   // query governor: per-query timeout expired
+  kResourceExhausted,  // query governor: memory or row budget exceeded
+  kCancelled,          // external cancellation or injected fault
 };
 
 /// Returns a human-readable name for a status code ("Invalid argument", ...).
@@ -64,6 +67,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

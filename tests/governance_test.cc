@@ -1,0 +1,288 @@
+// Query-governance tests: deadlines, memory/row budgets and external
+// cancellation must stop queries with clean error statuses (checked at
+// morsel boundaries), governed-but-under-limit queries must be
+// byte-identical to ungoverned runs, and the fault-injection harness must
+// drive a full benchmark through every failure site without crashing or
+// breaking invariants.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/driver.h"
+#include "engine/database.h"
+#include "engine/governor.h"
+#include "maintenance/maintenance.h"
+#include "util/fault.h"
+
+namespace tpcds {
+namespace {
+
+/// A fault-injector guard: every test leaves the global injector disarmed
+/// so governance state cannot leak into later tests in the binary.
+class GovernanceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Global().Clear(); }
+};
+
+/// Builds a table of `rows` rows — enough to span many 1024-row morsels.
+void BuildWideTable(Database* db, const std::string& name, int64_t rows) {
+  ASSERT_TRUE(db->CreateTable(name, {{"k", ColumnType::kInteger},
+                                     {"grp", ColumnType::kInteger},
+                                     {"txt", ColumnType::kVarchar}})
+                  .ok());
+  EngineTable* t = db->FindTable(name);
+  for (int64_t i = 0; i < rows; ++i) {
+    ASSERT_TRUE(t->AppendRowStrings({std::to_string(i),
+                                     std::to_string(i % 97),
+                                     "filler-" + std::to_string(i % 13)})
+                    .ok());
+  }
+}
+
+TEST_F(GovernanceTest, DeadlineTripsMidScanWithCleanError) {
+  Database db;
+  BuildWideTable(&db, "t", 50000);
+  PlannerOptions options;
+  options.timeout_ms = 1e-6;  // expires before the first morsel completes
+  Result<QueryResult> r =
+      db.Query("SELECT grp, COUNT(*) FROM t GROUP BY grp", options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(r.status().message().find("deadline"), std::string::npos);
+}
+
+TEST_F(GovernanceTest, MemoryBudgetTripsMidHashBuild) {
+  Database db;
+  BuildWideTable(&db, "fact", 20000);
+  BuildWideTable(&db, "dim", 20000);
+  PlannerOptions options;
+  options.memory_budget_bytes = 4096;  // far below the build side's keys
+  Result<QueryResult> r = db.Query(
+      "SELECT COUNT(*) FROM fact, dim WHERE fact.k = dim.k", options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("memory budget"), std::string::npos);
+}
+
+TEST_F(GovernanceTest, RowBudgetTripsWithinOneMorselAtAnyParallelism) {
+  Database db;
+  BuildWideTable(&db, "t", 50000);
+  for (int parallelism : {1, 2, 8}) {
+    PlannerOptions options;
+    options.parallelism = parallelism;
+    options.row_budget = 2000;
+    Result<QueryResult> r = db.Query("SELECT k, txt FROM t", options);
+    ASSERT_FALSE(r.ok()) << "parallelism " << parallelism;
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+        << "parallelism " << parallelism;
+    EXPECT_NE(r.status().message().find("row budget"), std::string::npos);
+  }
+}
+
+TEST_F(GovernanceTest, UnderLimitQueriesAreByteIdenticalToUngoverned) {
+  Database db;
+  BuildWideTable(&db, "t", 20000);
+  const std::string sql =
+      "SELECT grp, COUNT(*), MIN(txt) FROM t GROUP BY grp ORDER BY 2 DESC, 1";
+  Result<QueryResult> baseline = db.Query(sql);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  for (int parallelism : {1, 2, 8}) {
+    PlannerOptions options;
+    options.parallelism = parallelism;
+    options.timeout_ms = 60000.0;
+    options.memory_budget_bytes = 1LL << 30;
+    options.row_budget = 1LL << 30;
+    Result<QueryResult> governed = db.Query(sql, options);
+    ASSERT_TRUE(governed.ok()) << governed.status().ToString();
+    ASSERT_EQ(governed->rows.size(), baseline->rows.size());
+    for (size_t i = 0; i < baseline->rows.size(); ++i) {
+      for (size_t c = 0; c < baseline->rows[i].size(); ++c) {
+        EXPECT_EQ(Value::Compare(governed->rows[i][c], baseline->rows[i][c]),
+                  0)
+            << "parallelism " << parallelism << " row " << i << " col " << c;
+      }
+    }
+  }
+}
+
+TEST_F(GovernanceTest, CancelBeforeStartStopsImmediately) {
+  Database db;
+  BuildWideTable(&db, "t", 5000);
+  PlannerOptions options;
+  QueryGovernor governor;
+  governor.Cancel("test cancel");
+  Result<QueryResult> r =
+      db.Query("SELECT COUNT(*) FROM t", options, nullptr, &governor);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(GovernanceTest, CancellationRacesMorselWorkersCleanly) {
+  Database db;
+  BuildWideTable(&db, "fact", 60000);
+  BuildWideTable(&db, "dim", 60000);
+  // Repeat the race: a worker pool mid-join against a concurrent Cancel.
+  // Under TSan this doubles as a data-race check on the trip path.
+  for (int round = 0; round < 5; ++round) {
+    PlannerOptions options;
+    options.parallelism = 4;
+    QueryGovernor governor;
+    std::thread canceller([&governor] {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      governor.Cancel("raced cancel");
+    });
+    Result<QueryResult> r = db.Query(
+        "SELECT COUNT(*), SUM(fact.grp) FROM fact, dim "
+        "WHERE fact.k = dim.k",
+        options, nullptr, &governor);
+    canceller.join();
+    // Either the query finished first or it was cancelled — both clean.
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kCancelled) << "round "
+                                                           << round;
+    }
+  }
+}
+
+TEST_F(GovernanceTest, FaultSpecParsingRejectsUnknownSites) {
+  EXPECT_FALSE(FaultInjector::Global().Configure("bogus=nth:1").ok());
+  EXPECT_FALSE(FaultInjector::Global().Configure("morsel=sometimes").ok());
+  EXPECT_TRUE(FaultInjector::Global().Configure("morsel=nth:5").ok());
+  EXPECT_TRUE(FaultInjector::Global().enabled());
+  FaultInjector::Global().Clear();
+  EXPECT_FALSE(FaultInjector::Global().enabled());
+}
+
+TEST_F(GovernanceTest, NthFaultFiresExactlyOnce) {
+  ASSERT_TRUE(FaultInjector::Global().Configure("morsel=nth:2").ok());
+  EXPECT_TRUE(FaultInjector::Global().Maybe("morsel").ok());
+  EXPECT_FALSE(FaultInjector::Global().Maybe("morsel").ok());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(FaultInjector::Global().Maybe("morsel").ok());
+  }
+  EXPECT_EQ(FaultInjector::Global().CallsAt("morsel"), 12);
+}
+
+/// Checks the benchmark database's invariants after a faulted run: one
+/// open SCD revision per business key, and fact-to-fact integrity.
+void ExpectInvariantsHold(Database* db, const std::string& context) {
+  EngineTable* item = db->FindTable("item");
+  ASSERT_NE(item, nullptr);
+  int bk_col = item->ColumnIndex("i_item_id");
+  int end_col = item->ColumnIndex("i_rec_end_date");
+  const EngineTable::StringIndex& index = item->GetOrBuildStringIndex(bk_col);
+  for (const auto& [key, rows] : index) {
+    int open = 0;
+    for (int64_t row : rows) {
+      if (item->GetValue(row, end_col).is_null()) ++open;
+    }
+    ASSERT_EQ(open, 1) << context << ": item " << key;
+  }
+  Result<QueryResult> r = db->Query(
+      "SELECT COUNT(*) FROM store_sales, store_returns "
+      "WHERE ss_item_sk = sr_item_sk "
+      "  AND ss_ticket_number = sr_ticket_number");
+  ASSERT_TRUE(r.ok()) << context << ": " << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].AsInt(),
+            db->FindTable("store_returns")->num_rows())
+      << context;
+}
+
+BenchmarkConfig MiniBenchmarkConfig() {
+  BenchmarkConfig config;
+  config.scale_factor = 0.002;
+  config.streams = 2;
+  config.queries_per_stream = 4;
+  config.dimension_updates = 10;
+  config.max_query_attempts = 3;
+  config.retry_backoff_ms = 1.0;
+  return config;
+}
+
+TEST_F(GovernanceTest, FaultSweepOverEverySiteCompletesBenchmark) {
+  // One-shot faults at every site: the first hit fails, the retry (or the
+  // maintenance rollback + retry) succeeds, and the run completes with
+  // the retries on record.
+  for (const std::string& site : FaultInjector::Sites()) {
+    ASSERT_TRUE(
+        FaultInjector::Global().Configure(site + "=nth:3").ok());
+    Database db;
+    Result<BenchmarkResult> result =
+        RunBenchmark(MiniBenchmarkConfig(), &db);
+    FaultInjector::Global().Clear();
+    ASSERT_TRUE(result.ok()) << "site " << site << ": "
+                             << result.status().ToString();
+    EXPECT_FALSE(result->failures.empty())
+        << "site " << site << " never fired";
+    ExpectInvariantsHold(&db, "site " + site);
+  }
+}
+
+TEST_F(GovernanceTest, ExhaustedRetriesAreRecordedAndIsolated) {
+  // Every morsel fails, every attempt: all row-producing queries exhaust
+  // their retries and land in the FailureReport — yet the benchmark still
+  // completes and the database invariants hold.
+  ASSERT_TRUE(FaultInjector::Global().Configure("morsel=every:1").ok());
+  Database db;
+  Result<BenchmarkResult> result = RunBenchmark(MiniBenchmarkConfig(), &db);
+  FaultInjector::Global().Clear();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->failures.failures.empty());
+  EXPECT_GT(result->failures.total_retries, 0);
+  for (const QueryFailure& f : result->failures.failures) {
+    EXPECT_EQ(f.attempts, 3) << "query" << f.template_id;
+    EXPECT_NE(f.error.find("injected fault"), std::string::npos);
+  }
+  // The report flags the run as not metric-valid.
+  MetricInputs inputs = result->ToMetricInputs();
+  EXPECT_GT(inputs.failed_queries, 0);
+  ExpectInvariantsHold(&db, "morsel=every:1");
+}
+
+TEST_F(GovernanceTest, MaintenanceFaultRollsBackAndRetries) {
+  Database db;
+  ASSERT_TRUE(db.CreateTpcdsTables().ok());
+  GeneratorOptions gen;
+  gen.scale_factor = 0.002;
+  ASSERT_TRUE(db.LoadTpcdsData(gen).ok());
+  int64_t sales_before = db.FindTable("store_sales")->num_rows();
+
+  // Fire mid-run (after several operations have mutated tables): the
+  // whole maintenance run must roll back, leaving row counts untouched.
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("maintenance=nth:7").ok());
+  MaintenanceOptions options;
+  options.scale_factor = 0.002;
+  options.dimension_updates = 10;
+  MaintenanceReport report;
+  Status st = RunDataMaintenance(&db, options, &report);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(report.operations.empty());
+  EXPECT_EQ(db.FindTable("store_sales")->num_rows(), sales_before);
+  ExpectInvariantsHold(&db, "post-rollback");
+
+  // The one-shot fault is spent: the retry applies all 12 operations.
+  st = RunDataMaintenance(&db, options, &report);
+  FaultInjector::Global().Clear();
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(report.operations.size(), 12u);
+  ExpectInvariantsHold(&db, "post-retry");
+}
+
+TEST_F(GovernanceTest, BenchmarkFailsFastOnNonEmptyDatabase) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("left_over", {{"a", ColumnType::kInteger}})
+                  .ok());
+  Result<BenchmarkResult> result = RunBenchmark(MiniBenchmarkConfig(), &db);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("empty database"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace tpcds

@@ -114,6 +114,95 @@ TEST(MaintenanceRobustnessTest, MultipleRefreshCyclesKeepInvariants) {
   }
 }
 
+// ---- execution-level fuzzing -------------------------------------------
+// Parsing alone is not enough: a mutated statement that still parses must
+// also plan and execute without crashing — at serial and parallel morsel
+// settings, since worker threads see the same malformed shapes.
+
+class ExecutionFuzzTest : public ::testing::TestWithParam<int> {
+ protected:
+  static Database* SharedDb() {
+    static Database* db = [] {
+      auto* d = new Database();
+      if (!d->CreateTpcdsTables().ok()) return d;
+      GeneratorOptions gen;
+      gen.scale_factor = 0.001;
+      (void)d->LoadTpcdsData(gen);
+      return d;
+    }();
+    return db;
+  }
+};
+
+TEST_P(ExecutionFuzzTest, MutatedQueriesExecuteOrErrorCleanly) {
+  Database* db = SharedDb();
+  const std::string base =
+      "SELECT i_category, COUNT(*), SUM(ss_ext_sales_price) "
+      "FROM store_sales, item WHERE ss_item_sk = i_item_sk "
+      "AND i_current_price BETWEEN 10 AND 50 "
+      "GROUP BY i_category HAVING COUNT(*) > 3 ORDER BY 2 DESC LIMIT 20";
+  RngStream rng(static_cast<uint64_t>(GetParam()) * 7919);
+  for (int parallelism : {1, 4}) {
+    PlannerOptions options;
+    options.parallelism = parallelism;
+    for (int round = 0; round < 60; ++round) {
+      std::string mutated = base;
+      int edits = static_cast<int>(rng.UniformInt(1, 4));
+      for (int e = 0; e < edits; ++e) {
+        size_t pos = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+        switch (rng.UniformInt(0, 3)) {
+          case 0:
+            mutated[pos] = static_cast<char>(rng.UniformInt(32, 126));
+            break;
+          case 1:
+            mutated.erase(pos, static_cast<size_t>(rng.UniformInt(1, 8)));
+            break;
+          case 2:
+            mutated.insert(
+                pos, mutated.substr(
+                         pos, static_cast<size_t>(rng.UniformInt(1, 8))));
+            break;
+          default:
+            mutated.insert(pos, ",0");
+            break;
+        }
+        if (mutated.empty()) mutated = "SELECT";
+      }
+      // The full pipeline — parse, plan, execute — must return ok or a
+      // clean error; reaching the next round without UB is the test.
+      Result<QueryResult> result = db->Query(mutated, options);
+      (void)result;
+    }
+  }
+  SUCCEED();
+}
+
+TEST_P(ExecutionFuzzTest, TruncatedQueriesExecuteOrErrorCleanly) {
+  Database* db = SharedDb();
+  const std::string base =
+      "WITH x AS (SELECT ss_item_sk k, SUM(ss_ext_sales_price) r "
+      "FROM store_sales, date_dim WHERE ss_sold_date_sk = d_date_sk "
+      "AND d_year = 2000 GROUP BY ss_item_sk) "
+      "SELECT k, r FROM x WHERE r > (SELECT AVG(r) FROM x) "
+      "ORDER BY 2 DESC LIMIT 10";
+  // Offset truncation lengths per seed so the five shards cover different
+  // prefixes; every prefix goes through plan + execute, not just parse.
+  for (int parallelism : {1, 4}) {
+    PlannerOptions options;
+    options.parallelism = parallelism;
+    for (size_t len = static_cast<size_t>(GetParam()); len <= base.size();
+         len += 5) {
+      Result<QueryResult> result = db->Query(base.substr(0, len), options);
+      (void)result;
+    }
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutionFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
 TEST(EngineRobustnessTest, DeepExpressionNesting) {
   Database db;
   ASSERT_TRUE(db.CreateTable("t", {{"a", ColumnType::kInteger}}).ok());
