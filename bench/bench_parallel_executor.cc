@@ -7,6 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "bench_util.h"
 #include "util/string_util.h"
 
@@ -82,4 +86,31 @@ BENCHMARK(BM_WorkersHashOnly)->Arg(1)->Arg(4)->Unit(
 }  // namespace
 }  // namespace tpcds
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but with a `-json <path>` convenience flag that
+// expands to google-benchmark's --benchmark_out/--benchmark_out_format
+// pair so CI invokes every bench the same way.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (std::strcmp(args[i], "-json") == 0 && i + 1 < args.size()) {
+      out_flag = std::string("--benchmark_out=") + args[i + 1];
+      args.erase(args.begin() + static_cast<long>(i),
+                 args.begin() + static_cast<long>(i) + 2);
+      break;
+    }
+  }
+  static char format_flag[] = "--benchmark_out_format=json";
+  if (!out_flag.empty()) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag);
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,9 +1,19 @@
 // The 99-query workload end to end: executes every template once and
 // reports per-class timing — the paper's ad-hoc / reporting / hybrid split
 // and the standard / iterative-OLAP / data-mining flavours (§4.1).
+//
+// `-json <path>` additionally writes a machine-readable perf trajectory
+// (per-template wall ms, scanned rows/sec, zone-map pruning and Bloom
+// counters) so CI can diff against the checked-in baseline JSON. Set
+// TPCDS_BENCH_NOVEC=1 to run with the vectorized fast path off (the
+// RowSet reference path) for before/after comparisons.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "qgen/qgen.h"
@@ -19,13 +29,87 @@ struct ClassTally {
   int64_t rows = 0;
 };
 
-void Run() {
+struct TemplateResult {
+  int id = 0;
+  std::string name;
+  std::string query_class;
+  std::string flavor;
+  double seconds = 0;
+  int64_t result_rows = 0;
+  int64_t rows_scanned = 0;
+  int64_t morsels_pruned = 0;
+  int64_t bloom_rejects = 0;
+
+  double RowsPerSec() const {
+    return seconds > 0 ? static_cast<double>(rows_scanned) / seconds : 0.0;
+  }
+};
+
+void WriteJson(const char* path, double sf, bool vectorized,
+               const std::vector<TemplateResult>& results) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    std::exit(1);
+  }
+  double total_seconds = 0;
+  int64_t total_scanned = 0;
+  int64_t total_pruned = 0;
+  int64_t total_bloom = 0;
+  for (const TemplateResult& r : results) {
+    total_seconds += r.seconds;
+    total_scanned += r.rows_scanned;
+    total_pruned += r.morsels_pruned;
+    total_bloom += r.bloom_rejects;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"bench_query_throughput\",\n");
+  std::fprintf(f, "  \"scale_factor\": %.4f,\n", sf);
+  std::fprintf(f, "  \"vectorized\": %s,\n", vectorized ? "true" : "false");
+  std::fprintf(f, "  \"total_seconds\": %.6f,\n", total_seconds);
+  std::fprintf(f, "  \"total_rows_scanned\": %lld,\n",
+               static_cast<long long>(total_scanned));
+  std::fprintf(f, "  \"total_rows_per_sec\": %.1f,\n",
+               total_seconds > 0 ? total_scanned / total_seconds : 0.0);
+  std::fprintf(f, "  \"total_morsels_pruned\": %lld,\n",
+               static_cast<long long>(total_pruned));
+  std::fprintf(f, "  \"total_bloom_rejects\": %lld,\n",
+               static_cast<long long>(total_bloom));
+  std::fprintf(f, "  \"templates\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const TemplateResult& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"id\": %d, \"name\": \"%s\", \"class\": \"%s\", "
+        "\"flavor\": \"%s\", \"seconds\": %.6f, \"result_rows\": %lld, "
+        "\"rows_scanned\": %lld, \"rows_per_sec\": %.1f, "
+        "\"morsels_pruned\": %lld, \"bloom_rejects\": %lld}%s\n",
+        r.id, r.name.c_str(), r.query_class.c_str(), r.flavor.c_str(),
+        r.seconds, static_cast<long long>(r.result_rows),
+        static_cast<long long>(r.rows_scanned), r.RowsPerSec(),
+        static_cast<long long>(r.morsels_pruned),
+        static_cast<long long>(r.bloom_rejects),
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+void Run(const char* json_path) {
   double sf = bench::BenchScaleFactor(0.01);
   std::unique_ptr<Database> db = bench::LoadDatabase(sf);
   QueryGenerator qgen(19620718);
 
+  PlannerOptions options = db->default_options();
+  const char* novec = std::getenv("TPCDS_BENCH_NOVEC");
+  if (novec != nullptr && std::strcmp(novec, "0") != 0) {
+    options.vectorized_execution = false;
+  }
+
   std::map<std::string, ClassTally> by_class;
   std::map<std::string, ClassTally> by_flavor;
+  std::vector<TemplateResult> results;
   double total = 0;
   double slowest = 0;
   int slowest_id = 0;
@@ -36,8 +120,9 @@ void Run() {
                    sql.status().ToString().c_str());
       continue;
     }
+    ExecStats stats;
     Stopwatch timer;
-    Result<QueryResult> r = db->Query(*sql);
+    Result<QueryResult> r = db->Query(*sql, options, &stats);
     double seconds = timer.ElapsedSeconds();
     if (!r.ok()) {
       std::fprintf(stderr, "%s: %s\n", t.name.c_str(),
@@ -49,17 +134,30 @@ void Run() {
       slowest = seconds;
       slowest_id = t.id;
     }
-    ClassTally& cls = by_class[QueryClassToString(t.query_class)];
+    TemplateResult res;
+    res.id = t.id;
+    res.name = t.name;
+    res.query_class = QueryClassToString(t.query_class);
+    res.flavor = QueryFlavorToString(t.flavor);
+    res.seconds = seconds;
+    res.result_rows = static_cast<int64_t>(r->rows.size());
+    res.rows_scanned = stats.rows_scanned;
+    res.morsels_pruned = stats.morsels_pruned;
+    res.bloom_rejects = stats.bloom_rejects;
+    results.push_back(res);
+
+    ClassTally& cls = by_class[res.query_class];
     ++cls.queries;
     cls.seconds += seconds;
-    cls.rows += static_cast<int64_t>(r->rows.size());
-    ClassTally& flv = by_flavor[QueryFlavorToString(t.flavor)];
+    cls.rows += res.result_rows;
+    ClassTally& flv = by_flavor[res.flavor];
     ++flv.queries;
     flv.seconds += seconds;
-    flv.rows += static_cast<int64_t>(r->rows.size());
+    flv.rows += res.result_rows;
   }
 
-  std::printf("=== 99-Query Workload (SF %.3f, single stream) ===\n\n", sf);
+  std::printf("=== 99-Query Workload (SF %.3f, single stream%s) ===\n\n", sf,
+              options.vectorized_execution ? "" : ", vectorized off");
   std::printf("%-16s %8s %10s %12s %14s\n", "class", "queries", "seconds",
               "avg ms", "result rows");
   for (const auto& [name, tally] : by_class) {
@@ -81,12 +179,25 @@ void Run() {
   std::printf(
       "(data-mining extractions return large results by design; their\n"
       "output feeds external tools, paper §4.1)\n");
+
+  if (json_path != nullptr) {
+    WriteJson(json_path, sf, options.vectorized_execution, results);
+  }
 }
 
 }  // namespace
 }  // namespace tpcds
 
-int main() {
-  tpcds::Run();
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [-json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  tpcds::Run(json_path);
   return 0;
 }

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over bench_query_throughput JSON output.
+
+Compares a fresh run against the checked-in baseline and fails when
+aggregate scanned rows/sec drops by more than the threshold (default
+30%). Per-template drops are reported for context but only the
+aggregate gates: single templates are noisy at smoke scale factors.
+
+    scripts/check_perf.py <current.json> [baseline.json] [--threshold 0.30]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / (
+    "BENCH_query_throughput.json"
+)
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("benchmark") != "bench_query_throughput":
+        sys.exit(f"{path}: not a bench_query_throughput JSON file")
+    return data
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="JSON from this run")
+    parser.add_argument("baseline", nargs="?", default=str(DEFAULT_BASELINE))
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="max allowed fractional drop in rows/sec")
+    args = parser.parse_args()
+
+    cur = load(args.current)
+    base = load(args.baseline)
+
+    if cur.get("scale_factor") != base.get("scale_factor"):
+        print(f"warning: scale factors differ (current "
+              f"{cur.get('scale_factor')}, baseline "
+              f"{base.get('scale_factor')}); rows/sec still comparable")
+
+    cur_rate = cur["total_rows_per_sec"]
+    base_rate = base["total_rows_per_sec"]
+    change = (cur_rate - base_rate) / base_rate if base_rate else 0.0
+    print(f"aggregate rows/sec: baseline {base_rate:,.0f} -> current "
+          f"{cur_rate:,.0f} ({change:+.1%})")
+
+    base_by_id = {t["id"]: t for t in base["templates"]}
+    worst = []
+    for t in cur["templates"]:
+        b = base_by_id.get(t["id"])
+        if not b or b["rows_per_sec"] <= 0:
+            continue
+        delta = (t["rows_per_sec"] - b["rows_per_sec"]) / b["rows_per_sec"]
+        if delta < -args.threshold:
+            worst.append((delta, t["id"], b["rows_per_sec"],
+                          t["rows_per_sec"]))
+    for delta, qid, was, now in sorted(worst)[:10]:
+        print(f"  note: q{qid:02d} {was:,.0f} -> {now:,.0f} rows/sec "
+              f"({delta:+.1%})")
+
+    if base_rate and change < -args.threshold:
+        sys.exit(f"FAIL: aggregate rows/sec dropped {-change:.1%} "
+                 f"(> {args.threshold:.0%} threshold)")
+    print("perf gate passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,13 @@ cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
+echo "== perf smoke"
+# One pass over the 99 templates at smoke scale; fails on a >30% drop in
+# aggregate scanned rows/sec against the checked-in baseline JSON.
+"$BUILD_DIR/bench/bench_query_throughput" -json \
+  "$BUILD_DIR/bench_query_throughput.json"
+scripts/check_perf.py "$BUILD_DIR/bench_query_throughput.json"
+
 echo "== asan"
 scripts/check_asan.sh build-asan
 

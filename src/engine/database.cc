@@ -187,18 +187,31 @@ Result<std::string> Database::Explain(const std::string& sql) {
     out.append(static_cast<size_t>(op.depth) * 2, ' ');
     out += "-> " + op.label;
     if (op.executed) {
-      out += StringPrintf(" [%lld -> %lld rows, %.3f ms]",
+      std::string extra;
+      if (op.vectorized) extra += ", vec";
+      if (op.morsels_pruned > 0) {
+        extra += StringPrintf(", %lld morsels pruned",
+                              static_cast<long long>(op.morsels_pruned));
+      }
+      if (op.bloom_rejects > 0) {
+        extra += StringPrintf(", %lld bloom rejects",
+                              static_cast<long long>(op.bloom_rejects));
+      }
+      out += StringPrintf(" [%lld -> %lld rows, %.3f ms%s]",
                           static_cast<long long>(op.rows_in),
                           static_cast<long long>(op.rows_out),
-                          op.seconds * 1e3);
+                          op.seconds * 1e3, extra.c_str());
     }
     out += "\n";
   }
   out += StringPrintf(
-      "  => %zu result rows (scanned %lld, joined %lld, star-pruned %lld)\n",
+      "  => %zu result rows (scanned %lld, joined %lld, star-pruned %lld, "
+      "morsels pruned %lld, bloom rejects %lld)\n",
       result.rows.size(), static_cast<long long>(stats.rows_scanned),
       static_cast<long long>(stats.rows_joined),
-      static_cast<long long>(stats.star_filtered_rows));
+      static_cast<long long>(stats.star_filtered_rows),
+      static_cast<long long>(stats.morsels_pruned),
+      static_cast<long long>(stats.bloom_rejects));
   return out;
 }
 

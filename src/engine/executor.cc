@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <optional>
 #include <set>
 #include <thread>
 #include <unordered_map>
@@ -431,10 +432,35 @@ class PlanExecutor : public SubqueryEvaluator {
 
   // ---- leaf operators -------------------------------------------------
 
+  /// A join-key filter a hash/semi join registered on its probe-side scan:
+  /// rows whose key column can't be in the build side's key set are dropped
+  /// inside the scan morsel. The Bloom filter (owned by the registering
+  /// join's stack frame, unregistered before it returns) only has false
+  /// positives, and the join's exact key check still runs downstream, so
+  /// results stay byte-identical.
+  struct ScanPushdown {
+    int col = -1;               // storage column on the scanned table
+    bool is_string = false;
+    const BloomFilter* bloom = nullptr;
+    bool has_range = false;     // int-backed: min/max over the build keys
+    int64_t lo = 0;
+    int64_t hi = 0;
+  };
+
   Result<std::shared_ptr<RowSet>> ExecScan(const PlanNode& node) {
     EngineTable* table = db_->FindTable(node.table_name);
     if (table == nullptr) {
       return Status::NotFound("unknown table: " + node.table_name);
+    }
+    const std::vector<ScanPushdown>* pushdowns = nullptr;
+    auto pit = pushdowns_.find(&node);
+    if (pit != pushdowns_.end() && !pit->second.empty()) {
+      pushdowns = &pit->second;
+    }
+    if (options_.vectorized_execution &&
+        (!node.kernels.empty() || pushdowns != nullptr) &&
+        static_cast<uint64_t>(table->num_rows()) <= UINT32_MAX) {
+      return ExecScanVectorized(node, table, pushdowns);
     }
     RowSet scope;
     scope.cols = node.schema;
@@ -470,6 +496,241 @@ class PlanExecutor : public SubqueryEvaluator {
     return rs;
   }
 
+  /// Columnar fast path: each morsel starts from an identity selection
+  /// vector, zone maps prune whole morsels first, typed kernels and pushed
+  /// join-key filters compact the selection on the raw storage vectors, and
+  /// only surviving rows are materialised as Values (through the residual
+  /// expr_eval predicates, when any). Governance boundaries are identical
+  /// to the fallback path: BeginMorsel per morsel, ChargeRows on the
+  /// materialised output.
+  Result<std::shared_ptr<RowSet>> ExecScanVectorized(
+      const PlanNode& node, EngineTable* table,
+      const std::vector<ScanPushdown>* pushdowns) {
+    RowSet scope;
+    scope.cols = node.schema;
+    TPCDS_ASSIGN_OR_RETURN(std::vector<std::unique_ptr<BoundExpr>> residual,
+                           BindAll(node.residual_predicates, scope));
+
+    auto rs = std::make_shared<RowSet>();
+    rs->cols = node.schema;
+    int64_t n = table->num_rows();
+    node.stats.rows_in = n;
+    node.stats.vectorized = true;
+    if (stats_ != nullptr) stats_->rows_scanned += n;
+
+    // Zone-map checks, one per prunable kernel and pushed key range. Built
+    // (or fetched) before the parallel morsels: the getter mutates the
+    // table's lazy cache under its own mutex.
+    bool always_false = false;
+    struct KernelZone {
+      const ZoneMap* zm;
+      const ScanKernel* k;
+    };
+    std::vector<KernelZone> kernel_zones;
+    for (const ScanKernel& k : node.kernels) {
+      if (k.kind == ScanKernel::Kind::kAlwaysFalse) {
+        always_false = true;
+        continue;
+      }
+      if (k.kind != ScanKernel::Kind::kIntRange &&
+          k.kind != ScanKernel::Kind::kIntIn &&
+          k.kind != ScanKernel::Kind::kNullTest) {
+        continue;
+      }
+      const ZoneMap* zm = table->GetOrBuildZoneMap(k.col);
+      if (zm != nullptr) kernel_zones.push_back({zm, &k});
+    }
+    struct RangeZone {
+      const ZoneMap* zm;
+      int64_t lo;
+      int64_t hi;
+    };
+    std::vector<RangeZone> range_zones;
+    if (pushdowns != nullptr) {
+      for (const ScanPushdown& pd : *pushdowns) {
+        if (!pd.has_range) continue;
+        const ZoneMap* zm = table->GetOrBuildZoneMap(pd.col);
+        if (zm != nullptr) range_zones.push_back({zm, pd.lo, pd.hi});
+      }
+    }
+
+    std::atomic<int64_t> pruned{0};
+    std::atomic<int64_t> rejects{0};
+    std::vector<RowList> bufs(MorselCount(static_cast<size_t>(n)));
+    ForEachMorsel(static_cast<size_t>(n), [&](size_t b, size_t e, size_t m) {
+      if (always_false) {
+        pruned.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      for (const KernelZone& kz : kernel_zones) {
+        if (m < kz.zm->blocks.size() &&
+            KernelPrunesBlock(*kz.k, kz.zm->blocks[m])) {
+          pruned.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+      for (const RangeZone& rz : range_zones) {
+        if (m < rz.zm->blocks.size() &&
+            RangePrunesBlock(rz.zm->blocks[m], rz.lo, rz.hi)) {
+          pruned.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+      SelectionVector sel;
+      sel.reserve(e - b);
+      for (size_t r = b; r < e; ++r) sel.push_back(static_cast<uint32_t>(r));
+      for (const ScanKernel& k : node.kernels) {
+        if (sel.empty()) break;
+        ApplyScanKernel(k, table->column(static_cast<size_t>(k.col)), &sel);
+      }
+      if (pushdowns != nullptr && !sel.empty()) {
+        int64_t removed = ApplyPushdowns(*table, *pushdowns, &sel);
+        rejects.fetch_add(removed, std::memory_order_relaxed);
+      }
+      RowList& buf = bufs[m];
+      if (residual.empty()) {
+        GatherRows(*table, node.scan_cols, sel, &buf);
+      } else {
+        buf.reserve(sel.size());
+        std::vector<Value> row;
+        for (uint32_t r : sel) {
+          row.clear();
+          row.reserve(node.scan_cols.size());
+          for (int c : node.scan_cols) {
+            row.push_back(table->GetValue(static_cast<int64_t>(r), c));
+          }
+          if (PassesAll(residual, row)) buf.push_back(row);
+        }
+      }
+      ChargeRows(buf);
+    });
+    ConcatMorsels(&bufs, &rs->rows);
+    node.stats.morsels_pruned += pruned.load();
+    node.stats.bloom_rejects += rejects.load();
+    if (stats_ != nullptr) {
+      stats_->morsels_pruned += pruned.load();
+      stats_->bloom_rejects += rejects.load();
+    }
+    Trace(StringPrintf(
+        "scan %s%s%s: %zu cols, %zu pushed filters (vectorized: %zu "
+        "kernels, %zu residual, %lld morsels pruned, %lld bloom rejects), "
+        "%lld -> %zu rows",
+        table->name().c_str(), node.alias.empty() ? "" : " as ",
+        node.alias.c_str(), node.scan_cols.size(), node.predicates.size(),
+        node.kernels.size(), node.residual_predicates.size(),
+        static_cast<long long>(pruned.load()),
+        static_cast<long long>(rejects.load()), static_cast<long long>(n),
+        rs->rows.size()));
+    return rs;
+  }
+
+  /// Applies every registered join-key pushdown to the selection vector.
+  /// NULL key rows are dropped too — a NULL key can never match an inner
+  /// or semi join, which is the only context that registers a pushdown.
+  /// Returns the number of rows rejected by a range or Bloom check.
+  static int64_t ApplyPushdowns(const EngineTable& table,
+                                const std::vector<ScanPushdown>& pds,
+                                SelectionVector* sel) {
+    int64_t removed = 0;
+    for (const ScanPushdown& pd : pds) {
+      const StorageColumn& c = table.column(static_cast<size_t>(pd.col));
+      SelectionVector& s = *sel;
+      size_t w = 0;
+      if (pd.is_string) {
+        for (uint32_t r : s) {
+          if (c.IsNull(r)) continue;
+          if (pd.bloom != nullptr &&
+              !pd.bloom->MayContain(std::hash<std::string>()(c.Str(r)))) {
+            ++removed;
+            continue;
+          }
+          s[w++] = r;
+        }
+      } else {
+        for (uint32_t r : s) {
+          if (c.IsNull(r)) continue;
+          int64_t v = c.Num(r);
+          if (pd.has_range && (v < pd.lo || v > pd.hi)) {
+            ++removed;
+            continue;
+          }
+          if (pd.bloom != nullptr &&
+              !pd.bloom->MayContain(HashStorageValue(c.type(), v))) {
+            ++removed;
+            continue;
+          }
+          s[w++] = r;
+        }
+      }
+      s.resize(w);
+      if (s.empty()) break;
+    }
+    return removed;
+  }
+
+  /// Walks through chained semi-join reductions (which preserve the fact
+  /// scan's schema) down to the underlying scan a join-key filter can be
+  /// pushed into. Memoized nodes anywhere on the chain are shared by
+  /// several consumers and must never see a consumer-specific filter.
+  static const PlanNode* PushdownTargetScan(const PlanNode* n) {
+    while (n != nullptr && n->kind == PlanKind::kSemiJoinReduce &&
+           !n->memoize) {
+      n = n->children[0].get();
+    }
+    if (n == nullptr || n->kind != PlanKind::kScan || n->memoize) {
+      return nullptr;
+    }
+    return n;
+  }
+
+  /// Resolves a bare column-ref key against a scan's output schema to its
+  /// storage column index, or -1.
+  static int ResolveScanStorageCol(const PlanNode& scan, const Expr& key) {
+    if (key.tag != Expr::Tag::kColumnRef) return -1;
+    RowSet scope;
+    scope.cols = scan.schema;
+    Result<int> slot = scope.Resolve(key.qualifier, key.name);
+    if (!slot.ok()) return -1;
+    size_t s = static_cast<size_t>(*slot);
+    if (s >= scan.scan_cols.size()) return -1;
+    return scan.scan_cols[s];
+  }
+
+  /// Fills `pd` from the distinct build/dim key values: Bloom hashes plus
+  /// a min/max range for int-backed columns. Returns false (pushdown
+  /// abandoned) when any key's coercion onto the column's raw storage
+  /// can't be reproduced exactly.
+  static bool BuildKeyPushdown(const ValueSet& keys, const StorageColumn& col,
+                               BloomFilter* bloom, ScanPushdown* pd) {
+    pd->is_string = col.is_string();
+    pd->bloom = bloom;
+    if (pd->is_string) {
+      for (const Value& k : keys) {
+        if (k.kind() != Value::Kind::kString) return false;
+        bloom->Add(std::hash<std::string>()(k.AsString()));
+      }
+      return true;
+    }
+    pd->has_range = true;
+    pd->lo = INT64_MAX;  // empty until a key maps: rejects every row
+    pd->hi = INT64_MIN;
+    for (const Value& k : keys) {
+      int64_t raw = 0;
+      switch (StorageValueForEquality(col.type(), k, &raw)) {
+        case StorageEq::kExact:
+          bloom->Add(HashStorageValue(col.type(), raw));
+          pd->lo = std::min(pd->lo, raw);
+          pd->hi = std::max(pd->hi, raw);
+          break;
+        case StorageEq::kNoMatch:
+          break;  // this key matches no stored value; nothing to admit
+        case StorageEq::kUnsupported:
+          return false;
+      }
+    }
+    return true;
+  }
+
   Result<std::shared_ptr<RowSet>> ExecCteRef(const PlanNode& node) {
     auto it = cte_results_.find(node.cte_name);
     if (it == cte_results_.end()) {
@@ -493,25 +754,77 @@ class PlanExecutor : public SubqueryEvaluator {
 
   // ---- joins ----------------------------------------------------------
 
-  Result<std::shared_ptr<RowSet>> ExecSemiJoinReduce(const PlanNode& node) {
-    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> fact,
-                           ExecOwned(node.children[0]));
-    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> dim,
-                           Exec(node.children[1]));
-    TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> fact_key,
-                           BindExpr(*node.fact_key, *fact, this));
-    TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> dim_key,
-                           BindExpr(*node.dim_key, *dim, this));
-
-    size_t nd = dim->rows.size();
-    std::vector<Value> dim_keys(nd);
-    ForEachMorsel(nd, [&](size_t b, size_t e, size_t) {
-      for (size_t r = b; r < e; ++r) dim_keys[r] = dim_key->Eval(dim->rows[r]);
+  /// Evaluates `key_expr` over every row of `rs` (morsel-parallel) and
+  /// returns the distinct non-NULL key values.
+  Result<ValueSet> CollectKeys(const Expr& key_expr, const RowSet& rs) {
+    TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> key,
+                           BindExpr(key_expr, rs, this));
+    size_t n = rs.rows.size();
+    std::vector<Value> vals(n);
+    ForEachMorsel(n, [&](size_t b, size_t e, size_t) {
+      for (size_t r = b; r < e; ++r) vals[r] = key->Eval(rs.rows[r]);
     });
     ValueSet keys;
-    for (Value& v : dim_keys) {
+    keys.reserve(n);
+    for (Value& v : vals) {
       if (!v.is_null()) keys.insert(std::move(v));
     }
+    return keys;
+  }
+
+  Result<std::shared_ptr<RowSet>> ExecSemiJoinReduce(const PlanNode& node) {
+    // Vectorized path: when the fact side bottoms out in a private scan
+    // and the reduction key is a bare column, run the dimension first and
+    // push its key set (min/max range + Bloom filter) into that scan, so
+    // most non-qualifying fact rows are never materialised. The exact
+    // key-set check below still runs over whatever the scan produced, so
+    // results are byte-identical to the unpushed order.
+    const PlanNode* target = nullptr;
+    int pd_col = -1;
+    EngineTable* pd_table = nullptr;
+    if (options_.vectorized_execution &&
+        node.fact_key->tag == Expr::Tag::kColumnRef) {
+      target = PushdownTargetScan(node.children[0].get());
+      if (target != nullptr) {
+        pd_col = ResolveScanStorageCol(*target, *node.fact_key);
+        pd_table = pd_col >= 0 ? db_->FindTable(target->table_name) : nullptr;
+        if (pd_table == nullptr) target = nullptr;
+      }
+    }
+
+    std::shared_ptr<RowSet> fact, dim;
+    ValueSet keys;
+    if (target != nullptr) {
+      TPCDS_ASSIGN_OR_RETURN(dim, Exec(node.children[1]));
+      TPCDS_ASSIGN_OR_RETURN(keys, CollectKeys(*node.dim_key, *dim));
+      BloomFilter bloom(keys.size());
+      ScanPushdown pd;
+      pd.col = pd_col;
+      // Only push a selective key set; a reduction whose key set rivals
+      // the fact table in size rejects almost nothing at the scan.
+      bool registered =
+          static_cast<int64_t>(keys.size()) * 8 <= pd_table->num_rows() &&
+          BuildKeyPushdown(
+              keys, pd_table->column(static_cast<size_t>(pd_col)), &bloom,
+              &pd);
+      if (registered) {
+        pushdowns_[target].push_back(pd);
+        node.stats.vectorized = true;
+      }
+      Result<std::shared_ptr<RowSet>> fr = ExecOwned(node.children[0]);
+      if (registered) {  // unregister before any error propagates
+        auto it = pushdowns_.find(target);
+        it->second.pop_back();
+        if (it->second.empty()) pushdowns_.erase(it);
+      }
+      TPCDS_ASSIGN_OR_RETURN(fact, std::move(fr));
+    } else {
+      TPCDS_ASSIGN_OR_RETURN(fact, ExecOwned(node.children[0]));
+      TPCDS_ASSIGN_OR_RETURN(dim, Exec(node.children[1]));
+      TPCDS_ASSIGN_OR_RETURN(keys, CollectKeys(*node.dim_key, *dim));
+    }
+    TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> fact_key,
+                           BindExpr(*node.fact_key, *fact, this));
 
     size_t before = fact->rows.size();
     std::vector<RowList> bufs(MorselCount(before));
@@ -538,22 +851,121 @@ class PlanExecutor : public SubqueryEvaluator {
   }
 
   Result<std::shared_ptr<RowSet>> ExecHashJoin(const PlanNode& node) {
-    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> left,
-                           Exec(node.children[0]));
-    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> right,
-                           Exec(node.children[1]));
+    const bool vec = options_.vectorized_execution;
+    // Vectorized path: an inner equi-join whose probe side bottoms out in
+    // a private scan, with at least one bare probe-side key column, runs
+    // the build side first and pushes the build keys (min/max range +
+    // Bloom filter) into that scan. The exact hash-table probe below still
+    // runs, so results are byte-identical to the unpushed order.
+    const PlanNode* target = nullptr;
+    int pd_col = -1;
+    size_t pd_key = 0;
+    EngineTable* pd_table = nullptr;
+    if (vec && !node.left_outer && !node.equi.empty()) {
+      const PlanNode* t = PushdownTargetScan(node.children[0].get());
+      if (t != nullptr) {
+        for (size_t i = 0; i < node.equi.size(); ++i) {
+          int c = ResolveScanStorageCol(*t, *node.equi[i].left);
+          if (c < 0) continue;
+          pd_col = c;
+          pd_key = i;
+          pd_table = db_->FindTable(t->table_name);
+          if (pd_table != nullptr) target = t;
+          break;
+        }
+      }
+    }
+
+    std::shared_ptr<RowSet> left, right;
+    if (target == nullptr) {
+      TPCDS_ASSIGN_OR_RETURN(left, Exec(node.children[0]));
+    }
+    TPCDS_ASSIGN_OR_RETURN(right, Exec(node.children[1]));
+
+    std::vector<std::unique_ptr<BoundExpr>> rkeys;
+    rkeys.reserve(node.equi.size());
+    for (const PlanEquiKey& pair : node.equi) {
+      TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> r,
+                             BindExpr(*pair.right, *right, this));
+      rkeys.push_back(std::move(r));
+    }
+
+    // Build-side keys, computed before the probe side runs so a key
+    // pushdown can be registered on the probe scan first. Shared by the
+    // pushdown, the join-level Bloom filter, and the hash-table build.
+    size_t nr = right->rows.size();
+    struct BuildKey {
+      std::vector<Value> key;
+      size_t hash = 0;
+      bool has_null = false;
+    };
+    std::vector<BuildKey> bkeys;
+    if (!node.equi.empty()) {
+      bkeys.resize(nr);
+      ForEachMorsel(nr, [&](size_t b, size_t e, size_t) {
+        int64_t key_bytes = 0;
+        for (size_t r = b; r < e; ++r) {
+          BuildKey& bk = bkeys[r];
+          bk.key.reserve(rkeys.size());
+          for (const auto& k : rkeys) {
+            Value v = k->Eval(right->rows[r]);
+            bk.has_null |= v.is_null();
+            bk.key.push_back(std::move(v));
+          }
+          if (!bk.has_null) bk.hash = VecValueHash()(bk.key);
+          if (track_) key_bytes += ApproxRowBytes(bk.key);
+        }
+        // Hash-build memory: the materialised build keys are what a large
+        // build side costs, so a budget violation fires mid-build.
+        if (track_) governor_->Reserve(key_bytes);
+      });
+    }
+
+    if (target != nullptr) {
+      bool registered = false;
+      ScanPushdown pd;
+      pd.col = pd_col;
+      BloomFilter pushed_bloom(0);
+      // Only push when the build side is selective: a build key set in the
+      // same order of magnitude as the target table rejects little, and
+      // collecting + hashing its keys is pure overhead on the probe scan
+      // (e.g. a reversed star shape where the fact table is the build
+      // side of a dimension join).
+      if (static_cast<int64_t>(nr) * 8 <= pd_table->num_rows()) {
+        ValueSet comp;
+        comp.reserve(nr);
+        for (const BuildKey& bk : bkeys) {
+          // A tripped governor leaves partially built keys behind (the
+          // query errors out after the operator); skip those, don't index
+          // them.
+          if (!bk.has_null && bk.key.size() > pd_key) {
+            comp.insert(bk.key[pd_key]);
+          }
+        }
+        pushed_bloom = BloomFilter(comp.size());
+        registered = BuildKeyPushdown(
+            comp, pd_table->column(static_cast<size_t>(pd_col)), &pushed_bloom,
+            &pd);
+      }
+      if (registered) pushdowns_[target].push_back(pd);
+      Result<std::shared_ptr<RowSet>> lr = Exec(node.children[0]);
+      if (registered) {  // unregister before any error propagates
+        auto it = pushdowns_.find(target);
+        it->second.pop_back();
+        if (it->second.empty()) pushdowns_.erase(it);
+      }
+      TPCDS_ASSIGN_OR_RETURN(left, std::move(lr));
+    }
 
     auto out = std::make_shared<RowSet>();
     out->cols = node.schema;
 
-    std::vector<std::unique_ptr<BoundExpr>> lkeys, rkeys;
+    std::vector<std::unique_ptr<BoundExpr>> lkeys;
+    lkeys.reserve(node.equi.size());
     for (const PlanEquiKey& pair : node.equi) {
       TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> l,
                              BindExpr(*pair.left, *left, this));
-      TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> r,
-                             BindExpr(*pair.right, *right, this));
       lkeys.push_back(std::move(l));
-      rkeys.push_back(std::move(r));
     }
     RowSet combined_scope;
     combined_scope.cols = node.schema;
@@ -577,6 +989,7 @@ class PlanExecutor : public SubqueryEvaluator {
 
     size_t nl = left->rows.size();
     std::vector<RowList> bufs(MorselCount(nl));
+    std::atomic<int64_t> rejects{0};
     if (node.equi.empty()) {
       // Nested-loop (cross product with residual filter). This is the
       // runaway shape a bad substitution produces, so the governor is
@@ -601,38 +1014,22 @@ class PlanExecutor : public SubqueryEvaluator {
         }
       });
     } else {
-      // Partitioned build: hash every build-side key in parallel, assign
-      // rows to a fixed number of partitions serially (cheap), then build
-      // the per-partition tables in parallel. Row indices enter each
+      // Partitioned build: build-side keys were hashed in parallel above;
+      // assign rows to a fixed number of partitions serially (cheap), then
+      // build the per-partition tables in parallel. Row indices enter each
       // match list in ascending order, so probe output is deterministic.
-      size_t nr = right->rows.size();
-      struct BuildKey {
-        std::vector<Value> key;
-        size_t hash = 0;
-        bool has_null = false;
-      };
-      std::vector<BuildKey> bkeys(nr);
-      ForEachMorsel(nr, [&](size_t b, size_t e, size_t) {
-        int64_t key_bytes = 0;
-        for (size_t r = b; r < e; ++r) {
-          BuildKey& bk = bkeys[r];
-          bk.key.reserve(rkeys.size());
-          for (const auto& k : rkeys) {
-            Value v = k->Eval(right->rows[r]);
-            bk.has_null |= v.is_null();
-            bk.key.push_back(std::move(v));
-          }
-          if (!bk.has_null) bk.hash = VecValueHash()(bk.key);
-          if (track_) key_bytes += ApproxRowBytes(bk.key);
-        }
-        // Hash-build memory: the materialised build keys are what a large
-        // build side costs, so a budget violation fires mid-build.
-        if (track_) governor_->Reserve(key_bytes);
-      });
+      // On the vectorized path a join-level Bloom filter over the build
+      // hashes rejects unmatchable probe keys before the table lookup.
+      // Only worthwhile when the build side is smaller than the probe
+      // side: each build row costs one insert, so with fewer probe rows
+      // than build rows the filter can never pay for itself.
+      std::optional<BloomFilter> bloom;
+      if (vec && nr < nl) bloom.emplace(nr);
       std::vector<std::vector<size_t>> part_rows(kJoinPartitions);
       for (size_t r = 0; r < nr; ++r) {
         if (!bkeys[r].has_null) {  // NULL keys never match
           part_rows[bkeys[r].hash % kJoinPartitions].push_back(r);
+          if (bloom) bloom->Add(bkeys[r].hash);
         }
       }
       using JoinTable =
@@ -646,10 +1043,13 @@ class PlanExecutor : public SubqueryEvaluator {
           t[std::move(bkeys[r].key)].push_back(r);
         }
       });
+      node.stats.vectorized = vec;
 
       ForEachMorsel(nl, [&](size_t b, size_t e, size_t m) {
         RowList& buf = bufs[m];
+        buf.reserve(e - b);
         std::vector<Value> key;
+        int64_t morsel_rejects = 0;
         for (size_t lr = b; lr < e; ++lr) {
           const auto& lrow = left->rows[lr];
           key.clear();
@@ -662,12 +1062,16 @@ class PlanExecutor : public SubqueryEvaluator {
           }
           bool matched = false;
           if (!has_null) {
-            const JoinTable& t =
-                tables[VecValueHash()(key) % kJoinPartitions];
-            auto it = t.find(key);
-            if (it != t.end()) {
-              for (size_t r : it->second) {
-                matched |= emit(lrow, right->rows[r], &buf);
+            size_t h = VecValueHash()(key);
+            if (bloom && !bloom->MayContain(h)) {
+              ++morsel_rejects;  // definitely absent from the build side
+            } else {
+              const JoinTable& t = tables[h % kJoinPartitions];
+              auto it = t.find(key);
+              if (it != t.end()) {
+                for (size_t r : it->second) {
+                  matched |= emit(lrow, right->rows[r], &buf);
+                }
               }
             }
           }
@@ -677,19 +1081,30 @@ class PlanExecutor : public SubqueryEvaluator {
             buf.push_back(std::move(combined));
           }
         }
+        if (morsel_rejects > 0) {
+          rejects.fetch_add(morsel_rejects, std::memory_order_relaxed);
+        }
         ChargeRows(buf);
       });
     }
     ConcatMorsels(&bufs, &out->rows);
+    node.stats.bloom_rejects += rejects.load();
     if (stats_ != nullptr) {
       stats_->rows_joined += static_cast<int64_t>(out->rows.size());
+      stats_->bloom_rejects += rejects.load();
     }
     Trace(StringPrintf(
-        "%s%s: %zu equi keys, %zu residual, %zu x %zu -> %zu rows",
+        "%s%s: %zu equi keys, %zu residual, %zu x %zu -> %zu rows"
+        "%s",
         node.equi.empty() ? "nested-loop join" : "hash join",
         node.left_outer ? " (left outer)" : "", node.equi.size(),
         node.residual.size(), left->rows.size(), right->rows.size(),
-        out->rows.size()));
+        out->rows.size(),
+        rejects.load() > 0
+            ? StringPrintf(" (%lld bloom rejects)",
+                           static_cast<long long>(rejects.load()))
+                  .c_str()
+            : ""));
     return out;
   }
 
@@ -755,6 +1170,7 @@ class PlanExecutor : public SubqueryEvaluator {
     std::vector<RowList> bufs(MorselCount(n));
     ForEachMorsel(n, [&](size_t b, size_t e, size_t m) {
       RowList& buf = bufs[m];
+      buf.reserve(e - b);
       for (size_t r = b; r < e; ++r) {
         if (PassesAll(preds, rs->rows[r])) {
           buf.push_back(std::move(rs->rows[r]));
@@ -882,9 +1298,11 @@ class PlanExecutor : public SubqueryEvaluator {
       using Kind = SelectStmt::SetOpBranch::Kind;
       switch (node.set_kinds[i - 1]) {
         case Kind::kUnionAll:
+          acc->rows.reserve(acc->rows.size() + rs->rows.size());
           for (auto& row : rs->rows) acc->rows.push_back(std::move(row));
           break;
         case Kind::kUnion:
+          acc->rows.reserve(acc->rows.size() + rs->rows.size());
           for (auto& row : rs->rows) acc->rows.push_back(std::move(row));
           DistinctRows(acc.get());
           break;
@@ -1109,7 +1527,9 @@ class PlanExecutor : public SubqueryEvaluator {
 
   void DistinctRows(RowSet* rs) {
     std::unordered_set<std::vector<Value>, VecValueHash, VecValueEq> seen;
+    seen.reserve(rs->rows.size());
     RowList unique_rows;
+    unique_rows.reserve(rs->rows.size());
     size_t visible = rs->VisibleCols();
     for (auto& row : rs->rows) {
       std::vector<Value> key(row.begin(),
@@ -1131,6 +1551,10 @@ class PlanExecutor : public SubqueryEvaluator {
   ThreadPool* pool_ = nullptr;
   std::map<std::string, std::shared_ptr<RowSet>> cte_results_;
   std::map<const PlanNode*, std::shared_ptr<RowSet>> memo_;
+  /// Join-key filters registered on scans by enclosing hash/semi joins.
+  /// Registration and unregistration happen in the (serial) operator
+  /// open/close path; only morsel workers read it concurrently.
+  std::map<const PlanNode*, std::vector<ScanPushdown>> pushdowns_;
   double child_seconds_ = 0.0;
 };
 
@@ -1143,6 +1567,9 @@ void EmitOperator(const PlanNode* node, int depth, ExecStats* stats,
   op.rows_out = node->stats.rows_out;
   op.seconds = node->stats.seconds;
   op.executed = node->stats.executed;
+  op.morsels_pruned = node->stats.morsels_pruned;
+  op.bloom_rejects = node->stats.bloom_rejects;
+  op.vectorized = node->stats.vectorized;
   bool first_visit = visited->insert(node).second;
   if (!first_visit) op.label += " (shared)";
   stats->operators.push_back(std::move(op));

@@ -356,6 +356,10 @@ class BoundFunction : public BoundExpr {
 
 }  // namespace
 
+bool SqlLikeMatch(const std::string& text, const std::string& pattern) {
+  return LikeMatch(text, pattern);
+}
+
 Value EvalArithmetic(const std::string& op, const Value& a, const Value& b) {
   using K = Value::Kind;
   if (a.is_null() || b.is_null()) return Value::Null();

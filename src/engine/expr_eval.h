@@ -42,6 +42,10 @@ Result<std::unique_ptr<BoundExpr>> BindExpr(const Expr& expr,
 /// references, and to derive display names for unaliased select items.
 std::string ExprToString(const Expr& expr);
 
+/// SQL LIKE semantics (% = any run, _ = one character) on raw strings; the
+/// same matcher BoundLike uses, exposed for the vectorized string kernels.
+bool SqlLikeMatch(const std::string& text, const std::string& pattern);
+
 /// True if the expression (deeply) contains an aggregate node.
 bool ContainsAggregate(const Expr& expr);
 /// True if the expression (deeply) contains a window node.

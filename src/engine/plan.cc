@@ -488,6 +488,17 @@ class Planner {
       node->predicates.push_back(conjuncts[i]);
       (*consumed)[i] = true;
     }
+
+    // Split the pushed filters into typed kernels (evaluated on the raw
+    // storage vectors when vectorized execution is on) and residuals that
+    // keep the generic expr_eval path. `predicates` stays intact as the
+    // fallback and for EXPLAIN labels.
+    for (const Expr* pred : node->predicates) {
+      if (!CompileScanKernel(*pred, scope, *table, node->scan_cols,
+                             &node->kernels)) {
+        node->residual_predicates.push_back(pred);
+      }
+    }
     return node;
   }
 
@@ -807,12 +818,19 @@ Result<std::shared_ptr<PlanNode>> Planner::PlanFrom(const SelectStmt& stmt) {
 
 std::string PlanNodeLabel(const PlanNode& node) {
   switch (node.kind) {
-    case PlanKind::kScan:
-      return StringPrintf("scan %s%s%s: %zu cols, %zu pushed filters",
-                          node.table_name.c_str(),
-                          node.alias.empty() ? "" : " as ",
-                          node.alias.c_str(), node.scan_cols.size(),
-                          node.predicates.size());
+    case PlanKind::kScan: {
+      std::string label =
+          StringPrintf("scan %s%s%s: %zu cols, %zu pushed filters",
+                       node.table_name.c_str(),
+                       node.alias.empty() ? "" : " as ", node.alias.c_str(),
+                       node.scan_cols.size(), node.predicates.size());
+      if (!node.kernels.empty()) {
+        label += StringPrintf(" (%zu kernels, %zu residual)",
+                              node.kernels.size(),
+                              node.residual_predicates.size());
+      }
+      return label;
+    }
     case PlanKind::kCteRef:
       return StringPrintf("cte %s as %s", node.cte_name.c_str(),
                           node.qualifier.c_str());

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "engine/ast.h"
+#include "engine/batch.h"
 #include "engine/planner.h"
 #include "engine/rowset.h"
 #include "util/result.h"
@@ -82,6 +83,10 @@ struct PlanOpStats {
   int64_t rows_out = 0;
   double seconds = 0.0;  // self time (children excluded)
   bool executed = false;
+  // Vectorized-path observability (EXPLAIN renders these when non-zero).
+  int64_t morsels_pruned = 0;   // morsels skipped via zone maps
+  int64_t bloom_rejects = 0;    // rows rejected by a Bloom filter
+  bool vectorized = false;      // operator ran the columnar fast path
 };
 
 /// A physical plan operator. Output schema (`schema` + `num_visible`) is
@@ -106,6 +111,13 @@ struct PlanNode {
   // kScan pushed filters / kFilter predicates (may carry subqueries on
   // kFilter; the executor evaluates those while binding).
   std::vector<const Expr*> predicates;
+
+  // kScan vectorized fast path: `predicates` split into typed kernels and
+  // the residual expressions the kernels could not reproduce exactly.
+  // Invariant: kernels + residual_predicates ≡ predicates, which stays
+  // intact as the fallback path and for EXPLAIN labels.
+  std::vector<ScanKernel> kernels;
+  std::vector<const Expr*> residual_predicates;
 
   // kCteRef / kDerived
   std::string cte_name;   // lower-cased CTE key

@@ -42,6 +42,14 @@ struct PlannerOptions {
   double timeout_ms = 0.0;          // wall-clock deadline, 0 = unlimited
   int64_t memory_budget_bytes = 0;  // materialised-bytes budget, 0 = unlimited
   int64_t row_budget = 0;           // materialised-rows budget, 0 = unlimited
+
+  /// Vectorized columnar fast path: pushed scan filters run as typed
+  /// kernels over the raw storage vectors with selection vectors, zone
+  /// maps prune whole morsels, and hash/semi joins build Bloom filters
+  /// that reject probe rows early (pushed into probe-side scans when the
+  /// build side is selective). Off = the row-at-a-time reference path.
+  /// Results are byte-identical either way, at any parallelism.
+  bool vectorized_execution = true;
 };
 
 /// Statistics of one statement execution, for benchmarking and EXPLAIN.
@@ -49,6 +57,8 @@ struct ExecStats {
   int64_t rows_scanned = 0;
   int64_t rows_joined = 0;
   int64_t star_filtered_rows = 0;  // fact rows removed by semi-join filters
+  int64_t morsels_pruned = 0;      // scan morsels skipped via zone maps
+  int64_t bloom_rejects = 0;       // join/scan rows rejected by Bloom filters
   /// Human-readable plan trace: one line per scan / semi-join reduction /
   /// join / aggregation, in execution order.
   std::vector<std::string> plan;
@@ -63,6 +73,9 @@ struct ExecStats {
     int64_t rows_out = 0;
     double seconds = 0.0;  // self time, children excluded
     bool executed = false;
+    int64_t morsels_pruned = 0;
+    int64_t bloom_rejects = 0;
+    bool vectorized = false;
   };
   std::vector<OpStat> operators;
 };

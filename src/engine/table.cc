@@ -263,9 +263,20 @@ const EngineTable::StringIndex& EngineTable::GetOrBuildStringIndex(int col) {
   return string_indexes_.emplace(col, std::move(index)).first->second;
 }
 
+const ZoneMap* EngineTable::GetOrBuildZoneMap(int col) {
+  const StorageColumn& c = columns_[static_cast<size_t>(col)];
+  if (c.is_string()) return nullptr;
+  std::lock_guard<std::mutex> lock(index_mu_);
+  auto it = zone_maps_.find(col);
+  if (it != zone_maps_.end()) return &it->second;
+  ZoneMap zm = BuildZoneMap(c, static_cast<size_t>(num_rows_));
+  return &zone_maps_.emplace(col, std::move(zm)).first->second;
+}
+
 void EngineTable::InvalidateIndexes() {
   int_indexes_.clear();
   string_indexes_.clear();
+  zone_maps_.clear();
 }
 
 std::unique_ptr<EngineTable> EngineTable::Clone() const {

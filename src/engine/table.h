@@ -2,12 +2,15 @@
 #define TPCDS_ENGINE_TABLE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "engine/batch.h"
 #include "engine/value.h"
 #include "schema/column.h"
 #include "util/result.h"
@@ -42,6 +45,13 @@ class StorageColumn {
   bool IsNull(size_t row) const { return nulls_[row] != 0; }
   int64_t Num(size_t row) const { return nums_[row]; }
   const std::string& Str(size_t row) const { return strings_[row]; }
+
+  /// Raw typed storage, for the vectorized kernels in engine/batch.cc.
+  /// Empty for string columns (`nums`) / non-string columns (`strings`).
+  const std::vector<int64_t>& nums() const { return nums_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+  const std::vector<uint8_t>& nulls() const { return nulls_; }
+
   Value Get(size_t row) const;
   void Set(size_t row, const Value& v);
 
@@ -68,8 +78,22 @@ class EngineTable {
 
   /// Multi-valued hash index over one column.
   using HashIndex = std::unordered_map<int64_t, std::vector<int64_t>>;
+
+  /// Transparent hasher so StringIndex lookups accept std::string_view
+  /// without materialising a std::string key (maintenance probes business
+  /// keys straight out of column storage).
+  struct StringIndexHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>()(s);
+    }
+    size_t operator()(const std::string& s) const {
+      return std::hash<std::string_view>()(std::string_view(s));
+    }
+  };
   using StringIndex =
-      std::unordered_map<std::string, std::vector<int64_t>>;
+      std::unordered_map<std::string, std::vector<int64_t>, StringIndexHash,
+                         std::equal_to<>>;
 
   EngineTable(std::string name, std::vector<ColumnMeta> columns);
 
@@ -106,6 +130,11 @@ class EngineTable {
   /// (business-key lookups during data maintenance).
   const StringIndex& GetOrBuildStringIndex(int col);
 
+  /// Lazily builds and returns the per-block min/max zone map over an
+  /// int-backed column; nullptr for string columns. Same thread-safety
+  /// contract as the hash indexes; invalidated together with them.
+  const ZoneMap* GetOrBuildZoneMap(int col);
+
   /// Bytes of auxiliary index structures currently materialised.
   size_t IndexCount() const {
     return int_indexes_.size() + string_indexes_.size();
@@ -131,6 +160,7 @@ class EngineTable {
   std::mutex index_mu_;
   std::unordered_map<int, HashIndex> int_indexes_;
   std::unordered_map<int, StringIndex> string_indexes_;
+  std::unordered_map<int, ZoneMap> zone_maps_;
 };
 
 }  // namespace tpcds

@@ -1,6 +1,7 @@
 #include "maintenance/maintenance.h"
 
 #include <algorithm>
+#include <string_view>
 #include <unordered_set>
 
 #include "dsgen/generators_internal.h"
@@ -305,29 +306,34 @@ Result<int64_t> InsertFactRefresh(Database* db, const std::string& channel,
     if (surrogate_text.empty()) return surrogate_text;
     int64_t original_sk = std::strtoll(surrogate_text.c_str(), nullptr, 10);
     // Extract: surrogate -> business key (initial rows are append-ordered,
-    // so the initial surrogate k lives at row k-1).
-    std::string bk = item->GetValue(original_sk - 1, item_bk_col).AsString();
+    // so the initial surrogate k lives at row k-1). The key is probed as a
+    // string_view straight out of column storage — the transparent index
+    // avoids materialising a std::string per lookup.
+    std::string_view bk = item->column(static_cast<size_t>(item_bk_col))
+                              .Str(static_cast<size_t>(original_sk - 1));
     // Load: business key -> most current surrogate (rec_end_date IS NULL).
     auto it = item_index.find(bk);
     if (it == item_index.end()) {
-      return Status::Internal("unknown item business key " + bk);
+      return Status::Internal("unknown item business key " +
+                              std::string(bk));
     }
     for (int64_t row : it->second) {
       if (item->GetValue(row, item_end_col).is_null()) {
         return std::to_string(item->GetValue(row, 0).AsInt());
       }
     }
-    return Status::Internal("no open revision for item " + bk);
+    return Status::Internal("no open revision for item " + std::string(bk));
   };
   auto translate_customer = [&](const std::string& surrogate_text)
       -> Result<std::string> {
     if (surrogate_text.empty()) return surrogate_text;
     int64_t original_sk = std::strtoll(surrogate_text.c_str(), nullptr, 10);
-    std::string bk =
-        customer->GetValue(original_sk - 1, cust_bk_col).AsString();
+    std::string_view bk = customer->column(static_cast<size_t>(cust_bk_col))
+                              .Str(static_cast<size_t>(original_sk - 1));
     auto it = cust_index.find(bk);
     if (it == cust_index.end() || it->second.empty()) {
-      return Status::Internal("unknown customer business key " + bk);
+      return Status::Internal("unknown customer business key " +
+                              std::string(bk));
     }
     return std::to_string(customer->GetValue(it->second.front(), 0).AsInt());
   };

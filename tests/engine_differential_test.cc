@@ -11,6 +11,8 @@
 #include <optional>
 
 #include "engine/database.h"
+#include "qgen/qgen.h"
+#include "templates/templates.h"
 #include "util/random.h"
 #include "util/string_util.h"
 
@@ -219,6 +221,57 @@ TEST_P(DifferentialTest, LeftJoinAgainstBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
                          ::testing::Values(11, 22, 33, 44));
+
+/// Vectorized-vs-reference differential over the real workload: a sample
+/// of the 99 TPC-DS templates on generated data must produce byte-identical
+/// CSV with the columnar fast path on and off, serial and parallel. The
+/// reference (vectorized off) is the row-at-a-time RowSet path.
+class VectorizedDifferentialTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    ASSERT_TRUE(db_->CreateTpcdsTables().ok());
+    GeneratorOptions options;
+    options.scale_factor = 0.002;
+    ASSERT_TRUE(db_->LoadTpcdsData(options).ok());
+  }
+
+  static Database* db_;
+};
+
+Database* VectorizedDifferentialTest::db_ = nullptr;
+
+TEST_F(VectorizedDifferentialTest, SampledTemplatesAgreeWithRowSetPath) {
+  // Spread across the four template families (store / catalog / web /
+  // cross-channel); every id must exist.
+  const int kSample[] = {1, 7, 14, 21, 27, 31, 38, 46, 55,
+                         56, 63, 70, 76, 82, 88, 95, 99};
+  QueryGenerator qgen(19620718);
+  for (int id : kSample) {
+    const QueryTemplate* tmpl = FindTemplate(id);
+    ASSERT_NE(tmpl, nullptr) << "template " << id;
+    Result<std::string> sql = qgen.Instantiate(*tmpl, 0);
+    ASSERT_TRUE(sql.ok()) << "template " << id;
+
+    PlannerOptions options = db_->default_options();
+    options.vectorized_execution = false;
+    options.parallelism = 1;
+    Result<QueryResult> reference = db_->Query(*sql, options, nullptr);
+    ASSERT_TRUE(reference.ok())
+        << "template " << id << ": " << reference.status().ToString();
+    std::string expected = reference->ToCsv();
+
+    options.vectorized_execution = true;
+    for (int workers : {1, 4}) {
+      options.parallelism = workers;
+      Result<QueryResult> vec = db_->Query(*sql, options, nullptr);
+      ASSERT_TRUE(vec.ok())
+          << "template " << id << ": " << vec.status().ToString();
+      EXPECT_EQ(vec->ToCsv(), expected)
+          << "template " << id << " vectorized at parallelism " << workers;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace tpcds

@@ -109,6 +109,63 @@ TEST_F(GovernanceTest, UnderLimitQueriesAreByteIdenticalToUngoverned) {
   }
 }
 
+TEST_F(GovernanceTest, RowBudgetTripsOnVectorizedScanPath) {
+  Database db;
+  BuildWideTable(&db, "t", 50000);
+  // The kernelizable WHERE makes the scan take the vectorized fast path
+  // (confirmed by stats below); the budget must still trip there.
+  const std::string sql = "SELECT k, txt FROM t WHERE k >= 0";
+  {
+    PlannerOptions options;
+    ExecStats stats;
+    Result<QueryResult> ok = db.Query(sql, options, &stats);
+    ASSERT_TRUE(ok.ok());
+    bool vectorized_scan = false;
+    for (const auto& op : stats.operators) vectorized_scan |= op.vectorized;
+    ASSERT_TRUE(vectorized_scan) << "query did not take the vectorized path";
+  }
+  for (int parallelism : {1, 4}) {
+    PlannerOptions options;
+    options.parallelism = parallelism;
+    options.row_budget = 2000;
+    Result<QueryResult> r = db.Query(sql, options);
+    ASSERT_FALSE(r.ok()) << "parallelism " << parallelism;
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+        << "parallelism " << parallelism;
+    EXPECT_NE(r.status().message().find("row budget"), std::string::npos);
+  }
+}
+
+TEST_F(GovernanceTest, DeadlineTripsOnVectorizedScanPath) {
+  Database db;
+  BuildWideTable(&db, "t", 50000);
+  PlannerOptions options;
+  options.timeout_ms = 1e-6;  // expires before the first morsel completes
+  Result<QueryResult> r =
+      db.Query("SELECT COUNT(*) FROM t WHERE k BETWEEN 100 AND 40000",
+               options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(GovernanceTest, MemoryBudgetTripsWithJoinBloomPushdownActive) {
+  Database db;
+  BuildWideTable(&db, "fact", 20000);
+  // Small enough relative to the fact table that the join registers its
+  // probe-side key pushdown (the selectivity gate requires it).
+  BuildWideTable(&db, "dim", 2000);
+  PlannerOptions options;
+  options.memory_budget_bytes = 4096;  // far below the build side's keys
+  // Vectorized execution is on by default, so this join builds its Bloom
+  // filter and registers a probe-side pushdown; the budget still trips.
+  ASSERT_TRUE(options.vectorized_execution);
+  Result<QueryResult> r = db.Query(
+      "SELECT COUNT(*) FROM fact, dim WHERE fact.k = dim.k", options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("memory budget"), std::string::npos);
+}
+
 TEST_F(GovernanceTest, CancelBeforeStartStopsImmediately) {
   Database db;
   BuildWideTable(&db, "t", 5000);
