@@ -39,11 +39,40 @@ struct TemplateResult {
   int64_t rows_scanned = 0;
   int64_t morsels_pruned = 0;
   int64_t bloom_rejects = 0;
+  int64_t topk_seen = 0;
+  int64_t topk_kept = 0;
+  bool agg_heavy = false;    // instantiated SQL contains a GROUP BY
+  bool order_heavy = false;  // instantiated SQL contains an ORDER BY
 
   double RowsPerSec() const {
     return seconds > 0 ? static_cast<double>(rows_scanned) / seconds : 0.0;
   }
 };
+
+/// Subtotal over one operator-shaped template group (aggregate-heavy /
+/// order-by-heavy): scanned rows/sec over the group isolates aggregation
+/// and sort regressions that the workload-wide total would average away.
+struct GroupTally {
+  int queries = 0;
+  double seconds = 0;
+  int64_t rows_scanned = 0;
+
+  double RowsPerSec() const {
+    return seconds > 0 ? static_cast<double>(rows_scanned) / seconds : 0.0;
+  }
+};
+
+GroupTally TallyGroup(const std::vector<TemplateResult>& results,
+                      bool TemplateResult::*member) {
+  GroupTally g;
+  for (const TemplateResult& r : results) {
+    if (!(r.*member)) continue;
+    ++g.queries;
+    g.seconds += r.seconds;
+    g.rows_scanned += r.rows_scanned;
+  }
+  return g;
+}
 
 void WriteJson(const char* path, double sf, bool vectorized,
                const std::vector<TemplateResult>& results) {
@@ -56,12 +85,18 @@ void WriteJson(const char* path, double sf, bool vectorized,
   int64_t total_scanned = 0;
   int64_t total_pruned = 0;
   int64_t total_bloom = 0;
+  int64_t total_topk_seen = 0;
+  int64_t total_topk_kept = 0;
   for (const TemplateResult& r : results) {
     total_seconds += r.seconds;
     total_scanned += r.rows_scanned;
     total_pruned += r.morsels_pruned;
     total_bloom += r.bloom_rejects;
+    total_topk_seen += r.topk_seen;
+    total_topk_kept += r.topk_kept;
   }
+  GroupTally agg = TallyGroup(results, &TemplateResult::agg_heavy);
+  GroupTally order = TallyGroup(results, &TemplateResult::order_heavy);
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"benchmark\": \"bench_query_throughput\",\n");
   std::fprintf(f, "  \"scale_factor\": %.4f,\n", sf);
@@ -75,6 +110,23 @@ void WriteJson(const char* path, double sf, bool vectorized,
                static_cast<long long>(total_pruned));
   std::fprintf(f, "  \"total_bloom_rejects\": %lld,\n",
                static_cast<long long>(total_bloom));
+  std::fprintf(f, "  \"total_topk_seen\": %lld,\n",
+               static_cast<long long>(total_topk_seen));
+  std::fprintf(f, "  \"total_topk_kept\": %lld,\n",
+               static_cast<long long>(total_topk_kept));
+  std::fprintf(f, "  \"groups\": {\n");
+  std::fprintf(f,
+               "    \"agg_heavy\": {\"queries\": %d, \"seconds\": %.6f, "
+               "\"rows_scanned\": %lld, \"rows_per_sec\": %.1f},\n",
+               agg.queries, agg.seconds,
+               static_cast<long long>(agg.rows_scanned), agg.RowsPerSec());
+  std::fprintf(f,
+               "    \"order_by_heavy\": {\"queries\": %d, \"seconds\": %.6f, "
+               "\"rows_scanned\": %lld, \"rows_per_sec\": %.1f}\n",
+               order.queries, order.seconds,
+               static_cast<long long>(order.rows_scanned),
+               order.RowsPerSec());
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"templates\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const TemplateResult& r = results[i];
@@ -83,12 +135,17 @@ void WriteJson(const char* path, double sf, bool vectorized,
         "    {\"id\": %d, \"name\": \"%s\", \"class\": \"%s\", "
         "\"flavor\": \"%s\", \"seconds\": %.6f, \"result_rows\": %lld, "
         "\"rows_scanned\": %lld, \"rows_per_sec\": %.1f, "
-        "\"morsels_pruned\": %lld, \"bloom_rejects\": %lld}%s\n",
+        "\"morsels_pruned\": %lld, \"bloom_rejects\": %lld, "
+        "\"topk_seen\": %lld, \"topk_kept\": %lld, "
+        "\"agg_heavy\": %s, \"order_by_heavy\": %s}%s\n",
         r.id, r.name.c_str(), r.query_class.c_str(), r.flavor.c_str(),
         r.seconds, static_cast<long long>(r.result_rows),
         static_cast<long long>(r.rows_scanned), r.RowsPerSec(),
         static_cast<long long>(r.morsels_pruned),
         static_cast<long long>(r.bloom_rejects),
+        static_cast<long long>(r.topk_seen),
+        static_cast<long long>(r.topk_kept),
+        r.agg_heavy ? "true" : "false", r.order_heavy ? "true" : "false",
         i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -144,6 +201,10 @@ void Run(const char* json_path) {
     res.rows_scanned = stats.rows_scanned;
     res.morsels_pruned = stats.morsels_pruned;
     res.bloom_rejects = stats.bloom_rejects;
+    res.topk_seen = stats.topk_seen;
+    res.topk_kept = stats.topk_kept;
+    res.agg_heavy = sql->find("GROUP BY") != std::string::npos;
+    res.order_heavy = sql->find("ORDER BY") != std::string::npos;
     results.push_back(res);
 
     ClassTally& cls = by_class[res.query_class];
@@ -174,6 +235,15 @@ void Run(const char* json_path) {
                 1000.0 * tally.seconds / tally.queries,
                 static_cast<long long>(tally.rows));
   }
+  GroupTally agg = TallyGroup(results, &TemplateResult::agg_heavy);
+  GroupTally order = TallyGroup(results, &TemplateResult::order_heavy);
+  std::printf("\n%-16s %8s %10s %16s\n", "group", "queries", "seconds",
+              "scan rows/sec");
+  std::printf("%-16s %8d %10.2f %16.0f\n", "agg_heavy", agg.queries,
+              agg.seconds, agg.RowsPerSec());
+  std::printf("%-16s %8d %10.2f %16.0f\n", "order_by_heavy", order.queries,
+              order.seconds, order.RowsPerSec());
+
   std::printf("\ntotal %.2f s for 99 queries; slowest q%02d at %.2f s\n",
               total, slowest_id, slowest);
   std::printf(

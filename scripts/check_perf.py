@@ -3,8 +3,11 @@
 
 Compares a fresh run against the checked-in baseline and fails when
 aggregate scanned rows/sec drops by more than the threshold (default
-30%). Per-template drops are reported for context but only the
-aggregate gates: single templates are noisy at smoke scale factors.
+30%). The agg_heavy / order_by_heavy group subtotals (when present in
+both files) gate at the same threshold, so an aggregation- or
+sort-specific regression cannot hide behind the workload-wide total.
+Per-template drops are reported for context but do not gate: single
+templates are noisy at smoke scale factors.
 
     scripts/check_perf.py <current.json> [baseline.json] [--threshold 0.30]
 """
@@ -63,9 +66,31 @@ def main():
         print(f"  note: q{qid:02d} {was:,.0f} -> {now:,.0f} rows/sec "
               f"({delta:+.1%})")
 
+    failures = []
     if base_rate and change < -args.threshold:
-        sys.exit(f"FAIL: aggregate rows/sec dropped {-change:.1%} "
-                 f"(> {args.threshold:.0%} threshold)")
+        failures.append(f"aggregate rows/sec dropped {-change:.1%}")
+
+    # Operator-shaped subtotals: each group gates independently so a
+    # regression confined to aggregation or ordering still fails.
+    cur_groups = cur.get("groups", {})
+    base_groups = base.get("groups", {})
+    for name in ("agg_heavy", "order_by_heavy"):
+        if name not in cur_groups or name not in base_groups:
+            continue
+        cg, bg = cur_groups[name], base_groups[name]
+        if not bg.get("rows_per_sec"):
+            continue
+        gchange = (cg["rows_per_sec"] - bg["rows_per_sec"]) / (
+            bg["rows_per_sec"]
+        )
+        print(f"{name} rows/sec: baseline {bg['rows_per_sec']:,.0f} -> "
+              f"current {cg['rows_per_sec']:,.0f} ({gchange:+.1%})")
+        if gchange < -args.threshold:
+            failures.append(f"{name} rows/sec dropped {-gchange:.1%}")
+
+    if failures:
+        sys.exit("FAIL: " + "; ".join(failures) +
+                 f" (> {args.threshold:.0%} threshold)")
     print("perf gate passed")
 
 

@@ -1,0 +1,51 @@
+#include "engine/agg_parallel.h"
+
+namespace tpcds {
+
+size_t GroupKeyHash::Hash(const Value* values, size_t n) {
+  // Same FNV-style combination the executor's join keys use; partition
+  // assignment (hash % kHashPartitions) and hash-table lookup must agree
+  // on the hash of a key, whether it is viewed or materialised.
+  size_t h = 1469598103u;
+  for (size_t i = 0; i < n; ++i) h = h * 1099511628211ULL ^ values[i].Hash();
+  return h;
+}
+
+bool GroupKeyEq::Eq(const Value* a, size_t an, const Value* b, size_t bn) {
+  if (an != bn) return false;
+  for (size_t i = 0; i < an; ++i) {
+    bool a_null = a[i].is_null();
+    bool b_null = b[i].is_null();
+    if (a_null != b_null) return false;
+    if (!a_null && Value::Compare(a[i], b[i]) != 0) return false;
+  }
+  return true;
+}
+
+std::vector<uint32_t> MergeAscendingIndexLists(
+    const std::vector<std::vector<uint32_t>>& lists) {
+  size_t total = 0;
+  for (const auto& l : lists) total += l.size();
+  std::vector<uint32_t> merged;
+  merged.reserve(total);
+  // P-way merge by repeatedly taking the smallest head. P is small (the
+  // partition count), so a linear scan over the cursors beats a heap.
+  std::vector<size_t> cursor(lists.size(), 0);
+  while (merged.size() < total) {
+    size_t best = lists.size();
+    uint32_t best_row = 0;
+    for (size_t p = 0; p < lists.size(); ++p) {
+      if (cursor[p] >= lists[p].size()) continue;
+      uint32_t row = lists[p][cursor[p]];
+      if (best == lists.size() || row < best_row) {
+        best = p;
+        best_row = row;
+      }
+    }
+    merged.push_back(best_row);
+    ++cursor[best];
+  }
+  return merged;
+}
+
+}  // namespace tpcds

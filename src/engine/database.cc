@@ -197,6 +197,11 @@ Result<std::string> Database::Explain(const std::string& sql) {
         extra += StringPrintf(", %lld bloom rejects",
                               static_cast<long long>(op.bloom_rejects));
       }
+      if (op.topk_seen > 0) {
+        extra += StringPrintf(", topk: kept %lld of %lld rows",
+                              static_cast<long long>(op.topk_kept),
+                              static_cast<long long>(op.topk_seen));
+      }
       out += StringPrintf(" [%lld -> %lld rows, %.3f ms%s]",
                           static_cast<long long>(op.rows_in),
                           static_cast<long long>(op.rows_out),
@@ -206,12 +211,14 @@ Result<std::string> Database::Explain(const std::string& sql) {
   }
   out += StringPrintf(
       "  => %zu result rows (scanned %lld, joined %lld, star-pruned %lld, "
-      "morsels pruned %lld, bloom rejects %lld)\n",
+      "morsels pruned %lld, bloom rejects %lld, topk kept %lld of %lld)\n",
       result.rows.size(), static_cast<long long>(stats.rows_scanned),
       static_cast<long long>(stats.rows_joined),
       static_cast<long long>(stats.star_filtered_rows),
       static_cast<long long>(stats.morsels_pruned),
-      static_cast<long long>(stats.bloom_rejects));
+      static_cast<long long>(stats.bloom_rejects),
+      static_cast<long long>(stats.topk_kept),
+      static_cast<long long>(stats.topk_seen));
   return out;
 }
 

@@ -11,6 +11,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "engine/agg_parallel.h"
 #include "engine/database.h"
 #include "engine/expr_eval.h"
 #include "engine/governor.h"
@@ -40,26 +41,12 @@ double NowSeconds() {
 
 // ------------------------------------------------------------ value keys
 
-struct VecValueHash {
-  size_t operator()(const std::vector<Value>& key) const {
-    size_t h = 1469598103u;
-    for (const Value& v : key) h = h * 1099511628211ULL ^ v.Hash();
-    return h;
-  }
-};
-struct VecValueEq {
-  bool operator()(const std::vector<Value>& a,
-                  const std::vector<Value>& b) const {
-    if (a.size() != b.size()) return false;
-    for (size_t i = 0; i < a.size(); ++i) {
-      bool an = a[i].is_null();
-      bool bn = b[i].is_null();
-      if (an != bn) return false;
-      if (!an && Value::Compare(a[i], b[i]) != 0) return false;
-    }
-    return true;
-  }
-};
+/// Composite keys (join keys, group keys, whole-row distinct keys) hash
+/// and compare through the transparent GroupKeyHash/GroupKeyEq from
+/// agg_parallel.h: lookups accept a GroupKeyView over a scratch buffer or
+/// a row prefix, so the per-row path materialises no key vectors.
+using VecValueHash = GroupKeyHash;
+using VecValueEq = GroupKeyEq;
 
 struct ValueHasher {
   size_t operator()(const Value& v) const { return v.Hash(); }
@@ -312,6 +299,7 @@ class PlanExecutor : public SubqueryEvaluator {
       case PlanKind::kProject: return ExecProject(node);
       case PlanKind::kDistinct: return ExecDistinct(node);
       case PlanKind::kSort: return ExecSort(node);
+      case PlanKind::kTopK: return ExecTopK(node);
       case PlanKind::kLimit: return ExecLimit(node);
       case PlanKind::kTruncate: return ExecTruncate(node);
       case PlanKind::kSetOp: return ExecSetOp(node);
@@ -1226,21 +1214,47 @@ class PlanExecutor : public SubqueryEvaluator {
     return rs;
   }
 
-  Result<std::shared_ptr<RowSet>> ExecSort(const PlanNode& node) {
-    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> rs,
-                           ExecOwned(node.children[0]));
+  /// Binds a sort-key list against `scope` (ordinals become slot
+  /// passthroughs), returning the bound expressions and descending flags.
+  Result<std::vector<std::unique_ptr<BoundExpr>>> BindSortKeys(
+      const std::vector<PlanSortKey>& sort_keys, const RowSet& scope,
+      std::vector<bool>* desc) {
     std::vector<std::unique_ptr<BoundExpr>> bound;
-    std::vector<bool> desc;
-    for (const PlanSortKey& key : node.sort_keys) {
-      desc.push_back(key.desc);
+    bound.reserve(sort_keys.size());
+    for (const PlanSortKey& key : sort_keys) {
+      desc->push_back(key.desc);
       if (key.expr == nullptr) {
         bound.push_back(std::make_unique<SlotExpr>(key.ordinal));
       } else {
         TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> b,
-                               BindExpr(*key.expr, *rs, this));
+                               BindExpr(*key.expr, scope, this));
         bound.push_back(std::move(b));
       }
     }
+    return bound;
+  }
+
+  /// Compares two key vectors under the per-key descending flags.
+  /// Returns 0 on a full tie; callers break ties on the original row
+  /// index, which turns the sort order into a total order — exactly
+  /// std::stable_sort semantics, and the reason the parallel run/merge
+  /// structure cannot influence the result.
+  static int CompareKeys(const std::vector<Value>& a,
+                         const std::vector<Value>& b,
+                         const std::vector<bool>& desc) {
+    for (size_t k = 0; k < desc.size(); ++k) {
+      int c = Value::Compare(a[k], b[k]);
+      if (c != 0) return desc[k] ? -c : c;
+    }
+    return 0;
+  }
+
+  Result<std::shared_ptr<RowSet>> ExecSort(const PlanNode& node) {
+    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> rs,
+                           ExecOwned(node.children[0]));
+    std::vector<bool> desc;
+    TPCDS_ASSIGN_OR_RETURN(std::vector<std::unique_ptr<BoundExpr>> bound,
+                           BindSortKeys(node.sort_keys, *rs, &desc));
     size_t n = rs->rows.size();
     std::vector<std::vector<Value>> keys(n);
     ForEachMorsel(n, [&](size_t b, size_t e, size_t) {
@@ -1254,19 +1268,128 @@ class PlanExecutor : public SubqueryEvaluator {
       // against the memory budget (rows were charged upstream).
       if (track_) governor_->Reserve(bytes);
     });
-    std::vector<size_t> order(n);
-    for (size_t i = 0; i < n; ++i) order[i] = i;
-    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      for (size_t k = 0; k < bound.size(); ++k) {
-        int c = Value::Compare(keys[a][k], keys[b][k]);
-        if (c != 0) return desc[k] ? c > 0 : c < 0;
-      }
-      return false;
+    // Total order: sort keys, then original row index. Equal-key rows
+    // keep their input order, so this reproduces std::stable_sort
+    // byte-for-byte while letting runs sort and merge in parallel.
+    auto before = [&](uint32_t a, uint32_t b) {
+      int c = CompareKeys(keys[a], keys[b], desc);
+      return c != 0 ? c < 0 : a < b;
+    };
+    std::vector<uint32_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+
+    // Morsel-parallel run sort: fixed-size runs (input-only structure)
+    // sorted locally, then merged pairwise in log2(runs) parallel passes.
+    // The total order makes the merged result independent of the run
+    // boundaries anyway; fixed runs keep the intermediate states — and
+    // governor charge points — reproducible too.
+    QueryGovernor* gov = governor_;
+    bool checked = track_;
+    ParallelFor(SortRunCount(n), [&](size_t run) {
+      if (checked && !gov->BeginMorsel()) return;
+      size_t b = run * kSortRunRows;
+      size_t e = std::min(n, b + kSortRunRows);
+      std::sort(order.begin() + static_cast<long>(b),
+                order.begin() + static_cast<long>(e), before);
     });
-    RowList sorted;
-    sorted.reserve(n);
-    for (size_t idx : order) sorted.push_back(std::move(rs->rows[idx]));
+    if (n > kSortRunRows) {
+      std::vector<uint32_t> scratch(n);
+      for (size_t width = kSortRunRows; width < n; width *= 2) {
+        size_t units = (n + 2 * width - 1) / (2 * width);
+        ParallelFor(units, [&](size_t u) {
+          if (checked && !gov->Tick()) return;
+          size_t lo = u * 2 * width;
+          size_t mid = std::min(n, lo + width);
+          size_t hi = std::min(n, lo + 2 * width);
+          std::merge(order.begin() + static_cast<long>(lo),
+                     order.begin() + static_cast<long>(mid),
+                     order.begin() + static_cast<long>(mid),
+                     order.begin() + static_cast<long>(hi),
+                     scratch.begin() + static_cast<long>(lo), before);
+        });
+        order.swap(scratch);
+      }
+    }
+
+    RowList sorted(n);
+    ForEachMorsel(n, [&](size_t b, size_t e, size_t) {
+      for (size_t r = b; r < e; ++r) {
+        sorted[r] = std::move(rs->rows[order[r]]);
+      }
+    });
     rs->rows = std::move(sorted);
+    return rs;
+  }
+
+  /// Fused ORDER BY + LIMIT: each morsel keeps a bounded heap of the
+  /// best `limit` rows (by sort keys, ties on original row index), heaps
+  /// merge into the global best `limit`. Only retained sort keys are
+  /// materialised — O(rows·log k) work and O(morsels·k) peak keys
+  /// instead of a full n-key sort — and because each heap holds the
+  /// exact top-k of its morsel under a total order, the merged result is
+  /// byte-identical to sort-then-limit at any parallelism.
+  Result<std::shared_ptr<RowSet>> ExecTopK(const PlanNode& node) {
+    TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> rs,
+                           ExecOwned(node.children[0]));
+    std::vector<bool> desc;
+    TPCDS_ASSIGN_OR_RETURN(std::vector<std::unique_ptr<BoundExpr>> bound,
+                           BindSortKeys(node.sort_keys, *rs, &desc));
+    size_t n = rs->rows.size();
+    size_t k = static_cast<size_t>(std::max<int64_t>(node.limit, 0));
+    auto better = [&](const TopKEntry& a, const TopKEntry& b) {
+      int c = CompareKeys(a.key, b.key, desc);
+      return c != 0 ? c < 0 : a.row < b.row;
+    };
+
+    size_t morsels = MorselCount(n);
+    std::vector<std::vector<TopKEntry>> kept(morsels);
+    ForEachMorsel(n, [&](size_t b, size_t e, size_t m) {
+      TopKHeap<decltype(better)> heap(std::min(k, e - b), better);
+      std::vector<Value> scratch;
+      for (size_t r = b; r < e; ++r) {
+        scratch.clear();
+        scratch.reserve(bound.size());
+        for (const auto& kx : bound) scratch.push_back(kx->Eval(rs->rows[r]));
+        heap.Offer(&scratch, static_cast<uint32_t>(r));
+      }
+      kept[m] = heap.Take();
+      // Only the retained keys count against the memory budget — the
+      // Top-K saving a full sort's n-key materialisation would charge.
+      if (track_) {
+        int64_t bytes = 0;
+        for (const TopKEntry& entry : kept[m]) {
+          bytes += ApproxRowBytes(entry.key);
+        }
+        governor_->Reserve(bytes);
+      }
+    });
+
+    std::vector<TopKEntry> candidates;
+    size_t total_kept = 0;
+    for (const auto& m : kept) total_kept += m.size();
+    candidates.reserve(total_kept);
+    for (auto& m : kept) {
+      for (TopKEntry& entry : m) candidates.push_back(std::move(entry));
+    }
+    std::sort(candidates.begin(), candidates.end(), better);
+    if (candidates.size() > k) candidates.resize(k);
+
+    RowList out;
+    out.reserve(candidates.size());
+    for (const TopKEntry& entry : candidates) {
+      out.push_back(std::move(rs->rows[entry.row]));
+    }
+    rs->rows = std::move(out);
+    node.stats.topk_seen += static_cast<int64_t>(n);
+    node.stats.topk_kept += static_cast<int64_t>(rs->rows.size());
+    if (stats_ != nullptr) {
+      stats_->topk_seen += static_cast<int64_t>(n);
+      stats_->topk_kept += static_cast<int64_t>(rs->rows.size());
+    }
+    Trace(StringPrintf("top-k (%zu keys, limit %lld): kept %zu of %zu rows",
+                       node.sort_keys.size(),
+                       static_cast<long long>(node.limit), rs->rows.size(),
+                       n));
     return rs;
   }
 
@@ -1308,13 +1431,36 @@ class PlanExecutor : public SubqueryEvaluator {
           break;
         case Kind::kIntersect:
         case Kind::kExcept: {
-          std::unordered_set<std::vector<Value>, VecValueHash, VecValueEq>
-              other(rs->rows.begin(), rs->rows.end());
+          // Partitioned hash build over the branch rows (whole-row keys,
+          // borrowed as views — `rs` outlives the probe), then a
+          // morsel-parallel membership probe over the accumulated side.
+          constexpr size_t kWholeRow = static_cast<size_t>(-1);
+          std::vector<std::vector<uint32_t>> parts =
+              PartitionRows(rs->rows, kWholeRow);
+          std::vector<
+              std::unordered_set<GroupKeyView, GroupKeyHash, GroupKeyEq>>
+              sets(kHashPartitions);
+          ParallelFor(kHashPartitions, [&, this](size_t p) {
+            if (track_ && !governor_->Tick()) return;
+            sets[p].reserve(parts[p].size());
+            for (uint32_t r : parts[p]) {
+              sets[p].insert(GroupKeyView::Of(rs->rows[r]));
+            }
+          });
           bool keep_present = node.set_kinds[i - 1] == Kind::kIntersect;
+          size_t an = acc->rows.size();
+          std::vector<uint8_t> match(an, 0);
+          ForEachMorsel(an, [&](size_t b, size_t e, size_t) {
+            for (size_t r = b; r < e; ++r) {
+              GroupKeyView key = GroupKeyView::Of(acc->rows[r]);
+              const auto& set = sets[GroupKeyHash()(key) % kHashPartitions];
+              match[r] = set.count(key) != 0 ? 1 : 0;
+            }
+          });
           RowList kept;
-          for (auto& row : acc->rows) {
-            if ((other.count(row) != 0) == keep_present) {
-              kept.push_back(std::move(row));
+          for (size_t r = 0; r < an; ++r) {
+            if ((match[r] != 0) == keep_present) {
+              kept.push_back(std::move(acc->rows[r]));
             }
           }
           acc->rows = std::move(kept);
@@ -1327,6 +1473,169 @@ class PlanExecutor : public SubqueryEvaluator {
   }
 
   // ---- aggregation ----------------------------------------------------
+
+  /// One aggregate hash table: group keys in first-seen order, their
+  /// accumulators, and a view-keyed index into `keys`. The views stay
+  /// valid as `keys` grows because moving a std::vector<Value> preserves
+  /// its heap buffer — the same trick EngineTable::StringIndex plays with
+  /// string_views, applied to composite keys. Probes go through a view
+  /// over a scratch buffer or a row prefix, so the per-row path never
+  /// materialises a key vector for an existing group.
+  struct AggTable {
+    std::vector<std::vector<Value>> keys;
+    std::vector<std::vector<Accumulator>> accs;
+    std::unordered_map<GroupKeyView, uint32_t, GroupKeyHash, GroupKeyEq>
+        index;
+
+    void Reserve(size_t n) {
+      keys.reserve(n);
+      accs.reserve(n);
+      index.reserve(n);
+    }
+    size_t size() const { return keys.size(); }
+
+    /// Adopts `key` (moved) and `group_accs` as a new group; returns its
+    /// ordinal.
+    uint32_t Insert(std::vector<Value>&& key,
+                    std::vector<Accumulator>&& group_accs) {
+      uint32_t g = static_cast<uint32_t>(keys.size());
+      keys.push_back(std::move(key));
+      accs.push_back(std::move(group_accs));
+      index.emplace(GroupKeyView::Of(keys[g]), g);
+      return g;
+    }
+  };
+
+  std::vector<Accumulator> FreshAccumulators(const PlanNode& node) {
+    std::vector<Accumulator> accs;
+    accs.reserve(node.aggs.size());
+    for (const PlanAggSpec& spec : node.aggs) accs.emplace_back(&spec);
+    return accs;
+  }
+
+  /// Phase 2 of partitioned aggregation: every group key hashes into one
+  /// of kHashPartitions partitions (a pure function of the key), and each
+  /// partition merges its groups from all partials *in partial order* —
+  /// the same per-group Merge sequence the serial morsel-order merge
+  /// performs, so no result depends on how partitions interleave. Each
+  /// surviving group is tagged with its first-seen token (partial index,
+  /// insertion index); concatenating partitions by ascending token
+  /// reproduces the global first-seen order exactly. Consumes `partials`.
+  AggTable MergePartials(std::vector<AggTable>* partials, size_t naggs) {
+    size_t np = partials->size();
+    if (np == 1) return std::move((*partials)[0]);
+    std::vector<size_t> offset(np + 1, 0);
+    for (size_t i = 0; i < np; ++i) {
+      offset[i + 1] = offset[i] + (*partials)[i].size();
+    }
+    // Partition assignment, one hash per group, computed in parallel.
+    std::vector<std::vector<uint8_t>> parts(np);
+    QueryGovernor* gov = governor_;
+    bool checked = track_;
+    ParallelFor(np, [&](size_t i) {
+      if (checked && !gov->Tick()) return;
+      const AggTable& pt = (*partials)[i];
+      parts[i].resize(pt.size());
+      for (size_t j = 0; j < pt.size(); ++j) {
+        parts[i][j] =
+            static_cast<uint8_t>(GroupKeyHash()(pt.keys[j]) %
+                                 kHashPartitions);
+      }
+    });
+    std::vector<AggTable> merged(kHashPartitions);
+    std::vector<std::vector<uint32_t>> tokens(kHashPartitions);
+    ParallelFor(kHashPartitions, [&](size_t p) {
+      if (checked && !gov->BeginMorsel()) return;
+      AggTable& out = merged[p];
+      out.Reserve(offset[np] / kHashPartitions + 1);
+      for (size_t i = 0; i < np; ++i) {
+        AggTable& pt = (*partials)[i];
+        for (size_t j = 0; j < pt.size(); ++j) {
+          if (parts[i][j] != p) continue;
+          auto it = out.index.find(GroupKeyView::Of(pt.keys[j]));
+          if (it == out.index.end()) {
+            out.Insert(std::move(pt.keys[j]), std::move(pt.accs[j]));
+            tokens[p].push_back(static_cast<uint32_t>(offset[i] + j));
+          } else {
+            for (size_t a = 0; a < naggs; ++a) {
+              out.accs[it->second][a].Merge(pt.accs[j][a]);
+            }
+          }
+        }
+      }
+    });
+    // Concatenate partitions in ascending-token (= global first-seen)
+    // order. The per-partition token lists are ascending, so this is a
+    // P-way merge with linear cursor scans (P is small).
+    AggTable result;
+    size_t total = 0;
+    for (const AggTable& t : merged) total += t.size();
+    result.keys.reserve(total);
+    result.accs.reserve(total);
+    std::vector<size_t> cur(kHashPartitions, 0);
+    for (size_t taken = 0; taken < total; ++taken) {
+      size_t best = kHashPartitions;
+      uint32_t best_tok = 0;
+      for (size_t p = 0; p < kHashPartitions; ++p) {
+        if (cur[p] >= tokens[p].size()) continue;
+        uint32_t tok = tokens[p][cur[p]];
+        if (best == kHashPartitions || tok < best_tok) {
+          best = p;
+          best_tok = tok;
+        }
+      }
+      result.keys.push_back(std::move(merged[best].keys[cur[best]]));
+      result.accs.push_back(std::move(merged[best].accs[cur[best]]));
+      ++cur[best];
+    }
+    return result;
+  }
+
+  /// One ROLLUP subtotal level, computed from the leaf-level table
+  /// instead of rescanning the input: leaf groups sharing the first
+  /// `depth` key values merge (in leaf first-seen order) into one
+  /// depth-`depth` group whose trailing key slots are NULL. The first
+  /// leaf with a given prefix is also the first input row with it, so
+  /// subtotal groups appear in the same order a row rescan would emit.
+  AggTable RollupDepth(const PlanNode& node, const AggTable& leaf,
+                       size_t depth, size_t nkeys) {
+    size_t n = leaf.size();
+    size_t morsels = MorselCount(n);
+    std::vector<AggTable> partials(morsels);
+    ForEachMorsel(n, [&](size_t b, size_t e, size_t m) {
+      AggTable& pt = partials[m];
+      pt.Reserve(e - b);
+      std::vector<Value> scratch(nkeys);
+      int64_t group_bytes = 0;
+      int64_t new_groups = 0;
+      for (size_t r = b; r < e; ++r) {
+        for (size_t k = 0; k < depth; ++k) scratch[k] = leaf.keys[r][k];
+        auto it = pt.index.find(GroupKeyView::Of(scratch));
+        uint32_t g;
+        if (it == pt.index.end()) {
+          if (track_) {
+            group_bytes +=
+                ApproxRowBytes(scratch) +
+                static_cast<int64_t>(node.aggs.size() * sizeof(Accumulator));
+            ++new_groups;
+          }
+          g = pt.Insert(std::move(scratch), FreshAccumulators(node));
+          scratch.assign(nkeys, Value());
+        } else {
+          g = it->second;
+        }
+        for (size_t a = 0; a < node.aggs.size(); ++a) {
+          pt.accs[g][a].Merge(leaf.accs[r][a]);
+        }
+      }
+      // Same charging rule as the leaf build: every new group costs its
+      // key plus one accumulator per aggregate.
+      if (track_ && governor_->ChargeRows(new_groups)) {
+        governor_->Reserve(group_bytes);
+      }
+    });
+    return MergePartials(&partials, node.aggs.size());
+  }
 
   Result<std::shared_ptr<RowSet>> ExecAggregate(const PlanNode& node) {
     TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> input,
@@ -1344,94 +1653,105 @@ class PlanExecutor : public SubqueryEvaluator {
       }
     }
 
-    using GroupMap =
-        std::unordered_map<std::vector<Value>, std::vector<Accumulator>,
-                           VecValueHash, VecValueEq>;
-    GroupMap groups;
-    std::vector<std::vector<Value>> group_order;
-    // Key depths: n for plain GROUP BY; n, n-1, ..., 0 for ROLLUP (the
-    // SQL-99 subtotal levels). Rolled-up key slots hold NULL.
-    std::vector<size_t> depths;
-    depths.push_back(key_exprs.size());
-    if (node.rollup) {
-      for (size_t d = key_exprs.size(); d-- > 0;) depths.push_back(d);
-    }
+    size_t nkeys = key_exprs.size();
+    size_t naggs = node.aggs.size();
     size_t n = input->rows.size();
-    for (size_t depth : depths) {
-      // Parallel partial aggregation: each morsel fills its own group map
-      // (recording first-appearance order), then partials merge serially
-      // in morsel order. The merge sequence — and therefore group order
-      // and any floating-point reassociation — depends only on the input.
-      size_t morsels = MorselCount(n);
-      std::vector<GroupMap> pmaps(morsels);
-      std::vector<std::vector<std::vector<Value>>> porders(morsels);
-      ForEachMorsel(n, [&](size_t b, size_t e, size_t m) {
-        GroupMap& pm = pmaps[m];
-        auto& po = porders[m];
-        int64_t group_bytes = 0;
-        for (size_t r = b; r < e; ++r) {
-          const auto& row = input->rows[r];
-          std::vector<Value> key(key_exprs.size());
-          for (size_t k = 0; k < depth; ++k) key[k] = key_exprs[k]->Eval(row);
-          auto it = pm.find(key);
-          if (it == pm.end()) {
-            std::vector<Accumulator> accs;
-            accs.reserve(node.aggs.size());
-            for (const PlanAggSpec& spec : node.aggs) accs.emplace_back(&spec);
-            if (track_) {
-              group_bytes += ApproxRowBytes(key) +
-                             static_cast<int64_t>(node.aggs.size() *
-                                                  sizeof(Accumulator));
-            }
-            it = pm.emplace(key, std::move(accs)).first;
-            po.push_back(key);
+
+    // Phase 1: morsel-parallel partial aggregation at the leaf depth
+    // (all group keys evaluated). Each morsel fills its own table in
+    // first-appearance order; the partition merge below recombines them
+    // in a sequence that depends only on the input.
+    size_t morsels = MorselCount(n);
+    std::vector<AggTable> partials(morsels);
+    ForEachMorsel(n, [&](size_t b, size_t e, size_t m) {
+      AggTable& pt = partials[m];
+      pt.Reserve(e - b);
+      std::vector<Value> scratch(nkeys);
+      int64_t group_bytes = 0;
+      for (size_t r = b; r < e; ++r) {
+        const auto& row = input->rows[r];
+        for (size_t k = 0; k < nkeys; ++k) scratch[k] = key_exprs[k]->Eval(row);
+        auto it = pt.index.find(GroupKeyView::Of(scratch));
+        uint32_t g;
+        if (it == pt.index.end()) {
+          if (track_) {
+            group_bytes += ApproxRowBytes(scratch) +
+                           static_cast<int64_t>(naggs * sizeof(Accumulator));
           }
-          for (size_t i = 0; i < node.aggs.size(); ++i) {
-            if (node.aggs[i].star) {
-              it->second[i].Add(Value::Int(1));
-            } else {
-              it->second[i].Add(arg_exprs[i]->Eval(row));
-            }
-          }
+          g = pt.Insert(std::move(scratch), FreshAccumulators(node));
+          scratch.assign(nkeys, Value());
+        } else {
+          g = it->second;
         }
-        // Charge the aggregate hash-table build: each new group holds its
-        // key plus one accumulator per aggregate.
-        if (track_ && governor_->ChargeRows(static_cast<int64_t>(po.size()))) {
-          governor_->Reserve(group_bytes);
-        }
-      });
-      for (size_t m = 0; m < morsels; ++m) {
-        for (auto& key : porders[m]) {
-          auto pit = pmaps[m].find(key);
-          auto it = groups.find(key);
-          if (it == groups.end()) {
-            groups.emplace(std::move(key), std::move(pit->second));
-            group_order.push_back(pit->first);
+        for (size_t i = 0; i < naggs; ++i) {
+          if (node.aggs[i].star) {
+            pt.accs[g][i].Add(Value::Int(1));
           } else {
-            for (size_t i = 0; i < node.aggs.size(); ++i) {
-              it->second[i].Merge(pit->second[i]);
+            pt.accs[g][i].Add(arg_exprs[i]->Eval(row));
+          }
+        }
+      }
+      // Charge the aggregate hash-table build: each new group holds its
+      // key plus one accumulator per aggregate.
+      if (track_ &&
+          governor_->ChargeRows(static_cast<int64_t>(pt.size()))) {
+        governor_->Reserve(group_bytes);
+      }
+    });
+    AggTable groups = MergePartials(&partials, naggs);
+
+    if (node.rollup && nkeys > 0 && !governor_->cancelled()) {
+      // SQL-99 subtotal levels n-1, ..., 0, each computed from the
+      // pristine leaf table, then folded into the global table in depth
+      // order. A subtotal key can collide with a natural all-NULL leaf
+      // key; as in the serial engine, the collision merges into the
+      // earlier group instead of emitting a duplicate key.
+      std::vector<AggTable> levels;
+      levels.reserve(nkeys);
+      for (size_t d = nkeys; d-- > 0;) {
+        levels.push_back(RollupDepth(node, groups, d, nkeys));
+      }
+      groups.index.clear();
+      groups.index.reserve(groups.size());
+      for (size_t g = 0; g < groups.size(); ++g) {
+        groups.index.emplace(GroupKeyView::Of(groups.keys[g]),
+                             static_cast<uint32_t>(g));
+      }
+      for (AggTable& level : levels) {
+        for (size_t j = 0; j < level.size(); ++j) {
+          auto it = groups.index.find(GroupKeyView::Of(level.keys[j]));
+          if (it == groups.index.end()) {
+            groups.Insert(std::move(level.keys[j]), std::move(level.accs[j]));
+          } else {
+            for (size_t a = 0; a < naggs; ++a) {
+              groups.accs[it->second][a].Merge(level.accs[j][a]);
             }
           }
         }
       }
     }
+
     // No GROUP BY and no input rows still yields one (empty) group.
-    if (node.group_by.empty() && groups.empty()) {
-      std::vector<Accumulator> accs;
-      for (const PlanAggSpec& spec : node.aggs) accs.emplace_back(&spec);
-      groups.emplace(std::vector<Value>{}, std::move(accs));
-      group_order.emplace_back();
+    if (node.group_by.empty() && groups.size() == 0) {
+      groups.Insert(std::vector<Value>{}, FreshAccumulators(node));
     }
 
     auto out = std::make_shared<RowSet>();
     out->cols = node.schema;
-    out->rows.reserve(groups.size());
-    for (const auto& key : group_order) {
-      const std::vector<Accumulator>& accs = groups.at(key);
-      std::vector<Value> row = key;
-      for (const Accumulator& acc : accs) row.push_back(acc.Finalize());
-      out->rows.push_back(std::move(row));
-    }
+    size_t ngroups = groups.size();
+    out->rows.resize(ngroups);
+    // Finalize morsel-parallel: each output row adopts its group's key
+    // vector and appends the finalized aggregate values.
+    ForEachMorsel(ngroups, [&](size_t b, size_t e, size_t) {
+      for (size_t g = b; g < e; ++g) {
+        std::vector<Value>& row = out->rows[g];
+        row = std::move(groups.keys[g]);
+        row.reserve(nkeys + naggs);
+        for (const Accumulator& acc : groups.accs[g]) {
+          row.push_back(acc.Finalize());
+        }
+      }
+    });
     Trace(StringPrintf(
         "aggregate%s: %zu keys, %zu aggregates, %zu -> %zu groups",
         node.rollup ? " (rollup)" : "", node.group_by.size(),
@@ -1525,19 +1845,70 @@ class PlanExecutor : public SubqueryEvaluator {
     return scope;
   }
 
-  void DistinctRows(RowSet* rs) {
-    std::unordered_set<std::vector<Value>, VecValueHash, VecValueEq> seen;
-    seen.reserve(rs->rows.size());
-    RowList unique_rows;
-    unique_rows.reserve(rs->rows.size());
-    size_t visible = rs->VisibleCols();
-    for (auto& row : rs->rows) {
-      std::vector<Value> key(row.begin(),
-                             row.begin() + static_cast<long>(visible));
-      if (seen.insert(std::move(key)).second) {
-        unique_rows.push_back(std::move(row));
+  /// Assigns each row's first `prefix` values to one of kHashPartitions
+  /// partitions by hash (a pure input function) and returns per-partition
+  /// ascending row-index lists. Morsel-parallel: each morsel buckets its
+  /// own rows, then buckets concatenate in morsel order.
+  std::vector<std::vector<uint32_t>> PartitionRows(const RowList& rows,
+                                                   size_t prefix) {
+    size_t n = rows.size();
+    size_t morsels = MorselCount(n);
+    std::vector<std::vector<std::vector<uint32_t>>> buckets(
+        morsels, std::vector<std::vector<uint32_t>>(kHashPartitions));
+    ForEachMorsel(n, [&](size_t b, size_t e, size_t m) {
+      for (size_t r = b; r < e; ++r) {
+        size_t p = GroupKeyHash()(GroupKeyView::Prefix(rows[r], prefix)) %
+                   kHashPartitions;
+        buckets[m][p].push_back(static_cast<uint32_t>(r));
       }
-    }
+    });
+    std::vector<std::vector<uint32_t>> parts(kHashPartitions);
+    ParallelFor(kHashPartitions, [&](size_t p) {
+      size_t total = 0;
+      for (size_t m = 0; m < morsels; ++m) total += buckets[m][p].size();
+      parts[p].reserve(total);
+      for (size_t m = 0; m < morsels; ++m) {
+        parts[p].insert(parts[p].end(), buckets[m][p].begin(),
+                        buckets[m][p].end());
+      }
+    });
+    return parts;
+  }
+
+  /// Duplicate elimination over the visible prefix, partition-parallel:
+  /// rows partition by key hash, each partition keeps the first
+  /// occurrence of every key (keys are borrowed views into the rows —
+  /// nothing is materialised), and the per-partition survivor lists merge
+  /// back into one ascending index list. A key's first occurrence lands
+  /// in that key's partition regardless of chunking, so the survivors —
+  /// and their order — are exactly what a serial first-seen scan keeps.
+  void DistinctRows(RowSet* rs) {
+    size_t n = rs->rows.size();
+    if (n == 0) return;
+    size_t visible = rs->VisibleCols();
+    std::vector<std::vector<uint32_t>> parts =
+        PartitionRows(rs->rows, visible);
+    std::vector<std::vector<uint32_t>> survivors(kHashPartitions);
+    QueryGovernor* gov = governor_;
+    bool checked = track_;
+    ParallelFor(kHashPartitions, [&](size_t p) {
+      if (checked && !gov->Tick()) return;
+      std::unordered_set<GroupKeyView, GroupKeyHash, GroupKeyEq> seen;
+      seen.reserve(parts[p].size());
+      for (uint32_t r : parts[p]) {
+        if (seen.insert(GroupKeyView::Prefix(rs->rows[r], visible)).second) {
+          survivors[p].push_back(r);
+        }
+      }
+    });
+    std::vector<uint32_t> keep = MergeAscendingIndexLists(survivors);
+    if (keep.size() == n) return;
+    RowList unique_rows(keep.size());
+    ForEachMorsel(keep.size(), [&](size_t b, size_t e, size_t) {
+      for (size_t i = b; i < e; ++i) {
+        unique_rows[i] = std::move(rs->rows[keep[i]]);
+      }
+    });
     rs->rows = std::move(unique_rows);
   }
 
@@ -1570,6 +1941,8 @@ void EmitOperator(const PlanNode* node, int depth, ExecStats* stats,
   op.morsels_pruned = node->stats.morsels_pruned;
   op.bloom_rejects = node->stats.bloom_rejects;
   op.vectorized = node->stats.vectorized;
+  op.topk_seen = node->stats.topk_seen;
+  op.topk_kept = node->stats.topk_kept;
   bool first_visit = visited->insert(node).second;
   if (!first_visit) op.label += " (shared)";
   stats->operators.push_back(std::move(op));

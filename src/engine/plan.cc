@@ -219,6 +219,22 @@ class Planner {
 
   std::shared_ptr<PlanNode> MakeLimit(std::shared_ptr<PlanNode> child,
                                       int64_t limit) {
+    // ORDER BY + LIMIT fuses into a Top-K operator: per-worker bounded
+    // heaps keep the best `limit` rows instead of materialising a full
+    // sort. The heaps compute the exact top-k of their chunk under a
+    // total order (sort keys, then original row index), so the merged
+    // result is byte-identical to sort-then-limit.
+    if (limit >= 0 && options_.topk_pushdown &&
+        child->kind == PlanKind::kSort) {
+      auto node = std::make_shared<PlanNode>();
+      node->kind = PlanKind::kTopK;
+      node->schema = child->schema;
+      node->num_visible = child->num_visible;
+      node->sort_keys = child->sort_keys;
+      node->limit = limit;
+      node->children.push_back(child->children[0]);
+      return node;
+    }
     auto node = std::make_shared<PlanNode>();
     node->kind = PlanKind::kLimit;
     node->schema = child->schema;
@@ -863,6 +879,10 @@ std::string PlanNodeLabel(const PlanNode& node) {
       return "distinct";
     case PlanKind::kSort:
       return StringPrintf("sort: %zu keys", node.sort_keys.size());
+    case PlanKind::kTopK:
+      return StringPrintf("top-k: %zu keys, limit %lld",
+                          node.sort_keys.size(),
+                          static_cast<long long>(node.limit));
     case PlanKind::kLimit:
       return StringPrintf("limit %lld",
                           static_cast<long long>(node.limit));

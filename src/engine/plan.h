@@ -31,6 +31,7 @@ enum class PlanKind {
   kProject,         // select-list projection + hidden passthrough columns
   kDistinct,        // duplicate elimination over the visible prefix
   kSort,            // ORDER BY
+  kTopK,            // fused ORDER BY + LIMIT: bounded heap, no full sort
   kLimit,           // LIMIT
   kTruncate,        // drop hidden columns at select-core boundaries
   kSetOp,           // UNION [ALL] / INTERSECT / EXCEPT chain
@@ -87,6 +88,10 @@ struct PlanOpStats {
   int64_t morsels_pruned = 0;   // morsels skipped via zone maps
   int64_t bloom_rejects = 0;    // rows rejected by a Bloom filter
   bool vectorized = false;      // operator ran the columnar fast path
+  // Top-K observability: input rows seen vs. rows kept by the bounded
+  // heaps — the memory-budget win over a full materialised sort.
+  int64_t topk_seen = 0;
+  int64_t topk_kept = 0;
 };
 
 /// A physical plan operator. Output schema (`schema` + `num_visible`) is
@@ -147,10 +152,10 @@ struct PlanNode {
   // kProject
   std::vector<PlanProjection> projections;
 
-  // kSort
+  // kSort / kTopK
   std::vector<PlanSortKey> sort_keys;
 
-  // kLimit
+  // kLimit / kTopK
   int64_t limit = -1;
 
   // kSetOp: children = {first, branch...}; set_kinds[i] applies child i+1.

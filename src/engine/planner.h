@@ -50,6 +50,14 @@ struct PlannerOptions {
   /// build side is selective). Off = the row-at-a-time reference path.
   /// Results are byte-identical either way, at any parallelism.
   bool vectorized_execution = true;
+
+  /// Fuse `ORDER BY ... LIMIT n` into a Top-K operator: bounded
+  /// per-worker heaps keep the best n rows (O(rows·log n), only n sort
+  /// keys resident) instead of materialising a full sort. The heaps keep
+  /// the exact top-k under a total order (keys, then original row index),
+  /// so results are byte-identical to sort-then-limit at any parallelism.
+  /// EXPLAIN reports `topk: kept X of Y rows` on fused nodes.
+  bool topk_pushdown = true;
 };
 
 /// Statistics of one statement execution, for benchmarking and EXPLAIN.
@@ -59,6 +67,8 @@ struct ExecStats {
   int64_t star_filtered_rows = 0;  // fact rows removed by semi-join filters
   int64_t morsels_pruned = 0;      // scan morsels skipped via zone maps
   int64_t bloom_rejects = 0;       // join/scan rows rejected by Bloom filters
+  int64_t topk_seen = 0;           // rows offered to Top-K bounded heaps
+  int64_t topk_kept = 0;           // rows those heaps retained
   /// Human-readable plan trace: one line per scan / semi-join reduction /
   /// join / aggregation, in execution order.
   std::vector<std::string> plan;
@@ -76,6 +86,8 @@ struct ExecStats {
     int64_t morsels_pruned = 0;
     int64_t bloom_rejects = 0;
     bool vectorized = false;
+    int64_t topk_seen = 0;
+    int64_t topk_kept = 0;
   };
   std::vector<OpStat> operators;
 };

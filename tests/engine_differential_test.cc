@@ -253,22 +253,34 @@ TEST_F(VectorizedDifferentialTest, SampledTemplatesAgreeWithRowSetPath) {
     Result<std::string> sql = qgen.Instantiate(*tmpl, 0);
     ASSERT_TRUE(sql.ok()) << "template " << id;
 
+    // Reference: every execution-strategy knob off / serial.
     PlannerOptions options = db_->default_options();
     options.vectorized_execution = false;
     options.parallelism = 1;
+    options.topk_pushdown = false;
     Result<QueryResult> reference = db_->Query(*sql, options, nullptr);
     ASSERT_TRUE(reference.ok())
         << "template " << id << ": " << reference.status().ToString();
     std::string expected = reference->ToCsv();
 
-    options.vectorized_execution = true;
+    // Full sweep: parallelism x columnar path x Top-K fusion. Every
+    // combination must reproduce the reference bytes.
     for (int workers : {1, 4}) {
-      options.parallelism = workers;
-      Result<QueryResult> vec = db_->Query(*sql, options, nullptr);
-      ASSERT_TRUE(vec.ok())
-          << "template " << id << ": " << vec.status().ToString();
-      EXPECT_EQ(vec->ToCsv(), expected)
-          << "template " << id << " vectorized at parallelism " << workers;
+      for (bool vectorized : {false, true}) {
+        for (bool topk : {false, true}) {
+          if (workers == 1 && !vectorized && !topk) continue;  // reference
+          options.parallelism = workers;
+          options.vectorized_execution = vectorized;
+          options.topk_pushdown = topk;
+          Result<QueryResult> run = db_->Query(*sql, options, nullptr);
+          ASSERT_TRUE(run.ok())
+              << "template " << id << ": " << run.status().ToString();
+          EXPECT_EQ(run->ToCsv(), expected)
+              << "template " << id << " at parallelism " << workers
+              << (vectorized ? ", vectorized" : ", row-at-a-time")
+              << (topk ? ", topk" : ", full sort");
+        }
+      }
     }
   }
 }
