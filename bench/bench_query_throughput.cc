@@ -11,14 +11,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "maintenance/maintenance.h"
 #include "qgen/qgen.h"
 #include "templates/templates.h"
 #include "util/stopwatch.h"
+#include "util/wal.h"
 
 namespace tpcds {
 namespace {
@@ -74,8 +77,44 @@ GroupTally TallyGroup(const std::vector<TemplateResult>& results,
   return g;
 }
 
+/// One data-maintenance run, WAL on or off: the pair quantifies the
+/// durability overhead (logical logging + per-op commit markers) so CI can
+/// gate it — WAL-on must stay within 30% of WAL-off throughput.
+struct MaintenanceTally {
+  int ops = 0;
+  double seconds = 0;
+  int64_t rows = 0;
+
+  double RowsPerSec() const {
+    return seconds > 0 ? static_cast<double>(rows) / seconds : 0.0;
+  }
+};
+
+MaintenanceTally RunMaintenanceCycle(Database* db, double sf, int cycle,
+                                     WalWriter* wal) {
+  MaintenanceOptions options;
+  options.scale_factor = sf;
+  options.refresh_cycle = cycle;
+  options.dimension_updates = 50;
+  MaintenanceReport report;
+  Stopwatch timer;
+  Status st = RunDataMaintenance(db, options, &report, wal);
+  MaintenanceTally tally;
+  tally.seconds = timer.ElapsedSeconds();
+  if (!st.ok()) {
+    std::fprintf(stderr, "data maintenance (cycle %d): %s\n", cycle,
+                 st.ToString().c_str());
+    std::exit(1);
+  }
+  tally.ops = static_cast<int>(report.operations.size());
+  tally.rows = report.TotalRows();
+  return tally;
+}
+
 void WriteJson(const char* path, double sf, bool vectorized,
-               const std::vector<TemplateResult>& results) {
+               const std::vector<TemplateResult>& results,
+               const MaintenanceTally& dm_off,
+               const MaintenanceTally& dm_on) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -122,10 +161,20 @@ void WriteJson(const char* path, double sf, bool vectorized,
                static_cast<long long>(agg.rows_scanned), agg.RowsPerSec());
   std::fprintf(f,
                "    \"order_by_heavy\": {\"queries\": %d, \"seconds\": %.6f, "
-               "\"rows_scanned\": %lld, \"rows_per_sec\": %.1f}\n",
+               "\"rows_scanned\": %lld, \"rows_per_sec\": %.1f},\n",
                order.queries, order.seconds,
                static_cast<long long>(order.rows_scanned),
                order.RowsPerSec());
+  std::fprintf(f,
+               "    \"maintenance_wal_off\": {\"ops\": %d, \"seconds\": "
+               "%.6f, \"rows\": %lld, \"rows_per_sec\": %.1f},\n",
+               dm_off.ops, dm_off.seconds,
+               static_cast<long long>(dm_off.rows), dm_off.RowsPerSec());
+  std::fprintf(f,
+               "    \"maintenance_wal_on\": {\"ops\": %d, \"seconds\": "
+               "%.6f, \"rows\": %lld, \"rows_per_sec\": %.1f}\n",
+               dm_on.ops, dm_on.seconds,
+               static_cast<long long>(dm_on.rows), dm_on.RowsPerSec());
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"templates\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
@@ -250,8 +299,32 @@ void Run(const char* json_path) {
       "(data-mining extractions return large results by design; their\n"
       "output feeds external tools, paper §4.1)\n");
 
+  // Data-maintenance durability overhead: cycle 1 without a WAL, cycle 2
+  // through one (disjoint refresh sets, so both cycles do comparable
+  // work against the same database).
+  MaintenanceTally dm_off = RunMaintenanceCycle(db.get(), sf, 1, nullptr);
+  const std::string wal_path =
+      (std::filesystem::temp_directory_path() / "bench_throughput.wal")
+          .string();
+  std::filesystem::remove(wal_path);
+  WalWriter wal;
+  if (!wal.Open(wal_path).ok()) {
+    std::fprintf(stderr, "cannot open WAL at %s\n", wal_path.c_str());
+    std::exit(1);
+  }
+  MaintenanceTally dm_on = RunMaintenanceCycle(db.get(), sf, 2, &wal);
+  (void)wal.Close();
+  std::filesystem::remove(wal_path);
+  std::printf("\n%-20s %6s %10s %16s\n", "maintenance", "ops", "seconds",
+              "refresh rows/sec");
+  std::printf("%-20s %6d %10.3f %16.0f\n", "wal_off", dm_off.ops,
+              dm_off.seconds, dm_off.RowsPerSec());
+  std::printf("%-20s %6d %10.3f %16.0f\n", "wal_on", dm_on.ops,
+              dm_on.seconds, dm_on.RowsPerSec());
+
   if (json_path != nullptr) {
-    WriteJson(json_path, sf, options.vectorized_execution, results);
+    WriteJson(json_path, sf, options.vectorized_execution, results, dm_off,
+              dm_on);
   }
 }
 

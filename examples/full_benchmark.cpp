@@ -7,11 +7,19 @@
 //                             [-tco DOLLARS] [-no-star] [-index-joins]
 //                             [-parallelism W] [-power] [-timeout MS]
 //                             [-mem-budget MB] [-retries N] [-faults SPEC]
+//                             [-checkpoint-dir DIR] [-wal PATH] [-recover]
 //
 // Governance flags: -timeout and -mem-budget bound every stream query;
 // -retries sets attempts per work item before it lands in the failure
 // report; -faults arms the deterministic fault injector (same grammar as
 // the TPCDS_FAULTS environment variable, e.g. "morsel=nth:40").
+//
+// Durability flags: -checkpoint-dir checkpoints the database right after
+// the timed load; -wal routes the data-maintenance run through a
+// write-ahead log (each refresh op commits individually, and the run is
+// not retried on failure); -recover adds a recovery phase after data
+// maintenance that rebuilds a database from checkpoint + WAL and verifies
+// it is byte-identical to the live one (exit code 1 on mismatch).
 
 #include <algorithm>
 #include <cstdio>
@@ -63,12 +71,19 @@ int main(int argc, char** argv) {
                      st.ToString().c_str());
         return 1;
       }
+    } else if (arg == "-checkpoint-dir") {
+      config.checkpoint_dir = next();
+    } else if (arg == "-wal") {
+      config.wal_path = next();
+    } else if (arg == "-recover") {
+      config.recover_verify = true;
     } else {
       std::fprintf(stderr,
                    "usage: full_benchmark [-scale SF] [-streams S] "
                    "[-queries N] [-tco $] [-no-star] [-index-joins] "
                    "[-parallelism W] [-power] [-timeout MS] "
-                   "[-mem-budget MB] [-retries N] [-faults SPEC]\n");
+                   "[-mem-budget MB] [-retries N] [-faults SPEC] "
+                   "[-checkpoint-dir DIR] [-wal PATH] [-recover]\n");
       return 1;
     }
   }
@@ -115,6 +130,20 @@ int main(int argc, char** argv) {
                 result->failures.ToString().c_str());
   }
 
+  if (result->checkpoint_taken || result->recovery_ran) {
+    std::printf("\n--- durability ---\n");
+    if (result->checkpoint_taken) {
+      std::printf("  checkpoint (post-load)  %8.3f s\n",
+                  result->t_checkpoint_sec);
+    }
+    if (result->recovery_ran) {
+      std::printf("  %s", result->recovery.ToString().c_str());
+      std::printf("  recovered state: %s\n",
+                  result->recovery_verified ? "byte-identical to live"
+                                            : "MISMATCH");
+    }
+  }
+
   std::printf("\n--- primary metrics (paper §5.3) ---\n%s",
               tpcds::FormatMetricReport(result->ToMetricInputs(), tco)
                   .c_str());
@@ -138,5 +167,5 @@ int main(int argc, char** argv) {
         power->queries.size(), power->total_sec,
         power->arithmetic_mean_sec, power->geometric_mean_sec);
   }
-  return 0;
+  return result->recovery_ran && !result->recovery_verified ? 1 : 0;
 }

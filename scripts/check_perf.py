@@ -9,6 +9,10 @@ sort-specific regression cannot hide behind the workload-wide total.
 Per-template drops are reported for context but do not gate: single
 templates are noisy at smoke scale factors.
 
+The WAL durability overhead gates within the current run alone (no
+baseline needed): WAL-on data maintenance must keep at least
+(1 - threshold) of the WAL-off refresh throughput.
+
     scripts/check_perf.py <current.json> [baseline.json] [--threshold 0.30]
 """
 
@@ -87,6 +91,19 @@ def main():
               f"current {cg['rows_per_sec']:,.0f} ({gchange:+.1%})")
         if gchange < -args.threshold:
             failures.append(f"{name} rows/sec dropped {-gchange:.1%}")
+
+    # Durability overhead: WAL-on vs WAL-off maintenance throughput from
+    # the same run — a self-relative gate, so it needs no baseline entry.
+    dm_off = cur_groups.get("maintenance_wal_off", {})
+    dm_on = cur_groups.get("maintenance_wal_on", {})
+    if dm_off.get("rows_per_sec") and dm_on.get("rows_per_sec") is not None:
+        ratio = dm_on["rows_per_sec"] / dm_off["rows_per_sec"]
+        print(f"maintenance rows/sec: wal_off "
+              f"{dm_off['rows_per_sec']:,.0f} -> wal_on "
+              f"{dm_on['rows_per_sec']:,.0f} ({ratio - 1:+.1%})")
+        if ratio < 1.0 - args.threshold:
+            failures.append(
+                f"WAL-on maintenance throughput is {ratio:.1%} of WAL-off")
 
     if failures:
         sys.exit("FAIL: " + "; ".join(failures) +

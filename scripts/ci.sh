@@ -23,6 +23,16 @@ echo "== perf smoke"
   "$BUILD_DIR/bench_query_throughput.json"
 scripts/check_perf.py "$BUILD_DIR/bench_query_throughput.json"
 
+echo "== durability crash sweep"
+# End-to-end recovery drill: checkpoint after load, crash the DM run at
+# an injected fault, then recover from checkpoint + WAL and verify the
+# rebuilt database is byte-identical to the live one (exit 1 otherwise).
+DURABILITY_DIR="$(mktemp -d)"
+trap 'rm -rf "$DURABILITY_DIR"' EXIT
+"$BUILD_DIR/examples/full_benchmark" -scale 0.002 -queries 3 \
+  -checkpoint-dir "$DURABILITY_DIR/ckpt" -wal "$DURABILITY_DIR/dm.wal" \
+  -recover -faults "maintenance=nth:7"
+
 echo "== asan"
 scripts/check_asan.sh build-asan
 

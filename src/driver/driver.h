@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "engine/database.h"
+#include "engine/recovery.h"
 #include "maintenance/maintenance.h"
 #include "metric/metric.h"
 #include "util/result.h"
@@ -33,6 +34,18 @@ struct BenchmarkConfig {
   /// Base of the jittered exponential backoff between attempts
   /// (base * 2^(attempt-1), scaled by a deterministic jitter in [0.5, 1.5)).
   double retry_backoff_ms = 10.0;
+  /// Durability mode. With a checkpoint directory, the loaded database is
+  /// checkpointed right after the load test. With a WAL path, the data
+  /// maintenance run writes through a WAL — each refresh operation commits
+  /// individually, and the run is NOT retried on failure (a retry would
+  /// re-apply committed operations; the crash-consistent state is what
+  /// recovery replays). Empty strings turn both off.
+  std::string checkpoint_dir;
+  std::string wal_path;
+  /// After data maintenance, recover a second database from checkpoint +
+  /// WAL and verify it is byte-identical (content hash) to the live one.
+  /// Requires checkpoint_dir; the result is recorded in the report.
+  bool recover_verify = false;
 };
 
 /// One executed query instance.
@@ -58,6 +71,12 @@ struct BenchmarkResult {
   /// Work items that exhausted their retries, per phase. Failures no
   /// longer abort the run: the failing stream records and proceeds.
   FailureReport failures;
+  /// Durability phases (populated only when the config enables them).
+  bool checkpoint_taken = false;
+  double t_checkpoint_sec = 0.0;
+  bool recovery_ran = false;
+  bool recovery_verified = false;
+  RecoveryReport recovery;
 
   MetricInputs ToMetricInputs() const {
     MetricInputs in;
@@ -68,6 +87,10 @@ struct BenchmarkResult {
     in.t_dm_sec = t_dm_sec;
     in.t_qr2_sec = t_qr2_sec;
     in.failed_queries = static_cast<int>(failures.failures.size());
+    in.recovery_phases = (checkpoint_taken ? 1 : 0) + (recovery_ran ? 1 : 0);
+    in.t_checkpoint_sec = t_checkpoint_sec;
+    in.t_recovery_sec = recovery.seconds;
+    in.recovery_verified = recovery_verified;
     return in;
   }
 };

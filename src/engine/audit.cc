@@ -3,6 +3,7 @@
 #include <map>
 #include <unordered_set>
 
+#include "util/random.h"
 #include "util/string_util.h"
 
 namespace tpcds {
@@ -59,7 +60,59 @@ bool AnyNull(const std::vector<Value>& key) {
   return false;
 }
 
+/// FNV-1a over raw bytes, seedable for chaining sections.
+uint64_t Fnv64(const void* data, size_t len,
+               uint64_t seed = 1469598103934665603ULL) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t FnvStr(const std::string& s, uint64_t seed) {
+  seed = Fnv64(s.data(), s.size(), seed);
+  uint64_t len = s.size();  // length-prefix defeats concatenation aliasing
+  return Fnv64(&len, sizeof(len), seed);
+}
+
 }  // namespace
+
+uint64_t HashTableContent(const EngineTable& table) {
+  uint64_t h = FnvStr(table.name(), 1469598103934665603ULL);
+  uint64_t cols = table.num_columns();
+  h = Fnv64(&cols, sizeof(cols), h);
+  int64_t rows = table.num_rows();
+  h = Fnv64(&rows, sizeof(rows), h);
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const EngineTable::ColumnMeta& meta = table.column_meta(c);
+    h = FnvStr(meta.name, h);
+    uint8_t type = static_cast<uint8_t>(meta.type);
+    h = Fnv64(&type, sizeof(type), h);
+    const StorageColumn& col = table.column(c);
+    h = Fnv64(col.nulls().data(), col.nulls().size(), h);
+    if (col.is_string()) {
+      for (const std::string& s : col.strings()) h = FnvStr(s, h);
+    } else {
+      h = Fnv64(col.nums().data(), col.nums().size() * sizeof(int64_t), h);
+    }
+  }
+  return Mix64(h);
+}
+
+uint64_t HashDatabaseContent(const Database& db) {
+  uint64_t h = 0x5D5D1E5D5C0FFEE5ULL;
+  // TableNames() is sorted (map-backed), so the fingerprint is stable
+  // regardless of creation order.
+  for (const std::string& name : db.TableNames()) {
+    const EngineTable* table = db.FindTable(name);
+    uint64_t th = HashTableContent(*table);
+    h = Mix64(h ^ th);
+  }
+  return h;
+}
 
 std::string AuditReport::ToString() const {
   std::string out;

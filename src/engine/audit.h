@@ -34,6 +34,16 @@ struct AuditReport {
 /// paper's timed load test (§5.2).
 Result<AuditReport> ValidateConstraints(Database* db, const Schema& schema);
 
+/// Order-sensitive hash of a table's raw columnar storage: schema (names,
+/// types), row count, null bytes, int64 payloads and string payloads all
+/// feed in. Two tables hash equally iff their storage is byte-identical —
+/// the equivalence the checkpoint/WAL recovery invariant is stated in.
+uint64_t HashTableContent(const EngineTable& table);
+
+/// Combines every table's content hash, keyed by table name, into one
+/// database fingerprint (derived state — indexes, zone maps — excluded).
+uint64_t HashDatabaseContent(const Database& db);
+
 }  // namespace tpcds
 
 #endif  // TPCDS_ENGINE_AUDIT_H_

@@ -1,0 +1,259 @@
+#include "engine/checkpoint.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "util/bytes.h"
+#include "util/fault.h"
+#include "util/wal.h"
+
+namespace tpcds {
+namespace {
+
+constexpr char kTableMagic[8] = {'T', 'P', 'C', 'D', 'S', 'T', 'B', '1'};
+constexpr char kManifestMagic[8] = {'T', 'P', 'C', 'D', 'S', 'C', 'K', '1'};
+constexpr const char* kManifestName = "MANIFEST";
+
+Status WriteFileAtomically(const std::string& path,
+                           const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("checkpoint: cannot create " + tmp);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::IoError("checkpoint: short write to " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return Status::IoError("checkpoint: rename " + tmp + " -> " + path +
+                           ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("checkpoint: cannot open " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IoError("checkpoint: read failed: " + path);
+  return data;
+}
+
+std::string EncodeTableFile(const EngineTable& table) {
+  std::string out(kTableMagic, sizeof(kTableMagic));
+  PutU32(&out, static_cast<uint32_t>(table.num_columns()));
+  PutU64(&out, static_cast<uint64_t>(table.num_rows()));
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const StorageColumn& col = table.column(c);
+    std::string payload;
+    payload.append(reinterpret_cast<const char*>(col.nulls().data()),
+                   col.nulls().size());
+    if (col.is_string()) {
+      for (const std::string& s : col.strings()) PutLenString(&payload, s);
+    } else {
+      for (int64_t v : col.nums()) PutU64(&payload, static_cast<uint64_t>(v));
+    }
+    out.push_back(static_cast<char>(table.column_meta(c).type));
+    PutU32(&out, static_cast<uint32_t>(payload.size()));
+    PutU32(&out, Crc32(payload.data(), payload.size()));
+    out.append(payload);
+  }
+  return out;
+}
+
+Status WriteTableFile(const EngineTable& table, const std::string& path,
+                      uint32_t* file_crc) {
+  TPCDS_FAULT_POINT("ckpt-write");
+  std::string encoded = EncodeTableFile(table);
+  *file_crc = Crc32(encoded.data(), encoded.size());
+  return WriteFileAtomically(path, encoded);
+}
+
+Result<ColumnType> DecodeColumnType(uint8_t raw, const std::string& ctx) {
+  if (raw > static_cast<uint8_t>(ColumnType::kVarchar)) {
+    return Status::DataLoss(ctx + ": invalid column type " +
+                            std::to_string(raw));
+  }
+  return static_cast<ColumnType>(raw);
+}
+
+/// One table's manifest entry.
+struct ManifestTable {
+  std::string name;
+  uint64_t rows = 0;
+  std::vector<EngineTable::ColumnMeta> columns;
+  uint32_t file_crc = 0;
+};
+
+Status LoadTableFile(EngineTable* table, const ManifestTable& entry,
+                     const std::string& path) {
+  TPCDS_ASSIGN_OR_RETURN(std::string data, ReadWholeFile(path));
+  if (Crc32(data.data(), data.size()) != entry.file_crc) {
+    return Status::DataLoss("checkpoint table " + entry.name +
+                            ": file CRC mismatch with manifest");
+  }
+  const std::string ctx = "checkpoint table " + entry.name;
+  ByteReader reader(data, ctx);
+  TPCDS_RETURN_NOT_OK(reader.ReadMagic(kTableMagic));
+  TPCDS_ASSIGN_OR_RETURN(uint32_t cols, reader.ReadU32());
+  TPCDS_ASSIGN_OR_RETURN(uint64_t rows, reader.ReadU64());
+  if (cols != entry.columns.size() || rows != entry.rows) {
+    return Status::DataLoss(ctx + ": header disagrees with manifest");
+  }
+  for (uint32_t c = 0; c < cols; ++c) {
+    TPCDS_ASSIGN_OR_RETURN(uint8_t raw_type, reader.ReadU8());
+    TPCDS_ASSIGN_OR_RETURN(ColumnType type, DecodeColumnType(raw_type, ctx));
+    if (type != entry.columns[c].type) {
+      return Status::DataLoss(ctx + ": column " + std::to_string(c) +
+                              " type disagrees with manifest");
+    }
+    TPCDS_ASSIGN_OR_RETURN(uint32_t payload_len, reader.ReadU32());
+    TPCDS_ASSIGN_OR_RETURN(uint32_t stored_crc, reader.ReadU32());
+    TPCDS_ASSIGN_OR_RETURN(std::string payload, reader.ReadBytes(payload_len));
+    if (Crc32(payload.data(), payload.size()) != stored_crc) {
+      return Status::DataLoss(ctx + ": column " + std::to_string(c) +
+                              " section CRC mismatch");
+    }
+    ByteReader section(payload, ctx + " column " + std::to_string(c));
+    TPCDS_ASSIGN_OR_RETURN(std::string null_bytes,
+                           section.ReadBytes(static_cast<size_t>(rows)));
+    std::vector<uint8_t> nulls(null_bytes.begin(), null_bytes.end());
+    std::vector<int64_t> nums;
+    std::vector<std::string> strings;
+    const bool is_string =
+        type == ColumnType::kChar || type == ColumnType::kVarchar;
+    if (is_string) {
+      strings.reserve(static_cast<size_t>(rows));
+      for (uint64_t r = 0; r < rows; ++r) {
+        TPCDS_ASSIGN_OR_RETURN(std::string s, section.ReadLenString());
+        strings.push_back(std::move(s));
+      }
+    } else {
+      nums.reserve(static_cast<size_t>(rows));
+      for (uint64_t r = 0; r < rows; ++r) {
+        TPCDS_ASSIGN_OR_RETURN(uint64_t v, section.ReadU64());
+        nums.push_back(static_cast<int64_t>(v));
+      }
+    }
+    if (section.remaining() != 0) {
+      return Status::DataLoss(ctx + ": column " + std::to_string(c) +
+                              " has trailing bytes");
+    }
+    TPCDS_RETURN_NOT_OK(table->LoadColumnStorage(
+        c, std::move(nums), std::move(strings), std::move(nulls)));
+  }
+  if (reader.remaining() != 0) {
+    return Status::DataLoss(ctx + ": trailing bytes after last column");
+  }
+  return table->FinishRawLoad(static_cast<int64_t>(rows));
+}
+
+}  // namespace
+
+Status SaveCheckpointTo(const Database& db, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("checkpoint: cannot create directory " + dir +
+                           ": " + ec.message());
+  }
+  std::string body;
+  std::vector<std::string> names = db.TableNames();
+  PutU32(&body, static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) {
+    const EngineTable* table = db.FindTable(name);
+    uint32_t file_crc = 0;
+    TPCDS_RETURN_NOT_OK(
+        WriteTableFile(*table, dir + "/" + name + ".col", &file_crc));
+    PutLenString(&body, name);
+    PutU64(&body, static_cast<uint64_t>(table->num_rows()));
+    PutU32(&body, static_cast<uint32_t>(table->num_columns()));
+    for (size_t c = 0; c < table->num_columns(); ++c) {
+      const EngineTable::ColumnMeta& meta = table->column_meta(c);
+      PutLenString(&body, meta.name);
+      body.push_back(static_cast<char>(meta.type));
+    }
+    PutU32(&body, file_crc);
+  }
+  TPCDS_FAULT_POINT("ckpt-manifest");
+  std::string manifest(kManifestMagic, sizeof(kManifestMagic));
+  manifest.append(body);
+  PutU32(&manifest, Crc32(body.data(), body.size()));
+  return WriteFileAtomically(dir + "/" + kManifestName, manifest);
+}
+
+Status LoadCheckpointFrom(Database* db, const std::string& dir) {
+  if (!db->TableNames().empty()) {
+    return Status::InvalidArgument(
+        "checkpoint: target database is not empty");
+  }
+  TPCDS_ASSIGN_OR_RETURN(std::string manifest,
+                         ReadWholeFile(dir + "/" + kManifestName));
+  if (manifest.size() < 12 ||
+      manifest.compare(0, 8, kManifestMagic, 8) != 0) {
+    return Status::DataLoss("checkpoint manifest: truncated or bad magic");
+  }
+  const std::string body = manifest.substr(8, manifest.size() - 12);
+  {
+    const auto* p = reinterpret_cast<const uint8_t*>(
+        manifest.data() + manifest.size() - 4);
+    uint32_t stored = static_cast<uint32_t>(p[0]) |
+                      (static_cast<uint32_t>(p[1]) << 8) |
+                      (static_cast<uint32_t>(p[2]) << 16) |
+                      (static_cast<uint32_t>(p[3]) << 24);
+    if (Crc32(body.data(), body.size()) != stored) {
+      return Status::DataLoss("checkpoint manifest: CRC mismatch");
+    }
+  }
+  ByteReader reader(body, "checkpoint manifest");
+  TPCDS_ASSIGN_OR_RETURN(uint32_t table_count, reader.ReadU32());
+  std::vector<ManifestTable> entries;
+  entries.reserve(table_count);
+  for (uint32_t t = 0; t < table_count; ++t) {
+    ManifestTable entry;
+    TPCDS_ASSIGN_OR_RETURN(entry.name, reader.ReadLenString());
+    TPCDS_ASSIGN_OR_RETURN(entry.rows, reader.ReadU64());
+    TPCDS_ASSIGN_OR_RETURN(uint32_t cols, reader.ReadU32());
+    entry.columns.reserve(cols);
+    for (uint32_t c = 0; c < cols; ++c) {
+      EngineTable::ColumnMeta meta;
+      TPCDS_ASSIGN_OR_RETURN(meta.name, reader.ReadLenString());
+      TPCDS_ASSIGN_OR_RETURN(uint8_t raw_type, reader.ReadU8());
+      TPCDS_ASSIGN_OR_RETURN(
+          meta.type, DecodeColumnType(raw_type, "checkpoint manifest"));
+      entry.columns.push_back(std::move(meta));
+    }
+    TPCDS_ASSIGN_OR_RETURN(entry.file_crc, reader.ReadU32());
+    entries.push_back(std::move(entry));
+  }
+  if (reader.remaining() != 0) {
+    return Status::DataLoss("checkpoint manifest: trailing bytes");
+  }
+  for (const ManifestTable& entry : entries) {
+    TPCDS_RETURN_NOT_OK(db->CreateTable(entry.name, entry.columns));
+    EngineTable* table = db->FindTable(entry.name);
+    TPCDS_RETURN_NOT_OK(
+        LoadTableFile(table, entry, dir + "/" + entry.name + ".col"));
+  }
+  return Status::OK();
+}
+
+Status Database::SaveCheckpoint(const std::string& dir) const {
+  return SaveCheckpointTo(*this, dir);
+}
+
+Status Database::LoadCheckpoint(const std::string& dir) {
+  return LoadCheckpointFrom(this, dir);
+}
+
+}  // namespace tpcds

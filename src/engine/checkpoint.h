@@ -1,0 +1,38 @@
+#ifndef TPCDS_ENGINE_CHECKPOINT_H_
+#define TPCDS_ENGINE_CHECKPOINT_H_
+
+#include <string>
+
+#include "engine/database.h"
+#include "util/status.h"
+
+namespace tpcds {
+
+/// Binary columnar checkpoint of a whole database.
+///
+/// Layout of a checkpoint directory:
+///
+///   <table>.col   one file per table:
+///                   "TPCDSTB1" | u32 col_count | u64 row_count |
+///                   col_count sections of
+///                     u8 type | u32 payload_len | u32 crc | payload
+///                 where payload = row_count null bytes followed by either
+///                 row_count little-endian int64s (numeric columns) or
+///                 row_count u32-length-prefixed strings. The crc covers
+///                 the payload bytes.
+///   MANIFEST      "TPCDSCK1" | body | u32 crc(body); the body lists every
+///                 table (name, row count, column names + types, whole-file
+///                 crc of its .col file). Written last via tmp + rename:
+///                 a directory without a MANIFEST is not a checkpoint.
+///
+/// Fault sites: "ckpt-write" fires once per table file, "ckpt-manifest"
+/// before the manifest is published.
+Status SaveCheckpointTo(const Database& db, const std::string& dir);
+
+/// Loads a checkpoint into `db`, which must be empty. Tables are created
+/// from the manifest schema; indexes and zone maps rebuild lazily.
+Status LoadCheckpointFrom(Database* db, const std::string& dir);
+
+}  // namespace tpcds
+
+#endif  // TPCDS_ENGINE_CHECKPOINT_H_

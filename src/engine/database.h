@@ -57,6 +57,19 @@ class Database {
   std::vector<std::string> TableNames() const;
   int64_t TotalRows() const;
 
+  /// Serialises every table's raw columnar storage into `dir` (implemented
+  /// in engine/checkpoint.cc). One binary file per table plus a MANIFEST,
+  /// which is written last (via tmp + rename) so a crash mid-checkpoint
+  /// never leaves a manifest pointing at missing or partial table files.
+  /// Derived state (hash indexes, zone maps) is not checkpointed — it
+  /// rebuilds lazily after load.
+  Status SaveCheckpoint(const std::string& dir) const;
+
+  /// Restores the database from a checkpoint directory into this (empty)
+  /// database; table schemas come from the manifest. Any CRC mismatch in
+  /// manifest or table sections yields kDataLoss.
+  Status LoadCheckpoint(const std::string& dir);
+
   /// Parses and executes a SELECT with the database's default planner
   /// options.
   Result<QueryResult> Query(const std::string& sql);

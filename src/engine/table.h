@@ -58,6 +58,16 @@ class StorageColumn {
   /// Keeps only rows whose index appears in `keep` (sorted ascending).
   void Retain(const std::vector<int64_t>& keep);
 
+  /// Drops every row at index >= `rows` (WAL undo of appended rows).
+  void Truncate(size_t rows);
+
+  /// Replaces the raw storage wholesale (checkpoint load). Vectors must be
+  /// mutually consistent for this column's type; the caller validates row
+  /// counts across columns via EngineTable::FinishRawLoad.
+  void ReplaceStorage(std::vector<int64_t> nums,
+                      std::vector<std::string> strings,
+                      std::vector<uint8_t> nulls);
+
  private:
   ColumnType type_;
   std::vector<int64_t> nums_;
@@ -121,6 +131,24 @@ class EngineTable {
   /// Deletes the given rows (sorted ascending). Returns rows removed.
   int64_t DeleteRows(const std::vector<int64_t>& sorted_rows);
 
+  /// Drops the trailing rows so `rows` remain (undo of appends).
+  Status TruncateRows(int64_t rows);
+
+  /// Reverses DeleteRows: reinserts `images[i]` so it lands at row index
+  /// `sorted_rows[i]` of the restored table (the indexes recorded before
+  /// the delete). Surviving rows keep their relative order.
+  Status ReinsertRows(const std::vector<int64_t>& sorted_rows,
+                      const std::vector<std::vector<Value>>& images);
+
+  /// Bulk-installs one column's raw storage (checkpoint load path); pair
+  /// with FinishRawLoad, which validates sizes and sets the row count.
+  Status LoadColumnStorage(size_t col, std::vector<int64_t> nums,
+                           std::vector<std::string> strings,
+                           std::vector<uint8_t> nulls);
+  /// Completes a raw load after every LoadColumnStorage call: verifies each
+  /// column holds exactly `rows` entries, then installs the row count.
+  Status FinishRawLoad(int64_t rows);
+
   /// Lazily builds and returns a hash index over an int-typed column.
   /// Thread-safe against concurrent builders (query streams share tables);
   /// concurrent *mutation* requires external coordination, matching the
@@ -146,9 +174,9 @@ class EngineTable {
   /// Indexes are not copied — they rebuild lazily on first use.
   std::unique_ptr<EngineTable> Clone() const;
 
-  /// Replaces this table's rows with `snapshot`'s (schemas must match) and
-  /// invalidates indexes. Restoring from a Clone() taken earlier rolls the
-  /// table back to that point.
+  /// Replaces this table's rows with `snapshot`'s and invalidates indexes;
+  /// the schemas must match column-for-column (count, names and types).
+  /// Restoring from a Clone() taken earlier rolls the table back.
   Status RestoreFrom(const EngineTable& snapshot);
 
  private:

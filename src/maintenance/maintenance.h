@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "engine/database.h"
+#include "engine/recovery.h"
 #include "util/result.h"
+#include "util/wal.h"
 
 namespace tpcds {
 
@@ -23,6 +25,10 @@ struct MaintenanceOptions {
   double refresh_fraction = 0.01;
   /// Rows updated per maintained dimension.
   int64_t dimension_updates = 100;
+  /// When non-empty, only the named operations run (names as reported in
+  /// MaintenanceOpResult, e.g. "scd_update:item"). Recovery tests use this
+  /// to re-apply exactly the committed prefix of a crashed run.
+  std::vector<std::string> operations;
 };
 
 /// Outcome of one maintenance operation, for reporting and the metric.
@@ -46,10 +52,21 @@ struct MaintenanceReport {
 ///   7-9   clustered fact inserts per channel with business-key to
 ///         surrogate-key translation (Fig. 10)
 ///   10-12 clustered fact range-deletes per channel
+///
+/// All mutations flow through a WalSession. Without a writer (`wal` null),
+/// the run is atomic as a whole: any failure rolls every operation back
+/// via the in-memory undo log (O(changed rows), not whole-table clones)
+/// and clears the report. With a writer attached, each operation commits
+/// individually — a failure undoes only the broken operation's tail, the
+/// committed prefix stays both in memory and in the log, and the report
+/// keeps the committed operations; crash recovery replays exactly those.
 Status RunDataMaintenance(Database* db, const MaintenanceOptions& options,
-                          MaintenanceReport* report);
+                          MaintenanceReport* report,
+                          WalWriter* wal = nullptr);
 
 // --- individual operations (exposed for unit tests) ----------------------
+// Each accepts an optional WalSession; when omitted, mutations apply
+// directly (a private in-memory session) with no rollback capability.
 
 /// Fig. 9: for each updated business key, close the open revision (set
 /// rec_end_date) and insert a new open revision. Returns rows touched
@@ -57,26 +74,30 @@ Status RunDataMaintenance(Database* db, const MaintenanceOptions& options,
 Result<int64_t> UpdateHistoryKeepingDimension(Database* db,
                                               const std::string& table,
                                               int64_t num_updates,
-                                              uint64_t seed);
+                                              uint64_t seed,
+                                              WalSession* wal = nullptr);
 
 /// Fig. 8: find each business key's row and overwrite changeable
 /// attributes in place. Returns rows updated.
 Result<int64_t> UpdateNonHistoryDimension(Database* db,
                                           const std::string& table,
-                                          int64_t num_updates, uint64_t seed);
+                                          int64_t num_updates, uint64_t seed,
+                                          WalSession* wal = nullptr);
 
 /// Fig. 10: insert freshly generated fact rows for `channel`
 /// ("store"/"catalog"/"web"), clustered in a refresh date window, with the
 /// update file carrying business keys that are translated to surrogate
 /// keys through the dimensions. Returns rows inserted (sales + returns).
 Result<int64_t> InsertFactRefresh(Database* db, const std::string& channel,
-                                  const MaintenanceOptions& options);
+                                  const MaintenanceOptions& options,
+                                  WalSession* wal = nullptr);
 
 /// Deletes fact rows of `channel` whose sale date falls in the refresh
 /// window preceding the inserted one — the clustered-by-date delete that
 /// models dropping a partition. Returns rows deleted (sales + returns).
 Result<int64_t> DeleteFactRange(Database* db, const std::string& channel,
-                                const MaintenanceOptions& options);
+                                const MaintenanceOptions& options,
+                                WalSession* wal = nullptr);
 
 /// The refresh window (begin, end date) of a given cycle: one week per
 /// cycle, walking backwards from the end of the 5-year sales window.

@@ -52,6 +52,14 @@ std::string FormatMetricReport(const MetricInputs& in, double tco_dollars) {
   out += StringPrintf("load charge 0.01*S*T_Load %10.3f s\n",
                       0.01 * in.streams * in.t_load_sec);
   out += StringPrintf("QphDS@SF                  %10.1f\n", qphds);
+  if (in.recovery_phases > 0) {
+    out += StringPrintf("T_Checkpoint              %10.3f s  (not in metric)\n",
+                        in.t_checkpoint_sec);
+    out += StringPrintf("T_Recovery                %10.3f s  (not in metric)\n",
+                        in.t_recovery_sec);
+    out += StringPrintf("recovered state           %10s\n",
+                        in.recovery_verified ? "byte-identical" : "MISMATCH");
+  }
   if (in.failed_queries > 0) {
     out += StringPrintf(
         "failed work items         %10d  (run NOT metric-valid)\n",

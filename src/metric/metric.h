@@ -23,6 +23,16 @@ struct MetricInputs {
   /// Queries (or maintenance runs) that exhausted their retries. A run
   /// with failures completes and reports, but is not metric-valid.
   int failed_queries = 0;
+  /// Durability phases (checkpoint after load, crash recovery after data
+  /// maintenance) that ran in this execution; 0 when durability was off.
+  /// Their times are reported but excluded from the QphDS denominator —
+  /// the metric's intervals are fixed by the execution rules (Fig. 11).
+  int recovery_phases = 0;
+  double t_checkpoint_sec = 0.0;
+  double t_recovery_sec = 0.0;
+  /// Whether the recovered database was byte-identical (content hash) to
+  /// the live one. Only meaningful when recovery_phases > 0.
+  bool recovery_verified = false;
 };
 
 /// One work item that exhausted its retry budget during a benchmark run.

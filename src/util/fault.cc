@@ -12,13 +12,21 @@ namespace {
 
 /// Catalog of fault sites. Keep in sync with the call sites listed in
 /// docs/ROBUSTNESS.md:
-///   alloc        governor memory reservation (RowSet / join / agg builds)
-///   op-open      physical-plan operator open (executor Dispatch)
-///   morsel       per-morsel work unit (executor ForEachMorsel)
-///   maintenance  one data-maintenance operation apply
+///   alloc          governor memory reservation (RowSet / join / agg builds)
+///   op-open        physical-plan operator open (executor Dispatch)
+///   morsel         per-morsel work unit (executor ForEachMorsel)
+///   maintenance    one data-maintenance operation apply
+///   wal-append     WAL record append (WalWriter::Append)
+///   wal-commit     WAL commit-marker append (WalWriter::AppendCommit)
+///   ckpt-write     checkpoint table-file write (Database::SaveCheckpoint)
+///   ckpt-manifest  checkpoint manifest write (Database::SaveCheckpoint)
+///   io-write       flat-file row write (FlatFileWriter::Append)
+///   io-close       flat-file close (FlatFileWriter::Close)
 const std::vector<std::string>& SiteCatalog() {
   static const std::vector<std::string>* sites = new std::vector<std::string>{
-      "alloc", "op-open", "morsel", "maintenance"};
+      "alloc",      "op-open",    "morsel",        "maintenance",
+      "wal-append", "wal-commit", "ckpt-write",    "ckpt-manifest",
+      "io-write",   "io-close"};
   return *sites;
 }
 

@@ -1,5 +1,6 @@
 #include "util/flatfile.h"
 
+#include "util/fault.h"
 #include "util/string_util.h"
 
 namespace tpcds {
@@ -10,12 +11,25 @@ FlatFileWriter::~FlatFileWriter() {
 
 Status FlatFileWriter::Open(const std::string& path) {
   path_ = path;
+  failed_ = Status::OK();
   out_.open(path, std::ios::out | std::ios::trunc | std::ios::binary);
   if (!out_) return Status::IoError("cannot open '" + path + "' for writing");
   return Status::OK();
 }
 
 Status FlatFileWriter::Append(const std::vector<std::string>& fields) {
+  // A short write (ENOSPC, quota, yanked disk) latches the writer into a
+  // failed state: later appends and Close keep surfacing the error rather
+  // than silently producing a truncated table file.
+  TPCDS_RETURN_NOT_OK(failed_);
+  if (FaultInjector::Global().enabled()) {
+    Status fault = FaultInjector::Global().Maybe("io-write");
+    if (!fault.ok()) {
+      failed_ = Status::IoError("write failed on '" + path_ + "': " +
+                                fault.message());
+      return failed_;
+    }
+  }
   std::string line;
   size_t needed = 1;
   for (const std::string& f : fields) needed += f.size() + 1;
@@ -26,7 +40,10 @@ Status FlatFileWriter::Append(const std::vector<std::string>& fields) {
   }
   line += '\n';
   out_.write(line.data(), static_cast<std::streamsize>(line.size()));
-  if (!out_) return Status::IoError("write failed on '" + path_ + "'");
+  if (!out_) {
+    failed_ = Status::IoError("write failed on '" + path_ + "'");
+    return failed_;
+  }
   bytes_written_ += line.size();
   ++rows_written_;
   return Status::OK();
@@ -34,10 +51,22 @@ Status FlatFileWriter::Append(const std::vector<std::string>& fields) {
 
 Status FlatFileWriter::Close() {
   if (out_.is_open()) {
+    if (FaultInjector::Global().enabled()) {
+      Status fault = FaultInjector::Global().Maybe("io-close");
+      if (!fault.ok()) {
+        out_.close();
+        failed_ = Status::IoError("close failed on '" + path_ + "': " +
+                                  fault.message());
+        return failed_;
+      }
+    }
     out_.close();
-    if (!out_) return Status::IoError("close failed on '" + path_ + "'");
+    if (!out_) {
+      failed_ = Status::IoError("close failed on '" + path_ + "'");
+      return failed_;
+    }
   }
-  return Status::OK();
+  return failed_;
 }
 
 Status FlatFileReader::Open(const std::string& path) {

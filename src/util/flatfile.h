@@ -48,6 +48,9 @@ class FlatFileWriter : public RowSink {
   std::string path_;
   uint64_t bytes_written_ = 0;
   uint64_t rows_written_ = 0;
+  /// First write/close error; latched so a mid-table short write cannot be
+  /// lost by later successful-looking calls (fault sites io-write/io-close).
+  Status failed_;
 };
 
 /// Captures rows in memory; used by tests and by the in-process loader.

@@ -28,6 +28,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Resource exhausted";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kDataLoss:
+      return "Data loss";
   }
   return "Unknown";
 }

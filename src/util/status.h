@@ -22,6 +22,7 @@ enum class StatusCode {
   kDeadlineExceeded,   // query governor: per-query timeout expired
   kResourceExhausted,  // query governor: memory or row budget exceeded
   kCancelled,          // external cancellation or injected fault
+  kDataLoss,           // durable state failed CRC/consistency checks
 };
 
 /// Returns a human-readable name for a status code ("Invalid argument", ...).
@@ -76,6 +77,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
