@@ -105,6 +105,24 @@ def main():
             failures.append(
                 f"WAL-on maintenance throughput is {ratio:.1%} of WAL-off")
 
+    # mmap-attach overhead: attached storage serves queries straight out
+    # of the mapping and must keep at least 90% of the heap-loaded
+    # throughput from the same run — a fixed floor, independent of the
+    # regression threshold, so zero-copy reads never silently decay into
+    # a slow path.
+    at_heap = cur_groups.get("attach_heap", {})
+    at_mmap = cur_groups.get("attach_mmap", {})
+    if at_heap.get("rows_per_sec") and at_mmap.get("rows_per_sec") is not None:
+        ratio = at_mmap["rows_per_sec"] / at_heap["rows_per_sec"]
+        print(f"cold-start rows/sec: heap {at_heap['rows_per_sec']:,.0f} -> "
+              f"mmap {at_mmap['rows_per_sec']:,.0f} ({ratio - 1:+.1%}); "
+              f"open {at_heap['open_seconds']:.4f}s -> "
+              f"{at_mmap['open_seconds']:.4f}s")
+        if ratio < 0.90:
+            failures.append(
+                f"mmap-attach throughput is {ratio:.1%} of heap-loaded "
+                "(floor 90%)")
+
     if failures:
         sys.exit("FAIL: " + "; ".join(failures) +
                  f" (> {args.threshold:.0%} threshold)")

@@ -33,6 +33,17 @@ trap 'rm -rf "$DURABILITY_DIR"' EXIT
   -checkpoint-dir "$DURABILITY_DIR/ckpt" -wal "$DURABILITY_DIR/dm.wal" \
   -recover -faults "maintenance=nth:7"
 
+echo "== cold-start attach smoke"
+# Save a checkpoint during the benchmark, then cold-start it both ways —
+# deep heap load and O(1) mmap attach — run a query sample on each and
+# compare content hashes + answers (full_benchmark exits 1 on any
+# divergence). Also exercises the overlapped DM/QR2 generation path.
+ATTACH_DIR="$(mktemp -d)"
+trap 'rm -rf "$DURABILITY_DIR" "$ATTACH_DIR"' EXIT
+"$BUILD_DIR/examples/full_benchmark" -scale 0.002 -queries 5 -overlap \
+  -checkpoint-dir "$ATTACH_DIR/ckpt" -wal "$ATTACH_DIR/dm.wal" \
+  -recover -attach
+
 echo "== asan"
 scripts/check_asan.sh build-asan
 

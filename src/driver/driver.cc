@@ -75,7 +75,8 @@ Result<double> RunQueryRun(const BenchmarkConfig& config, Database* db,
                            int stream_base,
                            std::vector<QueryExecution>* executions,
                            FailureReport* failures,
-                           const std::string& phase) {
+                           const std::string& phase,
+                           const DataFacadeProvider* provider) {
   const std::vector<QueryTemplate>& templates = AllTemplates();
   QueryGenerator qgen(config.seed);
   int streams = config.streams > 0
@@ -116,8 +117,21 @@ Result<double> RunQueryRun(const BenchmarkConfig& config, Database* db,
           // trips from a co-scheduled governor) are retried with backoff;
           // an exhausted budget lands in the FailureReport and the stream
           // moves to its next query — no failure stops another stream.
+          //
+          // With a provider, each execution acquires the published facade
+          // and holds its shared_ptr for the query's whole lifetime: the
+          // query reads exactly one generation even if maintenance swaps
+          // generations mid-flight (a retry re-acquires, and may land on
+          // a newer generation — that is the intended freshness).
+          auto run_query = [&]() -> Result<QueryResult> {
+            if (provider != nullptr) {
+              std::shared_ptr<const DataFacade> facade = provider->Acquire();
+              return QueryFacade(*facade, *sql, config.planner);
+            }
+            return db->Query(*sql, config.planner);
+          };
           Stopwatch query_timer;
-          Result<QueryResult> result = db->Query(*sql, config.planner);
+          Result<QueryResult> result = run_query();
           int attempts = 1;
           while (!result.ok() && failures != nullptr &&
                  attempts < max_attempts) {
@@ -125,7 +139,7 @@ Result<double> RunQueryRun(const BenchmarkConfig& config, Database* db,
                                config.seed ^
                                    Mix64(static_cast<uint64_t>(stream_id)) ^
                                    static_cast<uint64_t>(tmpl.id));
-            result = db->Query(*sql, config.planner);
+            result = run_query();
             ++attempts;
           }
           if (!result.ok()) {
@@ -242,22 +256,35 @@ Result<BenchmarkResult> RunBenchmark(const BenchmarkConfig& config,
       RunQueryRun(config, db, /*stream_base=*/1, &result.qr1_queries,
                   &result.failures, "qr1"));
 
-  // Data Maintenance run. Without a WAL, RunDataMaintenance rolls the
-  // database back to its pre-run state on failure, so each retry starts
-  // from a clean slate; an exhausted retry budget is recorded (phase "dm")
-  // and the benchmark proceeds to Query Run 2 against the un-refreshed
-  // data — reported, not metric-valid. With a WAL attached, operations
-  // commit individually and the run is NOT retried: a retry would
-  // re-apply committed operations, and the crash-consistent state (the
-  // committed prefix) is exactly what the recovery phase verifies.
-  {
-    MaintenanceOptions dm;
-    dm.seed = config.seed;
-    dm.scale_factor = config.scale_factor;
-    dm.refresh_cycle = 1;
-    dm.refresh_fraction = config.refresh_fraction;
-    dm.dimension_updates = config.dimension_updates;
+  // Data Maintenance run — always via the copy-on-write generation path:
+  // the workload mutates a forked build generation and publishes it with
+  // one atomic table-map swap. Without a WAL, a failed run discards the
+  // fork (the live database never sees partial state), so each retry
+  // starts from a clean slate; an exhausted retry budget is recorded
+  // (phase "dm") and the benchmark proceeds to Query Run 2 against the
+  // un-refreshed data — reported, not metric-valid. With a WAL attached,
+  // operations commit individually, the committed prefix IS published,
+  // and the run is NOT retried: a retry would re-apply committed
+  // operations, and the crash-consistent state (the committed prefix) is
+  // exactly what the recovery phase verifies.
+  result.generation_before = db->generation();
+  MaintenanceOptions dm;
+  dm.seed = config.seed;
+  dm.scale_factor = config.scale_factor;
+  dm.refresh_cycle = 1;
+  dm.refresh_fraction = config.refresh_fraction;
+  dm.dimension_updates = config.dimension_updates;
 
+  struct DmOutcome {
+    double seconds = 0.0;
+    std::vector<QueryFailure> failures;
+    int64_t retries = 0;
+  };
+  // Runs the whole DM phase (WAL handling, retries, timing) and returns
+  // its outcome by value — callable from a worker thread without touching
+  // `result` (RunQueryRun pushes into result.failures concurrently).
+  auto run_dm_phase = [&](DataFacadeProvider* provider) -> DmOutcome {
+    DmOutcome out;
     WalWriter wal;
     WalWriter* wal_ptr = nullptr;
     if (!config.wal_path.empty()) {
@@ -265,44 +292,91 @@ Result<BenchmarkResult> RunBenchmark(const BenchmarkConfig& config,
       if (opened.ok()) {
         wal_ptr = &wal;
       } else {
-        result.failures.failures.push_back(
+        out.failures.push_back(
             QueryFailure{0, -1, 1, "wal", opened.message()});
       }
     }
-
     Stopwatch timer;
-    Status status = RunDataMaintenance(db, dm, &result.dm_report, wal_ptr);
+    Status status =
+        RunMaintenanceGeneration(db, dm, &result.dm_report, wal_ptr,
+                                 provider);
     if (wal_ptr == nullptr) {
       int attempts = 1;
       while (!status.ok() && attempts < max_attempts) {
         BackoffBeforeRetry(config.retry_backoff_ms, attempts,
                            config.seed ^ 0xD11D11D11D11D11Dull);
-        status = RunDataMaintenance(db, dm, &result.dm_report, nullptr);
+        status = RunMaintenanceGeneration(db, dm, &result.dm_report,
+                                          nullptr, provider);
         ++attempts;
       }
-      result.failures.total_retries += attempts - 1;
+      out.retries += attempts - 1;
       if (!status.ok()) {
-        result.failures.failures.push_back(
+        out.failures.push_back(
             QueryFailure{0, -1, attempts, "dm", status.message()});
       }
     } else {
       if (!status.ok()) {
-        result.failures.failures.push_back(
+        out.failures.push_back(
             QueryFailure{0, -1, 1, "dm", status.message()});
       }
       Status closed = wal.Close();
       if (!closed.ok() && status.ok()) {
-        result.failures.failures.push_back(
+        out.failures.push_back(
             QueryFailure{0, -1, 1, "wal", closed.message()});
       }
     }
-    result.t_dm_sec = timer.ElapsedSeconds();
+    out.seconds = timer.ElapsedSeconds();
+    return out;
+  };
+
+  // Query Run 2: streams S+1..2S — fresh substitutions, same templates,
+  // against the refreshed database (exposing any deferred maintenance of
+  // auxiliary structures, paper §5.2). In overlap mode, QR2 runs
+  // concurrently with data maintenance: every query acquires the current
+  // generation from the provider (early queries see the pre-swap data,
+  // queries after the atomic publish see the refreshed data — each pins
+  // exactly one generation), while the DM thread forks, mutates and
+  // publishes. The live Database object is only touched from the DM
+  // thread during the overlap.
+  if (config.overlap_dm_qr2) {
+    DataFacadeProvider provider;
+    provider.Publish(db->Snapshot());
+    DmOutcome dm_out;
+    Result<double> qr2 = 0.0;
+    {
+      std::thread dm_thread([&] { dm_out = run_dm_phase(&provider); });
+      qr2 = RunQueryRun(config, db, /*stream_base=*/result.streams + 1,
+                        &result.qr2_queries, &result.failures, "qr2",
+                        &provider);
+      dm_thread.join();
+    }
+    result.t_dm_sec = dm_out.seconds;
+    result.failures.total_retries += dm_out.retries;
+    for (QueryFailure& f : dm_out.failures) {
+      result.failures.failures.push_back(std::move(f));
+    }
+    TPCDS_ASSIGN_OR_RETURN(result.t_qr2_sec, qr2);
+  } else {
+    DmOutcome dm_out = run_dm_phase(nullptr);
+    result.t_dm_sec = dm_out.seconds;
+    result.failures.total_retries += dm_out.retries;
+    for (QueryFailure& f : dm_out.failures) {
+      result.failures.failures.push_back(std::move(f));
+    }
+    TPCDS_ASSIGN_OR_RETURN(
+        result.t_qr2_sec,
+        RunQueryRun(config, db, /*stream_base=*/result.streams + 1,
+                    &result.qr2_queries, &result.failures, "qr2"));
   }
+  result.generation_after = db->generation();
+  result.generation_swaps =
+      static_cast<int>(result.generation_after - result.generation_before);
 
   // Recovery phase: rebuild a second database from checkpoint + WAL and
   // verify byte-identity with the live one. This is the paper-adjacent
   // "crash-point recovery" check — the recovered state must equal an
-  // in-memory database that applied the same committed operations.
+  // in-memory database that applied the same committed operations. Query
+  // runs are read-only, so verifying after QR2 checks the same state.
   if (config.recover_verify && result.checkpoint_taken) {
     Database recovered;
     Result<RecoveryReport> rec =
@@ -322,14 +396,6 @@ Result<BenchmarkResult> RunBenchmark(const BenchmarkConfig& config,
       }
     }
   }
-
-  // Query Run 2: streams S+1..2S — fresh substitutions, same templates,
-  // now against the refreshed database (exposing any deferred maintenance
-  // of auxiliary structures, paper §5.2).
-  TPCDS_ASSIGN_OR_RETURN(
-      result.t_qr2_sec,
-      RunQueryRun(config, db, /*stream_base=*/result.streams + 1,
-                  &result.qr2_queries, &result.failures, "qr2"));
   return result;
 }
 

@@ -46,6 +46,12 @@ struct BenchmarkConfig {
   /// WAL and verify it is byte-identical (content hash) to the live one.
   /// Requires checkpoint_dir; the result is recorded in the report.
   bool recover_verify = false;
+  /// Overlap Query Run 2 with Data Maintenance. DM builds a copy-on-write
+  /// generation off the main thread and publishes it with one atomic swap;
+  /// QR2 streams acquire their facade per query from the provider, so each
+  /// query reads exactly one generation (pre- or post-swap, never a mix).
+  /// T_QR2 and T_DM then measure concurrent wall-clock intervals.
+  bool overlap_dm_qr2 = false;
 };
 
 /// One executed query instance.
@@ -77,6 +83,11 @@ struct BenchmarkResult {
   bool recovery_ran = false;
   bool recovery_verified = false;
   RecoveryReport recovery;
+  /// Generation bookkeeping (facade hot-swap): generation ids before and
+  /// after data maintenance and the number of atomic swaps published.
+  uint64_t generation_before = 0;
+  uint64_t generation_after = 0;
+  int generation_swaps = 0;
 
   MetricInputs ToMetricInputs() const {
     MetricInputs in;
@@ -91,6 +102,8 @@ struct BenchmarkResult {
     in.t_checkpoint_sec = t_checkpoint_sec;
     in.t_recovery_sec = recovery.seconds;
     in.recovery_verified = recovery_verified;
+    in.generation_swaps = generation_swaps;
+    in.final_generation = generation_after;
     return in;
   }
 };
@@ -117,11 +130,18 @@ Result<double> RunLoadTest(const BenchmarkConfig& config, Database* db);
 /// then recorded under `phase` while the stream moves on — no failure
 /// stops another stream. With a null `failures` the legacy behaviour
 /// holds: the first error aborts the run.
+///
+/// With a non-null `provider`, every query acquires the currently
+/// published facade generation from it instead of snapshotting `db` —
+/// this is how QR2 runs safely while data maintenance swaps generations
+/// underneath it (each query pins exactly one generation for its whole
+/// execution).
 Result<double> RunQueryRun(const BenchmarkConfig& config, Database* db,
                            int stream_base,
                            std::vector<QueryExecution>* executions,
                            FailureReport* failures = nullptr,
-                           const std::string& phase = "qr");
+                           const std::string& phase = "qr",
+                           const DataFacadeProvider* provider = nullptr);
 
 /// Outcome of the historical single-user "power test" that TPC-DS
 /// deliberately dropped (paper §5.3): queries run sequentially and the

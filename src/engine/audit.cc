@@ -94,7 +94,14 @@ uint64_t HashTableContent(const EngineTable& table) {
     const StorageColumn& col = table.column(c);
     h = Fnv64(col.nulls().data(), col.nulls().size(), h);
     if (col.is_string()) {
-      for (const std::string& s : col.strings()) h = FnvStr(s, h);
+      // Row-wise so heap and mmap-attached columns hash identically; the
+      // length suffix matches FnvStr (defeats concatenation aliasing).
+      for (size_t r = 0; r < col.size(); ++r) {
+        std::string_view s = col.Str(r);
+        h = Fnv64(s.data(), s.size(), h);
+        uint64_t len = s.size();
+        h = Fnv64(&len, sizeof(len), h);
+      }
     } else {
       h = Fnv64(col.nums().data(), col.nums().size() * sizeof(int64_t), h);
     }
@@ -102,16 +109,20 @@ uint64_t HashTableContent(const EngineTable& table) {
   return Mix64(h);
 }
 
-uint64_t HashDatabaseContent(const Database& db) {
+uint64_t HashFacadeContent(const DataFacade& facade) {
   uint64_t h = 0x5D5D1E5D5C0FFEE5ULL;
   // TableNames() is sorted (map-backed), so the fingerprint is stable
   // regardless of creation order.
-  for (const std::string& name : db.TableNames()) {
-    const EngineTable* table = db.FindTable(name);
+  for (const std::string& name : facade.TableNames()) {
+    const EngineTable* table = facade.FindTable(name);
     uint64_t th = HashTableContent(*table);
     h = Mix64(h ^ th);
   }
   return h;
+}
+
+uint64_t HashDatabaseContent(const Database& db) {
+  return HashFacadeContent(*db.Snapshot());
 }
 
 std::string AuditReport::ToString() const {
@@ -128,11 +139,16 @@ std::string AuditReport::ToString() const {
 }
 
 Result<AuditReport> ValidateConstraints(Database* db, const Schema& schema) {
+  return ValidateConstraints(*db->Snapshot(), schema);
+}
+
+Result<AuditReport> ValidateConstraints(const DataFacade& facade,
+                                        const Schema& schema) {
   AuditReport report;
   // Primary-key key sets double as FK targets; build each once.
   std::map<std::string, KeySet> pk_sets;
   for (const TableDef& def : schema.tables()) {
-    EngineTable* table = db->FindTable(def.name);
+    EngineTable* table = facade.FindTable(def.name);
     if (table == nullptr) {
       return Status::NotFound("audit: table not loaded: " + def.name);
     }
@@ -155,7 +171,7 @@ Result<AuditReport> ValidateConstraints(Database* db, const Schema& schema) {
   }
   // Foreign keys: every non-NULL key must exist in the referenced PK set.
   for (const TableDef& def : schema.tables()) {
-    EngineTable* table = db->FindTable(def.name);
+    EngineTable* table = facade.FindTable(def.name);
     for (const ForeignKeyDef& fk : def.foreign_keys) {
       TPCDS_ASSIGN_OR_RETURN(std::vector<int> cols,
                              ResolveColumns(*table, fk.columns));

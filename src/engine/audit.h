@@ -28,10 +28,14 @@ struct AuditReport {
   std::string ToString() const;
 };
 
-/// Validates the loaded database against the schema's declared constraints
-/// — primary-key uniqueness and every foreign key (NULL FK values pass, as
-/// in SQL). This is the "define and validate constraints" step of the
-/// paper's timed load test (§5.2).
+/// Validates a pinned dataset generation against the schema's declared
+/// constraints — primary-key uniqueness and every foreign key (NULL FK
+/// values pass, as in SQL). This is the "define and validate constraints"
+/// step of the paper's timed load test (§5.2).
+Result<AuditReport> ValidateConstraints(const DataFacade& facade,
+                                        const Schema& schema);
+
+/// Convenience overload: validates a snapshot of `db`'s current tables.
 Result<AuditReport> ValidateConstraints(Database* db, const Schema& schema);
 
 /// Order-sensitive hash of a table's raw columnar storage: schema (names,
@@ -41,7 +45,11 @@ Result<AuditReport> ValidateConstraints(Database* db, const Schema& schema);
 uint64_t HashTableContent(const EngineTable& table);
 
 /// Combines every table's content hash, keyed by table name, into one
-/// database fingerprint (derived state — indexes, zone maps — excluded).
+/// dataset fingerprint (derived state — indexes, zone maps — excluded).
+/// Heap-loaded and mmap-attached storage of the same data hash equally.
+uint64_t HashFacadeContent(const DataFacade& facade);
+
+/// Convenience overload over a snapshot of `db`'s current tables.
 uint64_t HashDatabaseContent(const Database& db);
 
 }  // namespace tpcds

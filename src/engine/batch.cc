@@ -527,7 +527,7 @@ void ApplyScanKernel(const ScanKernel& kernel, const StorageColumn& column,
       const std::string& prefix = kernel.like_prefix;
       for (uint32_t r : s) {
         if (nulls[r]) continue;
-        const std::string& text = column.Str(r);
+        std::string_view text = column.Str(r);
         bool match = text.size() >= prefix.size() &&
                      text.compare(0, prefix.size(), prefix) == 0;
         if (match && !kernel.prefix_only) {
@@ -594,8 +594,9 @@ void GatherRows(const EngineTable& table, const std::vector<int>& cols,
       case ColumnType::kVarchar:
         for (size_t i = 0; i < sel.size(); ++i) {
           uint32_t r = sel[i];
-          (*out)[base + i].push_back(nulls[r] ? Value::Null()
-                                              : Value::Str(c.Str(r)));
+          (*out)[base + i].push_back(
+              nulls[r] ? Value::Null()
+                       : Value::Str(std::string(c.Str(r))));
         }
         break;
     }

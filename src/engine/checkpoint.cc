@@ -1,20 +1,33 @@
 #include "engine/checkpoint.h"
 
+#include <bit>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <utility>
+#include <vector>
 
 #include "util/bytes.h"
 #include "util/fault.h"
+#include "util/mmap_file.h"
 #include "util/wal.h"
 
 namespace tpcds {
 namespace {
 
-constexpr char kTableMagic[8] = {'T', 'P', 'C', 'D', 'S', 'T', 'B', '1'};
-constexpr char kManifestMagic[8] = {'T', 'P', 'C', 'D', 'S', 'C', 'K', '1'};
+// Mapped columns read int64/u64 payloads in place, so the on-disk byte
+// order must be the host's.
+static_assert(std::endian::native == std::endian::little,
+              "checkpoint v2 assumes a little-endian host");
+
+constexpr char kTableMagic[8] = {'T', 'P', 'C', 'D', 'S', 'T', 'B', '2'};
+constexpr char kManifestMagic[8] = {'T', 'P', 'C', 'D', 'S', 'C', 'K', '2'};
 constexpr const char* kManifestName = "MANIFEST";
+
+constexpr size_t kSectionAlign = 64;
+constexpr size_t kHeaderSize = 8 + 4 + 8 + 4;  // magic, cols, rows, dir crc
+constexpr size_t kDirEntrySize = 1 + 8 + 8 + 8 + 8 + 4;
 
 Status WriteFileAtomically(const std::string& path,
                            const std::string& contents) {
@@ -49,25 +62,124 @@ Result<std::string> ReadWholeFile(const std::string& path) {
   return data;
 }
 
-std::string EncodeTableFile(const EngineTable& table) {
-  std::string out(kTableMagic, sizeof(kTableMagic));
-  PutU32(&out, static_cast<uint32_t>(table.num_columns()));
-  PutU64(&out, static_cast<uint64_t>(table.num_rows()));
-  for (size_t c = 0; c < table.num_columns(); ++c) {
-    const StorageColumn& col = table.column(c);
-    std::string payload;
-    payload.append(reinterpret_cast<const char*>(col.nulls().data()),
-                   col.nulls().size());
-    if (col.is_string()) {
-      for (const std::string& s : col.strings()) PutLenString(&payload, s);
-    } else {
-      for (int64_t v : col.nums()) PutU64(&payload, static_cast<uint64_t>(v));
-    }
-    out.push_back(static_cast<char>(table.column_meta(c).type));
-    PutU32(&out, static_cast<uint32_t>(payload.size()));
-    PutU32(&out, Crc32(payload.data(), payload.size()));
-    out.append(payload);
+size_t AlignUp(size_t n) {
+  return (n + kSectionAlign - 1) & ~(kSectionAlign - 1);
+}
+
+void PatchU32(std::string* out, size_t pos, uint32_t v) {
+  std::string bytes;
+  PutU32(&bytes, v);
+  out->replace(pos, 4, bytes);
+}
+
+uint32_t LoadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint64_t LoadU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// Per-column section placement, shared by the writer and both readers.
+struct ColumnLayout {
+  ColumnType type = ColumnType::kInteger;
+  uint64_t nulls_off = 0;
+  uint64_t data_off = 0;   // int64s (numeric) or u64 string offsets
+  uint64_t arena_off = 0;  // string columns only, else 0
+  uint64_t arena_len = 0;
+  uint32_t section_crc = 0;
+
+  bool is_string() const {
+    return type == ColumnType::kChar || type == ColumnType::kVarchar;
   }
+};
+
+uint64_t ArenaLength(const StorageColumn& col) {
+  uint64_t total = 0;
+  for (size_t r = 0; r < col.size(); ++r) total += col.Str(r).size();
+  return total;
+}
+
+std::string EncodeTableFile(const EngineTable& table) {
+  const size_t rows = static_cast<size_t>(table.num_rows());
+  const size_t cols = table.num_columns();
+
+  // Pass 1: place the sections.
+  std::vector<ColumnLayout> layout(cols);
+  size_t off = kHeaderSize + cols * kDirEntrySize;
+  for (size_t c = 0; c < cols; ++c) {
+    const StorageColumn& col = table.column(c);
+    layout[c].type = col.type();
+    layout[c].nulls_off = off = AlignUp(off);
+    off += rows;
+    layout[c].data_off = off = AlignUp(off);
+    if (col.is_string()) {
+      off += (rows + 1) * sizeof(uint64_t);
+      layout[c].arena_len = ArenaLength(col);
+      layout[c].arena_off = off = AlignUp(off);
+      off += layout[c].arena_len;
+    } else {
+      off += rows * sizeof(int64_t);
+    }
+  }
+
+  // Pass 2: header, directory (CRCs back-patched), then the sections.
+  std::string out;
+  out.reserve(off);
+  out.append(kTableMagic, sizeof(kTableMagic));
+  PutU32(&out, static_cast<uint32_t>(cols));
+  PutU64(&out, static_cast<uint64_t>(rows));
+  const size_t dir_crc_pos = out.size();
+  PutU32(&out, 0);
+  const size_t dir_pos = out.size();
+  std::vector<size_t> crc_pos(cols);
+  for (size_t c = 0; c < cols; ++c) {
+    out.push_back(static_cast<char>(layout[c].type));
+    PutU64(&out, layout[c].nulls_off);
+    PutU64(&out, layout[c].data_off);
+    PutU64(&out, layout[c].arena_off);
+    PutU64(&out, layout[c].arena_len);
+    crc_pos[c] = out.size();
+    PutU32(&out, 0);
+  }
+  for (size_t c = 0; c < cols; ++c) {
+    const StorageColumn& col = table.column(c);
+    uint32_t crc = 0;
+    out.resize(layout[c].nulls_off, '\0');
+    out.append(reinterpret_cast<const char*>(col.nulls().data()), rows);
+    crc = Crc32(out.data() + layout[c].nulls_off, rows, crc);
+    out.resize(layout[c].data_off, '\0');
+    if (col.is_string()) {
+      uint64_t run = 0;
+      PutU64(&out, run);
+      for (size_t r = 0; r < rows; ++r) {
+        run += col.Str(r).size();
+        PutU64(&out, run);
+      }
+      crc = Crc32(out.data() + layout[c].data_off,
+                  (rows + 1) * sizeof(uint64_t), crc);
+      out.resize(layout[c].arena_off, '\0');
+      for (size_t r = 0; r < rows; ++r) {
+        std::string_view s = col.Str(r);
+        out.append(s.data(), s.size());
+      }
+      crc = Crc32(out.data() + layout[c].arena_off, layout[c].arena_len,
+                  crc);
+    } else {
+      out.append(reinterpret_cast<const char*>(col.nums().data()),
+                 rows * sizeof(int64_t));
+      crc = Crc32(out.data() + layout[c].data_off, rows * sizeof(int64_t),
+                  crc);
+    }
+    PatchU32(&out, crc_pos[c], crc);
+  }
+  // Directory CRC covers the final directory bytes, section CRCs included.
+  PatchU32(&out, dir_crc_pos,
+           Crc32(out.data() + dir_pos, cols * kDirEntrySize));
   return out;
 }
 
@@ -95,6 +207,118 @@ struct ManifestTable {
   uint32_t file_crc = 0;
 };
 
+struct Manifest {
+  uint64_t generation = 0;
+  std::vector<ManifestTable> tables;
+};
+
+Result<Manifest> ReadManifest(const std::string& dir) {
+  TPCDS_ASSIGN_OR_RETURN(std::string raw,
+                         ReadWholeFile(dir + "/" + kManifestName));
+  if (raw.size() < 12 || raw.compare(0, 8, kManifestMagic, 8) != 0) {
+    return Status::DataLoss("checkpoint manifest: truncated or bad magic");
+  }
+  const std::string body = raw.substr(8, raw.size() - 12);
+  if (Crc32(body.data(), body.size()) != LoadU32(raw.data() + raw.size() - 4)) {
+    return Status::DataLoss("checkpoint manifest: CRC mismatch");
+  }
+  ByteReader reader(body, "checkpoint manifest");
+  Manifest manifest;
+  TPCDS_ASSIGN_OR_RETURN(manifest.generation, reader.ReadU64());
+  TPCDS_ASSIGN_OR_RETURN(uint32_t table_count, reader.ReadU32());
+  manifest.tables.reserve(table_count);
+  for (uint32_t t = 0; t < table_count; ++t) {
+    ManifestTable entry;
+    TPCDS_ASSIGN_OR_RETURN(entry.name, reader.ReadLenString());
+    TPCDS_ASSIGN_OR_RETURN(entry.rows, reader.ReadU64());
+    TPCDS_ASSIGN_OR_RETURN(uint32_t cols, reader.ReadU32());
+    entry.columns.reserve(cols);
+    for (uint32_t c = 0; c < cols; ++c) {
+      EngineTable::ColumnMeta meta;
+      TPCDS_ASSIGN_OR_RETURN(meta.name, reader.ReadLenString());
+      TPCDS_ASSIGN_OR_RETURN(uint8_t raw_type, reader.ReadU8());
+      TPCDS_ASSIGN_OR_RETURN(
+          meta.type, DecodeColumnType(raw_type, "checkpoint manifest"));
+      entry.columns.push_back(std::move(meta));
+    }
+    TPCDS_ASSIGN_OR_RETURN(entry.file_crc, reader.ReadU32());
+    manifest.tables.push_back(std::move(entry));
+  }
+  if (reader.remaining() != 0) {
+    return Status::DataLoss("checkpoint manifest: trailing bytes");
+  }
+  return manifest;
+}
+
+/// Parses and validates one table file's header + directory against its
+/// manifest entry. `data`/`size` may come from a heap read or an mmap;
+/// only header and directory bytes are touched. Fills `layout`.
+Status ParseTableHeader(const char* data, size_t size,
+                        const ManifestTable& entry,
+                        std::vector<ColumnLayout>* layout) {
+  const std::string ctx = "checkpoint table " + entry.name;
+  if (size < kHeaderSize ||
+      std::memcmp(data, kTableMagic, sizeof(kTableMagic)) != 0) {
+    return Status::DataLoss(ctx + ": truncated or bad magic");
+  }
+  const uint32_t cols = LoadU32(data + 8);
+  const uint64_t rows = LoadU64(data + 12);
+  if (cols != entry.columns.size() || rows != entry.rows) {
+    return Status::DataLoss(ctx + ": header disagrees with manifest");
+  }
+  const uint32_t dir_crc = LoadU32(data + 20);
+  const size_t dir_len = static_cast<size_t>(cols) * kDirEntrySize;
+  if (size < kHeaderSize + dir_len) {
+    return Status::DataLoss(ctx + ": truncated directory");
+  }
+  if (Crc32(data + kHeaderSize, dir_len) != dir_crc) {
+    return Status::DataLoss(ctx + ": directory CRC mismatch");
+  }
+  layout->resize(cols);
+  const char* p = data + kHeaderSize;
+  for (uint32_t c = 0; c < cols; ++c) {
+    ColumnLayout& l = (*layout)[c];
+    TPCDS_ASSIGN_OR_RETURN(
+        l.type, DecodeColumnType(static_cast<uint8_t>(*p), ctx));
+    l.nulls_off = LoadU64(p + 1);
+    l.data_off = LoadU64(p + 9);
+    l.arena_off = LoadU64(p + 17);
+    l.arena_len = LoadU64(p + 25);
+    l.section_crc = LoadU32(p + 33);
+    p += kDirEntrySize;
+    if (l.type != entry.columns[c].type) {
+      return Status::DataLoss(ctx + ": column " + std::to_string(c) +
+                              " type disagrees with manifest");
+    }
+    const uint64_t data_len = l.is_string()
+                                  ? (rows + 1) * sizeof(uint64_t)
+                                  : rows * sizeof(int64_t);
+    // Bounds + alignment: mapped readers dereference these offsets
+    // directly, so reject anything that escapes the file or would
+    // misalign an int64 load.
+    if (l.nulls_off % kSectionAlign != 0 || l.data_off % kSectionAlign != 0 ||
+        l.nulls_off + rows > size || l.data_off + data_len > size ||
+        (l.is_string() &&
+         (l.arena_off % kSectionAlign != 0 ||
+          l.arena_off + l.arena_len > size))) {
+      return Status::DataLoss(ctx + ": column " + std::to_string(c) +
+                              " sections out of bounds");
+    }
+    if (l.is_string()) {
+      // O(1) consistency probe: the offsets array must end exactly at the
+      // arena length, or mapped string_views could run past the arena.
+      if (LoadU64(data + l.data_off + rows * sizeof(uint64_t)) !=
+          l.arena_len) {
+        return Status::DataLoss(ctx + ": column " + std::to_string(c) +
+                                " offsets/arena length mismatch");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// Deep load of one table file: whole-file CRC (from the manifest), every
+/// section CRC, then heap materialisation.
 Status LoadTableFile(EngineTable* table, const ManifestTable& entry,
                      const std::string& path) {
   TPCDS_ASSIGN_OR_RETURN(std::string data, ReadWholeFile(path));
@@ -103,59 +327,100 @@ Status LoadTableFile(EngineTable* table, const ManifestTable& entry,
                             ": file CRC mismatch with manifest");
   }
   const std::string ctx = "checkpoint table " + entry.name;
-  ByteReader reader(data, ctx);
-  TPCDS_RETURN_NOT_OK(reader.ReadMagic(kTableMagic));
-  TPCDS_ASSIGN_OR_RETURN(uint32_t cols, reader.ReadU32());
-  TPCDS_ASSIGN_OR_RETURN(uint64_t rows, reader.ReadU64());
-  if (cols != entry.columns.size() || rows != entry.rows) {
-    return Status::DataLoss(ctx + ": header disagrees with manifest");
-  }
-  for (uint32_t c = 0; c < cols; ++c) {
-    TPCDS_ASSIGN_OR_RETURN(uint8_t raw_type, reader.ReadU8());
-    TPCDS_ASSIGN_OR_RETURN(ColumnType type, DecodeColumnType(raw_type, ctx));
-    if (type != entry.columns[c].type) {
-      return Status::DataLoss(ctx + ": column " + std::to_string(c) +
-                              " type disagrees with manifest");
+  std::vector<ColumnLayout> layout;
+  TPCDS_RETURN_NOT_OK(
+      ParseTableHeader(data.data(), data.size(), entry, &layout));
+  const size_t rows = static_cast<size_t>(entry.rows);
+  for (size_t c = 0; c < layout.size(); ++c) {
+    const ColumnLayout& l = layout[c];
+    const std::string col_ctx = ctx + " column " + std::to_string(c);
+    uint32_t crc = Crc32(data.data() + l.nulls_off, rows);
+    const uint64_t data_len = l.is_string() ? (rows + 1) * sizeof(uint64_t)
+                                            : rows * sizeof(int64_t);
+    crc = Crc32(data.data() + l.data_off, data_len, crc);
+    if (l.is_string()) {
+      crc = Crc32(data.data() + l.arena_off, l.arena_len, crc);
     }
-    TPCDS_ASSIGN_OR_RETURN(uint32_t payload_len, reader.ReadU32());
-    TPCDS_ASSIGN_OR_RETURN(uint32_t stored_crc, reader.ReadU32());
-    TPCDS_ASSIGN_OR_RETURN(std::string payload, reader.ReadBytes(payload_len));
-    if (Crc32(payload.data(), payload.size()) != stored_crc) {
-      return Status::DataLoss(ctx + ": column " + std::to_string(c) +
-                              " section CRC mismatch");
+    if (crc != l.section_crc) {
+      return Status::DataLoss(col_ctx + ": section CRC mismatch");
     }
-    ByteReader section(payload, ctx + " column " + std::to_string(c));
-    TPCDS_ASSIGN_OR_RETURN(std::string null_bytes,
-                           section.ReadBytes(static_cast<size_t>(rows)));
-    std::vector<uint8_t> nulls(null_bytes.begin(), null_bytes.end());
+    const auto* null_bytes =
+        reinterpret_cast<const uint8_t*>(data.data() + l.nulls_off);
+    std::vector<uint8_t> nulls(null_bytes, null_bytes + rows);
     std::vector<int64_t> nums;
     std::vector<std::string> strings;
-    const bool is_string =
-        type == ColumnType::kChar || type == ColumnType::kVarchar;
-    if (is_string) {
-      strings.reserve(static_cast<size_t>(rows));
-      for (uint64_t r = 0; r < rows; ++r) {
-        TPCDS_ASSIGN_OR_RETURN(std::string s, section.ReadLenString());
-        strings.push_back(std::move(s));
+    if (l.is_string()) {
+      const char* offsets_base = data.data() + l.data_off;
+      const char* arena = data.data() + l.arena_off;
+      strings.reserve(rows);
+      uint64_t prev = LoadU64(offsets_base);
+      if (prev != 0) {
+        return Status::DataLoss(col_ctx + ": offsets do not start at 0");
+      }
+      for (size_t r = 0; r < rows; ++r) {
+        uint64_t next = LoadU64(offsets_base + (r + 1) * sizeof(uint64_t));
+        if (next < prev || next > l.arena_len) {
+          return Status::DataLoss(col_ctx + ": non-monotonic offsets");
+        }
+        strings.emplace_back(arena + prev, next - prev);
+        prev = next;
       }
     } else {
-      nums.reserve(static_cast<size_t>(rows));
-      for (uint64_t r = 0; r < rows; ++r) {
-        TPCDS_ASSIGN_OR_RETURN(uint64_t v, section.ReadU64());
-        nums.push_back(static_cast<int64_t>(v));
-      }
-    }
-    if (section.remaining() != 0) {
-      return Status::DataLoss(ctx + ": column " + std::to_string(c) +
-                              " has trailing bytes");
+      const char* nums_base = data.data() + l.data_off;
+      nums.resize(rows);
+      std::memcpy(nums.data(), nums_base, rows * sizeof(int64_t));
     }
     TPCDS_RETURN_NOT_OK(table->LoadColumnStorage(
         c, std::move(nums), std::move(strings), std::move(nulls)));
   }
-  if (reader.remaining() != 0) {
-    return Status::DataLoss(ctx + ": trailing bytes after last column");
+  return table->FinishRawLoad(static_cast<int64_t>(rows));
+}
+
+/// O(1) attach of one table file: header + directory verification, then
+/// every column points into the mapped pages.
+Status AttachTableFile(EngineTable* table, const ManifestTable& entry,
+                       const std::string& path) {
+  TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<MappedFile> file,
+                         MappedFile::Open(path));
+  std::vector<ColumnLayout> layout;
+  TPCDS_RETURN_NOT_OK(
+      ParseTableHeader(file->data(), file->size(), entry, &layout));
+  const size_t rows = static_cast<size_t>(entry.rows);
+  for (size_t c = 0; c < layout.size(); ++c) {
+    const ColumnLayout& l = layout[c];
+    const char* base = file->data();
+    const auto* nulls = reinterpret_cast<const uint8_t*>(base + l.nulls_off);
+    if (l.is_string()) {
+      table->mutable_column(c)->AttachStorage(
+          file, nulls, nullptr, base + l.arena_off,
+          reinterpret_cast<const uint64_t*>(base + l.data_off), rows);
+    } else {
+      table->mutable_column(c)->AttachStorage(
+          file, nulls, reinterpret_cast<const int64_t*>(base + l.data_off),
+          nullptr, nullptr, rows);
+    }
   }
   return table->FinishRawLoad(static_cast<int64_t>(rows));
+}
+
+using TableFileLoader = Status (*)(EngineTable*, const ManifestTable&,
+                                   const std::string&);
+
+Status RestoreCheckpoint(Database* db, const std::string& dir,
+                         TableFileLoader load_table) {
+  if (!db->TableNames().empty()) {
+    return Status::InvalidArgument(
+        "checkpoint: target database is not empty");
+  }
+  TPCDS_ASSIGN_OR_RETURN(Manifest manifest, ReadManifest(dir));
+  for (const ManifestTable& entry : manifest.tables) {
+    TPCDS_RETURN_NOT_OK(db->CreateTable(entry.name, entry.columns));
+    EngineTable* table = db->FindTable(entry.name);
+    TPCDS_RETURN_NOT_OK(
+        load_table(table, entry, dir + "/" + entry.name + ".col"));
+  }
+  db->set_generation(manifest.generation);
+  return Status::OK();
 }
 
 }  // namespace
@@ -168,6 +433,7 @@ Status SaveCheckpointTo(const Database& db, const std::string& dir) {
                            ": " + ec.message());
   }
   std::string body;
+  PutU64(&body, db.generation());
   std::vector<std::string> names = db.TableNames();
   PutU32(&body, static_cast<uint32_t>(names.size()));
   for (const std::string& name : names) {
@@ -193,59 +459,11 @@ Status SaveCheckpointTo(const Database& db, const std::string& dir) {
 }
 
 Status LoadCheckpointFrom(Database* db, const std::string& dir) {
-  if (!db->TableNames().empty()) {
-    return Status::InvalidArgument(
-        "checkpoint: target database is not empty");
-  }
-  TPCDS_ASSIGN_OR_RETURN(std::string manifest,
-                         ReadWholeFile(dir + "/" + kManifestName));
-  if (manifest.size() < 12 ||
-      manifest.compare(0, 8, kManifestMagic, 8) != 0) {
-    return Status::DataLoss("checkpoint manifest: truncated or bad magic");
-  }
-  const std::string body = manifest.substr(8, manifest.size() - 12);
-  {
-    const auto* p = reinterpret_cast<const uint8_t*>(
-        manifest.data() + manifest.size() - 4);
-    uint32_t stored = static_cast<uint32_t>(p[0]) |
-                      (static_cast<uint32_t>(p[1]) << 8) |
-                      (static_cast<uint32_t>(p[2]) << 16) |
-                      (static_cast<uint32_t>(p[3]) << 24);
-    if (Crc32(body.data(), body.size()) != stored) {
-      return Status::DataLoss("checkpoint manifest: CRC mismatch");
-    }
-  }
-  ByteReader reader(body, "checkpoint manifest");
-  TPCDS_ASSIGN_OR_RETURN(uint32_t table_count, reader.ReadU32());
-  std::vector<ManifestTable> entries;
-  entries.reserve(table_count);
-  for (uint32_t t = 0; t < table_count; ++t) {
-    ManifestTable entry;
-    TPCDS_ASSIGN_OR_RETURN(entry.name, reader.ReadLenString());
-    TPCDS_ASSIGN_OR_RETURN(entry.rows, reader.ReadU64());
-    TPCDS_ASSIGN_OR_RETURN(uint32_t cols, reader.ReadU32());
-    entry.columns.reserve(cols);
-    for (uint32_t c = 0; c < cols; ++c) {
-      EngineTable::ColumnMeta meta;
-      TPCDS_ASSIGN_OR_RETURN(meta.name, reader.ReadLenString());
-      TPCDS_ASSIGN_OR_RETURN(uint8_t raw_type, reader.ReadU8());
-      TPCDS_ASSIGN_OR_RETURN(
-          meta.type, DecodeColumnType(raw_type, "checkpoint manifest"));
-      entry.columns.push_back(std::move(meta));
-    }
-    TPCDS_ASSIGN_OR_RETURN(entry.file_crc, reader.ReadU32());
-    entries.push_back(std::move(entry));
-  }
-  if (reader.remaining() != 0) {
-    return Status::DataLoss("checkpoint manifest: trailing bytes");
-  }
-  for (const ManifestTable& entry : entries) {
-    TPCDS_RETURN_NOT_OK(db->CreateTable(entry.name, entry.columns));
-    EngineTable* table = db->FindTable(entry.name);
-    TPCDS_RETURN_NOT_OK(
-        LoadTableFile(table, entry, dir + "/" + entry.name + ".col"));
-  }
-  return Status::OK();
+  return RestoreCheckpoint(db, dir, &LoadTableFile);
+}
+
+Status AttachCheckpointFrom(Database* db, const std::string& dir) {
+  return RestoreCheckpoint(db, dir, &AttachTableFile);
 }
 
 Status Database::SaveCheckpoint(const std::string& dir) const {
@@ -254,6 +472,10 @@ Status Database::SaveCheckpoint(const std::string& dir) const {
 
 Status Database::LoadCheckpoint(const std::string& dir) {
   return LoadCheckpointFrom(this, dir);
+}
+
+Status Database::AttachCheckpoint(const std::string& dir) {
+  return AttachCheckpointFrom(this, dir);
 }
 
 }  // namespace tpcds

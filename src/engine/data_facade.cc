@@ -1,0 +1,49 @@
+#include "engine/data_facade.h"
+
+namespace tpcds {
+
+EngineTable* DataFacade::FindTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> DataFacade::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+int64_t DataFacade::TotalRows() const {
+  int64_t total = 0;
+  for (const auto& [name, table] : tables_) total += table->num_rows();
+  return total;
+}
+
+size_t DataFacade::MappedColumnCount() const {
+  size_t mapped = 0;
+  for (const auto& [name, table] : tables_) {
+    for (size_t c = 0; c < table->num_columns(); ++c) {
+      if (table->column(c).is_mapped()) ++mapped;
+    }
+  }
+  return mapped;
+}
+
+std::shared_ptr<const DataFacade> DataFacadeProvider::Acquire() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+void DataFacadeProvider::Publish(std::shared_ptr<const DataFacade> next) {
+  std::lock_guard<std::mutex> lock(mu_);
+  current_ = std::move(next);
+  ++published_;
+}
+
+uint64_t DataFacadeProvider::PublishCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return published_;
+}
+
+}  // namespace tpcds

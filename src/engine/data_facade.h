@@ -1,0 +1,92 @@
+#ifndef TPCDS_ENGINE_DATA_FACADE_H_
+#define TPCDS_ENGINE_DATA_FACADE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/table.h"
+
+namespace tpcds {
+
+/// One immutable generation of the dataset: a named snapshot of tables a
+/// query pins for its whole lifetime.
+///
+/// Tables are held by shared_ptr, so facades are cheap table-granularity
+/// copy-on-write snapshots: generation N+1 shares every table data
+/// maintenance did not touch and owns private clones of the ones it did.
+/// Row data reachable through a facade never changes; the lazily built
+/// derived state (hash indexes, zone maps) inside each EngineTable is
+/// internally synchronized, so concurrent readers may share a facade
+/// freely. The backing storage may be heap vectors or mmap'd checkpoint
+/// sections — readers cannot tell the difference.
+class DataFacade {
+ public:
+  DataFacade(uint64_t generation,
+             std::map<std::string, std::shared_ptr<EngineTable>> tables)
+      : generation_(generation), tables_(std::move(tables)) {}
+
+  DataFacade(const DataFacade&) = delete;
+  DataFacade& operator=(const DataFacade&) = delete;
+
+  /// Monotonic id of the dataset generation this snapshot describes.
+  uint64_t generation() const { return generation_; }
+
+  /// Looks up a table; nullptr when absent. The pointer stays valid for
+  /// the facade's lifetime (readers hold the facade via shared_ptr, which
+  /// is what pins the generation). The table is non-const only so readers
+  /// can trigger lazy index/zone-map builds; row data is immutable.
+  EngineTable* FindTable(const std::string& name) const;
+
+  /// Sorted table names (map-backed, deterministic).
+  std::vector<std::string> TableNames() const;
+
+  size_t TableCount() const { return tables_.size(); }
+  int64_t TotalRows() const;
+
+  /// Number of columns currently backed by an mmap'd checkpoint section
+  /// rather than heap vectors (attach-path observability).
+  size_t MappedColumnCount() const;
+
+ private:
+  uint64_t generation_;
+  std::map<std::string, std::shared_ptr<EngineTable>> tables_;
+};
+
+/// Hands readers the current generation and atomically swaps in new ones.
+///
+/// Reader protocol: Acquire() once per query, use only that facade for the
+/// query's lifetime, drop the shared_ptr when done. A generation is
+/// retired automatically when the provider has swapped past it AND its
+/// last reader drops out — shared_ptr refcounting is the drain barrier, no
+/// epoch bookkeeping needed.
+class DataFacadeProvider {
+ public:
+  DataFacadeProvider() = default;
+
+  DataFacadeProvider(const DataFacadeProvider&) = delete;
+  DataFacadeProvider& operator=(const DataFacadeProvider&) = delete;
+
+  /// The current generation; nullptr before the first Publish.
+  std::shared_ptr<const DataFacade> Acquire() const;
+
+  /// Atomically replaces the current generation. Readers that acquired
+  /// earlier keep their generation alive; new readers see `next`.
+  void Publish(std::shared_ptr<const DataFacade> next);
+
+  /// Number of Publish calls (generation-swap counter for the metric
+  /// report).
+  uint64_t PublishCount() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const DataFacade> current_;
+  uint64_t published_ = 0;
+};
+
+}  // namespace tpcds
+
+#endif  // TPCDS_ENGINE_DATA_FACADE_H_

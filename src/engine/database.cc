@@ -108,7 +108,39 @@ Status Database::CreateTable(const std::string& name,
   if (tables_.count(name) != 0) {
     return Status::AlreadyExists("table exists: " + name);
   }
-  tables_[name] = std::make_unique<EngineTable>(name, std::move(columns));
+  tables_[name] = std::make_shared<EngineTable>(name, std::move(columns));
+  return Status::OK();
+}
+
+std::shared_ptr<const DataFacade> Database::Snapshot() const {
+  return std::make_shared<DataFacade>(generation_, tables_);
+}
+
+Result<std::unique_ptr<Database>> Database::ForkForMaintenance(
+    const std::vector<std::string>& cow_tables) const {
+  auto fork = std::make_unique<Database>();
+  fork->tables_ = tables_;
+  fork->generation_ = generation_;
+  fork->default_options_ = default_options_;
+  for (const std::string& name : cow_tables) {
+    auto it = fork->tables_.find(name);
+    if (it == fork->tables_.end()) {
+      return Status::NotFound("maintenance fork: no such table: " + name);
+    }
+    it->second = std::shared_ptr<EngineTable>(it->second->Clone());
+  }
+  return fork;
+}
+
+Status Database::AdoptTablesFrom(Database* build) {
+  for (const auto& [name, table] : tables_) {
+    if (build->tables_.count(name) == 0) {
+      return Status::InvalidArgument(
+          "generation commit: build is missing table " + name);
+    }
+  }
+  tables_ = build->tables_;
+  ++generation_;
   return Status::OK();
 }
 
@@ -226,9 +258,21 @@ Result<QueryResult> Database::Query(const std::string& sql,
                                     const PlannerOptions& options,
                                     ExecStats* stats,
                                     QueryGovernor* governor) {
+  // Pin one generation for the query's whole lifetime: concurrent
+  // generation swaps (data maintenance commits) never change the data a
+  // running query sees.
+  std::shared_ptr<const DataFacade> facade = Snapshot();
+  return QueryFacade(*facade, sql, options, stats, governor);
+}
+
+Result<QueryResult> QueryFacade(const DataFacade& facade,
+                                const std::string& sql,
+                                const PlannerOptions& options,
+                                ExecStats* stats, QueryGovernor* governor) {
   TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<SelectStmt> stmt, ParseSql(sql));
-  TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> rs,
-                         ExecuteSelect(this, *stmt, options, stats, governor));
+  TPCDS_ASSIGN_OR_RETURN(
+      std::shared_ptr<RowSet> rs,
+      ExecuteSelect(&facade, *stmt, options, stats, governor));
   QueryResult result;
   result.columns.reserve(rs->cols.size());
   for (size_t i = 0; i < rs->cols.size(); ++i) {

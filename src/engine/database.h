@@ -1,12 +1,14 @@
 #ifndef TPCDS_ENGINE_DATABASE_H_
 #define TPCDS_ENGINE_DATABASE_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "dsgen/options.h"
+#include "engine/data_facade.h"
 #include "engine/planner.h"
 #include "engine/table.h"
 #include "util/result.h"
@@ -57,6 +59,31 @@ class Database {
   std::vector<std::string> TableNames() const;
   int64_t TotalRows() const;
 
+  /// Immutable snapshot of the current tables stamped with the current
+  /// generation id. The facade shares table storage (shared_ptr per
+  /// table), so this is O(#tables). Queries executed through Query() pin
+  /// such a snapshot for their whole lifetime.
+  std::shared_ptr<const DataFacade> Snapshot() const;
+
+  /// Monotonic dataset generation: starts at 1, advances on
+  /// AdoptTablesFrom, and is restored from the manifest on checkpoint
+  /// load/attach.
+  uint64_t generation() const { return generation_; }
+  void set_generation(uint64_t g) { generation_ = g; }
+
+  /// Copy-on-write fork for a maintenance generation build: the fork
+  /// shares every table except those named in `cow_tables`, which are
+  /// deep-cloned so maintenance can mutate them without disturbing
+  /// readers of the current generation. Unknown names are an error.
+  Result<std::unique_ptr<Database>> ForkForMaintenance(
+      const std::vector<std::string>& cow_tables) const;
+
+  /// Commits a finished generation build: adopts every table of `build`
+  /// (sharing its pointers) and advances the generation id. Tables in
+  /// this database but not in `build` are an error (a build forks all
+  /// tables, mutating only its private clones).
+  Status AdoptTablesFrom(Database* build);
+
   /// Serialises every table's raw columnar storage into `dir` (implemented
   /// in engine/checkpoint.cc). One binary file per table plus a MANIFEST,
   /// which is written last (via tmp + rename) so a crash mid-checkpoint
@@ -67,8 +94,17 @@ class Database {
 
   /// Restores the database from a checkpoint directory into this (empty)
   /// database; table schemas come from the manifest. Any CRC mismatch in
-  /// manifest or table sections yields kDataLoss.
+  /// manifest or table sections yields kDataLoss. This is the deep
+  /// (heap-materialising, fully CRC-verified) path.
   Status LoadCheckpoint(const std::string& dir);
+
+  /// O(1) cold start: attaches the checkpoint via mmap without
+  /// materialising column payloads — columns point straight into the
+  /// mapped files (zero-copy strings included) and copy-on-write to heap
+  /// only if mutated. Header and directory CRCs are verified; payload
+  /// bytes are trusted until first deep read (use LoadCheckpoint when
+  /// end-to-end verification is required, e.g. crash recovery).
+  Status AttachCheckpoint(const std::string& dir);
 
   /// Parses and executes a SELECT with the database's default planner
   /// options.
@@ -90,9 +126,20 @@ class Database {
   PlannerOptions& default_options() { return default_options_; }
 
  private:
-  std::map<std::string, std::unique_ptr<EngineTable>> tables_;
+  std::map<std::string, std::shared_ptr<EngineTable>> tables_;
+  uint64_t generation_ = 1;
   PlannerOptions default_options_;
 };
+
+/// Executes a SELECT against a pinned facade generation — the overlap
+/// path: query streams run on the generation they acquired while data
+/// maintenance builds and publishes the next one. The caller's shared_ptr
+/// keeps the generation alive for the query's duration.
+Result<QueryResult> QueryFacade(const DataFacade& facade,
+                                const std::string& sql,
+                                const PlannerOptions& options,
+                                ExecStats* stats = nullptr,
+                                QueryGovernor* governor = nullptr);
 
 }  // namespace tpcds
 

@@ -12,7 +12,7 @@
 #include <utility>
 
 #include "engine/agg_parallel.h"
-#include "engine/database.h"
+#include "engine/data_facade.h"
 #include "engine/expr_eval.h"
 #include "engine/governor.h"
 #include "engine/table.h"
@@ -190,9 +190,10 @@ class PlanExecutor : public SubqueryEvaluator {
   /// Top-level executor: owns the intra-query pool when parallelism > 1.
   /// `governor` enforces the options' limits and is shared by every nested
   /// subquery executor so the whole statement obeys one budget.
-  PlanExecutor(Database* db, const PlannerOptions& options, ExecStats* stats,
-               const PhysicalPlan* plan, QueryGovernor* governor)
-      : db_(db),
+  PlanExecutor(const DataFacade* facade, const PlannerOptions& options,
+               ExecStats* stats, const PhysicalPlan* plan,
+               QueryGovernor* governor)
+      : facade_(facade),
         options_(options),
         stats_(stats),
         plan_(plan),
@@ -212,11 +213,11 @@ class PlanExecutor : public SubqueryEvaluator {
   /// Nested executor for uncorrelated subqueries: shares the parent's
   /// pool, governor, CTE results, and stat counters (subquery scans count,
   /// exactly as the pre-plan-tree executor counted them).
-  PlanExecutor(Database* db, const PlannerOptions& options, ExecStats* stats,
-               const PhysicalPlan* plan, QueryGovernor* governor,
-               ThreadPool* pool,
+  PlanExecutor(const DataFacade* facade, const PlannerOptions& options,
+               ExecStats* stats, const PhysicalPlan* plan,
+               QueryGovernor* governor, ThreadPool* pool,
                const std::map<std::string, std::shared_ptr<RowSet>>& ctes)
-      : db_(db),
+      : facade_(facade),
         options_(options),
         stats_(stats),
         plan_(plan),
@@ -237,8 +238,8 @@ class PlanExecutor : public SubqueryEvaluator {
   Result<std::vector<Value>> EvaluateColumn(const SelectStmt& stmt) override {
     TPCDS_ASSIGN_OR_RETURN(
         PhysicalPlan sub,
-        BuildSubqueryPlan(db_, stmt, options_, plan_->cte_schemas));
-    PlanExecutor nested(db_, options_, stats_, &sub, governor_, pool_,
+        BuildSubqueryPlan(facade_, stmt, options_, plan_->cte_schemas));
+    PlanExecutor nested(facade_, options_, stats_, &sub, governor_, pool_,
                         cte_results_);
     TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> rs, nested.Run());
     std::vector<Value> out;
@@ -436,7 +437,7 @@ class PlanExecutor : public SubqueryEvaluator {
   };
 
   Result<std::shared_ptr<RowSet>> ExecScan(const PlanNode& node) {
-    EngineTable* table = db_->FindTable(node.table_name);
+    EngineTable* table = facade_->FindTable(node.table_name);
     if (table == nullptr) {
       return Status::NotFound("unknown table: " + node.table_name);
     }
@@ -628,7 +629,8 @@ class PlanExecutor : public SubqueryEvaluator {
         for (uint32_t r : s) {
           if (c.IsNull(r)) continue;
           if (pd.bloom != nullptr &&
-              !pd.bloom->MayContain(std::hash<std::string>()(c.Str(r)))) {
+              !pd.bloom->MayContain(
+                  std::hash<std::string_view>()(c.Str(r)))) {
             ++removed;
             continue;
           }
@@ -775,7 +777,8 @@ class PlanExecutor : public SubqueryEvaluator {
       target = PushdownTargetScan(node.children[0].get());
       if (target != nullptr) {
         pd_col = ResolveScanStorageCol(*target, *node.fact_key);
-        pd_table = pd_col >= 0 ? db_->FindTable(target->table_name) : nullptr;
+        pd_table =
+            pd_col >= 0 ? facade_->FindTable(target->table_name) : nullptr;
         if (pd_table == nullptr) target = nullptr;
       }
     }
@@ -857,7 +860,7 @@ class PlanExecutor : public SubqueryEvaluator {
           if (c < 0) continue;
           pd_col = c;
           pd_key = i;
-          pd_table = db_->FindTable(t->table_name);
+          pd_table = facade_->FindTable(t->table_name);
           if (pd_table != nullptr) target = t;
           break;
         }
@@ -1099,7 +1102,7 @@ class PlanExecutor : public SubqueryEvaluator {
   Result<std::shared_ptr<RowSet>> ExecIndexJoin(const PlanNode& node) {
     TPCDS_ASSIGN_OR_RETURN(std::shared_ptr<RowSet> left,
                            Exec(node.children[0]));
-    EngineTable* table = db_->FindTable(node.table_name);
+    EngineTable* table = facade_->FindTable(node.table_name);
     if (table == nullptr) {
       return Status::NotFound("unknown table: " + node.table_name);
     }
@@ -1912,7 +1915,7 @@ class PlanExecutor : public SubqueryEvaluator {
     rs->rows = std::move(unique_rows);
   }
 
-  Database* db_;
+  const DataFacade* facade_;
   PlannerOptions options_;
   ExecStats* stats_;
   const PhysicalPlan* plan_;
@@ -1954,7 +1957,7 @@ void EmitOperator(const PlanNode* node, int depth, ExecStats* stats,
 
 }  // namespace
 
-Result<std::shared_ptr<RowSet>> ExecutePlan(Database* db,
+Result<std::shared_ptr<RowSet>> ExecutePlan(const DataFacade* facade,
                                             const PhysicalPlan& plan,
                                             const PlannerOptions& options,
                                             ExecStats* stats,
@@ -1967,7 +1970,7 @@ Result<std::shared_ptr<RowSet>> ExecutePlan(Database* db,
   limits.row_budget = options.row_budget;
   QueryGovernor local(limits);
   QueryGovernor* gov = governor != nullptr ? governor : &local;
-  PlanExecutor executor(db, options, stats, &plan, gov);
+  PlanExecutor executor(facade, options, stats, &plan, gov);
   Result<std::shared_ptr<RowSet>> result = executor.Run();
   if (result.ok() && stats != nullptr) {
     std::set<const PlanNode*> visited;

@@ -11,9 +11,10 @@
 
 namespace tpcds {
 
-class Database;
+class DataFacade;
 
-/// Runs a physical plan against `db`. With `options.parallelism` > 1 the
+/// Runs a physical plan against a pinned facade generation. With
+/// `options.parallelism` > 1 the
 /// executor runs morsel-style intra-query parallelism on a per-query
 /// thread pool (0 = one worker per hardware core): partition-parallel
 /// scans and filters, partitioned hash-join build + probe, and parallel
@@ -27,7 +28,7 @@ class Database;
 /// memory budget, row budget) at morsel boundaries. Callers that need to
 /// cancel the query from another thread pass their own `governor`, which
 /// then takes precedence over the options' limits.
-Result<std::shared_ptr<RowSet>> ExecutePlan(Database* db,
+Result<std::shared_ptr<RowSet>> ExecutePlan(const DataFacade* facade,
                                             const PhysicalPlan& plan,
                                             const PlannerOptions& options,
                                             ExecStats* stats = nullptr,

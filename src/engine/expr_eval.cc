@@ -23,7 +23,7 @@ struct ValueEq {
 using ValueSet = std::unordered_set<Value, ValueHasher, ValueEq>;
 
 /// Simple SQL LIKE matcher: % = any run, _ = any one character.
-bool LikeMatch(const std::string& text, const std::string& pattern,
+bool LikeMatch(std::string_view text, const std::string& pattern,
                size_t ti = 0, size_t pi = 0) {
   while (pi < pattern.size()) {
     char pc = pattern[pi];
@@ -356,7 +356,7 @@ class BoundFunction : public BoundExpr {
 
 }  // namespace
 
-bool SqlLikeMatch(const std::string& text, const std::string& pattern) {
+bool SqlLikeMatch(std::string_view text, const std::string& pattern) {
   return LikeMatch(text, pattern);
 }
 

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "engine/ast.h"
@@ -44,7 +45,7 @@ std::string ExprToString(const Expr& expr);
 
 /// SQL LIKE semantics (% = any run, _ = one character) on raw strings; the
 /// same matcher BoundLike uses, exposed for the vectorized string kernels.
-bool SqlLikeMatch(const std::string& text, const std::string& pattern);
+bool SqlLikeMatch(std::string_view text, const std::string& pattern);
 
 /// True if the expression (deeply) contains an aggregate node.
 bool ContainsAggregate(const Expr& expr);

@@ -4,7 +4,7 @@
 #include <unordered_set>
 #include <utility>
 
-#include "engine/database.h"
+#include "engine/data_facade.h"
 #include "engine/expr_eval.h"
 #include "engine/table.h"
 #include "util/string_util.h"
@@ -140,8 +140,9 @@ std::unique_ptr<Expr> RewriteExpr(
 /// computes them statically over schemas; no table data is read.
 class Planner {
  public:
-  Planner(Database* db, const PlannerOptions& options, PhysicalPlan* plan)
-      : db_(db), options_(options), plan_(plan) {}
+  Planner(const DataFacade* facade, const PlannerOptions& options,
+          PhysicalPlan* plan)
+      : facade_(facade), options_(options), plan_(plan) {}
 
   Status PlanStatement(const SelectStmt& stmt) {
     for (const auto& [name, cte] : stmt.ctes) {
@@ -478,7 +479,7 @@ class Planner {
       const SelectStmt& stmt, const FromItem& item,
       const std::vector<const Expr*>& conjuncts,
       std::vector<bool>* consumed) {
-    EngineTable* table = db_->FindTable(ToLower(item.table_name));
+    EngineTable* table = facade_->FindTable(ToLower(item.table_name));
     if (table == nullptr) {
       return Status::NotFound("unknown table: " + item.table_name);
     }
@@ -597,7 +598,7 @@ class Planner {
 
   Result<std::shared_ptr<PlanNode>> PlanFrom(const SelectStmt& stmt);
 
-  Database* db_;
+  const DataFacade* facade_;
   PlannerOptions options_;
   PhysicalPlan* plan_;
 };
@@ -632,7 +633,7 @@ Result<std::shared_ptr<PlanNode>> Planner::PlanFrom(const SelectStmt& stmt) {
       EngineTable* base =
           item.derived == nullptr &&
                   plan_->cte_schemas.count(ToLower(item.table_name)) == 0
-              ? db_->FindTable(ToLower(item.table_name))
+              ? facade_->FindTable(ToLower(item.table_name))
               : nullptr;
       RowSet my_meta;
       if (base != nullptr) {
@@ -894,20 +895,22 @@ std::string PlanNodeLabel(const PlanNode& node) {
   return "?";
 }
 
-Result<PhysicalPlan> BuildPlan(Database* db, const SelectStmt& stmt,
+Result<PhysicalPlan> BuildPlan(const DataFacade* facade,
+                               const SelectStmt& stmt,
                                const PlannerOptions& options) {
   PhysicalPlan plan;
-  Planner planner(db, options, &plan);
+  Planner planner(facade, options, &plan);
   TPCDS_RETURN_NOT_OK(planner.PlanStatement(stmt));
   return plan;
 }
 
 Result<PhysicalPlan> BuildSubqueryPlan(
-    Database* db, const SelectStmt& stmt, const PlannerOptions& options,
+    const DataFacade* facade, const SelectStmt& stmt,
+    const PlannerOptions& options,
     const std::map<std::string, std::vector<RowSet::Col>>& cte_schemas) {
   PhysicalPlan plan;
   plan.cte_schemas = cte_schemas;
-  Planner planner(db, options, &plan);
+  Planner planner(facade, options, &plan);
   TPCDS_ASSIGN_OR_RETURN(plan.root, planner.PlanSelectCore(stmt));
   return plan;
 }

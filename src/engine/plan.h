@@ -14,7 +14,7 @@
 
 namespace tpcds {
 
-class Database;
+class DataFacade;
 
 /// Physical operator kinds. One tagged struct (like Expr) keeps the tree
 /// walkable without a visitor hierarchy; per-kind payload fields below.
@@ -181,14 +181,16 @@ std::string PlanNodeLabel(const PlanNode& node);
 
 /// Builds the physical plan for `stmt` (including its CTEs). Pure schema
 /// computation: no table data is touched.
-Result<PhysicalPlan> BuildPlan(Database* db, const SelectStmt& stmt,
+Result<PhysicalPlan> BuildPlan(const DataFacade* facade,
+                               const SelectStmt& stmt,
                                const PlannerOptions& options);
 
 /// Plans an uncorrelated subquery (select core only — a subquery's own
 /// CTEs are out of scope, matching executor semantics), resolving CTE
 /// references against the enclosing plan's schemas.
 Result<PhysicalPlan> BuildSubqueryPlan(
-    Database* db, const SelectStmt& stmt, const PlannerOptions& options,
+    const DataFacade* facade, const SelectStmt& stmt,
+    const PlannerOptions& options,
     const std::map<std::string, std::vector<RowSet::Col>>& cte_schemas);
 
 }  // namespace tpcds

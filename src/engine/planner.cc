@@ -11,13 +11,14 @@ namespace tpcds {
 // without touching table data, and ExecutePlan runs the tree, binding
 // expressions to column slots once per operator and parallelising row
 // work across morsels when options.parallelism allows.
-Result<std::shared_ptr<RowSet>> ExecuteSelect(Database* db,
+Result<std::shared_ptr<RowSet>> ExecuteSelect(const DataFacade* facade,
                                               const SelectStmt& stmt,
                                               const PlannerOptions& options,
                                               ExecStats* stats,
                                               QueryGovernor* governor) {
-  TPCDS_ASSIGN_OR_RETURN(PhysicalPlan plan, BuildPlan(db, stmt, options));
-  return ExecutePlan(db, plan, options, stats, governor);
+  TPCDS_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                         BuildPlan(facade, stmt, options));
+  return ExecutePlan(facade, plan, options, stats, governor);
 }
 
 }  // namespace tpcds

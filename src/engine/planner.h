@@ -11,7 +11,7 @@
 
 namespace tpcds {
 
-class Database;
+class DataFacade;
 class QueryGovernor;
 
 /// Execution-strategy switches, exposed so benchmarks can compare plans
@@ -92,12 +92,14 @@ struct ExecStats {
   std::vector<OpStat> operators;
 };
 
-/// Plans and executes a parsed SELECT against `db`. The returned RowSet is
-/// fully materialised and truncated to its visible columns. `governor`,
-/// when supplied, overrides the governor the executor would build from the
-/// options' limits — callers hold it to cancel the query from another
-/// thread.
-Result<std::shared_ptr<RowSet>> ExecuteSelect(Database* db,
+/// Plans and executes a parsed SELECT against one pinned dataset
+/// generation. The returned RowSet is fully materialised and truncated to
+/// its visible columns. `governor`, when supplied, overrides the governor
+/// the executor would build from the options' limits — callers hold it to
+/// cancel the query from another thread. The caller keeps the facade
+/// alive (usually via the shared_ptr it acquired) for the call's
+/// duration.
+Result<std::shared_ptr<RowSet>> ExecuteSelect(const DataFacade* facade,
                                               const SelectStmt& stmt,
                                               const PlannerOptions& options,
                                               ExecStats* stats = nullptr,

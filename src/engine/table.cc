@@ -5,7 +5,49 @@
 
 namespace tpcds {
 
+void StorageColumn::EnsureOwned() {
+  if (!mapped_) return;
+  // Copy-on-write: materialise the mapped view into owned vectors. The
+  // mapped checkpoint pages are never written; only this column's private
+  // heap copy changes from here on.
+  nulls_.assign(map_nulls_, map_nulls_ + mapped_rows_);
+  if (is_string()) {
+    strings_.clear();
+    strings_.reserve(mapped_rows_);
+    for (size_t r = 0; r < mapped_rows_; ++r) {
+      strings_.emplace_back(map_arena_ + map_offsets_[r],
+                            map_offsets_[r + 1] - map_offsets_[r]);
+    }
+  } else {
+    nums_.assign(map_nums_, map_nums_ + mapped_rows_);
+  }
+  mapped_ = false;
+  mapped_rows_ = 0;
+  map_nulls_ = nullptr;
+  map_nums_ = nullptr;
+  map_arena_ = nullptr;
+  map_offsets_ = nullptr;
+  backing_.reset();
+}
+
+void StorageColumn::AttachStorage(std::shared_ptr<const MappedFile> backing,
+                                  const uint8_t* nulls, const int64_t* nums,
+                                  const char* arena, const uint64_t* offsets,
+                                  size_t rows) {
+  nums_.clear();
+  strings_.clear();
+  nulls_.clear();
+  mapped_ = true;
+  mapped_rows_ = rows;
+  map_nulls_ = nulls;
+  map_nums_ = nums;
+  map_arena_ = arena;
+  map_offsets_ = offsets;
+  backing_ = std::move(backing);
+}
+
 Status StorageColumn::AppendParsed(const std::string& field) {
+  EnsureOwned();
   if (field.empty()) {
     nulls_.push_back(1);
     if (is_string()) {
@@ -46,6 +88,7 @@ Status StorageColumn::AppendParsed(const std::string& field) {
 }
 
 Status StorageColumn::AppendValue(const Value& v) {
+  EnsureOwned();
   if (v.is_null()) {
     nulls_.push_back(1);
     if (is_string()) {
@@ -91,23 +134,24 @@ Status StorageColumn::AppendValue(const Value& v) {
 }
 
 Value StorageColumn::Get(size_t row) const {
-  if (nulls_[row]) return Value::Null();
+  if (IsNull(row)) return Value::Null();
   switch (type_) {
     case ColumnType::kIdentifier:
     case ColumnType::kInteger:
-      return Value::Int(nums_[row]);
+      return Value::Int(Num(row));
     case ColumnType::kDecimal:
-      return Value::Dec(Decimal::FromCents(nums_[row]));
+      return Value::Dec(Decimal::FromCents(Num(row)));
     case ColumnType::kDate:
-      return Value::Dt(Date(static_cast<int32_t>(nums_[row])));
+      return Value::Dt(Date(static_cast<int32_t>(Num(row))));
     case ColumnType::kChar:
     case ColumnType::kVarchar:
-      return Value::Str(strings_[row]);
+      return Value::Str(std::string(Str(row)));
   }
   return Value::Null();
 }
 
 void StorageColumn::Set(size_t row, const Value& v) {
+  EnsureOwned();
   if (v.is_null()) {
     nulls_[row] = 1;
     // Null cells store a normalized payload (0 / empty), same as
@@ -144,6 +188,7 @@ void StorageColumn::Set(size_t row, const Value& v) {
 }
 
 void StorageColumn::Retain(const std::vector<int64_t>& keep) {
+  EnsureOwned();
   std::vector<uint8_t> new_nulls;
   new_nulls.reserve(keep.size());
   if (is_string()) {
@@ -167,6 +212,7 @@ void StorageColumn::Retain(const std::vector<int64_t>& keep) {
 }
 
 void StorageColumn::Truncate(size_t rows) {
+  EnsureOwned();
   if (is_string()) {
     if (strings_.size() > rows) strings_.resize(rows);
   } else {
@@ -181,6 +227,13 @@ void StorageColumn::ReplaceStorage(std::vector<int64_t> nums,
   nums_ = std::move(nums);
   strings_ = std::move(strings);
   nulls_ = std::move(nulls);
+  mapped_ = false;
+  mapped_rows_ = 0;
+  map_nulls_ = nullptr;
+  map_nums_ = nullptr;
+  map_arena_ = nullptr;
+  map_offsets_ = nullptr;
+  backing_.reset();
 }
 
 EngineTable::EngineTable(std::string name, std::vector<ColumnMeta> columns)
@@ -342,8 +395,9 @@ Status EngineTable::FinishRawLoad(int64_t rows) {
 
 const EngineTable::HashIndex& EngineTable::GetOrBuildIntIndex(int col) {
   std::lock_guard<std::mutex> lock(index_mu_);
-  auto it = int_indexes_.find(col);
-  if (it != int_indexes_.end()) return it->second;
+  if (derived_ == nullptr) derived_ = std::make_shared<DerivedState>();
+  auto it = derived_->int_indexes.find(col);
+  if (it != derived_->int_indexes.end()) return it->second;
   HashIndex index;
   const StorageColumn& c = columns_[static_cast<size_t>(col)];
   index.reserve(static_cast<size_t>(num_rows_));
@@ -351,36 +405,42 @@ const EngineTable::HashIndex& EngineTable::GetOrBuildIntIndex(int col) {
     if (c.IsNull(static_cast<size_t>(r))) continue;
     index[c.Num(static_cast<size_t>(r))].push_back(r);
   }
-  return int_indexes_.emplace(col, std::move(index)).first->second;
+  return derived_->int_indexes.emplace(col, std::move(index)).first->second;
 }
 
 const EngineTable::StringIndex& EngineTable::GetOrBuildStringIndex(int col) {
   std::lock_guard<std::mutex> lock(index_mu_);
-  auto it = string_indexes_.find(col);
-  if (it != string_indexes_.end()) return it->second;
+  if (derived_ == nullptr) derived_ = std::make_shared<DerivedState>();
+  auto it = derived_->string_indexes.find(col);
+  if (it != derived_->string_indexes.end()) return it->second;
   StringIndex index;
   const StorageColumn& c = columns_[static_cast<size_t>(col)];
   for (int64_t r = 0; r < num_rows_; ++r) {
     if (c.IsNull(static_cast<size_t>(r))) continue;
-    index[c.Str(static_cast<size_t>(r))].push_back(r);
+    index[std::string(c.Str(static_cast<size_t>(r)))].push_back(r);
   }
-  return string_indexes_.emplace(col, std::move(index)).first->second;
+  return derived_->string_indexes.emplace(col, std::move(index))
+      .first->second;
 }
 
 const ZoneMap* EngineTable::GetOrBuildZoneMap(int col) {
   const StorageColumn& c = columns_[static_cast<size_t>(col)];
   if (c.is_string()) return nullptr;
   std::lock_guard<std::mutex> lock(index_mu_);
-  auto it = zone_maps_.find(col);
-  if (it != zone_maps_.end()) return &it->second;
+  if (derived_ == nullptr) derived_ = std::make_shared<DerivedState>();
+  auto it = derived_->zone_maps.find(col);
+  if (it != derived_->zone_maps.end()) return &it->second;
   ZoneMap zm = BuildZoneMap(c, static_cast<size_t>(num_rows_));
-  return &zone_maps_.emplace(col, std::move(zm)).first->second;
+  return &derived_->zone_maps.emplace(col, std::move(zm)).first->second;
 }
 
 void EngineTable::InvalidateIndexes() {
-  int_indexes_.clear();
-  string_indexes_.clear();
-  zone_maps_.clear();
+  std::lock_guard<std::mutex> lock(index_mu_);
+  if (derived_ == nullptr) return;
+  // Generation-scoped: retire the bundle so outstanding references from
+  // GetOrBuild* stay valid; the next builder starts fresh.
+  retired_.push_back(std::move(derived_));
+  derived_ = nullptr;
 }
 
 std::unique_ptr<EngineTable> EngineTable::Clone() const {

@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -13,6 +14,7 @@
 #include "engine/batch.h"
 #include "engine/value.h"
 #include "schema/column.h"
+#include "util/mmap_file.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -21,9 +23,19 @@ namespace tpcds {
 /// Column-oriented storage for one engine table.
 ///
 /// Physical layout: identifiers/integers as int64, decimals as int64
-/// cents, dates as int32 JDN widened to int64, strings as std::string, plus
-/// a null vector. Values materialise on access; scans read the typed
-/// vectors directly.
+/// cents, dates as int32 JDN widened to int64, strings as bytes, plus a
+/// null byte per row. Values materialise on access; scans read the typed
+/// storage directly.
+///
+/// Two backings share one accessor surface:
+///   - owned: std::vectors (load path, mutated tables);
+///   - mapped: pointers into an mmap'd v2 checkpoint section — numeric
+///     payloads and null bytes are read in place, strings resolve as
+///     string_views into the file's arena via an offsets array. A
+///     shared_ptr to the MappedFile keeps the pages alive.
+/// Mapped columns are immutable; the first mutation copies the column to
+/// heap storage (copy-on-write), so data maintenance on an attached
+/// generation never touches the checkpoint pages.
 class StorageColumn {
  public:
   explicit StorageColumn(ColumnType type) : type_(type) {}
@@ -32,8 +44,10 @@ class StorageColumn {
   bool is_string() const {
     return type_ == ColumnType::kChar || type_ == ColumnType::kVarchar;
   }
+  bool is_mapped() const { return mapped_; }
 
   size_t size() const {
+    if (mapped_) return mapped_rows_;
     return is_string() ? strings_.size() : nums_.size();
   }
 
@@ -42,15 +56,31 @@ class StorageColumn {
   /// Appends a typed value (NULL allowed).
   Status AppendValue(const Value& v);
 
-  bool IsNull(size_t row) const { return nulls_[row] != 0; }
-  int64_t Num(size_t row) const { return nums_[row]; }
-  const std::string& Str(size_t row) const { return strings_[row]; }
+  bool IsNull(size_t row) const { return NullsData()[row] != 0; }
+  int64_t Num(size_t row) const { return NumsData()[row]; }
+  /// The stored string bytes. A view into the owned vector or the mmap'd
+  /// arena; valid as long as the column (and its backing file) lives and
+  /// the column is not mutated.
+  std::string_view Str(size_t row) const {
+    if (mapped_) {
+      return std::string_view(map_arena_ + map_offsets_[row],
+                              map_offsets_[row + 1] - map_offsets_[row]);
+    }
+    return strings_[row];
+  }
 
-  /// Raw typed storage, for the vectorized kernels in engine/batch.cc.
-  /// Empty for string columns (`nums`) / non-string columns (`strings`).
-  const std::vector<int64_t>& nums() const { return nums_; }
-  const std::vector<std::string>& strings() const { return strings_; }
-  const std::vector<uint8_t>& nulls() const { return nulls_; }
+  /// Raw typed storage, for the vectorized kernels in engine/batch.cc and
+  /// the checkpoint writer. Empty span of `nums` for string columns.
+  std::span<const int64_t> nums() const {
+    if (mapped_) {
+      return {map_nums_, is_string() ? 0 : mapped_rows_};
+    }
+    return {nums_.data(), nums_.size()};
+  }
+  std::span<const uint8_t> nulls() const {
+    if (mapped_) return {map_nulls_, mapped_rows_};
+    return {nulls_.data(), nulls_.size()};
+  }
 
   Value Get(size_t row) const;
   void Set(size_t row, const Value& v);
@@ -68,11 +98,39 @@ class StorageColumn {
                       std::vector<std::string> strings,
                       std::vector<uint8_t> nulls);
 
+  /// Points the column at an mmap'd checkpoint section (zero-copy attach).
+  /// `nums` is null for string columns; `arena`/`offsets` are null for
+  /// numeric ones (`offsets` carries rows + 1 entries). `backing` keeps
+  /// the mapped pages alive. Replaces any owned storage.
+  void AttachStorage(std::shared_ptr<const MappedFile> backing,
+                     const uint8_t* nulls, const int64_t* nums,
+                     const char* arena, const uint64_t* offsets,
+                     size_t rows);
+
  private:
+  const uint8_t* NullsData() const {
+    return mapped_ ? map_nulls_ : nulls_.data();
+  }
+  const int64_t* NumsData() const {
+    return mapped_ ? map_nums_ : nums_.data();
+  }
+  /// Copy-on-write: materialises a mapped column into owned vectors so a
+  /// mutator can run. No-op for owned columns.
+  void EnsureOwned();
+
   ColumnType type_;
   std::vector<int64_t> nums_;
   std::vector<std::string> strings_;
   std::vector<uint8_t> nulls_;
+
+  // Mapped view (valid when mapped_ is true).
+  bool mapped_ = false;
+  size_t mapped_rows_ = 0;
+  const uint8_t* map_nulls_ = nullptr;
+  const int64_t* map_nums_ = nullptr;
+  const char* map_arena_ = nullptr;
+  const uint64_t* map_offsets_ = nullptr;
+  std::shared_ptr<const MappedFile> backing_;
 };
 
 /// A loaded table: named, typed columns plus lazily built hash indexes.
@@ -114,6 +172,8 @@ class EngineTable {
   int ColumnIndex(const std::string& column_name) const;
 
   const StorageColumn& column(size_t i) const { return columns_[i]; }
+  /// Mutable column access for the checkpoint attach path only.
+  StorageColumn* mutable_column(size_t i) { return &columns_[i]; }
 
   Status AppendRowStrings(const std::vector<std::string>& fields);
   Status AppendRowValues(const std::vector<Value>& values);
@@ -145,32 +205,56 @@ class EngineTable {
   Status LoadColumnStorage(size_t col, std::vector<int64_t> nums,
                            std::vector<std::string> strings,
                            std::vector<uint8_t> nulls);
-  /// Completes a raw load after every LoadColumnStorage call: verifies each
-  /// column holds exactly `rows` entries, then installs the row count.
+  /// Completes a raw load after every LoadColumnStorage (or
+  /// StorageColumn::AttachStorage) call: verifies each column holds
+  /// exactly `rows` entries, then installs the row count.
   Status FinishRawLoad(int64_t rows);
 
   /// Lazily builds and returns a hash index over an int-typed column.
   /// Thread-safe against concurrent builders (query streams share tables);
-  /// concurrent *mutation* requires external coordination, matching the
-  /// benchmark's serialised load / query-run / maintenance phases.
+  /// the returned reference stays valid for the table's lifetime even if
+  /// the table is later mutated — invalidation retires the derived-state
+  /// generation instead of destroying it (see InvalidateIndexes).
   const HashIndex& GetOrBuildIntIndex(int col);
   /// Lazily builds and returns a hash index over a string-typed column
   /// (business-key lookups during data maintenance).
   const StringIndex& GetOrBuildStringIndex(int col);
 
   /// Lazily builds and returns the per-block min/max zone map over an
-  /// int-backed column; nullptr for string columns. Same thread-safety
-  /// contract as the hash indexes; invalidated together with them.
+  /// int-backed column; nullptr for string columns. Same thread-safety and
+  /// lifetime contract as the hash indexes.
   const ZoneMap* GetOrBuildZoneMap(int col);
 
-  /// Bytes of auxiliary index structures currently materialised.
+  /// Count of auxiliary index structures in the current derived-state
+  /// generation.
   size_t IndexCount() const {
-    return int_indexes_.size() + string_indexes_.size();
+    std::lock_guard<std::mutex> lock(index_mu_);
+    return derived_ == nullptr
+               ? 0
+               : derived_->int_indexes.size() +
+                     derived_->string_indexes.size();
   }
 
+  /// Generation-scoped invalidation: the current derived-state bundle
+  /// (indexes + zone maps) is *retired*, not destroyed — any reader still
+  /// holding a reference from GetOrBuild* keeps dereferencing valid,
+  /// fully built structures that simply describe the pre-mutation rows.
+  /// The next GetOrBuild* starts a fresh bundle for the new table state.
+  /// Retired bundles are freed when the table is destroyed (with dataset
+  /// generations, a mutated table is a private copy-on-write clone, so
+  /// the retired list stays short-lived and bounded).
   void InvalidateIndexes();
 
-  /// Deep copy of the table's storage for maintenance snapshot/rollback.
+  /// Derived-state bundles retired by mutations since construction; test
+  /// hook for the generation-scoped invalidation contract.
+  size_t RetiredDerivedCount() const {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    return retired_.size();
+  }
+
+  /// Deep copy of the table's storage for maintenance snapshot/rollback
+  /// and copy-on-write generation builds. Mapped columns copy their view
+  /// (still zero-copy; they materialise only if the clone is mutated).
   /// Indexes are not copied — they rebuild lazily on first use.
   std::unique_ptr<EngineTable> Clone() const;
 
@@ -180,15 +264,23 @@ class EngineTable {
   Status RestoreFrom(const EngineTable& snapshot);
 
  private:
+  /// One generation of lazily built derived state. Lives behind a
+  /// shared_ptr so invalidation can retire the whole bundle atomically
+  /// while outstanding readers keep their references.
+  struct DerivedState {
+    std::unordered_map<int, HashIndex> int_indexes;
+    std::unordered_map<int, StringIndex> string_indexes;
+    std::unordered_map<int, ZoneMap> zone_maps;
+  };
+
   std::string name_;
   std::vector<ColumnMeta> meta_;
   std::vector<StorageColumn> columns_;
   std::unordered_map<std::string, int> name_to_index_;
   int64_t num_rows_ = 0;
-  std::mutex index_mu_;
-  std::unordered_map<int, HashIndex> int_indexes_;
-  std::unordered_map<int, StringIndex> string_indexes_;
-  std::unordered_map<int, ZoneMap> zone_maps_;
+  mutable std::mutex index_mu_;
+  std::shared_ptr<DerivedState> derived_;
+  std::vector<std::shared_ptr<DerivedState>> retired_;
 };
 
 }  // namespace tpcds

@@ -547,4 +547,39 @@ Status RunDataMaintenance(Database* db, const MaintenanceOptions& options,
   return status;
 }
 
+const std::vector<std::string>& MaintainedTables() {
+  static const std::vector<std::string> kTables = {
+      // SCD + in-place dimensions.
+      "item", "store", "web_site",
+      "customer", "customer_address", "promotion",
+      // Fact tables touched by the clustered inserts/deletes.
+      "store_sales", "store_returns",
+      "catalog_sales", "catalog_returns",
+      "web_sales", "web_returns",
+  };
+  return kTables;
+}
+
+Status RunMaintenanceGeneration(Database* db,
+                                const MaintenanceOptions& options,
+                                MaintenanceReport* report, WalWriter* wal,
+                                DataFacadeProvider* provider) {
+  // Build generation N+1: deep-copy only the 12 mutated tables, share the
+  // rest. Concurrent readers holding a facade of generation N are never
+  // touched — the fork mutates private clones.
+  TPCDS_ASSIGN_OR_RETURN(std::unique_ptr<Database> build,
+                         db->ForkForMaintenance(MaintainedTables()));
+  Status status = RunDataMaintenance(build.get(), options, report, wal);
+  // Publish semantics mirror the in-place path: a WAL-attached run keeps
+  // its committed prefix (that is what crash recovery replays, and the
+  // recover-verify hash is stated against the live database), a
+  // non-durable failure already rolled the fork back to pristine — the
+  // swap is then skipped so `db` never even observes the no-op adoption.
+  if (status.ok() || wal != nullptr) {
+    TPCDS_RETURN_NOT_OK(db->AdoptTablesFrom(build.get()));
+    if (provider != nullptr) provider->Publish(db->Snapshot());
+  }
+  return status;
+}
+
 }  // namespace tpcds

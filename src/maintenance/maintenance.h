@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/data_facade.h"
 #include "engine/database.h"
 #include "engine/recovery.h"
 #include "util/result.h"
@@ -63,6 +64,30 @@ struct MaintenanceReport {
 Status RunDataMaintenance(Database* db, const MaintenanceOptions& options,
                           MaintenanceReport* report,
                           WalWriter* wal = nullptr);
+
+/// The twelve tables the maintenance workload mutates (six dimensions,
+/// six fact tables). Copy-on-write generation builds clone exactly these.
+const std::vector<std::string>& MaintainedTables();
+
+/// Generation-based variant of RunDataMaintenance: forks a copy-on-write
+/// build generation (cloning only MaintainedTables(); all other tables are
+/// shared by reference), applies the full 12-operation workload to the
+/// fork, and publishes the result back into `db` with one atomic
+/// generation swap. Queries running concurrently against a previously
+/// acquired DataFacade keep reading the old generation untouched; the old
+/// tables are retired when the last such reader drains its shared_ptr.
+///
+/// Commit semantics mirror the in-place path: without a WAL the swap only
+/// happens when every operation succeeded (a failure discards the fork —
+/// `db` never sees partial state, no undo needed). With a WAL attached the
+/// committed prefix is published even on failure, matching what crash
+/// recovery replays. When `provider` is non-null, the new generation's
+/// snapshot is published to it after the swap.
+Status RunMaintenanceGeneration(Database* db,
+                                const MaintenanceOptions& options,
+                                MaintenanceReport* report,
+                                WalWriter* wal = nullptr,
+                                DataFacadeProvider* provider = nullptr);
 
 // --- individual operations (exposed for unit tests) ----------------------
 // Each accepts an optional WalSession; when omitted, mutations apply

@@ -60,6 +60,16 @@ std::string FormatMetricReport(const MetricInputs& in, double tco_dollars) {
     out += StringPrintf("recovered state           %10s\n",
                         in.recovery_verified ? "byte-identical" : "MISMATCH");
   }
+  if (in.attached) {
+    out += StringPrintf("T_Attach (mmap)           %10.3f s  (not in metric)\n",
+                        in.t_attach_sec);
+  }
+  if (in.generation_swaps > 0) {
+    out += StringPrintf("generation swaps          %10d\n",
+                        in.generation_swaps);
+    out += StringPrintf("final generation          %10llu\n",
+                        static_cast<unsigned long long>(in.final_generation));
+  }
   if (in.failed_queries > 0) {
     out += StringPrintf(
         "failed work items         %10d  (run NOT metric-valid)\n",

@@ -33,6 +33,15 @@ struct MetricInputs {
   /// Whether the recovered database was byte-identical (content hash) to
   /// the live one. Only meaningful when recovery_phases > 0.
   bool recovery_verified = false;
+  /// O(1) mmap attach of the checkpoint (reported when a cold-start
+  /// attach was measured; compare against t_load_sec / t_recovery_sec).
+  bool attached = false;
+  double t_attach_sec = 0.0;
+  /// Dataset generation bookkeeping: how many atomic generation swaps the
+  /// run published (data maintenance publishes one per cycle) and the
+  /// final generation id the report's hashes are stated against.
+  int generation_swaps = 0;
+  uint64_t final_generation = 0;
 };
 
 /// One work item that exhausted its retry budget during a benchmark run.

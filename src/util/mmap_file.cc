@@ -1,0 +1,56 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tpcds {
+
+Result<std::shared_ptr<MappedFile>> MappedFile::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("mmap: cannot open " + path);
+    }
+    return Status::IoError("mmap: cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status status = Status::IoError("mmap: fstat " + path + ": " +
+                                    std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  const char* data = nullptr;
+  if (size > 0) {
+    // MAP_PRIVATE read-only: the engine never writes through the map, and
+    // a private mapping keeps the checkpoint file untouchable even if a
+    // bug ever flipped page protections.
+    void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapped == MAP_FAILED) {
+      Status status = Status::IoError("mmap: map " + path + ": " +
+                                      std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    data = static_cast<const char*>(mapped);
+  }
+  // The mapping survives the descriptor; the fd is only needed for setup.
+  ::close(fd);
+  return std::shared_ptr<MappedFile>(new MappedFile(path, data, size));
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+}
+
+}  // namespace tpcds

@@ -1,0 +1,49 @@
+#ifndef TPCDS_UTIL_MMAP_FILE_H_
+#define TPCDS_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tpcds {
+
+/// A read-only memory-mapped file. The mapping stays valid for the
+/// object's whole lifetime, so data structures pointing into it (mmap'd
+/// checkpoint columns) keep a shared_ptr to the MappedFile as their
+/// keep-alive token; the pages are unmapped when the last owner drops it.
+///
+/// The map is private and read-only: writes through the engine go to
+/// copy-on-write heap storage (StorageColumn::EnsureOwned), never back
+/// into the file, so one checkpoint can back any number of processes and
+/// dataset generations simultaneously.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Fails with kNotFound if the file is missing
+  /// and kIoError if the mmap itself fails (caller may fall back to a
+  /// heap read).
+  static Result<std::shared_ptr<MappedFile>> Open(const std::string& path);
+
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  MappedFile(std::string path, const char* data, size_t size)
+      : path_(std::move(path)), data_(data), size_(size) {}
+
+  std::string path_;
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace tpcds
+
+#endif  // TPCDS_UTIL_MMAP_FILE_H_

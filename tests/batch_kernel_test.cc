@@ -409,8 +409,9 @@ class KernelCompileTest : public ::testing::Test {
         ParseSql("SELECT k FROM t WHERE " + where);
     EXPECT_TRUE(stmt.ok()) << where;
     if (!stmt.ok()) return {0, 0};
+    std::shared_ptr<const DataFacade> facade = db_.Snapshot();
     Result<PhysicalPlan> plan =
-        BuildPlan(&db_, **stmt, db_.default_options());
+        BuildPlan(facade.get(), **stmt, db_.default_options());
     EXPECT_TRUE(plan.ok()) << where << ": " << plan.status().ToString();
     if (!plan.ok()) return {0, 0};
     const PlanNode* scan = FindScan(plan->root.get());

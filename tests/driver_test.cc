@@ -7,6 +7,7 @@
 #include <set>
 
 #include "driver/driver.h"
+#include "engine/audit.h"
 #include "metric/metric.h"
 #include "scaling/scaling.h"
 
@@ -89,6 +90,41 @@ TEST(DriverTest, FullBenchmarkSmallScale) {
 
   MetricInputs in = result->ToMetricInputs();
   EXPECT_GT(QphDs(in), 0.0);
+
+  // Data maintenance committed one copy-on-write generation swap.
+  EXPECT_EQ(result->generation_before, 1u);
+  EXPECT_EQ(result->generation_after, 2u);
+  EXPECT_EQ(result->generation_swaps, 1);
+}
+
+TEST(DriverTest, OverlappedBenchmarkMatchesSequentialResults) {
+  // Overlap mode runs QR2 concurrently with data maintenance through the
+  // facade provider. The refreshed end state must be identical to the
+  // sequential run's (DM is deterministic and queries are read-only), and
+  // every query still completes with its pinned generation.
+  BenchmarkConfig sequential;
+  sequential.scale_factor = 0.002;
+  sequential.streams = 2;
+  sequential.queries_per_stream = 8;
+  sequential.refresh_fraction = 0.02;
+  sequential.dimension_updates = 10;
+  BenchmarkConfig overlapped = sequential;
+  overlapped.overlap_dm_qr2 = true;
+
+  Database seq_db;
+  Result<BenchmarkResult> seq = RunBenchmark(sequential, &seq_db);
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  Database ovl_db;
+  Result<BenchmarkResult> ovl = RunBenchmark(overlapped, &ovl_db);
+  ASSERT_TRUE(ovl.ok()) << ovl.status().ToString();
+
+  EXPECT_TRUE(ovl->failures.failures.empty());
+  EXPECT_EQ(ovl->qr2_queries.size(), seq->qr2_queries.size());
+  EXPECT_EQ(ovl->dm_report.operations.size(), 12u);
+  EXPECT_EQ(ovl->generation_swaps, 1);
+  EXPECT_EQ(ovl_db.generation(), 2u);
+  // Same committed refresh: the refreshed datasets are byte-identical.
+  EXPECT_EQ(HashDatabaseContent(ovl_db), HashDatabaseContent(seq_db));
 }
 
 TEST(MetricTest, PriceSheetTco) {

@@ -7,10 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <map>
 #include <optional>
 
+#include "engine/audit.h"
+#include "engine/data_facade.h"
 #include "engine/database.h"
+#include "maintenance/maintenance.h"
 #include "qgen/qgen.h"
 #include "templates/templates.h"
 #include "util/random.h"
@@ -283,6 +287,127 @@ TEST_F(VectorizedDifferentialTest, SampledTemplatesAgreeWithRowSetPath) {
       }
     }
   }
+}
+
+/// Backing-vs-backing differential: the same checkpoint deep-loaded onto
+/// the heap and mmap-attached (zero-copy) must answer the 17-template
+/// sample byte-identically, serial and parallel. This is the oracle for
+/// the v2 checkpoint format — any offset, alignment or arena bug shows up
+/// as a CSV diff.
+class MmapDifferentialTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    heap_ = new Database();
+    ASSERT_TRUE(heap_->CreateTpcdsTables().ok());
+    GeneratorOptions options;
+    options.scale_factor = 0.002;
+    ASSERT_TRUE(heap_->LoadTpcdsData(options).ok());
+    ckpt_dir_ = ::testing::TempDir() + "mmap_differential_ckpt";
+    std::filesystem::remove_all(ckpt_dir_);
+    Status saved = heap_->SaveCheckpoint(ckpt_dir_);
+    ASSERT_TRUE(saved.ok()) << saved.ToString();
+    attached_ = new Database();
+    Status att = attached_->AttachCheckpoint(ckpt_dir_);
+    ASSERT_TRUE(att.ok()) << att.ToString();
+  }
+
+  static void TearDownTestSuite() {
+    delete attached_;
+    attached_ = nullptr;
+    delete heap_;
+    heap_ = nullptr;
+    std::filesystem::remove_all(ckpt_dir_);
+  }
+
+  static Database* heap_;
+  static Database* attached_;
+  static std::string ckpt_dir_;
+};
+
+Database* MmapDifferentialTest::heap_ = nullptr;
+Database* MmapDifferentialTest::attached_ = nullptr;
+std::string MmapDifferentialTest::ckpt_dir_;
+
+TEST_F(MmapDifferentialTest, AttachIsZeroCopy) {
+  // The attached database must serve string and numeric columns straight
+  // out of the mapping — a materializing attach would defeat the O(1)
+  // cold start this path exists for.
+  EXPECT_GT(attached_->Snapshot()->MappedColumnCount(), 0u);
+  EXPECT_EQ(heap_->Snapshot()->MappedColumnCount(), 0u);
+}
+
+TEST_F(MmapDifferentialTest, SampledTemplatesAgreeAcrossBackings) {
+  const int kSample[] = {1, 7, 14, 21, 27, 31, 38, 46, 55,
+                         56, 63, 70, 76, 82, 88, 95, 99};
+  QueryGenerator qgen(19620718);
+  for (int id : kSample) {
+    const QueryTemplate* tmpl = FindTemplate(id);
+    ASSERT_NE(tmpl, nullptr) << "template " << id;
+    Result<std::string> sql = qgen.Instantiate(*tmpl, 0);
+    ASSERT_TRUE(sql.ok()) << "template " << id;
+    for (int workers : {1, 4}) {
+      PlannerOptions options = heap_->default_options();
+      options.parallelism = workers;
+      Result<QueryResult> on_heap = heap_->Query(*sql, options, nullptr);
+      ASSERT_TRUE(on_heap.ok())
+          << "template " << id << ": " << on_heap.status().ToString();
+      Result<QueryResult> on_mmap = attached_->Query(*sql, options, nullptr);
+      ASSERT_TRUE(on_mmap.ok())
+          << "template " << id << ": " << on_mmap.status().ToString();
+      EXPECT_EQ(on_mmap->ToCsv(), on_heap->ToCsv())
+          << "template " << id << " at parallelism " << workers;
+    }
+  }
+}
+
+/// Snapshot-isolation differential: a facade pinned before a maintenance
+/// generation swap must keep answering byte-identically after the swap,
+/// while fresh snapshots see the refreshed generation.
+TEST_F(MmapDifferentialTest, PinnedFacadeSurvivesGenerationSwap) {
+  Database db;
+  ASSERT_TRUE(db.CreateTpcdsTables().ok());
+  GeneratorOptions gen;
+  gen.scale_factor = 0.002;
+  ASSERT_TRUE(db.LoadTpcdsData(gen).ok());
+
+  const int kSample[] = {1, 27, 55, 82, 99};
+  QueryGenerator qgen(19620718);
+  std::vector<std::string> sqls;
+  std::vector<std::string> before;
+  std::shared_ptr<const DataFacade> pinned = db.Snapshot();
+  for (int id : kSample) {
+    const QueryTemplate* tmpl = FindTemplate(id);
+    ASSERT_NE(tmpl, nullptr);
+    Result<std::string> sql = qgen.Instantiate(*tmpl, 0);
+    ASSERT_TRUE(sql.ok());
+    Result<QueryResult> r = QueryFacade(*pinned, *sql, db.default_options());
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    sqls.push_back(*sql);
+    before.push_back(r->ToCsv());
+  }
+
+  uint64_t gen_before = db.generation();
+  MaintenanceOptions dm;
+  dm.scale_factor = 0.002;
+  dm.dimension_updates = 10;
+  MaintenanceReport report;
+  Status st = RunMaintenanceGeneration(&db, dm, &report);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(db.generation(), gen_before + 1);
+  EXPECT_EQ(pinned->generation(), gen_before);
+
+  // The pinned pre-swap generation answers exactly as before the swap.
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    Result<QueryResult> r =
+        QueryFacade(*pinned, sqls[i], db.default_options());
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->ToCsv(), before[i]) << "template sample " << i;
+  }
+  // A fresh snapshot sees the refreshed generation (the maintenance run
+  // must have changed at least one sampled answer or the content hash).
+  std::shared_ptr<const DataFacade> fresh = db.Snapshot();
+  EXPECT_EQ(fresh->generation(), gen_before + 1);
+  EXPECT_NE(HashFacadeContent(*fresh), HashFacadeContent(*pinned));
 }
 
 }  // namespace
