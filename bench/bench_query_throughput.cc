@@ -13,12 +13,16 @@
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "maintenance/maintenance.h"
+#include "metric/metric.h"
 #include "qgen/qgen.h"
+#include "service/service.h"
 #include "templates/templates.h"
 #include "util/stopwatch.h"
 #include "util/wal.h"
@@ -139,6 +143,103 @@ ColdStartTally RunColdStart(const std::string& ckpt_dir, bool mmap_attach,
   return tally;
 }
 
+/// The admission-control closed loop: 128 concurrent sessions multiplexed
+/// onto two worker slots of one QueryService, each session issuing its
+/// next statement only after the previous one resolves. Saturation keeps
+/// the admission queue deep (peak ~ sessions - slots) while the closed
+/// loop bounds it, so every statement completes — the bench itself
+/// asserts the no-lost-queries balance and that the global memory pool
+/// drains, and exits 1 otherwise. Client-observed p50/p99 and scanned
+/// rows/sec feed the perf gate.
+struct ServiceTally {
+  int sessions = 0;
+  int worker_slots = 0;
+  int statements = 0;
+  double seconds = 0;
+  int64_t rows_scanned = 0;
+  LatencySummary latency;
+  ServiceCounters counters;
+
+  double RowsPerSec() const {
+    return seconds > 0 ? static_cast<double>(rows_scanned) / seconds : 0.0;
+  }
+};
+
+ServiceTally RunServiceConcurrent(const Database& db,
+                                  const PlannerOptions& options) {
+  constexpr int kSessions = 128;
+  constexpr int kStatementsPerSession = 3;
+  // The attach-verify sample set: known-cheap, spans the query classes.
+  constexpr int kTemplateIds[] = {3, 27, 55, 82, 96};
+
+  QueryGenerator qgen(19620718);
+  std::vector<std::string> statements;
+  for (int id : kTemplateIds) {
+    const QueryTemplate* t = FindTemplate(id);
+    if (t == nullptr) {
+      std::fprintf(stderr, "service bench: no template %d\n", id);
+      std::exit(1);
+    }
+    Result<std::string> sql = qgen.Instantiate(*t, 1);
+    if (!sql.ok()) {
+      std::fprintf(stderr, "service bench q%02d: %s\n", id,
+                   sql.status().ToString().c_str());
+      std::exit(1);
+    }
+    statements.push_back(*sql);
+  }
+
+  ServiceConfig cfg;
+  cfg.worker_slots = 2;
+  cfg.max_queue_depth = kSessions + 32;  // closed loop never overflows it
+  cfg.planner = options;
+  QueryService service(cfg, db);
+
+  ServiceTally tally;
+  tally.sessions = kSessions;
+  tally.worker_slots = cfg.worker_slots;
+  tally.statements = kSessions * kStatementsPerSession;
+  std::mutex mu;
+  std::vector<double> latencies;
+  Stopwatch wall;
+  std::vector<std::thread> clients;
+  clients.reserve(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    SessionOptions so;
+    so.tenant = "bench-" + std::to_string(s);
+    so.priority = s % 3;
+    Session session = service.OpenSession(so);
+    clients.emplace_back([&, s, session] {
+      for (int i = 0; i < kStatementsPerSession; ++i) {
+        const std::string& sql =
+            statements[(s * kStatementsPerSession + i) % statements.size()];
+        QueryOutcome out = session.Execute(sql);
+        if (out.disposition != QueryDisposition::kCompleted) {
+          std::fprintf(stderr, "service bench session %d: %s (%s)\n", s,
+                       QueryDispositionToString(out.disposition),
+                       out.status.ToString().c_str());
+          std::exit(1);
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        latencies.push_back(out.total_ms);
+        tally.rows_scanned += out.rows_scanned;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  tally.seconds = wall.ElapsedSeconds();
+  tally.latency = SummarizeLatenciesMs(std::move(latencies));
+  tally.counters = service.Counters();
+  if (!tally.counters.Balanced() ||
+      tally.counters.completed != tally.statements ||
+      tally.counters.pool_bytes_in_use != 0) {
+    std::fprintf(stderr, "service bench lost queries:\n%s",
+                 tally.counters.ToString().c_str());
+    std::exit(1);
+  }
+  return tally;
+}
+
 MaintenanceTally RunMaintenanceCycle(Database* db, double sf, int cycle,
                                      WalWriter* wal) {
   MaintenanceOptions options;
@@ -165,7 +266,8 @@ void WriteJson(const char* path, double sf, bool vectorized,
                const MaintenanceTally& dm_off,
                const MaintenanceTally& dm_on,
                const ColdStartTally& attach_heap,
-               const ColdStartTally& attach_mmap) {
+               const ColdStartTally& attach_mmap,
+               const ServiceTally& svc) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -237,11 +339,25 @@ void WriteJson(const char* path, double sf, bool vectorized,
   std::fprintf(f,
                "    \"attach_mmap\": {\"open_seconds\": %.6f, \"queries\": "
                "%d, \"seconds\": %.6f, \"rows_scanned\": %lld, "
-               "\"rows_per_sec\": %.1f}\n",
+               "\"rows_per_sec\": %.1f},\n",
                attach_mmap.open_seconds, attach_mmap.queries,
                attach_mmap.seconds,
                static_cast<long long>(attach_mmap.rows_scanned),
                attach_mmap.RowsPerSec());
+  std::fprintf(f,
+               "    \"service_concurrent\": {\"sessions\": %d, "
+               "\"statements\": %d, \"seconds\": %.6f, "
+               "\"rows_scanned\": %lld, \"rows_per_sec\": %.1f, "
+               "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+               "\"peak_queue_depth\": %lld, \"shed\": %lld, "
+               "\"rejected\": %lld}\n",
+               svc.sessions, svc.statements, svc.seconds,
+               static_cast<long long>(svc.rows_scanned), svc.RowsPerSec(),
+               svc.latency.p50_ms, svc.latency.p95_ms, svc.latency.p99_ms,
+               static_cast<long long>(svc.counters.peak_queue_depth),
+               static_cast<long long>(svc.counters.shed),
+               static_cast<long long>(svc.counters.rejected_queue_full +
+                                      svc.counters.rejected_deadline));
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"templates\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
@@ -412,9 +528,28 @@ void Run(const char* json_path) {
   std::printf("%-20s %6d %10.3f %16.0f\n", "wal_on", dm_on.ops,
               dm_on.seconds, dm_on.RowsPerSec());
 
+  // Concurrent service under saturation: 128 closed-loop sessions over
+  // two worker slots, no query lost (the run aborts otherwise).
+  ServiceTally svc = RunServiceConcurrent(*db, options);
+  std::printf("\n=== concurrent query service (admission control) ===\n");
+  std::printf("  %d sessions x %d statements over %d worker slots\n",
+              svc.sessions, svc.statements / svc.sessions,
+              svc.worker_slots);
+  std::printf("  wall %.3f s, %.0f scanned rows/sec\n", svc.seconds,
+              svc.RowsPerSec());
+  std::printf("  latency p50 %.1f ms  p95 %.1f ms  p99 %.1f ms\n",
+              svc.latency.p50_ms, svc.latency.p95_ms, svc.latency.p99_ms);
+  std::printf("  peak queue %lld, peak running %lld, shed %lld, "
+              "rejected %lld\n",
+              static_cast<long long>(svc.counters.peak_queue_depth),
+              static_cast<long long>(svc.counters.peak_running),
+              static_cast<long long>(svc.counters.shed),
+              static_cast<long long>(svc.counters.rejected_queue_full +
+                                     svc.counters.rejected_deadline));
+
   if (json_path != nullptr) {
     WriteJson(json_path, sf, options.vectorized_execution, results, dm_off,
-              dm_on, attach_heap, attach_mmap);
+              dm_on, attach_heap, attach_mmap, svc);
   }
 }
 

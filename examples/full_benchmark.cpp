@@ -26,6 +26,16 @@
 // (requires -checkpoint-dir) measures the O(1) mmap cold start against a
 // deep heap load of the same checkpoint, cross-checks content hashes and
 // a sample of query answers, and exits 1 on any divergence.
+//
+// Admission-control flags (docs/SERVICE.md): the query runs always route
+// their S client streams through a QueryService; -service-slots caps the
+// concurrent worker slots below S (making streams queue), -service-queue
+// bounds the admission queue (backpressure / shedding beyond it),
+// -service-mem caps the global memory pool all admitted governors charge,
+// -service-deadline sets a per-statement end-to-end deadline in ms,
+// -service-spread splits streams over N priority classes so overload
+// shedding has lower-priority victims to pick. The metric report then
+// shows tail latency and where every submission went.
 
 #include <algorithm>
 #include <cstdio>
@@ -92,6 +102,18 @@ int main(int argc, char** argv) {
       config.overlap_dm_qr2 = true;
     } else if (arg == "-attach") {
       attach_demo = true;
+    } else if (arg == "-service-slots") {
+      config.service_worker_slots = std::atoi(next());
+    } else if (arg == "-service-queue") {
+      config.service_queue_depth =
+          static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "-service-mem") {
+      config.service_memory_budget_bytes = static_cast<int64_t>(
+          std::strtod(next(), nullptr) * 1024.0 * 1024.0);
+    } else if (arg == "-service-deadline") {
+      config.service_deadline_ms = std::strtod(next(), nullptr);
+    } else if (arg == "-service-spread") {
+      config.service_priority_spread = std::atoi(next());
     } else {
       std::fprintf(stderr,
                    "usage: full_benchmark [-scale SF] [-streams S] "
@@ -99,7 +121,9 @@ int main(int argc, char** argv) {
                    "[-parallelism W] [-power] [-timeout MS] "
                    "[-mem-budget MB] [-retries N] [-faults SPEC] "
                    "[-checkpoint-dir DIR] [-wal PATH] [-recover] "
-                   "[-overlap] [-attach]\n");
+                   "[-overlap] [-attach] [-service-slots N] "
+                   "[-service-queue N] [-service-mem MB] "
+                   "[-service-deadline MS] [-service-spread N]\n");
       return 1;
     }
   }
@@ -241,6 +265,16 @@ int main(int argc, char** argv) {
         power->queries.size(), power->total_sec,
         power->arithmetic_mean_sec, power->geometric_mean_sec);
   }
+  // Admission accounting: every submitted statement must have resolved
+  // to exactly one disposition and the global memory pool must have
+  // drained — an imbalance means the service lost a query.
+  if (!result->service.Balanced() ||
+      result->service.pool_bytes_in_use != 0) {
+    std::fprintf(stderr, "service counters unbalanced (query lost?):\n%s",
+                 result->service.ToString().c_str());
+    return 1;
+  }
+
   if (result->recovery_ran && !result->recovery_verified) return 1;
   return attach_verified ? 0 : 1;
 }

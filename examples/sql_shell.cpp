@@ -4,16 +4,24 @@
 //   ./examples/sql_shell [scale_factor]
 //
 // Meta commands: \tables, \d <table>, \parallel <workers>,
-// \timeout <ms>, \membudget <mb>, \q
+// \timeout <ms>, \membudget <mb>, \service <slots>, \q
 // EXPLAIN <select> prints the physical operator tree with per-operator
 // row counts and self times instead of the result rows.
+//
+// \service N routes every following statement through an in-process
+// QueryService with N worker slots (admission control, docs/SERVICE.md)
+// and prints the admission outcome — admitted / queued X ms / shed /
+// rejected — next to each result. \service 0 goes back to direct
+// execution.
 
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "engine/database.h"
+#include "service/service.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
@@ -53,9 +61,15 @@ int main(int argc, char** argv) {
   std::printf("%lld rows loaded. \\tables lists tables, \\d TABLE "
               "describes one, \\parallel N sets worker threads, "
               "\\timeout MS sets a query deadline, \\membudget MB sets a "
-              "query memory budget (0 = unlimited), \\q quits.\n",
+              "query memory budget (0 = unlimited), \\service N routes "
+              "statements through a query service with N worker slots "
+              "(0 = direct), \\q quits.\n",
               static_cast<long long>(db.TotalRows()));
 
+  // Non-null while \service is on: statements go through its admission
+  // control instead of straight to db.Query. The service pins a snapshot
+  // and the session options current at \service time.
+  std::unique_ptr<tpcds::QueryService> service;
   std::string buffer;
   std::string line;
   std::printf("tpcds> ");
@@ -111,6 +125,32 @@ int main(int argc, char** argv) {
       std::fflush(stdout);
       continue;
     }
+    if (tpcds::StartsWith(trimmed, "\\service")) {
+      std::string arg(tpcds::Trim(trimmed.substr(8)));
+      if (arg.empty() ||
+          arg.find_first_not_of("0123456789") != std::string::npos) {
+        std::printf("usage: \\service N   (worker slots; 0 = direct "
+                    "execution, no service)\n");
+      } else if (int slots = std::atoi(arg.c_str()); slots == 0) {
+        service.reset();
+        std::printf("service off: statements run directly\n");
+      } else {
+        tpcds::ServiceConfig svc;
+        svc.worker_slots = slots;
+        svc.planner = db.default_options();
+        svc.default_limits.timeout_ms = db.default_options().timeout_ms;
+        svc.default_limits.memory_budget_bytes =
+            db.default_options().memory_budget_bytes;
+        service = std::make_unique<tpcds::QueryService>(svc, db);
+        std::printf("service on: %d worker slot%s, queue depth %zu "
+                    "(snapshot + current options pinned; \\service 0 to "
+                    "go direct)\n",
+                    slots, slots == 1 ? "" : "s", svc.max_queue_depth);
+      }
+      std::printf("tpcds> ");
+      std::fflush(stdout);
+      continue;
+    }
     if (tpcds::StartsWith(trimmed, "\\membudget")) {
       std::string arg(tpcds::Trim(trimmed.substr(10)));
       char* end = nullptr;
@@ -151,6 +191,27 @@ int main(int argc, char** argv) {
       continue;
     }
     tpcds::Stopwatch timer;
+    if (service != nullptr) {
+      tpcds::QueryOutcome out = service->OpenSession().Execute(buffer);
+      buffer.clear();
+      if (out.waited_in_queue) {
+        std::printf("[service: queued %.1f ms, then %s]\n", out.queue_ms,
+                    tpcds::QueryDispositionToString(out.disposition));
+      } else {
+        std::printf("[service: %s]\n",
+                    tpcds::QueryDispositionToString(out.disposition));
+      }
+      if (out.disposition != tpcds::QueryDisposition::kCompleted) {
+        std::printf("error: %s\n", out.status.ToString().c_str());
+      } else {
+        std::printf("%s(%zu rows, %.3f s total, %.3f s exec)\n",
+                    out.result.ToString(40).c_str(), out.result.rows.size(),
+                    timer.ElapsedSeconds(), out.exec_ms / 1000.0);
+      }
+      std::printf("tpcds> ");
+      std::fflush(stdout);
+      continue;
+    }
     tpcds::Result<tpcds::QueryResult> result = db.Query(buffer);
     buffer.clear();
     if (!result.ok()) {

@@ -76,9 +76,12 @@ def main():
 
     # Operator-shaped subtotals: each group gates independently so a
     # regression confined to aggregation or ordering still fails.
+    # service_concurrent gates the admission-control closed loop (128
+    # sessions over 2 worker slots) the same way, so service overhead
+    # cannot grow unnoticed.
     cur_groups = cur.get("groups", {})
     base_groups = base.get("groups", {})
-    for name in ("agg_heavy", "order_by_heavy"):
+    for name in ("agg_heavy", "order_by_heavy", "service_concurrent"):
         if name not in cur_groups or name not in base_groups:
             continue
         cg, bg = cur_groups[name], base_groups[name]
@@ -91,6 +94,17 @@ def main():
               f"current {cg['rows_per_sec']:,.0f} ({gchange:+.1%})")
         if gchange < -args.threshold:
             failures.append(f"{name} rows/sec dropped {-gchange:.1%}")
+
+    # Tail latency of the concurrent-service loop, for context (the
+    # closed loop's p99 tracks queue depth; rows/sec above is the gate).
+    cur_svc = cur_groups.get("service_concurrent", {})
+    if cur_svc.get("p50_ms") is not None:
+        print(f"service_concurrent latency: p50 {cur_svc['p50_ms']:.1f} ms, "
+              f"p95 {cur_svc.get('p95_ms', 0):.1f} ms, "
+              f"p99 {cur_svc.get('p99_ms', 0):.1f} ms "
+              f"(peak queue {cur_svc.get('peak_queue_depth', 0)}, "
+              f"shed {cur_svc.get('shed', 0)}, "
+              f"rejected {cur_svc.get('rejected', 0)})")
 
     # Durability overhead: WAL-on vs WAL-off maintenance throughput from
     # the same run — a self-relative gate, so it needs no baseline entry.

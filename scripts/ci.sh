@@ -23,6 +23,17 @@ echo "== perf smoke"
   "$BUILD_DIR/bench_query_throughput.json"
 scripts/check_perf.py "$BUILD_DIR/bench_query_throughput.json"
 
+echo "== service overload smoke"
+# Saturating closed loop through the admission-controlled query service:
+# 12 client streams split over 3 priority classes contend for 1 worker
+# slot and a 4-deep queue, plus an injected admission fault — shedding,
+# backpressure and retries all fire, and full_benchmark exits 1 if any
+# query is lost (admission counters unbalanced) or the global memory
+# pool fails to drain.
+"$BUILD_DIR/examples/full_benchmark" -scale 0.002 -queries 4 -streams 12 \
+  -service-slots 1 -service-queue 4 -service-deadline 30000 \
+  -service-spread 3 -faults "admit=nth:9"
+
 echo "== durability crash sweep"
 # End-to-end recovery drill: checkpoint after load, crash the DM run at
 # an injected fault, then recover from checkpoint + WAL and verify the

@@ -15,7 +15,6 @@
 #include "util/random.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
-#include "util/threadpool.h"
 
 namespace tpcds {
 namespace {
@@ -34,6 +33,25 @@ void BackoffBeforeRetry(double base_ms, int attempt, uint64_t jitter_key) {
   double sleep_ms = base_ms * factor * jitter;
   std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
       sleep_ms));
+}
+
+/// Merges one query run's service telemetry into the benchmark-level
+/// accumulator: monotonic counters sum, high-water marks take the max.
+void MergeServiceCounters(ServiceCounters* into, const ServiceCounters& c) {
+  into->submitted += c.submitted;
+  into->admitted += c.admitted;
+  into->queued += c.queued;
+  into->completed += c.completed;
+  into->failed += c.failed;
+  into->shed += c.shed;
+  into->rejected_queue_full += c.rejected_queue_full;
+  into->rejected_deadline += c.rejected_deadline;
+  into->peak_queue_depth = std::max(into->peak_queue_depth,
+                                    c.peak_queue_depth);
+  into->peak_running = std::max(into->peak_running, c.peak_running);
+  into->pool_bytes_in_use =
+      std::max(into->pool_bytes_in_use, c.pool_bytes_in_use);
+  into->pool_peak_bytes = std::max(into->pool_peak_bytes, c.pool_peak_bytes);
 }
 
 }  // namespace
@@ -76,7 +94,9 @@ Result<double> RunQueryRun(const BenchmarkConfig& config, Database* db,
                            std::vector<QueryExecution>* executions,
                            FailureReport* failures,
                            const std::string& phase,
-                           const DataFacadeProvider* provider) {
+                           const DataFacadeProvider* provider,
+                           ServiceCounters* service_counters,
+                           std::vector<double>* latencies_ms) {
   const std::vector<QueryTemplate>& templates = AllTemplates();
   QueryGenerator qgen(config.seed);
   int streams = config.streams > 0
@@ -84,14 +104,49 @@ Result<double> RunQueryRun(const BenchmarkConfig& config, Database* db,
                     : ScalingModel::MinimumStreams(config.scale_factor);
   int max_attempts = std::max(1, config.max_query_attempts);
 
+  // The service the run's streams submit through. Defaults preserve the
+  // classical execution rules (every stream always runs: one worker slot
+  // per stream, unbounded queue, no pool cap, no deadline); the
+  // config.service_* knobs turn on real admission control.
+  ServiceConfig svc;
+  svc.worker_slots = config.service_worker_slots > 0
+                         ? config.service_worker_slots
+                         : streams;
+  svc.max_queue_depth = config.service_queue_depth;
+  svc.global_memory_budget_bytes = config.service_memory_budget_bytes;
+  svc.default_deadline_ms = config.service_deadline_ms;
+  svc.planner = config.planner;
+  svc.default_limits.timeout_ms = config.planner.timeout_ms;
+  svc.default_limits.memory_budget_bytes = config.planner.memory_budget_bytes;
+  svc.default_limits.row_budget = config.planner.row_budget;
+
   std::mutex mu;
   Status first_error;
   Stopwatch timer;
   {
-    ThreadPool pool(static_cast<size_t>(streams));
+    // With a provider, every admitted statement acquires the published
+    // facade and pins it for the query's whole lifetime — QR2 can overlap
+    // data maintenance's generation swaps. Otherwise the service pins one
+    // snapshot of the (read-only during a query run) live database.
+    std::unique_ptr<QueryService> service =
+        provider != nullptr
+            ? std::make_unique<QueryService>(svc, provider)
+            : std::make_unique<QueryService>(svc, *db);
+    // S real client threads, one session each — a genuine multi-stream
+    // run, not a simulated one: every stream is a concurrent client of
+    // the shared service.
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<size_t>(streams));
     for (int s = 0; s < streams; ++s) {
       int stream_id = stream_base + s;
-      pool.Submit([&, stream_id] {
+      SessionOptions session_options;
+      session_options.tenant = "stream-" + std::to_string(stream_id);
+      if (config.service_priority_spread > 0) {
+        session_options.priority =
+            stream_id % config.service_priority_spread;
+      }
+      Session session = service->OpenSession(session_options);
+      clients.emplace_back([&, stream_id, session] {
         // Family-aware order: iterative-OLAP drill sequences run as
         // contiguous sessions inside the stream (paper §4.1).
         std::vector<int> order =
@@ -114,21 +169,17 @@ Result<double> RunQueryRun(const BenchmarkConfig& config, Database* db,
             return;
           }
           // Stream isolation: transient failures (injected faults, budget
-          // trips from a co-scheduled governor) are retried with backoff;
-          // an exhausted budget lands in the FailureReport and the stream
-          // moves to its next query — no failure stops another stream.
-          //
-          // With a provider, each execution acquires the published facade
-          // and holds its shared_ptr for the query's whole lifetime: the
-          // query reads exactly one generation even if maintenance swaps
-          // generations mid-flight (a retry re-acquires, and may land on
-          // a newer generation — that is the intended freshness).
+          // trips, a shed or backpressured submission) are retried with
+          // backoff — exactly what a client should do on
+          // kResourceExhausted; an exhausted retry budget lands in the
+          // FailureReport and the stream moves to its next query — no
+          // failure stops another stream.
           auto run_query = [&]() -> Result<QueryResult> {
-            if (provider != nullptr) {
-              std::shared_ptr<const DataFacade> facade = provider->Acquire();
-              return QueryFacade(*facade, *sql, config.planner);
+            QueryOutcome out = session.Execute(*sql);
+            if (out.disposition == QueryDisposition::kCompleted) {
+              return std::move(out.result);
             }
-            return db->Query(*sql, config.planner);
+            return out.status;
           };
           Stopwatch query_timer;
           Result<QueryResult> result = run_query();
@@ -171,7 +222,14 @@ Result<double> RunQueryRun(const BenchmarkConfig& config, Database* db,
         }
       });
     }
-    pool.WaitIdle();
+    for (std::thread& c : clients) c.join();
+    if (service_counters != nullptr) {
+      MergeServiceCounters(service_counters, service->Counters());
+    }
+    if (latencies_ms != nullptr) {
+      std::vector<double> lat = service->CompletedLatenciesMs();
+      latencies_ms->insert(latencies_ms->end(), lat.begin(), lat.end());
+    }
   }
   TPCDS_RETURN_NOT_OK(first_error);
   return timer.ElapsedSeconds();
@@ -254,7 +312,8 @@ Result<BenchmarkResult> RunBenchmark(const BenchmarkConfig& config,
   TPCDS_ASSIGN_OR_RETURN(
       result.t_qr1_sec,
       RunQueryRun(config, db, /*stream_base=*/1, &result.qr1_queries,
-                  &result.failures, "qr1"));
+                  &result.failures, "qr1", /*provider=*/nullptr,
+                  &result.service, &result.service_latencies_ms));
 
   // Data Maintenance run — always via the copy-on-write generation path:
   // the workload mutates a forked build generation and publishes it with
@@ -347,7 +406,8 @@ Result<BenchmarkResult> RunBenchmark(const BenchmarkConfig& config,
       std::thread dm_thread([&] { dm_out = run_dm_phase(&provider); });
       qr2 = RunQueryRun(config, db, /*stream_base=*/result.streams + 1,
                         &result.qr2_queries, &result.failures, "qr2",
-                        &provider);
+                        &provider, &result.service,
+                        &result.service_latencies_ms);
       dm_thread.join();
     }
     result.t_dm_sec = dm_out.seconds;
@@ -366,7 +426,9 @@ Result<BenchmarkResult> RunBenchmark(const BenchmarkConfig& config,
     TPCDS_ASSIGN_OR_RETURN(
         result.t_qr2_sec,
         RunQueryRun(config, db, /*stream_base=*/result.streams + 1,
-                    &result.qr2_queries, &result.failures, "qr2"));
+                    &result.qr2_queries, &result.failures, "qr2",
+                    /*provider=*/nullptr, &result.service,
+                    &result.service_latencies_ms));
   }
   result.generation_after = db->generation();
   result.generation_swaps =

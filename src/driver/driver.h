@@ -9,6 +9,7 @@
 #include "engine/recovery.h"
 #include "maintenance/maintenance.h"
 #include "metric/metric.h"
+#include "service/service.h"
 #include "util/result.h"
 
 namespace tpcds {
@@ -52,6 +53,22 @@ struct BenchmarkConfig {
   /// query reads exactly one generation (pre- or post-swap, never a mix).
   /// T_QR2 and T_DM then measure concurrent wall-clock intervals.
   bool overlap_dm_qr2 = false;
+  /// Query-service admission control for the query runs. Every query run
+  /// routes its S streams through a QueryService: S real client threads,
+  /// each opening its own session and submitting statements that a
+  /// bounded worker pool multiplexes onto the executor. The defaults keep
+  /// the classical execution-rules behaviour — one worker slot per
+  /// stream, an unbounded admission queue, no global memory pool — so
+  /// admission only queues/sheds/rejects when these are tightened.
+  int service_worker_slots = 0;             // 0 = one slot per stream
+  size_t service_queue_depth = 0;           // 0 = unbounded
+  int64_t service_memory_budget_bytes = 0;  // 0 = no global pool cap
+  double service_deadline_ms = 0.0;  // end-to-end per statement; 0 = none
+  /// Spread streams over N priority classes (stream % N); 0 = all equal.
+  /// Priorities only matter under overload (a full queue sheds the
+  /// newest strictly-lower-priority waiter), so the default changes
+  /// nothing in classical runs.
+  int service_priority_spread = 0;
 };
 
 /// One executed query instance.
@@ -88,6 +105,11 @@ struct BenchmarkResult {
   uint64_t generation_before = 0;
   uint64_t generation_after = 0;
   int generation_swaps = 0;
+  /// Query-service telemetry merged over both query runs (counters sum;
+  /// peaks take the max) plus every completed statement's client-observed
+  /// latency, for the report's p50/p95/p99.
+  ServiceCounters service;
+  std::vector<double> service_latencies_ms;
 
   MetricInputs ToMetricInputs() const {
     MetricInputs in;
@@ -104,6 +126,20 @@ struct BenchmarkResult {
     in.recovery_verified = recovery_verified;
     in.generation_swaps = generation_swaps;
     in.final_generation = generation_after;
+    in.service_used = service.submitted > 0;
+    in.service_submitted = service.submitted;
+    in.service_admitted = service.admitted;
+    in.service_queued = service.queued;
+    in.service_completed = service.completed;
+    in.service_failed = service.failed;
+    in.service_shed = service.shed;
+    in.service_rejected_queue_full = service.rejected_queue_full;
+    in.service_rejected_deadline = service.rejected_deadline;
+    LatencySummary lat = SummarizeLatenciesMs(service_latencies_ms);
+    in.latency_p50_ms = lat.p50_ms;
+    in.latency_p95_ms = lat.p95_ms;
+    in.latency_p99_ms = lat.p99_ms;
+    in.latency_count = lat.count;
     return in;
   }
 };
@@ -125,6 +161,13 @@ Result<double> RunLoadTest(const BenchmarkConfig& config, Database* db);
 /// templates with stream-specific substitutions. `stream_base` offsets the
 /// stream ids so Query Run 2 uses different substitutions than Run 1.
 ///
+/// The run routes through a QueryService: S real client threads, one
+/// session each, submit their statements to a worker pool behind
+/// admission control (config.service_* tunes slots / queue depth / global
+/// memory pool / per-tenant deadline). With a non-null
+/// `service_counters` / `latencies_ms` the run's admission telemetry and
+/// completed-statement latencies are merged into them.
+///
 /// With a non-null `failures`, failed queries are retried up to
 /// config.max_query_attempts times with jittered exponential backoff and
 /// then recorded under `phase` while the stream moves on — no failure
@@ -141,7 +184,9 @@ Result<double> RunQueryRun(const BenchmarkConfig& config, Database* db,
                            std::vector<QueryExecution>* executions,
                            FailureReport* failures = nullptr,
                            const std::string& phase = "qr",
-                           const DataFacadeProvider* provider = nullptr);
+                           const DataFacadeProvider* provider = nullptr,
+                           ServiceCounters* service_counters = nullptr,
+                           std::vector<double>* latencies_ms = nullptr);
 
 /// Outcome of the historical single-user "power test" that TPC-DS
 /// deliberately dropped (paper §5.3): queries run sequentially and the

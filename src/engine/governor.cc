@@ -16,7 +16,31 @@ double SteadyNowSeconds() {
 
 }  // namespace
 
+bool ResourcePool::TryReserve(int64_t bytes) {
+  int64_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (capacity_ > 0 && now > capacity_) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    return false;
+  }
+  int64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+void ResourcePool::Release(int64_t bytes) {
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
 QueryGovernor::QueryGovernor() = default;
+
+QueryGovernor::~QueryGovernor() {
+  int64_t outstanding = parent_bytes_.load(std::memory_order_relaxed);
+  if (parent_pool_ != nullptr && outstanding > 0) {
+    parent_pool_->Release(outstanding);
+  }
+}
 
 QueryGovernor::QueryGovernor(const GovernorLimits& limits) : limits_(limits) {
   if (limits_.timeout_ms > 0.0) {
@@ -75,6 +99,20 @@ bool QueryGovernor::Reserve(int64_t bytes) {
       return false;
     }
   }
+  // Charge the shared parent pool first: a failed pool reservation charges
+  // nothing anywhere, so accounting stays exact under concurrent trips.
+  if (parent_pool_ != nullptr) {
+    if (!parent_pool_->TryReserve(bytes)) {
+      Trip(Status::ResourceExhausted(StringPrintf(
+          "global memory pool exhausted: %lld bytes in use of %lld capacity "
+          "(query asked for %lld more)",
+          static_cast<long long>(parent_pool_->used()),
+          static_cast<long long>(parent_pool_->capacity()),
+          static_cast<long long>(bytes))));
+      return false;
+    }
+    parent_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
   int64_t now = bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
   int64_t peak = peak_bytes_.load(std::memory_order_relaxed);
   while (now > peak &&
@@ -93,6 +131,10 @@ bool QueryGovernor::Reserve(int64_t bytes) {
 
 void QueryGovernor::Release(int64_t bytes) {
   bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (parent_pool_ != nullptr) {
+    parent_pool_->Release(bytes);
+    parent_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
 }
 
 bool QueryGovernor::ChargeRows(int64_t rows) {

@@ -32,6 +32,38 @@ struct GovernorLimits {
   }
 };
 
+/// A shared byte pool that several QueryGovernors charge concurrently —
+/// the global admission-control memory pool of a QueryService. Capacity 0
+/// means unlimited: reservations always succeed but usage and peak are
+/// still tracked, so tests and the overload drills can assert the pool
+/// drains back to exactly zero after a storm of queries.
+///
+/// Thread-safe; TryReserve never leaves a failed reservation charged.
+class ResourcePool {
+ public:
+  explicit ResourcePool(int64_t capacity_bytes = 0)
+      : capacity_(capacity_bytes) {}
+
+  ResourcePool(const ResourcePool&) = delete;
+  ResourcePool& operator=(const ResourcePool&) = delete;
+
+  /// Charges `bytes` against the pool. Returns false (charging nothing)
+  /// when the reservation would push usage over a finite capacity.
+  bool TryReserve(int64_t bytes);
+
+  /// Credits `bytes` back to the pool.
+  void Release(int64_t bytes);
+
+  int64_t used() const { return used_.load(std::memory_order_relaxed); }
+  int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  int64_t capacity() const { return capacity_; }
+
+ private:
+  int64_t capacity_;
+  std::atomic<int64_t> used_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
 /// Execution governor for one query: deadline, memory budget, row budget,
 /// and an external cancellation token, all checked at morsel boundaries by
 /// the executor. Thread-safe — morsel workers race against Cancel() and
@@ -48,9 +80,21 @@ class QueryGovernor {
   /// Unlimited governor (still usable as a cancellation token).
   QueryGovernor();
   explicit QueryGovernor(const GovernorLimits& limits);
+  /// Credits any bytes still charged to the parent pool back to it, so a
+  /// shared pool always returns to zero no matter how the query ended
+  /// (success, cancellation, budget trip, or shed before teardown).
+  ~QueryGovernor();
 
   QueryGovernor(const QueryGovernor&) = delete;
   QueryGovernor& operator=(const QueryGovernor&) = delete;
+
+  /// Attaches a shared parent pool (admission control's global memory
+  /// pool). Every Reserve charges the pool too — a failed pool charge
+  /// trips this governor with kResourceExhausted — and Release (plus the
+  /// destructor, for whatever is still outstanding) credits it back.
+  /// Call before execution starts; the pool must outlive the governor.
+  void set_parent_pool(ResourcePool* pool) { parent_pool_ = pool; }
+  ResourcePool* parent_pool() const { return parent_pool_; }
 
   /// External cancellation (another thread). Idempotent; the first trip —
   /// whether a limit or a cancel — wins.
@@ -101,6 +145,8 @@ class QueryGovernor {
 
   GovernorLimits limits_;
   double deadline_seconds_ = 0.0;  // absolute steady-clock; 0 = none
+  ResourcePool* parent_pool_ = nullptr;
+  std::atomic<int64_t> parent_bytes_{0};  // charged to parent, not yet credited
   std::atomic<int64_t> bytes_{0};
   std::atomic<int64_t> peak_bytes_{0};
   std::atomic<int64_t> rows_{0};

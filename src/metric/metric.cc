@@ -1,8 +1,28 @@
 #include "metric/metric.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/string_util.h"
 
 namespace tpcds {
+
+LatencySummary SummarizeLatenciesMs(std::vector<double> latencies_ms) {
+  LatencySummary summary;
+  if (latencies_ms.empty()) return summary;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  summary.count = static_cast<int64_t>(latencies_ms.size());
+  auto nearest_rank = [&](double p) {
+    size_t rank = static_cast<size_t>(
+        std::ceil(p * static_cast<double>(latencies_ms.size())));
+    if (rank == 0) rank = 1;
+    return latencies_ms[std::min(rank, latencies_ms.size()) - 1];
+  };
+  summary.p50_ms = nearest_rank(0.50);
+  summary.p95_ms = nearest_rank(0.95);
+  summary.p99_ms = nearest_rank(0.99);
+  return summary;
+}
 
 double QphDs(const MetricInputs& in) {
   double denominator = in.t_qr1_sec + in.t_dm_sec + in.t_qr2_sec +
@@ -69,6 +89,32 @@ std::string FormatMetricReport(const MetricInputs& in, double tco_dollars) {
                         in.generation_swaps);
     out += StringPrintf("final generation          %10llu\n",
                         static_cast<unsigned long long>(in.final_generation));
+  }
+  if (in.service_used) {
+    out += "--- query service (admission control) ---\n";
+    out += StringPrintf(
+        "submitted                 %10lld  (S real client threads)\n",
+        static_cast<long long>(in.service_submitted));
+    out += StringPrintf("admitted                  %10lld  (queued %lld)\n",
+                        static_cast<long long>(in.service_admitted),
+                        static_cast<long long>(in.service_queued));
+    out += StringPrintf("completed                 %10lld\n",
+                        static_cast<long long>(in.service_completed));
+    out += StringPrintf("failed                    %10lld\n",
+                        static_cast<long long>(in.service_failed));
+    out += StringPrintf("shed (overload)           %10lld\n",
+                        static_cast<long long>(in.service_shed));
+    out += StringPrintf("rejected (queue full)     %10lld\n",
+                        static_cast<long long>(in.service_rejected_queue_full));
+    out += StringPrintf("rejected (deadline)       %10lld\n",
+                        static_cast<long long>(in.service_rejected_deadline));
+    if (in.latency_count > 0) {
+      out += StringPrintf(
+          "latency p50/p95/p99       %10.2f / %.2f / %.2f ms  "
+          "(%lld completions)\n",
+          in.latency_p50_ms, in.latency_p95_ms, in.latency_p99_ms,
+          static_cast<long long>(in.latency_count));
+    }
   }
   if (in.failed_queries > 0) {
     out += StringPrintf(

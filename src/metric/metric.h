@@ -42,7 +42,38 @@ struct MetricInputs {
   /// final generation id the report's hashes are stated against.
   int generation_swaps = 0;
   uint64_t final_generation = 0;
+  /// Concurrent query-service telemetry for the two query runs: S real
+  /// client threads submit through admission control, so the report can
+  /// state tail latency and where every submission went (completed /
+  /// queued / shed / rejected). service_used is false for runs that never
+  /// routed through a QueryService.
+  bool service_used = false;
+  int64_t service_submitted = 0;
+  int64_t service_admitted = 0;
+  int64_t service_queued = 0;
+  int64_t service_completed = 0;
+  int64_t service_failed = 0;
+  int64_t service_shed = 0;
+  int64_t service_rejected_queue_full = 0;
+  int64_t service_rejected_deadline = 0;
+  /// Client-observed completion-latency percentiles over both query runs.
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  int64_t latency_count = 0;
 };
+
+/// Tail-latency summary of a set of client-observed latencies.
+struct LatencySummary {
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  int64_t count = 0;
+};
+
+/// Nearest-rank percentiles (p50/p95/p99) over `latencies_ms`; all zero
+/// when the input is empty.
+LatencySummary SummarizeLatenciesMs(std::vector<double> latencies_ms);
 
 /// One work item that exhausted its retry budget during a benchmark run.
 struct QueryFailure {

@@ -22,11 +22,13 @@ namespace {
 ///   ckpt-manifest  checkpoint manifest write (Database::SaveCheckpoint)
 ///   io-write       flat-file row write (FlatFileWriter::Append)
 ///   io-close       flat-file close (FlatFileWriter::Close)
+///   admit          query-service admission (QueryService::Submit)
+///   shed           query-service overload shedding (victim selection)
 const std::vector<std::string>& SiteCatalog() {
   static const std::vector<std::string>* sites = new std::vector<std::string>{
       "alloc",      "op-open",    "morsel",        "maintenance",
       "wal-append", "wal-commit", "ckpt-write",    "ckpt-manifest",
-      "io-write",   "io-close"};
+      "io-write",   "io-close",   "admit",         "shed"};
   return *sites;
 }
 

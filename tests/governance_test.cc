@@ -206,6 +206,89 @@ TEST_F(GovernanceTest, CancellationRacesMorselWorkersCleanly) {
   }
 }
 
+TEST_F(GovernanceTest, ResourcePoolChargesNothingOnFailedReservation) {
+  ResourcePool pool(1000);
+  EXPECT_TRUE(pool.TryReserve(600));
+  EXPECT_EQ(pool.used(), 600);
+  // Over capacity: rejected, and the failed attempt charges nothing.
+  EXPECT_FALSE(pool.TryReserve(500));
+  EXPECT_EQ(pool.used(), 600);
+  EXPECT_TRUE(pool.TryReserve(400));
+  EXPECT_EQ(pool.used(), 1000);
+  EXPECT_EQ(pool.peak(), 1000);
+  pool.Release(1000);
+  EXPECT_EQ(pool.used(), 0);
+  EXPECT_EQ(pool.peak(), 1000);  // peak is a high-water mark, not usage
+  // Capacity 0 = unlimited, but usage and peak still track.
+  ResourcePool unlimited;
+  EXPECT_TRUE(unlimited.TryReserve(1LL << 40));
+  EXPECT_EQ(unlimited.used(), 1LL << 40);
+  unlimited.Release(1LL << 40);
+  EXPECT_EQ(unlimited.used(), 0);
+}
+
+TEST_F(GovernanceTest, ParentPoolDrainsToZeroAfterMixedQueryOutcomes) {
+  // The admission-control contract: whatever mix of fates queries meet —
+  // clean success, explicit Release, cancellation, or teardown with bytes
+  // still outstanding (a shed or tripped query) — the shared pool must
+  // read exactly zero once every governor is gone.
+  ResourcePool pool(1LL << 20);
+  {
+    GovernorLimits limits;
+    limits.memory_budget_bytes = 1LL << 30;
+    // Success path: reserve, then explicit symmetric release.
+    QueryGovernor ok_query(limits);
+    ok_query.set_parent_pool(&pool);
+    EXPECT_TRUE(ok_query.Reserve(4096));
+    EXPECT_EQ(pool.used(), 4096);
+    ok_query.Release(4096);
+    EXPECT_EQ(pool.used(), 0);
+    // Cancelled mid-flight with bytes outstanding: destructor credits.
+    QueryGovernor cancelled(limits);
+    cancelled.set_parent_pool(&pool);
+    EXPECT_TRUE(cancelled.Reserve(8192));
+    cancelled.Cancel("shed under overload");
+    EXPECT_EQ(pool.used(), 8192);
+    // Tripped by the pool itself: the failed reservation charges nothing.
+    QueryGovernor over(limits);
+    over.set_parent_pool(&pool);
+    EXPECT_FALSE(over.Reserve(1LL << 20));
+    EXPECT_EQ(over.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_NE(over.status().message().find("global memory pool exhausted"),
+              std::string::npos);
+    EXPECT_EQ(pool.used(), 8192);
+  }
+  // Every governor destroyed: the pool reads exactly zero.
+  EXPECT_EQ(pool.used(), 0);
+  EXPECT_EQ(pool.peak(), 8192);
+}
+
+TEST_F(GovernanceTest, PoolTripFailsTheQueryWithResourceExhausted) {
+  Database db;
+  BuildWideTable(&db, "fact", 20000);
+  BuildWideTable(&db, "dim", 20000);
+  // The hash build charges the pool key by key: big enough that early
+  // reservations land (the pool sees real usage), far below the build
+  // side's total (so the pool must trip mid-build).
+  ResourcePool pool(128 * 1024);
+  GovernorLimits limits;
+  limits.memory_budget_bytes = 1LL << 40;  // only the pool can trip
+  {
+    QueryGovernor governor(limits);
+    governor.set_parent_pool(&pool);
+    PlannerOptions options;
+    Result<QueryResult> r =
+        db.Query("SELECT COUNT(*) FROM fact, dim WHERE fact.k = dim.k",
+                 options, nullptr, &governor);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_NE(r.status().message().find("global memory pool exhausted"),
+              std::string::npos);
+    EXPECT_GT(pool.peak(), 0);
+  }
+  EXPECT_EQ(pool.used(), 0);  // governor teardown drained the charge
+}
+
 TEST_F(GovernanceTest, FaultSpecParsingRejectsUnknownSites) {
   EXPECT_FALSE(FaultInjector::Global().Configure("bogus=nth:1").ok());
   EXPECT_FALSE(FaultInjector::Global().Configure("morsel=sometimes").ok());
@@ -274,10 +357,23 @@ TEST_F(GovernanceTest, FaultSweepOverEverySiteCompletesBenchmark) {
     if (site == "io-write" || site == "io-close") continue;
     const bool durable_site =
         site.rfind("wal-", 0) == 0 || site.rfind("ckpt-", 0) == 0;
-    // ckpt-manifest fires once per checkpoint, so only nth:1 can hit it.
-    const std::string trigger = site == "ckpt-manifest" ? "=nth:1" : "=nth:3";
+    // ckpt-manifest fires once per checkpoint, so only nth:1 can hit it;
+    // shed only fires during overload victim selection, so the first
+    // evaluation is the reliable one.
+    const std::string trigger =
+        site == "ckpt-manifest" || site == "shed" ? "=nth:1" : "=nth:3";
     ASSERT_TRUE(FaultInjector::Global().Configure(site + trigger).ok());
     BenchmarkConfig config = MiniBenchmarkConfig();
+    if (site == "shed") {
+      // Shedding needs overload with mixed priorities: 4 closed-loop
+      // streams over 1 worker slot and a 1-deep queue, streams split
+      // over 2 priority classes so a full queue can hold a
+      // strictly-lower-priority victim.
+      config.streams = 4;
+      config.service_worker_slots = 1;
+      config.service_queue_depth = 1;
+      config.service_priority_spread = 2;
+    }
     if (durable_site) {
       std::filesystem::remove_all(tmp);
       config.checkpoint_dir = tmp + "/ckpt";
