@@ -48,6 +48,7 @@ struct TemplateResult {
   int64_t bloom_rejects = 0;
   int64_t topk_seen = 0;
   int64_t topk_kept = 0;
+  int64_t bytes_touched = 0;
   bool agg_heavy = false;    // instantiated SQL contains a GROUP BY
   bool order_heavy = false;  // instantiated SQL contains an ORDER BY
 
@@ -79,6 +80,95 @@ GroupTally TallyGroup(const std::vector<TemplateResult>& results,
     g.rows_scanned += r.rows_scanned;
   }
   return g;
+}
+
+/// The encoded-scan pair: a fixed scan-heavy template subset run first on
+/// plain storage, then again after Database::EncodeStorage() rewrites
+/// eligible columns as dictionary / RLE / frame-of-reference. Scanned
+/// rows/sec on the encoded side feeds the perf gate at the standard
+/// threshold, and bytes_touched plus the fact-table compression ratio
+/// gate that encoding keeps actually shrinking what scans read.
+struct EncodedScanTally {
+  int queries = 0;
+  double plain_seconds = 0;
+  double seconds = 0;
+  int64_t rows_scanned = 0;
+  int64_t plain_bytes_touched = 0;
+  int64_t bytes_touched = 0;
+  size_t encoded_columns = 0;
+  uint64_t fact_plain_bytes = 0;
+  uint64_t fact_encoded_bytes = 0;
+
+  double PlainRowsPerSec() const {
+    return plain_seconds > 0
+               ? static_cast<double>(rows_scanned) / plain_seconds
+               : 0.0;
+  }
+  double RowsPerSec() const {
+    return seconds > 0 ? static_cast<double>(rows_scanned) / seconds : 0.0;
+  }
+  double FactCompressionRatio() const {
+    return fact_encoded_bytes > 0 ? static_cast<double>(fact_plain_bytes) /
+                                        static_cast<double>(fact_encoded_bytes)
+                                  : 1.0;
+  }
+};
+
+/// Runs the subset twice around EncodeStorage(); the database is left
+/// encoded afterwards (later maintenance cycles decode what they mutate
+/// via EnsureOwned, which is part of the workload being measured).
+EncodedScanTally RunEncodedScan(Database* db,
+                                const PlannerOptions& options) {
+  // Fact-scan-dominated templates: big sequential reads over the sales /
+  // returns / inventory tables with selective date and string predicates.
+  constexpr int kTemplateIds[] = {3, 7, 27, 42, 52, 55, 82, 96, 98};
+  constexpr const char* kFactTables[] = {
+      "store_sales", "catalog_sales", "web_sales", "inventory"};
+
+  QueryGenerator qgen(19620718);
+  std::vector<std::string> statements;
+  for (int id : kTemplateIds) {
+    const QueryTemplate* t = FindTemplate(id);
+    if (t == nullptr) continue;
+    Result<std::string> sql = qgen.Instantiate(*t, 1);
+    if (!sql.ok()) continue;  // skipped on both sides, so the pair stays fair
+    statements.push_back(*sql);
+  }
+
+  // Each side runs the subset kReps times: a single pass is ~70 ms at
+  // smoke scale, too noisy against a 30% regression threshold.
+  constexpr int kReps = 3;
+  EncodedScanTally tally;
+  auto sweep = [&](double* seconds, int64_t* bytes, bool count) {
+    for (int rep = 0; rep < kReps; ++rep) {
+      for (const std::string& sql : statements) {
+        ExecStats stats;
+        Stopwatch timer;
+        Result<QueryResult> r = db->Query(sql, options, &stats);
+        if (!r.ok()) {
+          std::fprintf(stderr, "encoded scan: %s\n",
+                       r.status().ToString().c_str());
+          std::exit(1);
+        }
+        *seconds += timer.ElapsedSeconds();
+        *bytes += stats.bytes_touched;
+        if (count) {
+          ++tally.queries;
+          tally.rows_scanned += stats.rows_scanned;
+        }
+      }
+    }
+  };
+
+  sweep(&tally.plain_seconds, &tally.plain_bytes_touched, true);
+  tally.encoded_columns = db->EncodeStorage();
+  for (const char* name : kFactTables) {
+    Database::CompressionStats cs = db->TableCompression(name);
+    tally.fact_plain_bytes += cs.plain_bytes;
+    tally.fact_encoded_bytes += cs.encoded_bytes;
+  }
+  sweep(&tally.seconds, &tally.bytes_touched, false);
+  return tally;
 }
 
 /// One data-maintenance run, WAL on or off: the pair quantifies the
@@ -267,7 +357,7 @@ void WriteJson(const char* path, double sf, bool vectorized,
                const MaintenanceTally& dm_on,
                const ColdStartTally& attach_heap,
                const ColdStartTally& attach_mmap,
-               const ServiceTally& svc) {
+               const ServiceTally& svc, const EncodedScanTally& enc) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -279,6 +369,7 @@ void WriteJson(const char* path, double sf, bool vectorized,
   int64_t total_bloom = 0;
   int64_t total_topk_seen = 0;
   int64_t total_topk_kept = 0;
+  int64_t total_bytes = 0;
   for (const TemplateResult& r : results) {
     total_seconds += r.seconds;
     total_scanned += r.rows_scanned;
@@ -286,6 +377,7 @@ void WriteJson(const char* path, double sf, bool vectorized,
     total_bloom += r.bloom_rejects;
     total_topk_seen += r.topk_seen;
     total_topk_kept += r.topk_kept;
+    total_bytes += r.bytes_touched;
   }
   GroupTally agg = TallyGroup(results, &TemplateResult::agg_heavy);
   GroupTally order = TallyGroup(results, &TemplateResult::order_heavy);
@@ -306,6 +398,8 @@ void WriteJson(const char* path, double sf, bool vectorized,
                static_cast<long long>(total_topk_seen));
   std::fprintf(f, "  \"total_topk_kept\": %lld,\n",
                static_cast<long long>(total_topk_kept));
+  std::fprintf(f, "  \"total_bytes_touched\": %lld,\n",
+               static_cast<long long>(total_bytes));
   std::fprintf(f, "  \"groups\": {\n");
   std::fprintf(f,
                "    \"agg_heavy\": {\"queries\": %d, \"seconds\": %.6f, "
@@ -350,7 +444,7 @@ void WriteJson(const char* path, double sf, bool vectorized,
                "\"rows_scanned\": %lld, \"rows_per_sec\": %.1f, "
                "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
                "\"peak_queue_depth\": %lld, \"shed\": %lld, "
-               "\"rejected\": %lld}\n",
+               "\"rejected\": %lld},\n",
                svc.sessions, svc.statements, svc.seconds,
                static_cast<long long>(svc.rows_scanned), svc.RowsPerSec(),
                svc.latency.p50_ms, svc.latency.p95_ms, svc.latency.p99_ms,
@@ -358,6 +452,23 @@ void WriteJson(const char* path, double sf, bool vectorized,
                static_cast<long long>(svc.counters.shed),
                static_cast<long long>(svc.counters.rejected_queue_full +
                                       svc.counters.rejected_deadline));
+  std::fprintf(f,
+               "    \"encoded_scan\": {\"queries\": %d, \"seconds\": %.6f, "
+               "\"rows_scanned\": %lld, \"rows_per_sec\": %.1f, "
+               "\"bytes_touched\": %lld, \"plain_seconds\": %.6f, "
+               "\"plain_rows_per_sec\": %.1f, \"plain_bytes_touched\": "
+               "%lld, \"encoded_columns\": %lld, "
+               "\"fact_plain_bytes\": %llu, \"fact_encoded_bytes\": %llu, "
+               "\"fact_compression_ratio\": %.3f}\n",
+               enc.queries, enc.seconds,
+               static_cast<long long>(enc.rows_scanned), enc.RowsPerSec(),
+               static_cast<long long>(enc.bytes_touched), enc.plain_seconds,
+               enc.PlainRowsPerSec(),
+               static_cast<long long>(enc.plain_bytes_touched),
+               static_cast<long long>(enc.encoded_columns),
+               static_cast<unsigned long long>(enc.fact_plain_bytes),
+               static_cast<unsigned long long>(enc.fact_encoded_bytes),
+               enc.FactCompressionRatio());
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"templates\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
@@ -369,6 +480,7 @@ void WriteJson(const char* path, double sf, bool vectorized,
         "\"rows_scanned\": %lld, \"rows_per_sec\": %.1f, "
         "\"morsels_pruned\": %lld, \"bloom_rejects\": %lld, "
         "\"topk_seen\": %lld, \"topk_kept\": %lld, "
+        "\"bytes_touched\": %lld, "
         "\"agg_heavy\": %s, \"order_by_heavy\": %s}%s\n",
         r.id, r.name.c_str(), r.query_class.c_str(), r.flavor.c_str(),
         r.seconds, static_cast<long long>(r.result_rows),
@@ -377,6 +489,7 @@ void WriteJson(const char* path, double sf, bool vectorized,
         static_cast<long long>(r.bloom_rejects),
         static_cast<long long>(r.topk_seen),
         static_cast<long long>(r.topk_kept),
+        static_cast<long long>(r.bytes_touched),
         r.agg_heavy ? "true" : "false", r.order_heavy ? "true" : "false",
         i + 1 < results.size() ? "," : "");
   }
@@ -435,6 +548,7 @@ void Run(const char* json_path) {
     res.bloom_rejects = stats.bloom_rejects;
     res.topk_seen = stats.topk_seen;
     res.topk_kept = stats.topk_kept;
+    res.bytes_touched = stats.bytes_touched;
     res.agg_heavy = sql->find("GROUP BY") != std::string::npos;
     res.order_heavy = sql->find("ORDER BY") != std::string::npos;
     results.push_back(res);
@@ -505,6 +619,26 @@ void Run(const char* json_path) {
               attach_mmap.open_seconds, attach_mmap.seconds,
               attach_mmap.RowsPerSec());
 
+  // Encoded-scan comparison: the scan-heavy subset on plain storage, then
+  // again after EncodeStorage(). The database stays encoded from here on;
+  // the maintenance cycles below decode the columns they mutate (COW via
+  // EnsureOwned), which is the intended mixed read/write behaviour.
+  EncodedScanTally enc = RunEncodedScan(db.get(), options);
+  std::printf("\n%-16s %8s %10s %16s %16s\n", "encoded scan", "queries",
+              "seconds", "scan rows/sec", "bytes touched");
+  std::printf("%-16s %8d %10.2f %16.0f %16lld\n", "plain", enc.queries,
+              enc.plain_seconds, enc.PlainRowsPerSec(),
+              static_cast<long long>(enc.plain_bytes_touched));
+  std::printf("%-16s %8d %10.2f %16.0f %16lld\n", "encoded", enc.queries,
+              enc.seconds, enc.RowsPerSec(),
+              static_cast<long long>(enc.bytes_touched));
+  std::printf("  %lld columns encoded; fact tables %.2fx smaller "
+              "(%llu -> %llu payload bytes)\n",
+              static_cast<long long>(enc.encoded_columns),
+              enc.FactCompressionRatio(),
+              static_cast<unsigned long long>(enc.fact_plain_bytes),
+              static_cast<unsigned long long>(enc.fact_encoded_bytes));
+
   // Data-maintenance durability overhead: cycle 1 without a WAL, cycle 2
   // through one (disjoint refresh sets, so both cycles do comparable
   // work against the same database).
@@ -549,7 +683,7 @@ void Run(const char* json_path) {
 
   if (json_path != nullptr) {
     WriteJson(json_path, sf, options.vectorized_execution, results, dm_off,
-              dm_on, attach_heap, attach_mmap, svc);
+              dm_on, attach_heap, attach_mmap, svc, enc);
   }
 }
 

@@ -18,8 +18,8 @@ cmake -B "$BUILD_DIR" -S . -DTPCDS_SANITIZE="$SANITIZER" >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
   engine_parallel_test engine_exec_test engine_smoke_test \
   engine_differential_test driver_test governance_test robustness_test \
-  batch_kernel_test agg_sort_parallel_test recovery_test data_facade_test \
-  service_test
+  batch_kernel_test encoding_test agg_sort_parallel_test recovery_test \
+  data_facade_test service_test
 
 # halt_on_error makes a race fail the script, not just print a report.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -27,8 +27,9 @@ export ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}"
 
 for test in engine_parallel_test engine_exec_test engine_smoke_test \
             engine_differential_test driver_test governance_test \
-            robustness_test batch_kernel_test agg_sort_parallel_test \
-            recovery_test data_facade_test service_test; do
+            robustness_test batch_kernel_test encoding_test \
+            agg_sort_parallel_test recovery_test data_facade_test \
+            service_test; do
   echo "== $SANITIZER: $test"
   "$BUILD_DIR/tests/$test"
 done

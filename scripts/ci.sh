@@ -16,6 +16,15 @@ cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
+echo "== encoded differential sweep"
+# Byte-identity oracle for the lightweight column encodings: the sampled
+# 17-template differential sweep re-runs with encoded_execution off and
+# on, at intra-query parallelism 1 and 4, against storage rewritten by
+# EncodeStorage() — every combination must produce byte-identical CSVs
+# and an unchanged content hash (the test exits non-zero otherwise).
+"$BUILD_DIR/tests/engine_differential_test" \
+  --gtest_filter='EncodedDifferentialTest.*'
+
 echo "== perf smoke"
 # One pass over the 99 templates at smoke scale; fails on a >30% drop in
 # aggregate scanned rows/sec against the checked-in baseline JSON.

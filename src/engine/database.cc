@@ -202,6 +202,28 @@ int64_t Database::TotalRows() const {
   return total;
 }
 
+size_t Database::EncodeStorage() {
+  size_t encoded = 0;
+  for (auto& [name, table] : tables_) encoded += table->EncodeColumns();
+  return encoded;
+}
+
+Database::CompressionStats Database::TableCompression(
+    const std::string& name) const {
+  CompressionStats cs;
+  const EngineTable* table = FindTable(name);
+  if (table == nullptr) return cs;
+  for (size_t c = 0; c < table->num_columns(); ++c) {
+    cs.encoded_bytes += table->column(c).PayloadByteSize();
+    cs.plain_bytes += table->column(c).PlainByteSize();
+  }
+  cs.ratio = cs.encoded_bytes == 0
+                 ? 1.0
+                 : static_cast<double>(cs.plain_bytes) /
+                       static_cast<double>(cs.encoded_bytes);
+  return cs;
+}
+
 Result<QueryResult> Database::Query(const std::string& sql) {
   return Query(sql, default_options_, nullptr);
 }
@@ -234,6 +256,10 @@ Result<std::string> Database::Explain(const std::string& sql) {
                               static_cast<long long>(op.topk_kept),
                               static_cast<long long>(op.topk_seen));
       }
+      if (op.bytes_touched > 0) {
+        extra += StringPrintf(", %lld bytes touched",
+                              static_cast<long long>(op.bytes_touched));
+      }
       out += StringPrintf(" [%lld -> %lld rows, %.3f ms%s]",
                           static_cast<long long>(op.rows_in),
                           static_cast<long long>(op.rows_out),
@@ -243,14 +269,16 @@ Result<std::string> Database::Explain(const std::string& sql) {
   }
   out += StringPrintf(
       "  => %zu result rows (scanned %lld, joined %lld, star-pruned %lld, "
-      "morsels pruned %lld, bloom rejects %lld, topk kept %lld of %lld)\n",
+      "morsels pruned %lld, bloom rejects %lld, topk kept %lld of %lld, "
+      "bytes touched %lld)\n",
       result.rows.size(), static_cast<long long>(stats.rows_scanned),
       static_cast<long long>(stats.rows_joined),
       static_cast<long long>(stats.star_filtered_rows),
       static_cast<long long>(stats.morsels_pruned),
       static_cast<long long>(stats.bloom_rejects),
       static_cast<long long>(stats.topk_kept),
-      static_cast<long long>(stats.topk_seen));
+      static_cast<long long>(stats.topk_seen),
+      static_cast<long long>(stats.bytes_touched));
   return out;
 }
 

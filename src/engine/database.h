@@ -59,6 +59,25 @@ class Database {
   std::vector<std::string> TableNames() const;
   int64_t TotalRows() const;
 
+  /// Runs the per-column stats pass over every table and installs the
+  /// lightweight encoding each column qualifies for (dictionary for
+  /// low-NDV strings, RLE for clustered ints, frame-of-reference
+  /// bit-packing for dense ints — docs/STORAGE.md). A logical no-op:
+  /// queries return byte-identical results. Returns the number of columns
+  /// that changed representation. Encodings persist through
+  /// SaveCheckpoint and survive AttachCheckpoint zero-copy.
+  size_t EncodeStorage();
+
+  /// Storage footprint of one table: the payload bytes of its current
+  /// (possibly encoded) representation vs. the plain representation the
+  /// load path produces. ratio = plain / encoded (1.0 when un-encoded).
+  struct CompressionStats {
+    uint64_t encoded_bytes = 0;
+    uint64_t plain_bytes = 0;
+    double ratio = 1.0;
+  };
+  CompressionStats TableCompression(const std::string& name) const;
+
   /// Immutable snapshot of the current tables stamped with the current
   /// generation id. The facade shares table storage (shared_ptr per
   /// table), so this is O(#tables). Queries executed through Query() pin

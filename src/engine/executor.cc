@@ -434,6 +434,11 @@ class PlanExecutor : public SubqueryEvaluator {
     bool has_range = false;     // int-backed: min/max over the build keys
     int64_t lo = 0;
     int64_t hi = 0;
+    /// Dictionary-encoded string column + encoded_execution: Bloom
+    /// membership evaluated once per dictionary entry, so probe rows test
+    /// one mask byte by code instead of hashing their string. Points into
+    /// the owning scan's per-query mask storage.
+    const std::vector<uint8_t>* dict_mask = nullptr;
   };
 
   Result<std::shared_ptr<RowSet>> ExecScan(const PlanNode& node) {
@@ -461,6 +466,15 @@ class PlanExecutor : public SubqueryEvaluator {
     int64_t n = table->num_rows();
     node.stats.rows_in = n;
     if (stats_ != nullptr) stats_->rows_scanned += n;
+
+    // Row-at-a-time path reads every scanned column in full.
+    int64_t scan_bytes = 0;
+    for (int c : node.scan_cols) {
+      scan_bytes += static_cast<int64_t>(
+          table->column(static_cast<size_t>(c)).PayloadByteSize());
+    }
+    node.stats.bytes_touched += scan_bytes;
+    if (stats_ != nullptr) stats_->bytes_touched += scan_bytes;
 
     std::vector<RowList> bufs(MorselCount(static_cast<size_t>(n)));
     ForEachMorsel(static_cast<size_t>(n), [&](size_t b, size_t e, size_t m) {
@@ -543,8 +557,65 @@ class PlanExecutor : public SubqueryEvaluator {
       }
     }
 
+    // Encoded fast paths, computed once per scan: kernels translated onto
+    // each column's encoded domain, and string pushdown Blooms evaluated
+    // per dictionary entry instead of per row.
+    std::vector<PreparedScanKernel> prepared;
+    std::vector<ScanPushdown> local_pds;
+    std::vector<std::vector<uint8_t>> pd_masks;
+    if (options_.encoded_execution) {
+      prepared.reserve(node.kernels.size());
+      for (const ScanKernel& k : node.kernels) {
+        prepared.push_back(
+            PrepareScanKernel(k, table->column(static_cast<size_t>(k.col))));
+      }
+      if (pushdowns != nullptr) {
+        local_pds = *pushdowns;
+        pd_masks.resize(local_pds.size());
+        for (size_t i = 0; i < local_pds.size(); ++i) {
+          ScanPushdown& pd = local_pds[i];
+          const StorageColumn& c =
+              table->column(static_cast<size_t>(pd.col));
+          if (!pd.is_string || pd.bloom == nullptr ||
+              c.encoding() != ColEncoding::kDict) {
+            continue;
+          }
+          pd_masks[i].resize(c.DictNdv());
+          for (uint32_t code = 0; code < c.DictNdv(); ++code) {
+            pd_masks[i][code] =
+                pd.bloom->MayContain(std::hash<std::string_view>()(
+                    c.DictEntry(code)))
+                    ? 1
+                    : 0;
+          }
+          pd.dict_mask = &pd_masks[i];
+        }
+        pushdowns = &local_pds;
+      }
+    }
+
+    // Morsel-granular payload accounting: the storage columns this scan
+    // reads (output + kernel + pushdown), charged per non-pruned morsel in
+    // proportion to its rows. Integer math on fixed morsel boundaries, so
+    // the total is identical at any parallelism.
+    std::vector<int> touched_cols = node.scan_cols;
+    for (const ScanKernel& k : node.kernels) touched_cols.push_back(k.col);
+    if (pushdowns != nullptr) {
+      for (const ScanPushdown& pd : *pushdowns) touched_cols.push_back(pd.col);
+    }
+    std::sort(touched_cols.begin(), touched_cols.end());
+    touched_cols.erase(
+        std::unique(touched_cols.begin(), touched_cols.end()),
+        touched_cols.end());
+    int64_t touched_payload = 0;
+    for (int c : touched_cols) {
+      touched_payload += static_cast<int64_t>(
+          table->column(static_cast<size_t>(c)).PayloadByteSize());
+    }
+
     std::atomic<int64_t> pruned{0};
     std::atomic<int64_t> rejects{0};
+    std::atomic<int64_t> bytes{0};
     std::vector<RowList> bufs(MorselCount(static_cast<size_t>(n)));
     ForEachMorsel(static_cast<size_t>(n), [&](size_t b, size_t e, size_t m) {
       if (always_false) {
@@ -565,12 +636,20 @@ class PlanExecutor : public SubqueryEvaluator {
           return;
         }
       }
+      bytes.fetch_add(touched_payload * static_cast<int64_t>(e - b) / n,
+                      std::memory_order_relaxed);
       SelectionVector sel;
       sel.reserve(e - b);
       for (size_t r = b; r < e; ++r) sel.push_back(static_cast<uint32_t>(r));
-      for (const ScanKernel& k : node.kernels) {
+      for (size_t ki = 0; ki < node.kernels.size(); ++ki) {
         if (sel.empty()) break;
-        ApplyScanKernel(k, table->column(static_cast<size_t>(k.col)), &sel);
+        const ScanKernel& k = node.kernels[ki];
+        const StorageColumn& col = table->column(static_cast<size_t>(k.col));
+        if (!prepared.empty()) {
+          ApplyPreparedScanKernel(prepared[ki], col, &sel);
+        } else {
+          ApplyScanKernel(k, col, &sel);
+        }
       }
       if (pushdowns != nullptr && !sel.empty()) {
         int64_t removed = ApplyPushdowns(*table, *pushdowns, &sel);
@@ -596,9 +675,11 @@ class PlanExecutor : public SubqueryEvaluator {
     ConcatMorsels(&bufs, &rs->rows);
     node.stats.morsels_pruned += pruned.load();
     node.stats.bloom_rejects += rejects.load();
+    node.stats.bytes_touched += bytes.load();
     if (stats_ != nullptr) {
       stats_->morsels_pruned += pruned.load();
       stats_->bloom_rejects += rejects.load();
+      stats_->bytes_touched += bytes.load();
     }
     Trace(StringPrintf(
         "scan %s%s%s: %zu cols, %zu pushed filters (vectorized: %zu "
@@ -625,7 +706,18 @@ class PlanExecutor : public SubqueryEvaluator {
       const StorageColumn& c = table.column(static_cast<size_t>(pd.col));
       SelectionVector& s = *sel;
       size_t w = 0;
-      if (pd.is_string) {
+      if (pd.is_string && pd.dict_mask != nullptr) {
+        const uint32_t* codes = c.DictCodes();
+        const std::vector<uint8_t>& mask = *pd.dict_mask;
+        for (uint32_t r : s) {
+          if (c.IsNull(r)) continue;
+          if (!mask[codes[r]]) {
+            ++removed;
+            continue;
+          }
+          s[w++] = r;
+        }
+      } else if (pd.is_string) {
         for (uint32_t r : s) {
           if (c.IsNull(r)) continue;
           if (pd.bloom != nullptr &&
@@ -1946,6 +2038,7 @@ void EmitOperator(const PlanNode* node, int depth, ExecStats* stats,
   op.vectorized = node->stats.vectorized;
   op.topk_seen = node->stats.topk_seen;
   op.topk_kept = node->stats.topk_kept;
+  op.bytes_touched = node->stats.bytes_touched;
   bool first_visit = visited->insert(node).second;
   if (!first_visit) op.label += " (shared)";
   stats->operators.push_back(std::move(op));

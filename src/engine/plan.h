@@ -92,6 +92,10 @@ struct PlanOpStats {
   // heaps — the memory-budget win over a full materialised sort.
   int64_t topk_seen = 0;
   int64_t topk_kept = 0;
+  // Storage payload bytes this operator's scan read (morsel-granular:
+  // pruned morsels don't count, and encoded columns count their encoded —
+  // not decoded — footprint).
+  int64_t bytes_touched = 0;
 };
 
 /// A physical plan operator. Output schema (`schema` + `num_visible`) is

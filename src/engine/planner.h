@@ -58,6 +58,15 @@ struct PlannerOptions {
   /// so results are byte-identical to sort-then-limit at any parallelism.
   /// EXPLAIN reports `topk: kept X of Y rows` on fused nodes.
   bool topk_pushdown = true;
+
+  /// Evaluate scan predicates directly on encoded columns (docs/STORAGE.md):
+  /// string compares become dictionary-code ranges or per-code masks,
+  /// frame-of-reference columns compare pre-shifted bounds against the
+  /// packed bits, and whole RLE runs that cannot match are skipped without
+  /// per-row work. Off = encoded columns decode row-at-a-time through the
+  /// generic accessors. Results are byte-identical either way, and
+  /// identical to running on un-encoded storage.
+  bool encoded_execution = true;
 };
 
 /// Statistics of one statement execution, for benchmarking and EXPLAIN.
@@ -69,6 +78,9 @@ struct ExecStats {
   int64_t bloom_rejects = 0;       // join/scan rows rejected by Bloom filters
   int64_t topk_seen = 0;           // rows offered to Top-K bounded heaps
   int64_t topk_kept = 0;           // rows those heaps retained
+  int64_t bytes_touched = 0;       // storage payload bytes read by scans
+                                   // (morsel-granular; pruned morsels and
+                                   // encoded savings excluded)
   /// Human-readable plan trace: one line per scan / semi-join reduction /
   /// join / aggregation, in execution order.
   std::vector<std::string> plan;
@@ -88,6 +100,7 @@ struct ExecStats {
     bool vectorized = false;
     int64_t topk_seen = 0;
     int64_t topk_kept = 0;
+    int64_t bytes_touched = 0;
   };
   std::vector<OpStat> operators;
 };

@@ -360,6 +360,73 @@ TEST_F(MmapDifferentialTest, SampledTemplatesAgreeAcrossBackings) {
   }
 }
 
+/// Encoded-vs-plain differential: the 17-template sample answered on plain
+/// storage is the reference; after EncodeStorage() installs dictionary /
+/// RLE / frame-of-reference encodings, every combination of
+/// encoded_execution x parallelism must reproduce the reference bytes.
+/// This is the correctness oracle for the encoded scan kernels.
+class EncodedDifferentialTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    ASSERT_TRUE(db_->CreateTpcdsTables().ok());
+    GeneratorOptions options;
+    options.scale_factor = 0.002;
+    ASSERT_TRUE(db_->LoadTpcdsData(options).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static Database* db_;
+};
+
+Database* EncodedDifferentialTest::db_ = nullptr;
+
+TEST_F(EncodedDifferentialTest, SampledTemplatesAgreeAcrossEncodings) {
+  const int kSample[] = {1, 7, 14, 21, 27, 31, 38, 46, 55,
+                         56, 63, 70, 76, 82, 88, 95, 99};
+  QueryGenerator qgen(19620718);
+  std::vector<std::string> sqls;
+  std::vector<std::string> expected;
+  for (int id : kSample) {
+    const QueryTemplate* tmpl = FindTemplate(id);
+    ASSERT_NE(tmpl, nullptr) << "template " << id;
+    Result<std::string> sql = qgen.Instantiate(*tmpl, 0);
+    ASSERT_TRUE(sql.ok()) << "template " << id;
+    Result<QueryResult> reference = db_->Query(*sql);
+    ASSERT_TRUE(reference.ok())
+        << "template " << id << ": " << reference.status().ToString();
+    sqls.push_back(*sql);
+    expected.push_back(reference->ToCsv());
+  }
+
+  // Encoding is a logical no-op: the content hash (representation
+  // independent by construction) must not move.
+  const uint64_t hash_before = HashFacadeContent(*db_->Snapshot());
+  const size_t encoded = db_->EncodeStorage();
+  EXPECT_GT(encoded, 0u) << "no column qualified for any encoding";
+  EXPECT_EQ(HashFacadeContent(*db_->Snapshot()), hash_before);
+
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    for (int workers : {1, 4}) {
+      for (bool enc : {false, true}) {
+        PlannerOptions options = db_->default_options();
+        options.parallelism = workers;
+        options.encoded_execution = enc;
+        Result<QueryResult> run = db_->Query(sqls[i], options, nullptr);
+        ASSERT_TRUE(run.ok()) << "template " << kSample[i] << ": "
+                              << run.status().ToString();
+        EXPECT_EQ(run->ToCsv(), expected[i])
+            << "template " << kSample[i] << " at parallelism " << workers
+            << (enc ? ", encoded kernels" : ", accessor decode");
+      }
+    }
+  }
+}
+
 /// Snapshot-isolation differential: a facade pinned before a maintenance
 /// generation swap must keep answering byte-identically after the swap,
 /// while fresh snapshots see the refreshed generation.
