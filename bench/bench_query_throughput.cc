@@ -8,6 +8,7 @@
 // TPCDS_BENCH_NOVEC=1 to run with the vectorized fast path off (the
 // RowSet reference path) for before/after comparisons.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -51,6 +52,7 @@ struct TemplateResult {
   int64_t bytes_touched = 0;
   bool agg_heavy = false;    // instantiated SQL contains a GROUP BY
   bool order_heavy = false;  // instantiated SQL contains an ORDER BY
+  double max_q_error = 0.0;  // worst est/actual row mismatch (cost_based)
 
   double RowsPerSec() const {
     return seconds > 0 ? static_cast<double>(rows_scanned) / seconds : 0.0;
@@ -168,6 +170,86 @@ EncodedScanTally RunEncodedScan(Database* db,
     tally.fact_encoded_bytes += cs.encoded_bytes;
   }
   sweep(&tally.seconds, &tally.bytes_touched, false);
+  return tally;
+}
+
+/// The cost-based-optimizer pair: a join-heavy template subset run with
+/// cost_based off (structural FROM-order planning) and again with it on
+/// (statistics-driven join ordering, star dimension ordering and pushdown
+/// gating). Scanned rows/sec on the cost-based side feeds the perf gate at
+/// the standard threshold; the off-side rate additionally gates in-run
+/// that enabling the optimizer never loses aggregate throughput. The max
+/// q-error across the cost-based runs tracks estimation quality.
+struct OptimizerTally {
+  int queries = 0;
+  double off_seconds = 0;
+  double seconds = 0;
+  int64_t rows_scanned = 0;
+  double max_q_error = 0.0;
+
+  double OffRowsPerSec() const {
+    return off_seconds > 0
+               ? static_cast<double>(rows_scanned) / off_seconds
+               : 0.0;
+  }
+  double RowsPerSec() const {
+    return seconds > 0 ? static_cast<double>(rows_scanned) / seconds : 0.0;
+  }
+};
+
+OptimizerTally RunOptimizerSweep(Database* db,
+                                 const PlannerOptions& base) {
+  // Join-heavy star templates where join order and semi-join/Bloom
+  // pushdown decisions dominate the plan shape.
+  constexpr int kTemplateIds[] = {3, 7, 19, 25, 27, 42, 55, 72, 91, 96};
+
+  QueryGenerator qgen(19620718);
+  std::vector<std::string> statements;
+  for (int id : kTemplateIds) {
+    const QueryTemplate* t = FindTemplate(id);
+    if (t == nullptr) continue;
+    Result<std::string> sql = qgen.Instantiate(*t, 1);
+    if (!sql.ok()) continue;  // skipped on both sides, so the pair stays fair
+    statements.push_back(*sql);
+  }
+
+  constexpr int kReps = 5;
+  OptimizerTally tally;
+  // Per template: one untimed pass per mode warms plans, lazy indexes and
+  // statistics, then the timed reps interleave the two modes so cache
+  // drift and CPU frequency wander hit both sides equally. The per-mode
+  // *minimum* over the reps feeds the tally — scheduling spikes at
+  // millisecond query times would otherwise drown the plan-quality signal
+  // the in-run off-vs-on gate is after.
+  for (const std::string& sql : statements) {
+    double best[2] = {0.0, 0.0};
+    for (int rep = -1; rep < kReps; ++rep) {
+      for (int mode = 0; mode < 2; ++mode) {
+        PlannerOptions options = base;
+        options.cost_based = mode == 1;
+        ExecStats stats;
+        Stopwatch timer;
+        Result<QueryResult> r = db->Query(sql, options, &stats);
+        if (!r.ok()) {
+          std::fprintf(stderr, "optimizer sweep: %s\n",
+                       r.status().ToString().c_str());
+          std::exit(1);
+        }
+        double elapsed = timer.ElapsedSeconds();
+        if (rep < 0) continue;  // warm-up pass
+        if (rep == 0 || elapsed < best[mode]) best[mode] = elapsed;
+        if (mode == 0 && rep == 0) {
+          ++tally.queries;
+          tally.rows_scanned += stats.rows_scanned;
+        }
+        if (mode == 1) {
+          tally.max_q_error = std::max(tally.max_q_error, stats.max_q_error);
+        }
+      }
+    }
+    tally.off_seconds += best[0];
+    tally.seconds += best[1];
+  }
   return tally;
 }
 
@@ -357,7 +439,8 @@ void WriteJson(const char* path, double sf, bool vectorized,
                const MaintenanceTally& dm_on,
                const ColdStartTally& attach_heap,
                const ColdStartTally& attach_mmap,
-               const ServiceTally& svc, const EncodedScanTally& enc) {
+               const ServiceTally& svc, const EncodedScanTally& enc,
+               const OptimizerTally& opt) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -459,7 +542,7 @@ void WriteJson(const char* path, double sf, bool vectorized,
                "\"plain_rows_per_sec\": %.1f, \"plain_bytes_touched\": "
                "%lld, \"encoded_columns\": %lld, "
                "\"fact_plain_bytes\": %llu, \"fact_encoded_bytes\": %llu, "
-               "\"fact_compression_ratio\": %.3f}\n",
+               "\"fact_compression_ratio\": %.3f},\n",
                enc.queries, enc.seconds,
                static_cast<long long>(enc.rows_scanned), enc.RowsPerSec(),
                static_cast<long long>(enc.bytes_touched), enc.plain_seconds,
@@ -469,6 +552,16 @@ void WriteJson(const char* path, double sf, bool vectorized,
                static_cast<unsigned long long>(enc.fact_plain_bytes),
                static_cast<unsigned long long>(enc.fact_encoded_bytes),
                enc.FactCompressionRatio());
+  // "rows_per_sec" is the cost-based side (the default configuration, so
+  // it takes the standard baseline gate); the off side is in-run context.
+  std::fprintf(f,
+               "    \"optimizer\": {\"queries\": %d, \"seconds\": %.6f, "
+               "\"rows_scanned\": %lld, \"rows_per_sec\": %.1f, "
+               "\"cost_off_seconds\": %.6f, \"cost_off_rows_per_sec\": "
+               "%.1f, \"max_q_error\": %.3f}\n",
+               opt.queries, opt.seconds,
+               static_cast<long long>(opt.rows_scanned), opt.RowsPerSec(),
+               opt.off_seconds, opt.OffRowsPerSec(), opt.max_q_error);
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"templates\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
@@ -480,7 +573,7 @@ void WriteJson(const char* path, double sf, bool vectorized,
         "\"rows_scanned\": %lld, \"rows_per_sec\": %.1f, "
         "\"morsels_pruned\": %lld, \"bloom_rejects\": %lld, "
         "\"topk_seen\": %lld, \"topk_kept\": %lld, "
-        "\"bytes_touched\": %lld, "
+        "\"bytes_touched\": %lld, \"max_q_error\": %.3f, "
         "\"agg_heavy\": %s, \"order_by_heavy\": %s}%s\n",
         r.id, r.name.c_str(), r.query_class.c_str(), r.flavor.c_str(),
         r.seconds, static_cast<long long>(r.result_rows),
@@ -489,7 +582,7 @@ void WriteJson(const char* path, double sf, bool vectorized,
         static_cast<long long>(r.bloom_rejects),
         static_cast<long long>(r.topk_seen),
         static_cast<long long>(r.topk_kept),
-        static_cast<long long>(r.bytes_touched),
+        static_cast<long long>(r.bytes_touched), r.max_q_error,
         r.agg_heavy ? "true" : "false", r.order_heavy ? "true" : "false",
         i + 1 < results.size() ? "," : "");
   }
@@ -501,6 +594,9 @@ void WriteJson(const char* path, double sf, bool vectorized,
 void Run(const char* json_path) {
   double sf = bench::BenchScaleFactor(0.01);
   std::unique_ptr<Database> db = bench::LoadDatabase(sf);
+  // One analyze pass up front: cost-based planning (on by default) would
+  // otherwise collect statistics lazily inside the first timed queries.
+  db->AnalyzeStorage();
   QueryGenerator qgen(19620718);
 
   PlannerOptions options = db->default_options();
@@ -549,6 +645,7 @@ void Run(const char* json_path) {
     res.topk_seen = stats.topk_seen;
     res.topk_kept = stats.topk_kept;
     res.bytes_touched = stats.bytes_touched;
+    res.max_q_error = stats.max_q_error;
     res.agg_heavy = sql->find("GROUP BY") != std::string::npos;
     res.order_heavy = sql->find("ORDER BY") != std::string::npos;
     results.push_back(res);
@@ -595,6 +692,18 @@ void Run(const char* json_path) {
   std::printf(
       "(data-mining extractions return large results by design; their\n"
       "output feeds external tools, paper §4.1)\n");
+
+  // Cost-based optimizer off/on over the join-heavy subset, on plain
+  // storage (the encoded-scan section below leaves the database encoded).
+  OptimizerTally opt = RunOptimizerSweep(db.get(), options);
+  std::printf("\n%-16s %8s %10s %16s\n", "optimizer", "queries", "seconds",
+              "scan rows/sec");
+  std::printf("%-16s %8d %10.2f %16.0f\n", "cost_based off", opt.queries,
+              opt.off_seconds, opt.OffRowsPerSec());
+  std::printf("%-16s %8d %10.2f %16.0f\n", "cost_based on", opt.queries,
+              opt.seconds, opt.RowsPerSec());
+  std::printf("  max q-error %.2f across the cost-based runs\n",
+              opt.max_q_error);
 
   // Cold-start comparison on a checkpoint of the loaded state: deep heap
   // load vs O(1) mmap attach, each followed by the full 99-template sweep
@@ -683,7 +792,7 @@ void Run(const char* json_path) {
 
   if (json_path != nullptr) {
     WriteJson(json_path, sf, options.vectorized_execution, results, dm_off,
-              dm_on, attach_heap, attach_mmap, svc, enc);
+              dm_on, attach_heap, attach_mmap, svc, enc, opt);
   }
 }
 

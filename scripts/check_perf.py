@@ -19,6 +19,14 @@ the baseline at the standard threshold, bytes touched strictly below
 the plain pass from the same run, and a 1.5x compression-ratio floor
 on the fact tables.
 
+The optimizer group (join-heavy templates, cost_based off vs on) gates
+its cost-based rows/sec against the baseline at the standard threshold
+and, within the current run, requires the cost-based side to match or
+beat the structural planner's aggregate rows/sec (minus a 3% timer
+allowance: both sides run min-of-reps interleaved, but the smoke-scale
+queries are milliseconds long and a real plan regression shows as tens
+of percent, not single digits).
+
     scripts/check_perf.py <current.json> [baseline.json] [--threshold 0.30]
 """
 
@@ -88,7 +96,7 @@ def main():
     cur_groups = cur.get("groups", {})
     base_groups = base.get("groups", {})
     for name in ("agg_heavy", "order_by_heavy", "service_concurrent",
-                 "encoded_scan"):
+                 "encoded_scan", "optimizer"):
         if name not in cur_groups or name not in base_groups:
             continue
         cg, bg = cur_groups[name], base_groups[name]
@@ -125,6 +133,24 @@ def main():
             failures.append(
                 f"fact-table compression ratio {cratio:.2f}x is below the "
                 "1.5x floor")
+
+    # Cost-based-optimizer invariant, gated within the current run alone:
+    # aggregate rows/sec with cost_based on must not fall below the
+    # structural (cost_based off) planner over the same statements — the
+    # optimizer is only allowed to win or tie, never to regress the
+    # workload it exists to speed up. A 3% allowance absorbs timer noise
+    # on the millisecond-long smoke queries; a genuine plan regression
+    # lands far below it. Max q-error is printed for context.
+    opt = cur_groups.get("optimizer", {})
+    if opt.get("cost_off_rows_per_sec"):
+        ratio = opt.get("rows_per_sec", 0) / opt["cost_off_rows_per_sec"]
+        print(f"optimizer rows/sec: cost_based off "
+              f"{opt['cost_off_rows_per_sec']:,.0f} -> on "
+              f"{opt.get('rows_per_sec', 0):,.0f} ({ratio - 1:+.1%}); "
+              f"max q-error {opt.get('max_q_error', 0):.2f}")
+        if ratio < 0.97:
+            failures.append(
+                f"cost_based-on throughput is {ratio:.1%} of cost_based-off")
 
     # Tail latency of the concurrent-service loop, for context (the
     # closed loop's p99 tracks queue depth; rows/sec above is the gate).

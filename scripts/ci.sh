@@ -25,6 +25,15 @@ echo "== encoded differential sweep"
 "$BUILD_DIR/tests/engine_differential_test" \
   --gtest_filter='EncodedDifferentialTest.*'
 
+echo "== cost-based differential sweep"
+# Byte-identity oracle for the cost-based planner: the same 17-template
+# sample re-runs with cost_based off and on, at intra-query parallelism
+# 1 and 4 — every combination must produce byte-identical CSVs, so join
+# reordering, star-transform ordering and pushdown gating can never
+# change an answer, only its speed.
+"$BUILD_DIR/tests/engine_differential_test" \
+  --gtest_filter='CostBasedDifferentialTest.*'
+
 echo "== perf smoke"
 # One pass over the 99 templates at smoke scale; fails on a >30% drop in
 # aggregate scanned rows/sec against the checked-in baseline JSON.

@@ -1,0 +1,302 @@
+#include "engine/cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "engine/data_facade.h"
+#include "engine/rowset.h"
+#include "engine/table.h"
+#include "util/string_util.h"
+
+namespace tpcds {
+namespace {
+
+void CollectRefs(const Expr& e, std::vector<const Expr*>* out) {
+  if (e.tag == Expr::Tag::kColumnRef) out->push_back(&e);
+  for (const auto& c : e.children) CollectRefs(*c, out);
+  for (const auto& c : e.partition_by) CollectRefs(*c, out);
+  for (const auto& c : e.order_by) CollectRefs(*c, out);
+}
+
+bool ResolvesIn(const Expr& e, const PlanNode& node) {
+  RowSet scope;
+  scope.cols = node.schema;
+  std::vector<const Expr*> refs;
+  CollectRefs(e, &refs);
+  if (refs.empty()) return false;
+  for (const Expr* r : refs) {
+    if (!scope.Resolve(r->qualifier, r->name).ok()) return false;
+  }
+  return true;
+}
+
+double Clamp01(double s) { return std::clamp(s, 0.0, 1.0); }
+
+}  // namespace
+
+void CostModel::SetCteEstimate(const std::string& name, double rows) {
+  cte_rows_[name] = rows;
+}
+
+double CostModel::CombineSelectivities(std::vector<double> sels) {
+  if (sels.empty()) return 1.0;
+  for (double& s : sels) s = Clamp01(s);
+  std::sort(sels.begin(), sels.end());
+  double combined = 1.0;
+  double exponent = 1.0;
+  for (size_t i = 0; i < sels.size(); ++i) {
+    combined *= std::pow(sels[i], exponent);
+    if (exponent > 1.0 / 16.0) exponent /= 2.0;
+  }
+  return combined;
+}
+
+double CostModel::JoinCardinality(double l, double r, double lndv,
+                                  double rndv) {
+  double divisor = std::max(1.0, std::max(lndv, rndv));
+  double est = l * r / divisor;
+  return l > 0 && r > 0 ? std::max(1.0, est) : 0.0;
+}
+
+double CostModel::KernelSelectivity(const ScanKernel& kernel,
+                                    const ColumnStats* cs) {
+  using Kind = ScanKernel::Kind;
+  if (kernel.kind == Kind::kAlwaysFalse) return 0.0;
+  const double non_null =
+      cs == nullptr ? 1.0 : Clamp01(1.0 - cs->NullFraction());
+  const double ndv =
+      cs != nullptr && cs->ndv > 0 ? static_cast<double>(cs->ndv) : 0.0;
+  double sel;  // fraction of *non-null* rows the un-negated test passes
+  switch (kernel.kind) {
+    case Kind::kAlwaysFalse:
+      return 0.0;
+    case Kind::kIntRange: {
+      if (cs != nullptr && !cs->histogram.empty()) {
+        sel = cs->histogram.SelectivityRange(kernel.lo, kernel.hi);
+      } else if (cs != nullptr && cs->has_minmax && cs->max > cs->min) {
+        double lo = std::max<double>(kernel.lo, cs->min);
+        double hi = std::min<double>(kernel.hi, cs->max);
+        sel = hi < lo ? 0.0
+                      : Clamp01((hi - lo + 1.0) /
+                                (static_cast<double>(cs->max) -
+                                 static_cast<double>(cs->min) + 1.0));
+      } else {
+        sel = kernel.lo == kernel.hi ? (ndv > 0 ? 1.0 / ndv : 0.1) : 1.0 / 3;
+      }
+      // A point range is an equality: never claim more than one distinct
+      // value's share of the rows.
+      if (kernel.lo == kernel.hi && ndv > 0) sel = std::min(sel, 1.0 / ndv);
+      break;
+    }
+    case Kind::kIntIn:
+      sel = ndv > 0 ? Clamp01(static_cast<double>(kernel.values.size()) / ndv)
+                    : 0.5;
+      break;
+    case Kind::kStrCompare:
+      if (kernel.cmp == ScanKernel::Cmp::kEq) {
+        sel = ndv > 0 ? 1.0 / ndv : 0.1;
+      } else if (kernel.cmp == ScanKernel::Cmp::kNe) {
+        sel = ndv > 0 ? 1.0 - 1.0 / ndv : 0.9;
+      } else {
+        sel = 1.0 / 3;
+      }
+      break;
+    case Kind::kStrIn:
+      sel = ndv > 0 ? Clamp01(static_cast<double>(kernel.strs.size()) / ndv)
+                    : 0.5;
+      break;
+    case Kind::kStrLike:
+      // LIKE has no histogram support; a literal prefix is assumed far
+      // more selective than an infix pattern.
+      sel = kernel.prefix_only ? 0.05
+                               : (kernel.like_prefix.empty() ? 0.25 : 0.1);
+      break;
+    case Kind::kNullTest:
+      // Selectivity over all rows, not non-null ones.
+      return Clamp01(kernel.negated ? non_null
+                                    : (cs != nullptr ? cs->NullFraction()
+                                                     : 0.05));
+  }
+  if (kernel.negated) sel = 1.0 - sel;
+  // NULL rows fail every value predicate (and its negation).
+  return Clamp01(sel) * non_null;
+}
+
+double CostModel::EstimateScan(const PlanNode& node) const {
+  EngineTable* table = facade_->FindTable(node.table_name);
+  if (table == nullptr) return 0.0;
+  const double rows = static_cast<double>(table->num_rows());
+  std::shared_ptr<const TableStats> stats = table->GetOrComputeStats();
+  std::vector<double> sels;
+  sels.reserve(node.kernels.size() + node.residual_predicates.size());
+  for (const ScanKernel& k : node.kernels) {
+    const ColumnStats* cs =
+        k.col >= 0 && static_cast<size_t>(k.col) < stats->columns.size()
+            ? &stats->columns[static_cast<size_t>(k.col)]
+            : nullptr;
+    sels.push_back(KernelSelectivity(k, cs));
+  }
+  for (size_t i = 0; i < node.residual_predicates.size(); ++i) {
+    sels.push_back(kDefaultPredicateSelectivity);
+  }
+  return rows * CombineSelectivities(std::move(sels));
+}
+
+double CostModel::BaseKeyNdv(const PlanNode& input, const Expr& key) const {
+  switch (input.kind) {
+    case PlanKind::kScan: {
+      if (key.tag != Expr::Tag::kColumnRef) return -1.0;
+      RowSet scope;
+      scope.cols = input.schema;
+      Result<int> slot = scope.Resolve(key.qualifier, key.name);
+      if (!slot.ok() || static_cast<size_t>(*slot) >= input.scan_cols.size()) {
+        return -1.0;
+      }
+      EngineTable* table = facade_->FindTable(input.table_name);
+      if (table == nullptr) return -1.0;
+      std::shared_ptr<const TableStats> stats = table->GetOrComputeStats();
+      size_t col = static_cast<size_t>(
+          input.scan_cols[static_cast<size_t>(*slot)]);
+      if (col >= stats->columns.size()) return -1.0;
+      return static_cast<double>(stats->columns[col].ndv);
+    }
+    // Operators that preserve their child's scan schema.
+    case PlanKind::kSemiJoinReduce:
+    case PlanKind::kFilter:
+      return BaseKeyNdv(*input.children[0], key);
+    // Joins: the key resolves in exactly one side's schema.
+    case PlanKind::kHashJoin:
+      for (const auto& child : input.children) {
+        if (ResolvesIn(key, *child)) return BaseKeyNdv(*child, key);
+      }
+      return -1.0;
+    default:
+      return -1.0;
+  }
+}
+
+double CostModel::KeyNdv(const PlanNode& input, const Expr& key) const {
+  double cap = std::max(1.0, input.stats.est_rows);
+  double base = BaseKeyNdv(input, key);
+  return base <= 0 ? cap : std::min(base, cap);
+}
+
+double CostModel::SemiJoinSelectivity(const PlanNode& dim,
+                                      const Expr& dim_key) const {
+  double keys = KeyNdv(dim, dim_key);
+  double domain = BaseKeyNdv(dim, dim_key);
+  return domain > 0 ? Clamp01(keys / domain) : 1.0;
+}
+
+double CostModel::EstimateRows(const PlanNode& node) const {
+  double est = 0.0;
+  switch (node.kind) {
+    case PlanKind::kScan:
+      est = EstimateScan(node);
+      break;
+    case PlanKind::kCteRef: {
+      auto it = cte_rows_.find(node.cte_name);
+      est = it != cte_rows_.end() ? it->second : kUnknownInputRows;
+      break;
+    }
+    case PlanKind::kDerived:
+      est = EstimateRows(*node.children[0]);
+      break;
+    case PlanKind::kIndexJoin: {
+      double l = EstimateRows(*node.children[0]);
+      EngineTable* table = facade_->FindTable(node.table_name);
+      double rows = table != nullptr
+                        ? static_cast<double>(table->num_rows())
+                        : kUnknownInputRows;
+      double ndv = rows;
+      if (table != nullptr && node.index_col >= 0) {
+        std::shared_ptr<const TableStats> stats = table->GetOrComputeStats();
+        if (static_cast<size_t>(node.index_col) < stats->columns.size()) {
+          ndv = std::max<double>(
+              1.0, static_cast<double>(
+                       stats->columns[static_cast<size_t>(node.index_col)]
+                           .ndv));
+        }
+      }
+      est = l * rows / std::max(1.0, ndv);
+      break;
+    }
+    case PlanKind::kSemiJoinReduce: {
+      double fact = EstimateRows(*node.children[0]);
+      EstimateRows(*node.children[1]);
+      est = fact *
+            SemiJoinSelectivity(*node.children[1], *node.dim_key);
+      break;
+    }
+    case PlanKind::kHashJoin: {
+      double l = EstimateRows(*node.children[0]);
+      double r = EstimateRows(*node.children[1]);
+      if (node.equi.empty()) {
+        est = l * r;
+      } else {
+        est = l > 0 && r > 0 ? std::max(1.0, l * r) : 0.0;
+        for (const PlanEquiKey& pair : node.equi) {
+          double lndv = KeyNdv(*node.children[0], *pair.left);
+          double rndv = KeyNdv(*node.children[1], *pair.right);
+          est /= std::max(1.0, std::max(lndv, rndv));
+        }
+        if (l > 0 && r > 0) est = std::max(1.0, est);
+      }
+      if (!node.residual.empty()) {
+        est *= CombineSelectivities(std::vector<double>(
+            node.residual.size(), kDefaultPredicateSelectivity));
+      }
+      if (node.left_outer) est = std::max(est, l);
+      break;
+    }
+    case PlanKind::kFilter:
+      est = EstimateRows(*node.children[0]) *
+            CombineSelectivities(std::vector<double>(
+                node.predicates.size(), kDefaultPredicateSelectivity));
+      break;
+    case PlanKind::kAggregate: {
+      double child = EstimateRows(*node.children[0]);
+      if (node.group_by.empty()) {
+        est = 1.0;
+      } else {
+        double groups = 1.0;
+        for (const Expr* g : node.group_by) {
+          groups *= KeyNdv(*node.children[0], *g);
+          if (groups > child) break;  // capped below anyway
+        }
+        est = std::min(child, groups);
+        // ROLLUP appends one subtotal level per key prefix plus the grand
+        // total; bounded by doubling.
+        if (node.rollup) est = std::min(child, est * 2.0);
+      }
+      break;
+    }
+    case PlanKind::kWindow:
+    case PlanKind::kProject:
+    case PlanKind::kTruncate:
+    case PlanKind::kSort:
+      est = EstimateRows(*node.children[0]);
+      break;
+    case PlanKind::kDistinct:
+      // Upper bound; distinct-key NDV over projected expressions is not
+      // modelled.
+      est = EstimateRows(*node.children[0]);
+      break;
+    case PlanKind::kTopK:
+    case PlanKind::kLimit: {
+      double child = EstimateRows(*node.children[0]);
+      est = node.limit >= 0
+                ? std::min(child, static_cast<double>(node.limit))
+                : child;
+      break;
+    }
+    case PlanKind::kSetOp: {
+      for (const auto& child : node.children) est += EstimateRows(*child);
+      break;
+    }
+  }
+  node.stats.est_rows = est;
+  return est;
+}
+
+}  // namespace tpcds

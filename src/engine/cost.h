@@ -1,0 +1,80 @@
+#ifndef TPCDS_ENGINE_COST_H_
+#define TPCDS_ENGINE_COST_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/batch.h"
+#include "engine/plan.h"
+#include "engine/stats.h"
+
+namespace tpcds {
+
+class DataFacade;
+
+/// Selectivity assumed for a predicate the model cannot classify (residual
+/// scan filters, join residuals, generic kFilter conjuncts).
+constexpr double kDefaultPredicateSelectivity = 0.75;
+
+/// Rows assumed for an input whose cardinality is unknowable at plan time
+/// (CTE refs planned outside this statement).
+constexpr double kUnknownInputRows = 1000.0;
+
+/// Cardinality estimation over physical plan subtrees, backed by the
+/// per-table statistics in engine/stats.h. One instance lives for the
+/// duration of a Planner run (PlannerOptions::cost_based); estimates are
+/// written into PlanOpStats::est_rows as a side effect so EXPLAIN can
+/// report estimated vs. actual rows.
+class CostModel {
+ public:
+  explicit CostModel(const DataFacade* facade) : facade_(facade) {}
+
+  /// Records a planned CTE's estimated cardinality so later kCteRef
+  /// estimates resolve (keyed by lower-cased name).
+  void SetCteEstimate(const std::string& name, double rows);
+
+  /// Estimates `node`'s output rows, recursing over the subtree and
+  /// annotating every visited node's stats.est_rows. Idempotent.
+  double EstimateRows(const PlanNode& node) const;
+
+  /// Distinct values `key` takes in `input`'s output: the base column NDV
+  /// (when the key traces to a scanned column with stats) capped by the
+  /// input's estimated rows, else the estimated rows themselves.
+  /// `input` must already have been estimated via EstimateRows.
+  double KeyNdv(const PlanNode& input, const Expr& key) const;
+
+  /// Fraction of a star fact's rows expected to survive a semi-join
+  /// against `dim` on `dim_key`: qualifying-key NDV over the key domain's
+  /// NDV (containment assumption). 1.0 when the domain is unknown.
+  double SemiJoinSelectivity(const PlanNode& dim, const Expr& dim_key) const;
+
+  /// Selectivity of one compiled scan kernel against its column's stats
+  /// (histogram for ranges, 1/NDV for equality, null fraction for NULL
+  /// tests). `cs` may be null (no stats for that column).
+  static double KernelSelectivity(const ScanKernel& kernel,
+                                  const ColumnStats* cs);
+
+  /// Conjunction selectivity with exponential backoff instead of naive
+  /// independence: sorted ascending, s0 * s1^(1/2) * s2^(1/4) * ... — the
+  /// cap keeps correlated predicate stacks from collapsing the estimate
+  /// to zero.
+  static double CombineSelectivities(std::vector<double> sels);
+
+  /// |L ⋈ R| under NDV containment: l * r / max(lndv, rndv).
+  static double JoinCardinality(double l, double r, double lndv,
+                                double rndv);
+
+ private:
+  double EstimateScan(const PlanNode& node) const;
+  /// Uncapped NDV of the base column `key` traces to through
+  /// schema-preserving operators; -1 when unknown.
+  double BaseKeyNdv(const PlanNode& input, const Expr& key) const;
+
+  const DataFacade* facade_;
+  std::map<std::string, double> cte_rows_;
+};
+
+}  // namespace tpcds
+
+#endif  // TPCDS_ENGINE_COST_H_

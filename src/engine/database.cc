@@ -208,6 +208,15 @@ size_t Database::EncodeStorage() {
   return encoded;
 }
 
+size_t Database::AnalyzeStorage() {
+  size_t analyzed = 0;
+  for (auto& [name, table] : tables_) {
+    table->GetOrComputeStats();
+    ++analyzed;
+  }
+  return analyzed;
+}
+
 Database::CompressionStats Database::TableCompression(
     const std::string& name) const {
   CompressionStats cs;
@@ -260,7 +269,13 @@ Result<std::string> Database::Explain(const std::string& sql) {
         extra += StringPrintf(", %lld bytes touched",
                               static_cast<long long>(op.bytes_touched));
       }
-      out += StringPrintf(" [%lld -> %lld rows, %.3f ms%s]",
+      std::string est;
+      if (op.est_rows >= 0.0) {
+        est = StringPrintf("est %lld, ",
+                           static_cast<long long>(op.est_rows));
+      }
+      out += StringPrintf(" [%s%lld -> %lld rows, %.3f ms%s]",
+                          est.c_str(),
                           static_cast<long long>(op.rows_in),
                           static_cast<long long>(op.rows_out),
                           op.seconds * 1e3, extra.c_str());
@@ -279,6 +294,9 @@ Result<std::string> Database::Explain(const std::string& sql) {
       static_cast<long long>(stats.topk_kept),
       static_cast<long long>(stats.topk_seen),
       static_cast<long long>(stats.bytes_touched));
+  if (stats.max_q_error > 0.0) {
+    out += StringPrintf("  => max q-error %.2f\n", stats.max_q_error);
+  }
   return out;
 }
 

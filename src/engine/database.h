@@ -68,6 +68,17 @@ class Database {
   /// SaveCheckpoint and survive AttachCheckpoint zero-copy.
   size_t EncodeStorage();
 
+  /// Collects optimizer statistics (engine/stats.h: NDV sketches,
+  /// equi-depth histograms, min/max/null counts) for every table in one
+  /// pass each and installs them as the current derived-state generation.
+  /// Queries planned with PlannerOptions::cost_based pick the stats up
+  /// immediately; tables left un-analyzed collect lazily on first use.
+  /// Returns the number of tables analyzed. Stats persist through
+  /// SaveCheckpoint (STATS aux file) so LoadCheckpoint/AttachCheckpoint
+  /// restore them without re-scanning; data maintenance invalidates and
+  /// recollects them alongside the indexes.
+  size_t AnalyzeStorage();
+
   /// Storage footprint of one table: the payload bytes of its current
   /// (possibly encoded) representation vs. the plain representation the
   /// load path produces. ratio = plain / encoded (1.0 when un-encoded).

@@ -778,6 +778,57 @@ class PlanExecutor : public SubqueryEvaluator {
     return scan.scan_cols[s];
   }
 
+  /// Walks schema-preserving operators on a join's build side down to the
+  /// base scan `key` traces to and returns that storage column, or nullptr.
+  /// Lets pushdown gating see the column's encoding (a dictionary's size is
+  /// an exact NDV) before any keys are collected.
+  const StorageColumn* BuildKeyColumn(const PlanNode* n,
+                                      const Expr& key) const {
+    while (n != nullptr && (n->kind == PlanKind::kSemiJoinReduce ||
+                            n->kind == PlanKind::kFilter)) {
+      n = n->children[0].get();
+    }
+    if (n == nullptr || n->kind != PlanKind::kScan) return nullptr;
+    int col = ResolveScanStorageCol(*n, key);
+    if (col < 0) return nullptr;
+    EngineTable* table = facade_->FindTable(n->table_name);
+    if (table == nullptr) return nullptr;
+    return &table->column(static_cast<size_t>(col));
+  }
+
+  /// Gate for pushing `keys` distinct build/dim key values into a probe
+  /// scan of `pd_table` column `pd_col`. Cost-based planning estimates the
+  /// surviving probe fraction by NDV containment (pushed keys over the
+  /// probe column's distinct values), tightened by the histogram mass of
+  /// the pushed key range when a built pushdown is supplied — a dimension
+  /// key set often spans a narrow slice of a sparse probe column, where
+  /// containment alone under-sells the reduction (e.g. daily date keys
+  /// against weekly inventory snapshots). The push happens whenever at
+  /// least a quarter of the probe rows should be rejected; without
+  /// cost-based planning the structural keys*8 <= rows rule of thumb
+  /// applies. Either decision only affects speed: the exact join checks
+  /// run regardless.
+  bool ShouldPushKeys(int64_t keys, EngineTable* pd_table, int pd_col,
+                      const ScanPushdown* pd) const {
+    if (options_.cost_based) {
+      std::shared_ptr<const TableStats> stats = pd_table->GetOrComputeStats();
+      if (pd_col >= 0 &&
+          static_cast<size_t>(pd_col) < stats->columns.size()) {
+        const ColumnStats& cs = stats->columns[static_cast<size_t>(pd_col)];
+        if (cs.ndv > 0) {
+          double survival =
+              static_cast<double>(keys) / static_cast<double>(cs.ndv);
+          if (pd != nullptr && pd->has_range && !cs.histogram.empty()) {
+            survival = std::min(
+                survival, cs.histogram.SelectivityRange(pd->lo, pd->hi));
+          }
+          return survival <= 0.75;
+        }
+      }
+    }
+    return keys * 8 <= pd_table->num_rows();
+  }
+
   /// Fills `pd` from the distinct build/dim key values: Bloom hashes plus
   /// a min/max range for int-backed columns. Returns false (pushdown
   /// abandoned) when any key's coercion onto the column's raw storage
@@ -885,11 +936,25 @@ class PlanExecutor : public SubqueryEvaluator {
       pd.col = pd_col;
       // Only push a selective key set; a reduction whose key set rivals
       // the fact table in size rejects almost nothing at the scan.
-      bool registered =
-          static_cast<int64_t>(keys.size()) * 8 <= pd_table->num_rows() &&
-          BuildKeyPushdown(
-              keys, pd_table->column(static_cast<size_t>(pd_col)), &bloom,
-              &pd);
+      // Cost-based gating wants the pushed key range, so it builds the
+      // pushdown first (O(keys), and the keys are already collected) and
+      // gates on the refined estimate; the structural rule gates up front.
+      bool registered;
+      if (options_.cost_based) {
+        registered =
+            BuildKeyPushdown(
+                keys, pd_table->column(static_cast<size_t>(pd_col)), &bloom,
+                &pd) &&
+            ShouldPushKeys(static_cast<int64_t>(keys.size()), pd_table,
+                           pd_col, &pd);
+      } else {
+        registered =
+            ShouldPushKeys(static_cast<int64_t>(keys.size()), pd_table,
+                           pd_col, nullptr) &&
+            BuildKeyPushdown(
+                keys, pd_table->column(static_cast<size_t>(pd_col)), &bloom,
+                &pd);
+      }
       if (registered) {
         pushdowns_[target].push_back(pd);
         node.stats.vectorized = true;
@@ -1014,7 +1079,36 @@ class PlanExecutor : public SubqueryEvaluator {
       // collecting + hashing its keys is pure overhead on the probe scan
       // (e.g. a reversed star shape where the fact table is the build
       // side of a dimension join).
-      if (static_cast<int64_t>(nr) * 8 <= pd_table->num_rows()) {
+      // The build side's distinct-key count is what matters, not its row
+      // count: when the build key column is dictionary-encoded, its
+      // dictionary size caps the key set exactly, so a large build side
+      // over a low-cardinality key still pushes.
+      int64_t build_keys_hint = static_cast<int64_t>(nr);
+      const StorageColumn* build_col =
+          BuildKeyColumn(node.children[1].get(), *node.equi[pd_key].right);
+      if (build_col != nullptr &&
+          build_col->encoding() == ColEncoding::kDict) {
+        build_keys_hint = std::min(
+            build_keys_hint, static_cast<int64_t>(build_col->DictNdv()));
+      }
+      // The hint gate runs before the O(build rows) key collection; in
+      // cost-based mode a hint that fails plain NDV containment but passes
+      // the structural rule still collects, because the refined gate below
+      // can justify the push from the keys' actual range. The collection
+      // itself must also pay: when the probe scan's own filters are
+      // estimated to leave far fewer rows than the build side holds,
+      // there is nothing left worth rejecting and the key sweep is pure
+      // overhead (e.g. a reversed star where the fact table is the build
+      // side of a heavily filtered dimension scan).
+      bool collection_pays = true;
+      if (options_.cost_based && target->stats.est_rows >= 0.0) {
+        collection_pays = static_cast<double>(nr) <=
+                          8.0 * std::max(1.0, target->stats.est_rows);
+      }
+      if (collection_pays &&
+          (ShouldPushKeys(build_keys_hint, pd_table, pd_col, nullptr) ||
+           (options_.cost_based &&
+            build_keys_hint * 8 <= pd_table->num_rows()))) {
         ValueSet comp;
         comp.reserve(nr);
         for (const BuildKey& bk : bkeys) {
@@ -1029,6 +1123,10 @@ class PlanExecutor : public SubqueryEvaluator {
         registered = BuildKeyPushdown(
             comp, pd_table->column(static_cast<size_t>(pd_col)), &pushed_bloom,
             &pd);
+        if (registered && options_.cost_based) {
+          registered = ShouldPushKeys(static_cast<int64_t>(comp.size()),
+                                      pd_table, pd_col, &pd);
+        }
       }
       if (registered) pushdowns_[target].push_back(pd);
       Result<std::shared_ptr<RowSet>> lr = Exec(node.children[0]);
@@ -2039,6 +2137,14 @@ void EmitOperator(const PlanNode* node, int depth, ExecStats* stats,
   op.topk_seen = node->stats.topk_seen;
   op.topk_kept = node->stats.topk_kept;
   op.bytes_touched = node->stats.bytes_touched;
+  op.est_rows = node->stats.est_rows;
+  if (op.executed && op.est_rows >= 0.0) {
+    // +1 smoothing keeps empty outputs finite; 1.0 = perfect estimate.
+    double est = op.est_rows + 1.0;
+    double actual = static_cast<double>(op.rows_out) + 1.0;
+    stats->max_q_error =
+        std::max(stats->max_q_error, std::max(est / actual, actual / est));
+  }
   bool first_visit = visited->insert(node).second;
   if (!first_visit) op.label += " (shared)";
   stats->operators.push_back(std::move(op));
