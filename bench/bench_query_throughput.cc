@@ -17,9 +17,11 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
+#include "driver/profile.h"
 #include "maintenance/maintenance.h"
 #include "metric/metric.h"
 #include "qgen/qgen.h"
@@ -412,6 +414,100 @@ ServiceTally RunServiceConcurrent(const Database& db,
   return tally;
 }
 
+/// The workload-profile closed loops: the same cheap template pool the
+/// service bench uses, but with each session's statement sequence and bind
+/// values drawn through a WorkloadProfile — Zipf-skewed substitutions,
+/// class-weighted template mixes, iterative session chains. One tally per
+/// profile becomes a gated perf group, so a regression in the skewed /
+/// chained paths (the chaos-drill workloads) fails CI even when the
+/// uniform sweep is unaffected.
+ServiceTally RunProfileLoop(const Database& db, const PlannerOptions& options,
+                            const WorkloadProfile& profile) {
+  constexpr int kSessions = 16;
+  constexpr int kStatementsPerSession = 6;
+  constexpr int kTemplateIds[] = {3, 27, 55, 82, 96};
+
+  QueryGenerator qgen(19620718);
+  std::vector<QueryTemplate> pool;
+  for (int id : kTemplateIds) {
+    const QueryTemplate* t = FindTemplate(id);
+    if (t == nullptr) {
+      std::fprintf(stderr, "profile bench: no template %d\n", id);
+      std::exit(1);
+    }
+    pool.push_back(*t);
+  }
+
+  // Pre-instantiate outside the timed region: the loop measures execution
+  // under admission control, not qgen.
+  std::vector<std::vector<std::string>> session_sql(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    std::vector<ProfileSlot> slots =
+        qgen.ProfileSequence(s + 1, pool, profile.bind,
+                             kStatementsPerSession);
+    for (const ProfileSlot& slot : slots) {
+      Result<std::string> sql =
+          qgen.Instantiate(pool[slot.template_index], s + 1, 0,
+                           &profile.bind, slot.chain_step);
+      if (!sql.ok()) {
+        std::fprintf(stderr, "profile bench (%s) stream %d: %s\n",
+                     profile.name.c_str(), s + 1,
+                     sql.status().ToString().c_str());
+        std::exit(1);
+      }
+      session_sql[s].push_back(*sql);
+    }
+  }
+
+  ServiceConfig cfg;
+  cfg.worker_slots = 2;
+  cfg.max_queue_depth = kSessions + 16;  // closed loop never overflows it
+  cfg.planner = options;
+  QueryService service(cfg, db);
+
+  ServiceTally tally;
+  tally.sessions = kSessions;
+  tally.worker_slots = cfg.worker_slots;
+  tally.statements = kSessions * kStatementsPerSession;
+  std::mutex mu;
+  std::vector<double> latencies;
+  Stopwatch wall;
+  std::vector<std::thread> clients;
+  clients.reserve(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    SessionOptions so;
+    so.tenant = profile.name + "-" + std::to_string(s);
+    Session session = service.OpenSession(so);
+    clients.emplace_back([&, s, session] {
+      for (const std::string& sql : session_sql[s]) {
+        QueryOutcome out = session.Execute(sql);
+        if (out.disposition != QueryDisposition::kCompleted) {
+          std::fprintf(stderr, "profile bench (%s) session %d: %s (%s)\n",
+                       profile.name.c_str(), s,
+                       QueryDispositionToString(out.disposition),
+                       out.status.ToString().c_str());
+          std::exit(1);
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        latencies.push_back(out.total_ms);
+        tally.rows_scanned += out.rows_scanned;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  tally.seconds = wall.ElapsedSeconds();
+  tally.latency = SummarizeLatenciesMs(std::move(latencies));
+  tally.counters = service.Counters();
+  if (!tally.counters.Balanced() ||
+      tally.counters.completed != tally.statements ||
+      !tally.counters.PoolDrained()) {
+    std::fprintf(stderr, "profile bench (%s) lost queries:\n%s",
+                 profile.name.c_str(), tally.counters.ToString().c_str());
+    std::exit(1);
+  }
+  return tally;
+}
+
 MaintenanceTally RunMaintenanceCycle(Database* db, double sf, int cycle,
                                      WalWriter* wal) {
   MaintenanceOptions options;
@@ -440,7 +536,9 @@ void WriteJson(const char* path, double sf, bool vectorized,
                const ColdStartTally& attach_heap,
                const ColdStartTally& attach_mmap,
                const ServiceTally& svc, const EncodedScanTally& enc,
-               const OptimizerTally& opt) {
+               const OptimizerTally& opt,
+               const std::vector<std::pair<std::string, ServiceTally>>&
+                   profiles) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -535,6 +633,16 @@ void WriteJson(const char* path, double sf, bool vectorized,
                static_cast<long long>(svc.counters.shed),
                static_cast<long long>(svc.counters.rejected_queue_full +
                                       svc.counters.rejected_deadline));
+  for (const auto& [name, pt] : profiles) {
+    std::fprintf(f,
+                 "    \"%s\": {\"sessions\": %d, \"statements\": %d, "
+                 "\"seconds\": %.6f, \"rows_scanned\": %lld, "
+                 "\"rows_per_sec\": %.1f, \"p50_ms\": %.3f, "
+                 "\"p95_ms\": %.3f, \"p99_ms\": %.3f},\n",
+                 name.c_str(), pt.sessions, pt.statements, pt.seconds,
+                 static_cast<long long>(pt.rows_scanned), pt.RowsPerSec(),
+                 pt.latency.p50_ms, pt.latency.p95_ms, pt.latency.p99_ms);
+  }
   std::fprintf(f,
                "    \"encoded_scan\": {\"queries\": %d, \"seconds\": %.6f, "
                "\"rows_scanned\": %lld, \"rows_per_sec\": %.1f, "
@@ -790,9 +898,33 @@ void Run(const char* json_path) {
               static_cast<long long>(svc.counters.rejected_queue_full +
                                      svc.counters.rejected_deadline));
 
+  // Workload-profile closed loops: the chaos-harness presets as standing
+  // perf groups (skewed binds, reporting-heavy mix, iterative chains).
+  std::vector<std::pair<std::string, ServiceTally>> profiles;
+  for (const char* preset : {"hot-skew", "reporting", "chains"}) {
+    Result<WorkloadProfile> wp = WorkloadProfile::Preset(preset);
+    if (!wp.ok()) {
+      std::fprintf(stderr, "profile bench: %s\n",
+                   wp.status().ToString().c_str());
+      std::exit(1);
+    }
+    std::string group = "profile_" + std::string(preset);
+    std::replace(group.begin(), group.end(), '-', '_');
+    profiles.emplace_back(group, RunProfileLoop(*db, options, *wp));
+  }
+  std::printf("\n=== workload profiles (closed loop, %d sessions) ===\n",
+              profiles.front().second.sessions);
+  std::printf("%-20s %10s %10s %16s %8s %8s\n", "profile", "stmts",
+              "seconds", "scan rows/sec", "p50 ms", "p99 ms");
+  for (const auto& [name, pt] : profiles) {
+    std::printf("%-20s %10d %10.3f %16.0f %8.1f %8.1f\n", name.c_str(),
+                pt.statements, pt.seconds, pt.RowsPerSec(),
+                pt.latency.p50_ms, pt.latency.p99_ms);
+  }
+
   if (json_path != nullptr) {
     WriteJson(json_path, sf, options.vectorized_execution, results, dm_off,
-              dm_on, attach_heap, attach_mmap, svc, enc, opt);
+              dm_on, attach_heap, attach_mmap, svc, enc, opt, profiles);
   }
 }
 

@@ -36,6 +36,18 @@
 // -service-spread splits streams over N priority classes so overload
 // shedding has lower-priority victims to pick. The metric report then
 // shows tail latency and where every submission went.
+//
+// Chaos flags (docs/ROBUSTNESS.md): -profile selects a workload profile
+// ("uniform", "hot-skew", "reporting", "adhoc", "chains", "refresh-duty",
+// with key=value overrides or @file); -chaos SPEC switches to drill mode:
+// the time-phased fault schedule (grammar
+// "site@START_MS+DURATION_MS=trigger", e.g.
+// "wal-append@20+500=nth:3,shed@0+400=every:5") is armed while the
+// profile's query streams run concurrently with its refresh duty cycle,
+// then the standing invariants are verified (balanced counters, drained
+// pool, no lost queries, bounded retries, byte-identical recovery,
+// clean constraint audit). Drill mode requires -checkpoint-dir and -wal
+// and exits 1 if any invariant fails.
 
 #include <algorithm>
 #include <cstdio>
@@ -43,6 +55,7 @@
 #include <cstring>
 #include <map>
 
+#include "driver/drill.h"
 #include "driver/driver.h"
 #include "engine/audit.h"
 #include "metric/metric.h"
@@ -57,6 +70,8 @@ int main(int argc, char** argv) {
   double tco = 350000.0;
   bool run_power = false;
   bool attach_demo = false;
+  bool drill_mode = false;
+  tpcds::ChaosSchedule chaos;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -114,6 +129,25 @@ int main(int argc, char** argv) {
       config.service_deadline_ms = std::strtod(next(), nullptr);
     } else if (arg == "-service-spread") {
       config.service_priority_spread = std::atoi(next());
+    } else if (arg == "-profile") {
+      tpcds::Result<tpcds::WorkloadProfile> profile =
+          tpcds::WorkloadProfile::Parse(next());
+      if (!profile.ok()) {
+        std::fprintf(stderr, "bad -profile spec: %s\n",
+                     profile.status().ToString().c_str());
+        return 1;
+      }
+      config.profile = *profile;
+    } else if (arg == "-chaos") {
+      tpcds::Result<tpcds::ChaosSchedule> parsed =
+          tpcds::ChaosSchedule::Parse(next());
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "bad -chaos spec: %s\n",
+                     parsed.status().ToString().c_str());
+        return 1;
+      }
+      chaos = *parsed;
+      drill_mode = true;
     } else {
       std::fprintf(stderr,
                    "usage: full_benchmark [-scale SF] [-streams S] "
@@ -123,13 +157,41 @@ int main(int argc, char** argv) {
                    "[-checkpoint-dir DIR] [-wal PATH] [-recover] "
                    "[-overlap] [-attach] [-service-slots N] "
                    "[-service-queue N] [-service-mem MB] "
-                   "[-service-deadline MS] [-service-spread N]\n");
+                   "[-service-deadline MS] [-service-spread N] "
+                   "[-profile SPEC] [-chaos SCHEDULE]\n");
       return 1;
     }
   }
   if (attach_demo && config.checkpoint_dir.empty()) {
     std::fprintf(stderr, "-attach requires -checkpoint-dir\n");
     return 1;
+  }
+
+  // Drill mode: run the profile × schedule combination through the chaos
+  // harness and gate on the standing invariants instead of the metric.
+  if (drill_mode) {
+    if (config.checkpoint_dir.empty() || config.wal_path.empty()) {
+      std::fprintf(stderr, "-chaos requires -checkpoint-dir and -wal\n");
+      return 1;
+    }
+    tpcds::DrillConfig drill;
+    drill.base = config;
+    drill.schedule = chaos;
+    std::printf("chaos drill: SF %.3f, profile %s, schedule [%s]\n",
+                config.scale_factor, config.profile.ToString().c_str(),
+                chaos.ToString().c_str());
+    tpcds::Result<tpcds::DrillResult> outcome = tpcds::RunChaosDrill(drill);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "drill harness failed: %s\n",
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", outcome->ToString().c_str());
+    if (!outcome->failures.empty()) {
+      std::printf("\n--- failure report ---\n%s",
+                  outcome->failures.ToString().c_str());
+    }
+    return outcome->Passed() ? 0 : 1;
   }
 
   std::printf("TPC-DS benchmark: SF %.3f, %s streams, %d queries/stream\n",

@@ -19,6 +19,13 @@ the baseline at the standard threshold, bytes touched strictly below
 the plain pass from the same run, and a 1.5x compression-ratio floor
 on the fact tables.
 
+The workload-profile groups (profile_hot_skew / profile_reporting /
+profile_chains — the chaos-harness scenario classes run as closed
+loops) gate rows/sec against the baseline at the standard threshold
+and p99 latency against 3x the baseline p99 (25 ms floor), so a slow
+path taken only under skewed binds or session chains cannot hide
+behind the uniform sweep.
+
 The optimizer group (join-heavy templates, cost_based off vs on) gates
 its cost-based rows/sec against the baseline at the standard threshold
 and, within the current run, requires the cost-based side to match or
@@ -96,7 +103,8 @@ def main():
     cur_groups = cur.get("groups", {})
     base_groups = base.get("groups", {})
     for name in ("agg_heavy", "order_by_heavy", "service_concurrent",
-                 "encoded_scan", "optimizer"):
+                 "encoded_scan", "optimizer", "profile_hot_skew",
+                 "profile_reporting", "profile_chains"):
         if name not in cur_groups or name not in base_groups:
             continue
         cg, bg = cur_groups[name], base_groups[name]
@@ -151,6 +159,26 @@ def main():
         if ratio < 0.97:
             failures.append(
                 f"cost_based-on throughput is {ratio:.1%} of cost_based-off")
+
+    # Workload-profile tail latency: each chaos-harness scenario class
+    # (skewed binds, reporting-heavy mix, iterative chains) gates its own
+    # p99 against 3x the baseline's. A 25 ms floor absorbs scheduler
+    # noise on the millisecond-long smoke statements — a genuine tail
+    # regression (a slow path taken only under skew or chaining) lands
+    # well past 3x.
+    for name in ("profile_hot_skew", "profile_reporting", "profile_chains"):
+        cg = cur_groups.get(name, {})
+        bg = base_groups.get(name, {})
+        if cg.get("p99_ms") is None or bg.get("p99_ms") is None:
+            continue
+        limit = max(bg["p99_ms"], 25.0) * 3.0
+        print(f"{name} latency: p50 {cg.get('p50_ms', 0):.1f} ms, "
+              f"p99 {cg['p99_ms']:.1f} ms "
+              f"(baseline p99 {bg['p99_ms']:.1f} ms, limit {limit:.1f} ms)")
+        if cg["p99_ms"] > limit:
+            failures.append(
+                f"{name} p99 {cg['p99_ms']:.1f} ms exceeds "
+                f"{limit:.1f} ms limit")
 
     # Tail latency of the concurrent-service loop, for context (the
     # closed loop's p99 tracks queue depth; rows/sec above is the gate).

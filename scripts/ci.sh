@@ -62,13 +62,29 @@ trap 'rm -rf "$DURABILITY_DIR"' EXIT
   -checkpoint-dir "$DURABILITY_DIR/ckpt" -wal "$DURABILITY_DIR/dm.wal" \
   -recover -faults "maintenance=nth:7"
 
+echo "== chaos drill"
+# Standing profile x schedule drill: Zipf-skewed binds with 2-step
+# session chains across 8 concurrent streams, a 20 ms read/refresh duty
+# cycle publishing generations underneath them, and a time-phased fault
+# schedule that crashes the DM mid-generation, drops a WAL append, and
+# stresses admission/shedding. full_benchmark exits 1 unless every
+# standing invariant holds: balanced counters, drained pool, no lost
+# queries, bounded retries, byte-identical recovery, clean audit.
+CHAOS_DIR="$(mktemp -d)"
+trap 'rm -rf "$DURABILITY_DIR" "$CHAOS_DIR"' EXIT
+"$BUILD_DIR/examples/full_benchmark" -scale 0.002 -queries 4 -streams 8 \
+  -profile "hot-skew,chain=2,refresh_ms=20,refresh_cycles=3" \
+  -chaos "maintenance@0+60000=nth:2,wal-append@10+60000=nth:25,shed@0+60000=every:5,admit@0+60000=nth:7" \
+  -service-slots 2 -service-queue 6 -service-spread 2 \
+  -checkpoint-dir "$CHAOS_DIR/ckpt" -wal "$CHAOS_DIR/drill.wal"
+
 echo "== cold-start attach smoke"
 # Save a checkpoint during the benchmark, then cold-start it both ways —
 # deep heap load and O(1) mmap attach — run a query sample on each and
 # compare content hashes + answers (full_benchmark exits 1 on any
 # divergence). Also exercises the overlapped DM/QR2 generation path.
 ATTACH_DIR="$(mktemp -d)"
-trap 'rm -rf "$DURABILITY_DIR" "$ATTACH_DIR"' EXIT
+trap 'rm -rf "$DURABILITY_DIR" "$CHAOS_DIR" "$ATTACH_DIR"' EXIT
 "$BUILD_DIR/examples/full_benchmark" -scale 0.002 -queries 5 -overlap \
   -checkpoint-dir "$ATTACH_DIR/ckpt" -wal "$ATTACH_DIR/dm.wal" \
   -recover -attach

@@ -1,0 +1,224 @@
+#include "driver/drill.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+#include <thread>
+
+#include "engine/audit.h"
+#include "engine/recovery.h"
+#include "scaling/scaling.h"
+#include "schema/schema.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/wal.h"
+
+namespace tpcds {
+
+Result<DrillResult> RunChaosDrill(const DrillConfig& config) {
+  const BenchmarkConfig& base = config.base;
+  if (base.checkpoint_dir.empty() || base.wal_path.empty()) {
+    return Status::InvalidArgument(
+        "chaos drill needs checkpoint_dir and wal_path (the recovery "
+        "invariant replays the WAL over the checkpoint)");
+  }
+  DrillResult result;
+  result.profile = base.profile.ToString();
+  result.schedule = config.schedule.ToString();
+  result.streams = base.streams > 0
+                       ? base.streams
+                       : ScalingModel::MinimumStreams(base.scale_factor);
+  result.queries_expected = result.streams * base.queries_per_stream;
+
+  // Load and checkpoint happen before any fault is armed: the drill
+  // attacks the serving phase, and the checkpoint is the trusted base
+  // state recovery replays on top of.
+  Database db;
+  TPCDS_ASSIGN_OR_RETURN(result.t_load_sec, RunLoadTest(base, &db));
+  TPCDS_RETURN_NOT_OK(db.SaveCheckpoint(base.checkpoint_dir));
+
+  DataFacadeProvider provider;
+  provider.Publish(db.Snapshot());
+  WalWriter wal;
+  WalWriter* wal_ptr = nullptr;
+  if (!base.wal_path.empty()) {
+    TPCDS_RETURN_NOT_OK(wal.Open(base.wal_path));
+    wal_ptr = &wal;
+  }
+
+  FaultInjector& injector = FaultInjector::Global();
+  injector.Clear();
+  TPCDS_RETURN_NOT_OK(injector.ArmSchedule(config.schedule));
+
+  MaintenanceOptions dm;
+  dm.seed = base.seed;
+  dm.scale_factor = base.scale_factor;
+  dm.refresh_cycle = 1;
+  dm.refresh_fraction = base.refresh_fraction;
+  dm.dimension_updates = base.dimension_updates;
+  int cycles = std::max(1, base.profile.max_refresh_cycles);
+  double period_ms = base.profile.refresh_period_ms;
+
+  // The drill interval proper: client streams submit through the
+  // admission-controlled service while the duty cycle publishes refresh
+  // generations underneath them, all under the armed fault windows.
+  DutyCycleReport duty;
+  Status duty_status;
+  std::vector<double> latencies_ms;
+  injector.StartScheduleClock();
+  Stopwatch timer;
+  std::thread dm_thread([&] {
+    duty_status = RunRefreshDutyCycle(&db, dm, cycles, period_ms, &duty,
+                                      wal_ptr, &provider);
+  });
+  Result<double> qr = RunQueryRun(base, &db, /*stream_base=*/1,
+                                  &result.executions, &result.failures,
+                                  "drill-qr", &provider, &result.counters,
+                                  &latencies_ms);
+  dm_thread.join();
+  result.t_drill_sec = timer.ElapsedSeconds();
+  result.schedule_report = injector.ScheduleReport();
+  for (const std::string& site : FaultInjector::Sites()) {
+    result.faults_fired += injector.FiredAt(site);
+  }
+  injector.StopSchedule();
+  if (!qr.ok()) return qr.status();
+  if (!duty_status.ok()) {
+    return Status(duty_status.code(),
+                  "duty cycle harness error: " + duty_status.message());
+  }
+  if (wal_ptr != nullptr) {
+    Status closed = wal.Close();
+    if (!closed.ok()) {
+      result.failures.failures.push_back(
+          QueryFailure{0, -1, 1, "wal", closed.message()});
+    }
+  }
+
+  result.refresh_cycles_attempted = duty.cycles_attempted;
+  result.refresh_cycles_failed = duty.cycles_failed;
+  for (const std::string& err : duty.errors) {
+    result.failures.failures.push_back(QueryFailure{0, -1, 1, "dm", err});
+  }
+
+  // Throughput and tails of the drill interval.
+  if (result.t_drill_sec > 0.0) {
+    result.queries_per_sec =
+        static_cast<double>(result.executions.size()) / result.t_drill_sec;
+  }
+  LatencySummary lat = SummarizeLatenciesMs(std::move(latencies_ms));
+  result.p50_ms = lat.p50_ms;
+  result.p95_ms = lat.p95_ms;
+  result.p99_ms = lat.p99_ms;
+
+  // --- standing invariants -----------------------------------------------
+  result.counters_balanced = result.counters.Balanced();
+  result.pool_drained = result.counters.PoolDrained();
+  // Every expected query is accounted for: it either completed or sits in
+  // the failure report under the drill phase.
+  int64_t failed_queries = 0;
+  for (const QueryFailure& f : result.failures.failures) {
+    if (f.phase == "drill-qr") ++failed_queries;
+  }
+  result.no_lost_queries =
+      static_cast<int64_t>(result.executions.size()) + failed_queries ==
+      result.queries_expected;
+  // Retry budget: at most (attempts-1) extra tries per work item (queries
+  // plus duty cycles) — a retry storm breaks this long before it breaks
+  // anything else.
+  int64_t retry_budget =
+      static_cast<int64_t>(std::max(1, base.max_query_attempts) - 1) *
+      (result.queries_expected + cycles);
+  result.retries_bounded = result.failures.total_retries <= retry_budget;
+
+  // Crash recovery: rebuild from checkpoint + WAL and demand byte
+  // identity with the live database (the committed prefix of every cycle,
+  // crashed ones included), then a full constraint audit on the recovered
+  // state.
+  Database recovered;
+  Result<RecoveryReport> rec =
+      Recover(&recovered, base.checkpoint_dir, base.wal_path);
+  if (!rec.ok()) {
+    result.failures.failures.push_back(
+        QueryFailure{0, -1, 1, "recovery", rec.status().message()});
+    result.recovery_ran = true;  // attempted and failed: the drill fails
+  } else {
+    result.recovery_ran = true;
+    result.recovery = *rec;
+    result.recovery_verified =
+        HashDatabaseContent(recovered) == HashDatabaseContent(db);
+    Result<AuditReport> audit = ValidateConstraints(&recovered, TpcdsSchema());
+    result.audit_clean = audit.ok() && audit->TotalViolations() == 0;
+    if (!result.audit_clean) {
+      result.failures.failures.push_back(QueryFailure{
+          0, -1, 1, "audit",
+          audit.ok() ? audit->ToString() : audit.status().message()});
+    }
+  }
+  return result;
+}
+
+Result<std::vector<DrillResult>> RunDrillMatrix(
+    const BenchmarkConfig& base, const std::vector<WorkloadProfile>& profiles,
+    const std::vector<ChaosSchedule>& schedules,
+    const std::string& scratch_dir) {
+  std::vector<DrillResult> results;
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    for (size_t j = 0; j < schedules.size(); ++j) {
+      std::string dir = scratch_dir + "/drill_" + std::to_string(i) + "_" +
+                        std::to_string(j);
+      std::error_code ec;
+      std::filesystem::create_directories(dir, ec);
+      if (ec) {
+        return Status::IoError("cannot create drill scratch dir " + dir +
+                               ": " + ec.message());
+      }
+      DrillConfig config;
+      config.base = base;
+      config.base.profile = profiles[i];
+      config.base.checkpoint_dir = dir + "/ckpt";
+      config.base.wal_path = dir + "/wal.log";
+      config.schedule = schedules[j];
+      TPCDS_ASSIGN_OR_RETURN(DrillResult drill, RunChaosDrill(config));
+      results.push_back(std::move(drill));
+    }
+  }
+  return results;
+}
+
+std::string DrillResult::ToString() const {
+  std::ostringstream out;
+  out << "drill profile=" << profile << " schedule=["
+      << (schedule.empty() ? "none" : schedule) << "]\n";
+  out << StringPrintf(
+      "  streams %d, %d/%d queries completed, %.1f q/s, "
+      "p50 %.1f ms p95 %.1f ms p99 %.1f ms\n",
+      streams, static_cast<int>(executions.size()), queries_expected,
+      queries_per_sec, p50_ms, p95_ms, p99_ms);
+  out << StringPrintf(
+      "  refresh cycles %d (%d crashed), faults fired %lld, retries %lld\n",
+      refresh_cycles_attempted, refresh_cycles_failed,
+      static_cast<long long>(faults_fired),
+      static_cast<long long>(failures.total_retries));
+  if (!schedule_report.empty()) {
+    std::istringstream lines(schedule_report);
+    std::string line;
+    while (std::getline(lines, line)) {
+      out << "    " << line << "\n";
+    }
+  }
+  auto flag = [](bool ok) { return ok ? "ok" : "FAIL"; };
+  out << StringPrintf(
+      "  invariants: counters %s, pool %s, no-lost-queries %s, "
+      "retries-bounded %s",
+      flag(counters_balanced), flag(pool_drained), flag(no_lost_queries),
+      flag(retries_bounded));
+  if (recovery_ran) {
+    out << StringPrintf(", recovery %s, audit %s", flag(recovery_verified),
+                        flag(audit_clean));
+  }
+  out << StringPrintf(" -> %s\n", Passed() ? "PASSED" : "FAILED");
+  return out.str();
+}
+
+}  // namespace tpcds

@@ -1,0 +1,96 @@
+#ifndef TPCDS_DRIVER_DRILL_H_
+#define TPCDS_DRIVER_DRILL_H_
+
+#include <string>
+#include <vector>
+
+#include "driver/driver.h"
+#include "util/fault.h"
+
+namespace tpcds {
+
+/// One chaos drill: a workload profile executed under a time-phased fault
+/// schedule, followed by the standing invariant checks. config.base
+/// carries everything the benchmark needs (scale, streams, seed, the
+/// profile, service admission knobs); checkpoint_dir and wal_path are
+/// both required — the recovery invariant replays the WAL over the
+/// checkpoint and demands byte identity with the live state.
+struct DrillConfig {
+  BenchmarkConfig base;
+  ChaosSchedule schedule;
+};
+
+/// Everything one drill measured and verified. A drill "passes" when all
+/// standing invariants hold — faults firing, queries failing and cycles
+/// crashing are all expected; what must never happen is a lost query, a
+/// leaked reservation, an unbounded retry storm, or a recovered state
+/// that differs from the live one.
+struct DrillResult {
+  std::string profile;   // canonical profile spec
+  std::string schedule;  // canonical schedule spec
+
+  double t_load_sec = 0.0;
+  double t_drill_sec = 0.0;  // concurrent query + duty-cycle interval
+  int streams = 0;
+  int queries_expected = 0;
+
+  std::vector<QueryExecution> executions;
+  FailureReport failures;
+  ServiceCounters counters;
+  double queries_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+
+  int refresh_cycles_attempted = 0;
+  int refresh_cycles_failed = 0;
+  int64_t faults_fired = 0;       // across all sites, rules + windows
+  std::string schedule_report;    // per-window calls/fired lines
+
+  // Standing invariants.
+  bool counters_balanced = false;   // no lost queries in the service
+  bool pool_drained = false;        // global memory pool back to zero
+  bool no_lost_queries = false;     // every expected query accounted for
+  bool retries_bounded = false;     // total retries within the budget
+  bool recovery_ran = false;
+  bool recovery_verified = false;   // recovered hash == live hash
+  bool audit_clean = false;         // FK/PK/SCD constraints on recovered db
+  RecoveryReport recovery;
+
+  /// True iff every standing invariant held (recovery invariants only
+  /// count when the drill was configured to run them).
+  bool Passed() const {
+    return counters_balanced && pool_drained && no_lost_queries &&
+           retries_bounded && (!recovery_ran || (recovery_verified &&
+                                                 audit_clean));
+  }
+
+  std::string ToString() const;
+};
+
+/// Runs one chaos drill end to end on a fresh database: timed load,
+/// checkpoint, then the profile's query streams (through the admission-
+/// controlled service, reading via facade snapshots) concurrently with
+/// its read/refresh duty cycle, all under the armed fault schedule;
+/// afterwards the injector is disarmed and the standing invariants are
+/// verified, including crash recovery from checkpoint + WAL with a
+/// byte-identity hash check and a full constraint audit.
+///
+/// Returns an error Status only for harness failures (bad config, load
+/// failure); workload-level failures land in the DrillResult — check
+/// Passed().
+Result<DrillResult> RunChaosDrill(const DrillConfig& config);
+
+/// Executes the profile × schedule matrix: one drill per combination,
+/// each against a fresh database and scratch state under
+/// `scratch_dir/drill_<i>_<j>`. Stops early on harness errors; drill
+/// failures are reported in the results.
+Result<std::vector<DrillResult>> RunDrillMatrix(
+    const BenchmarkConfig& base,
+    const std::vector<WorkloadProfile>& profiles,
+    const std::vector<ChaosSchedule>& schedules,
+    const std::string& scratch_dir);
+
+}  // namespace tpcds
+
+#endif  // TPCDS_DRIVER_DRILL_H_

@@ -20,20 +20,23 @@ namespace tpcds {
 namespace {
 
 /// Jittered exponential backoff before retry `attempt` (1-based count of
-/// attempts already made): base * 2^(attempt-1), scaled by a deterministic
-/// jitter in [0.5, 1.5) so colliding streams don't retry in lock-step.
-void BackoffBeforeRetry(double base_ms, int attempt, uint64_t jitter_key) {
+/// attempts already made): base * 2^(attempt-1), scaled by a jitter in
+/// [0.5, 1.5) drawn from the caller's own seeded stream. Each stream owns
+/// one RngStream seeded from (config seed, stream id), so its retry
+/// schedule is a pure function of its own retry history — deterministic
+/// per stream and independent of how other streams interleave.
+void BackoffBeforeRetry(double base_ms, int attempt, RngStream* jitter_rng) {
   if (base_ms <= 0.0) return;
   double factor = static_cast<double>(1u << std::min(attempt - 1, 10));
-  double jitter =
-      0.5 + static_cast<double>(Mix64(jitter_key ^
-                                      static_cast<uint64_t>(attempt)) >>
-                                11) /
-                9007199254740992.0;  // 2^53
+  double jitter = 0.5 + jitter_rng->NextDouble();
   double sleep_ms = base_ms * factor * jitter;
   std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
       sleep_ms));
 }
+
+/// Seed tag for per-stream retry-jitter streams (distinct from the
+/// 777/778/779 qgen permutation tags).
+constexpr uint64_t kRetryJitterTag = 781;
 
 /// Merges one query run's service telemetry into the benchmark-level
 /// accumulator: monotonic counters sum, high-water marks take the max.
@@ -103,6 +106,15 @@ Result<double> RunQueryRun(const BenchmarkConfig& config, Database* db,
                     ? config.streams
                     : ScalingModel::MinimumStreams(config.scale_factor);
   int max_attempts = std::max(1, config.max_query_attempts);
+  // A non-classical bind profile switches the stream from the fixed
+  // template permutation to the profile-driven sequence (mix weights,
+  // session chains) with skewed substitution draws. The default profile
+  // keeps this false and the run byte-identical to the classical path.
+  const BindProfile& bind = config.profile.bind;
+  bool profiled =
+      !bind.uniform() || bind.chain_length > 1 ||
+      !(bind.adhoc_weight == bind.reporting_weight &&
+        bind.hybrid_weight == bind.adhoc_weight);
 
   // The service the run's streams submit through. Defaults preserve the
   // classical execution rules (every stream always runs: one worker slot
@@ -147,16 +159,32 @@ Result<double> RunQueryRun(const BenchmarkConfig& config, Database* db,
       }
       Session session = service->OpenSession(session_options);
       clients.emplace_back([&, stream_id, session] {
-        // Family-aware order: iterative-OLAP drill sequences run as
-        // contiguous sessions inside the stream (paper §4.1).
-        std::vector<int> order =
-            qgen.StreamPermutation(stream_id, templates);
-        int to_run = std::min<int>(config.queries_per_stream,
-                                   static_cast<int>(order.size()));
-        for (int k = 0; k < to_run; ++k) {
+        // Classical path: family-aware order — iterative-OLAP drill
+        // sequences run as contiguous sessions inside the stream (paper
+        // §4.1). Profiled path: the mix-weighted sequence, with session
+        // chains expanded in place.
+        std::vector<ProfileSlot> slots;
+        if (profiled) {
+          slots = qgen.ProfileSequence(stream_id, templates, bind,
+                                       config.queries_per_stream);
+        } else {
+          std::vector<int> order =
+              qgen.StreamPermutation(stream_id, templates);
+          int to_run = std::min<int>(config.queries_per_stream,
+                                     static_cast<int>(order.size()));
+          for (int k = 0; k < to_run; ++k) {
+            slots.push_back(
+                ProfileSlot{order[static_cast<size_t>(k)], -1, 0});
+          }
+        }
+        RngStream retry_rng(DeriveSeed(config.seed, kRetryJitterTag,
+                                       static_cast<uint64_t>(stream_id)));
+        for (const ProfileSlot& slot : slots) {
           const QueryTemplate& tmpl =
-              templates[static_cast<size_t>(order[static_cast<size_t>(k)])];
-          Result<std::string> sql = qgen.Instantiate(tmpl, stream_id);
+              templates[static_cast<size_t>(slot.template_index)];
+          Result<std::string> sql =
+              qgen.Instantiate(tmpl, stream_id, /*iteration=*/0,
+                               profiled ? &bind : nullptr, slot.chain_step);
           if (!sql.ok()) {
             // Instantiation is deterministic — retrying cannot help.
             std::lock_guard<std::mutex> lock(mu);
@@ -187,9 +215,7 @@ Result<double> RunQueryRun(const BenchmarkConfig& config, Database* db,
           while (!result.ok() && failures != nullptr &&
                  attempts < max_attempts) {
             BackoffBeforeRetry(config.retry_backoff_ms, attempts,
-                               config.seed ^
-                                   Mix64(static_cast<uint64_t>(stream_id)) ^
-                                   static_cast<uint64_t>(tmpl.id));
+                               &retry_rng);
             result = run_query();
             ++attempts;
           }
@@ -287,6 +313,7 @@ Result<BenchmarkResult> RunBenchmark(const BenchmarkConfig& config,
   result.streams = config.streams > 0
                        ? config.streams
                        : ScalingModel::MinimumStreams(config.scale_factor);
+  result.workload_profile = config.profile.ToString();
   int max_attempts = std::max(1, config.max_query_attempts);
 
   // Fig. 11: Database Load Test.
@@ -356,14 +383,47 @@ Result<BenchmarkResult> RunBenchmark(const BenchmarkConfig& config,
       }
     }
     Stopwatch timer;
+    // Read/refresh duty cycle (overlap mode only): instead of the single
+    // DM run, fire maintenance generations on the profile's cadence
+    // while the concurrent query streams keep reading through the
+    // provider's facade swaps. Cycle failures are recorded, not retried:
+    // each firing is its own generation, and the next one proceeds.
+    if (provider != nullptr && config.profile.refresh_period_ms > 0.0) {
+      int cycles = std::max(1, config.profile.max_refresh_cycles);
+      DutyCycleReport duty;
+      Status status = RunRefreshDutyCycle(
+          db, dm, cycles, config.profile.refresh_period_ms, &duty, wal_ptr,
+          provider);
+      for (MaintenanceOpResult& op : duty.operations.operations) {
+        result.dm_report.operations.push_back(std::move(op));
+      }
+      for (const std::string& err : duty.errors) {
+        out.failures.push_back(QueryFailure{0, -1, 1, "dm", err});
+      }
+      if (!status.ok()) {
+        out.failures.push_back(
+            QueryFailure{0, -1, 1, "dm", status.message()});
+      }
+      if (wal_ptr != nullptr) {
+        Status closed = wal.Close();
+        if (!closed.ok()) {
+          out.failures.push_back(
+              QueryFailure{0, -1, 1, "wal", closed.message()});
+        }
+      }
+      out.seconds = timer.ElapsedSeconds();
+      return out;
+    }
     Status status =
         RunMaintenanceGeneration(db, dm, &result.dm_report, wal_ptr,
                                  provider);
     if (wal_ptr == nullptr) {
+      RngStream dm_retry_rng(
+          DeriveSeed(config.seed, kRetryJitterTag, 0xD11Dull));
       int attempts = 1;
       while (!status.ok() && attempts < max_attempts) {
         BackoffBeforeRetry(config.retry_backoff_ms, attempts,
-                           config.seed ^ 0xD11D11D11D11D11Dull);
+                           &dm_retry_rng);
         status = RunMaintenanceGeneration(db, dm, &result.dm_report,
                                           nullptr, provider);
         ++attempts;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "driver/profile.h"
 #include "engine/database.h"
 #include "engine/recovery.h"
 #include "maintenance/maintenance.h"
@@ -69,6 +70,13 @@ struct BenchmarkConfig {
   /// newest strictly-lower-priority waiter), so the default changes
   /// nothing in classical runs.
   int service_priority_spread = 0;
+  /// Workload profile (see driver/profile.h): bind-variable skew,
+  /// template mix ratios, session chains and the read/refresh duty
+  /// cycle. The default ("uniform") reproduces the classical benchmark
+  /// byte for byte. A refresh duty cycle only takes effect with
+  /// overlap_dm_qr2 (the classical serialized DM phase has no live
+  /// streams to interleave with).
+  WorkloadProfile profile;
 };
 
 /// One executed query instance.
@@ -110,9 +118,12 @@ struct BenchmarkResult {
   /// latency, for the report's p50/p95/p99.
   ServiceCounters service;
   std::vector<double> service_latencies_ms;
+  /// Canonical spec of the workload profile the run executed under.
+  std::string workload_profile;
 
   MetricInputs ToMetricInputs() const {
     MetricInputs in;
+    in.workload_profile = workload_profile;
     in.scale_factor = scale_factor;
     in.streams = streams;
     in.t_load_sec = t_load_sec;

@@ -1,0 +1,230 @@
+#include "driver/profile.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace tpcds {
+namespace {
+
+const char* kKnownPresets =
+    "uniform, hot-skew, reporting, adhoc, chains, refresh-duty";
+
+Status ParseDouble(const std::string& value, const std::string& context,
+                   double* out) {
+  char* end = nullptr;
+  double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad numeric value in profile override: " +
+                                   context);
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status ParseInt(const std::string& value, const std::string& context,
+                long long* out) {
+  char* end = nullptr;
+  long long v = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad integer value in profile override: " +
+                                   context);
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status ApplyOverride(WorkloadProfile* profile, const std::string& key,
+                     const std::string& value, const std::string& context) {
+  if (key == "theta") {
+    double v = 0.0;
+    Status st = ParseDouble(value, context, &v);
+    if (!st.ok()) return st;
+    if (v < 0.0 || v >= 1.0) {
+      return Status::InvalidArgument("theta must be in [0, 1): " + context);
+    }
+    profile->bind.zipf_theta = v;
+    return Status::OK();
+  }
+  if (key == "hot_dates") {
+    if (value == "1" || value == "true") {
+      profile->bind.hot_dates = true;
+    } else if (value == "0" || value == "false") {
+      profile->bind.hot_dates = false;
+    } else {
+      return Status::InvalidArgument("hot_dates must be 0/1: " + context);
+    }
+    return Status::OK();
+  }
+  if (key == "adhoc" || key == "reporting" || key == "hybrid") {
+    double v = 0.0;
+    Status st = ParseDouble(value, context, &v);
+    if (!st.ok()) return st;
+    if (v < 0.0) {
+      return Status::InvalidArgument("mix weights must be >= 0: " + context);
+    }
+    if (key == "adhoc") profile->bind.adhoc_weight = v;
+    if (key == "reporting") profile->bind.reporting_weight = v;
+    if (key == "hybrid") profile->bind.hybrid_weight = v;
+    return Status::OK();
+  }
+  if (key == "chain") {
+    long long v = 0;
+    Status st = ParseInt(value, context, &v);
+    if (!st.ok()) return st;
+    if (v < 1) {
+      return Status::InvalidArgument("chain must be >= 1: " + context);
+    }
+    profile->bind.chain_length = static_cast<int>(v);
+    return Status::OK();
+  }
+  if (key == "refresh_ms") {
+    double v = 0.0;
+    Status st = ParseDouble(value, context, &v);
+    if (!st.ok()) return st;
+    if (v < 0.0) {
+      return Status::InvalidArgument("refresh_ms must be >= 0: " + context);
+    }
+    profile->refresh_period_ms = v;
+    return Status::OK();
+  }
+  if (key == "refresh_cycles") {
+    long long v = 0;
+    Status st = ParseInt(value, context, &v);
+    if (!st.ok()) return st;
+    if (v < 0) {
+      return Status::InvalidArgument("refresh_cycles must be >= 0: " +
+                                     context);
+    }
+    profile->max_refresh_cycles = static_cast<int>(v);
+    return Status::OK();
+  }
+  if (key == "salt") {
+    char* end = nullptr;
+    profile->bind.seed_salt =
+        static_cast<uint64_t>(std::strtoull(value.c_str(), &end, 10));
+    if (end == value.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad salt value: " + context);
+    }
+    return Status::OK();
+  }
+  return Status::InvalidArgument(
+      "unknown profile override '" + key +
+      "' (known: theta, hot_dates, adhoc, reporting, hybrid, chain, "
+      "refresh_ms, refresh_cycles, salt)");
+}
+
+}  // namespace
+
+Result<WorkloadProfile> WorkloadProfile::Preset(const std::string& name) {
+  WorkloadProfile p;
+  p.name = name;
+  if (name == "uniform") return p;
+  if (name == "hot-skew") {
+    p.bind.zipf_theta = 0.8;
+    p.bind.hot_dates = true;
+    return p;
+  }
+  if (name == "reporting") {
+    p.bind.reporting_weight = 4.0;
+    return p;
+  }
+  if (name == "adhoc") {
+    p.bind.adhoc_weight = 4.0;
+    return p;
+  }
+  if (name == "chains") {
+    p.bind.chain_length = 4;
+    return p;
+  }
+  if (name == "refresh-duty") {
+    p.refresh_period_ms = 25.0;
+    p.max_refresh_cycles = 4;
+    return p;
+  }
+  return Status::InvalidArgument("unknown workload profile '" + name +
+                                 "' (known: " + std::string(kKnownPresets) +
+                                 ")");
+}
+
+Result<WorkloadProfile> WorkloadProfile::Parse(const std::string& spec) {
+  std::string text(Trim(spec));
+  if (StartsWith(text, "@")) {
+    std::ifstream in(text.substr(1));
+    if (!in) {
+      return Status::NotFound("cannot read profile file: " + text.substr(1));
+    }
+    std::string joined;
+    std::string line;
+    while (std::getline(in, line)) {
+      std::string_view t = Trim(line);
+      if (t.empty() || t[0] == '#') continue;
+      if (!joined.empty()) joined += ",";
+      joined += std::string(t);
+    }
+    text = joined;
+  }
+  std::vector<std::string> parts = Split(text, ',');
+  if (parts.empty() || Trim(parts[0]).empty()) {
+    return Status::InvalidArgument("empty workload profile spec");
+  }
+  Result<WorkloadProfile> preset = Preset(std::string(Trim(parts[0])));
+  if (!preset.ok()) return preset.status();
+  WorkloadProfile profile = *preset;
+  for (size_t i = 1; i < parts.size(); ++i) {
+    std::string override_text(Trim(parts[i]));
+    if (override_text.empty()) continue;
+    size_t eq = override_text.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("profile override missing '=': " +
+                                     override_text);
+    }
+    Status st = ApplyOverride(&profile,
+                              std::string(Trim(override_text.substr(0, eq))),
+                              std::string(Trim(override_text.substr(eq + 1))),
+                              override_text);
+    if (!st.ok()) return st;
+  }
+  return profile;
+}
+
+std::string WorkloadProfile::ToString() const {
+  // Canonical form: preset name plus every override off that preset.
+  Result<WorkloadProfile> base_result = Preset(name);
+  WorkloadProfile base =
+      base_result.ok() ? *base_result : WorkloadProfile{};
+  std::ostringstream out;
+  out << name;
+  if (bind.zipf_theta != base.bind.zipf_theta) {
+    out << ",theta=" << bind.zipf_theta;
+  }
+  if (bind.hot_dates != base.bind.hot_dates) {
+    out << ",hot_dates=" << (bind.hot_dates ? 1 : 0);
+  }
+  if (bind.adhoc_weight != base.bind.adhoc_weight) {
+    out << ",adhoc=" << bind.adhoc_weight;
+  }
+  if (bind.reporting_weight != base.bind.reporting_weight) {
+    out << ",reporting=" << bind.reporting_weight;
+  }
+  if (bind.hybrid_weight != base.bind.hybrid_weight) {
+    out << ",hybrid=" << bind.hybrid_weight;
+  }
+  if (bind.chain_length != base.bind.chain_length) {
+    out << ",chain=" << bind.chain_length;
+  }
+  if (refresh_period_ms != base.refresh_period_ms) {
+    out << ",refresh_ms=" << refresh_period_ms;
+  }
+  if (max_refresh_cycles != base.max_refresh_cycles) {
+    out << ",refresh_cycles=" << max_refresh_cycles;
+  }
+  if (bind.seed_salt != base.bind.seed_salt) {
+    out << ",salt=" << bind.seed_salt;
+  }
+  return out.str();
+}
+
+}  // namespace tpcds

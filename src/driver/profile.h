@@ -1,0 +1,69 @@
+#ifndef TPCDS_DRIVER_PROFILE_H_
+#define TPCDS_DRIVER_PROFILE_H_
+
+#include <string>
+
+#include "qgen/qgen.h"
+#include "util/result.h"
+
+namespace tpcds {
+
+/// A named, tunable workload profile (the DWEB idea from PAPERS.md applied
+/// to TPC-DS): bind-variable skew, template mix ratios, session-chain
+/// behaviour, and the read/refresh duty cycle are all parameters instead
+/// of the single fixed uniform loop. Profiles are what the chaos drills
+/// iterate over — each scenario class gets its own throughput/tail gates.
+///
+/// Presets (Preset() / the `-profile` flag):
+///
+///   uniform       the classical benchmark behaviour (all defaults)
+///   hot-skew      Zipf theta 0.8 value draws + hot recent date ranges
+///   reporting     reporting templates drawn 4x as often as ad-hoc/hybrid
+///   adhoc         ad-hoc templates drawn 4x as often
+///   chains        iterative-OLAP sessions: every pick becomes a 4-step
+///                 chain that tightens its IN-list predicate per step
+///   refresh-duty  maintenance generations fire on a 25 ms cadence (up to
+///                 4 cycles) while client streams stay live via facade
+///                 hot-swaps
+///
+/// Spec grammar (Parse() / flags / config file):
+///
+///   spec   := preset ("," override)*  |  "@" path
+///   override := key "=" value, key in {theta, hot_dates, adhoc,
+///               reporting, hybrid, chain, refresh_ms, refresh_cycles,
+///               salt}
+///
+/// "@path" reads the same spec text from a file ('#' comments and
+/// newlines allowed). Example: "hot-skew,theta=0.95,chain=3".
+struct WorkloadProfile {
+  std::string name = "uniform";
+  /// Bind-variable skew / mix / chain parameters, fed to the query
+  /// generator (QueryGenerator::Instantiate / ProfileSequence).
+  BindProfile bind;
+  /// Read/refresh duty cycle: > 0 fires RunMaintenanceGeneration every
+  /// period while query streams stay live (drill runner / duty-cycle
+  /// loop); 0 keeps the classical serialized DM phase.
+  double refresh_period_ms = 0.0;
+  /// Upper bound on duty-cycle refresh generations (0 = none).
+  int max_refresh_cycles = 0;
+
+  /// True when the profile changes nothing over the classical run.
+  bool classical() const {
+    return bind.uniform() && bind.adhoc_weight == bind.reporting_weight &&
+           bind.hybrid_weight == bind.adhoc_weight && bind.chain_length <= 1 &&
+           refresh_period_ms <= 0.0;
+  }
+
+  /// The named preset, or InvalidArgument listing the known names.
+  static Result<WorkloadProfile> Preset(const std::string& name);
+
+  /// Parses "preset[,key=value...]" or "@file" (see grammar above).
+  static Result<WorkloadProfile> Parse(const std::string& spec);
+
+  /// Canonical spec string: name plus every non-default override.
+  std::string ToString() const;
+};
+
+}  // namespace tpcds
+
+#endif  // TPCDS_DRIVER_PROFILE_H_

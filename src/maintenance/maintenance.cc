@@ -1,7 +1,9 @@
 #include "maintenance/maintenance.h"
 
 #include <algorithm>
+#include <chrono>
 #include <string_view>
+#include <thread>
 #include <unordered_set>
 
 #include "dsgen/generators_internal.h"
@@ -595,6 +597,41 @@ Status RunMaintenanceGeneration(Database* db,
     if (provider != nullptr) provider->Publish(db->Snapshot());
   }
   return status;
+}
+
+Status RunRefreshDutyCycle(Database* db,
+                           const MaintenanceOptions& base_options, int cycles,
+                           double period_ms, DutyCycleReport* report,
+                           WalWriter* wal, DataFacadeProvider* provider,
+                           const std::atomic<bool>* stop) {
+  if (cycles < 1) {
+    return Status::InvalidArgument("duty cycle needs at least one firing");
+  }
+  if (period_ms < 0.0) {
+    return Status::InvalidArgument("duty cycle period must be >= 0 ms");
+  }
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    if (stop != nullptr && stop->load(std::memory_order_acquire)) break;
+    if (period_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(period_ms));
+    }
+    if (stop != nullptr && stop->load(std::memory_order_acquire)) break;
+    MaintenanceOptions options = base_options;
+    options.refresh_cycle = base_options.refresh_cycle + cycle;
+    MaintenanceReport cycle_report;
+    ++report->cycles_attempted;
+    Status status =
+        RunMaintenanceGeneration(db, options, &cycle_report, wal, provider);
+    for (MaintenanceOpResult& op : cycle_report.operations) {
+      report->operations.operations.push_back(std::move(op));
+    }
+    if (!status.ok()) {
+      ++report->cycles_failed;
+      report->errors.push_back(status.ToString());
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace tpcds

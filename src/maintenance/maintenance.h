@@ -1,6 +1,7 @@
 #ifndef TPCDS_MAINTENANCE_MAINTENANCE_H_
 #define TPCDS_MAINTENANCE_MAINTENANCE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -88,6 +89,35 @@ Status RunMaintenanceGeneration(Database* db,
                                 MaintenanceReport* report,
                                 WalWriter* wal = nullptr,
                                 DataFacadeProvider* provider = nullptr);
+
+/// Outcome of a read/refresh duty cycle (RunRefreshDutyCycle).
+struct DutyCycleReport {
+  int cycles_attempted = 0;
+  /// Cycles whose generation build failed (e.g. a fault window fired
+  /// mid-build); without a WAL the fork is discarded and the published
+  /// state is untouched, with a WAL the committed prefix is published.
+  int cycles_failed = 0;
+  /// Error text of each failed cycle, in order.
+  std::vector<std::string> errors;
+  /// Per-operation results of every committed operation across cycles.
+  MaintenanceReport operations;
+};
+
+/// The read/refresh duty cycle of a workload profile: fires
+/// RunMaintenanceGeneration every `period_ms` (first firing after one
+/// period) while concurrent query streams stay live through the
+/// provider's facade swaps. Each firing advances options.refresh_cycle
+/// from base_options.refresh_cycle, so cycles touch disjoint refresh
+/// sets. Runs at most `cycles` firings (>= 1), stopping early when
+/// `stop` (optional) becomes true between firings. Cycle failures are
+/// recorded in the report, not returned: a chaos drill wants the crashed
+/// cycle AND the cycles after it.
+Status RunRefreshDutyCycle(Database* db,
+                           const MaintenanceOptions& base_options,
+                           int cycles, double period_ms,
+                           DutyCycleReport* report, WalWriter* wal = nullptr,
+                           DataFacadeProvider* provider = nullptr,
+                           const std::atomic<bool>* stop = nullptr);
 
 // --- individual operations (exposed for unit tests) ----------------------
 // Each accepts an optional WalSession; when omitted, mutations apply

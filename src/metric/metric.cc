@@ -61,6 +61,10 @@ double PricePerformance(double tco_dollars, double qphds) {
 std::string FormatMetricReport(const MetricInputs& in, double tco_dollars) {
   double qphds = QphDs(in);
   std::string out;
+  if (!in.workload_profile.empty() && in.workload_profile != "uniform") {
+    out += StringPrintf("workload profile          %10s  (not metric-valid)\n",
+                        in.workload_profile.c_str());
+  }
   out += StringPrintf("scale factor (SF)         %10.3f\n", in.scale_factor);
   out += StringPrintf("streams (S)               %10d\n", in.streams);
   out += StringPrintf("queries executed (198*S)  %10d\n",

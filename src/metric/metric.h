@@ -14,6 +14,9 @@ inline constexpr int kQueriesPerRun = 99;
 /// The measured intervals that feed the primary metric (paper Fig. 11):
 /// timed database load, Query Run 1, the Data Maintenance run, Query Run 2.
 struct MetricInputs {
+  /// Canonical spec of the workload profile the run executed under
+  /// (driver/profile.h); empty or "uniform" is the classical benchmark.
+  std::string workload_profile;
   double scale_factor = 0.0;
   int streams = 0;
   double t_load_sec = 0.0;

@@ -113,13 +113,28 @@ Result<std::pair<std::vector<Define>, std::string>> SplitTemplate(
 }
 
 /// Evaluates one define into its substitution text.
-Result<std::string> EvaluateDefine(const Define& d, RngStream* rng) {
+///
+/// `theta` > 0 switches value draws from uniform to Zipf-skewed; every
+/// skewed evaluation consumes exactly as many draws as its uniform
+/// counterpart, so a single profile toggle never desynchronizes the
+/// stream. `refine_step` > 0 shrinks list() picks to a prefix of the
+/// step-0 set (the full set is still drawn, keeping draw counts fixed);
+/// all other functions ignore it, so chain steps share base binds.
+Result<std::string> EvaluateDefine(const Define& d, RngStream* rng,
+                                   double theta, bool hot_dates,
+                                   int refine_step) {
+  bool skew = theta > 0.0;
   if (d.function == "random") {
     if (d.args.size() < 2) {
       return Status::ParseError("random() needs lo, hi");
     }
     int64_t lo = std::strtoll(d.args[0].c_str(), nullptr, 10);
     int64_t hi = std::strtoll(d.args[1].c_str(), nullptr, 10);
+    if (skew) {
+      // Hot head at the high end of the range (recent years, late
+      // months), matching where real workloads concentrate.
+      return std::to_string(hi - rng->ZipfInt(hi - lo + 1, theta));
+    }
     return std::to_string(rng->UniformInt(lo, hi));
   }
   if (d.function == "date") {
@@ -135,19 +150,28 @@ Result<std::string> EvaluateDefine(const Define& d, RngStream* rng) {
         ComparabilityZones()[static_cast<size_t>(zone - 1)];
     // The sales window opens 1998-01-02 and closes 5 years later; keep the
     // whole span inside one zone of one year.
-    int year = static_cast<int>(rng->UniformInt(1998, 2002));
+    int year = skew && hot_dates
+                   ? 2002 - static_cast<int>(rng->ZipfInt(5, theta))
+                   : static_cast<int>(rng->UniformInt(1998, 2002));
     Date zone_begin = Date::FromYmd(year, z.first_month, 1);
     Date zone_end = Date::FromYmd(year, z.last_month, 1).EndOfMonth();
     int32_t latest_start = (zone_end - zone_begin) - span;
     if (latest_start < 0) latest_start = 0;
-    Date start = zone_begin.AddDays(
-        static_cast<int>(rng->UniformInt(0, latest_start)));
-    return start.ToString();
+    int offset =
+        skew && hot_dates
+            ? latest_start - static_cast<int>(
+                                 rng->ZipfInt(latest_start + 1, theta))
+            : static_cast<int>(rng->UniformInt(0, latest_start));
+    return zone_begin.AddDays(offset).ToString();
   }
   if (d.function == "dist") {
     if (d.args.size() != 1) return Status::ParseError("dist() needs a name");
     TPCDS_ASSIGN_OR_RETURN(const Distribution* dist,
                            LookupDistribution(d.args[0]));
+    if (skew) {
+      return dist->value(static_cast<size_t>(
+          rng->ZipfInt(static_cast<int64_t>(dist->size()), theta)));
+    }
     // Uniform pick: comparability requires equal likelihood per value.
     return dist->PickUniform(rng);
   }
@@ -162,13 +186,31 @@ Result<std::string> EvaluateDefine(const Define& d, RngStream* rng) {
     want = std::min(want, dist->size());
     std::vector<size_t> picked;
     while (picked.size() < want) {
-      size_t idx = dist->PickUniformIndex(rng);
-      if (std::find(picked.begin(), picked.end(), idx) == picked.end()) {
+      if (skew) {
+        // One draw per accepted pick: collisions probe linearly instead
+        // of redrawing, so the hot head cannot stall the loop.
+        size_t idx = static_cast<size_t>(
+            rng->ZipfInt(static_cast<int64_t>(dist->size()), theta));
+        while (std::find(picked.begin(), picked.end(), idx) != picked.end()) {
+          idx = (idx + 1) % dist->size();
+        }
         picked.push_back(idx);
+      } else {
+        size_t idx = dist->PickUniformIndex(rng);
+        if (std::find(picked.begin(), picked.end(), idx) == picked.end()) {
+          picked.push_back(idx);
+        }
       }
     }
+    // Session-chain refinement: later steps keep a prefix of the step-0
+    // pick set, so each step's IN-list is a strict subset of the last.
+    size_t keep = want;
+    if (refine_step > 0) {
+      size_t drop = static_cast<size_t>(refine_step);
+      keep = drop >= want ? 1 : std::max<size_t>(1, want - drop);
+    }
     std::string out;
-    for (size_t i = 0; i < picked.size(); ++i) {
+    for (size_t i = 0; i < keep; ++i) {
       if (i > 0) out += ", ";
       out += "'" + dist->value(picked[i]) + "'";
     }
@@ -187,17 +229,27 @@ Result<std::string> EvaluateDefine(const Define& d, RngStream* rng) {
 QueryGenerator::QueryGenerator(uint64_t seed) : seed_(seed) {}
 
 Result<std::string> QueryGenerator::Instantiate(const QueryTemplate& tmpl,
-                                                int stream,
-                                                int iteration) const {
+                                                int stream, int iteration,
+                                                const BindProfile* profile,
+                                                int refine_step) const {
   TPCDS_ASSIGN_OR_RETURN(auto parts, SplitTemplate(tmpl.text));
   auto& [defines, sql] = parts;
+  // refine_step is deliberately NOT part of the seed: every step of a
+  // session chain re-derives the step-0 binds and only the list()
+  // prefixes differ, which is what makes the chain a refinement.
+  uint64_t master = seed_ ^ (profile != nullptr ? profile->seed_salt : 0);
   RngStream rng(DeriveSeed(
-      seed_,
+      master,
       static_cast<uint64_t>(tmpl.id) * 1000 + static_cast<uint64_t>(stream),
       static_cast<uint64_t>(iteration)));
+  double theta =
+      profile != nullptr && !profile->uniform() ? profile->zipf_theta : 0.0;
+  bool hot_dates = profile != nullptr && profile->hot_dates;
   std::map<std::string, std::string> values;
   for (const Define& d : defines) {
-    TPCDS_ASSIGN_OR_RETURN(std::string v, EvaluateDefine(d, &rng));
+    TPCDS_ASSIGN_OR_RETURN(
+        std::string v,
+        EvaluateDefine(d, &rng, theta, hot_dates, refine_step));
     values[d.name] = std::move(v);
   }
   // Substitute [NAME] occurrences.
@@ -220,6 +272,53 @@ Result<std::string> QueryGenerator::Instantiate(const QueryTemplate& tmpl,
       }
     }
     out += sql[i++];
+  }
+  return out;
+}
+
+std::vector<ProfileSlot> QueryGenerator::ProfileSequence(
+    int stream, const std::vector<QueryTemplate>& templates,
+    const BindProfile& profile, int length) const {
+  std::vector<ProfileSlot> out;
+  if (length <= 0 || templates.empty()) return out;
+  // Partition templates by class; absent classes get zero weight.
+  std::vector<std::vector<int>> by_class(3);
+  for (size_t i = 0; i < templates.size(); ++i) {
+    by_class[static_cast<size_t>(templates[i].query_class)].push_back(
+        static_cast<int>(i));
+  }
+  std::vector<double> weights = {profile.adhoc_weight,
+                                 profile.reporting_weight,
+                                 profile.hybrid_weight};
+  double total = 0.0;
+  for (size_t c = 0; c < 3; ++c) {
+    if (by_class[c].empty() || weights[c] < 0.0) weights[c] = 0.0;
+    total += weights[c];
+  }
+  if (total <= 0.0) {
+    // Degenerate weights: fall back to drawing any present class.
+    for (size_t c = 0; c < 3; ++c) weights[c] = by_class[c].empty() ? 0 : 1;
+  }
+  RngStream rng(DeriveSeed(seed_ ^ profile.seed_salt, 779,
+                           static_cast<uint64_t>(stream)));
+  int chain_len = std::max(1, profile.chain_length);
+  int next_chain = 0;
+  while (static_cast<int>(out.size()) < length) {
+    // Two draws per pick (class, then template within class), so the
+    // sequence stays aligned regardless of the weights chosen.
+    size_t cls = rng.WeightedPick(weights);
+    const std::vector<int>& pool = by_class[cls];
+    int tmpl_idx = pool[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
+    if (chain_len == 1) {
+      out.push_back(ProfileSlot{tmpl_idx, -1, 0});
+      continue;
+    }
+    int chain_id = next_chain++;
+    for (int step = 0;
+         step < chain_len && static_cast<int>(out.size()) < length; ++step) {
+      out.push_back(ProfileSlot{tmpl_idx, chain_id, step});
+    }
   }
   return out;
 }

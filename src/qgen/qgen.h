@@ -9,6 +9,43 @@
 
 namespace tpcds {
 
+/// Bind-variable skew and mix parameters of a workload profile (the
+/// DWEB-style tunable workload, PAPERS.md). The default-constructed
+/// profile reproduces the uniform comparability-zone draws byte for
+/// byte; raising zipf_theta concentrates substitution draws on hot
+/// values, hot_dates skews date() picks toward recent years, and the
+/// class weights tilt the template mix toward ad-hoc or reporting
+/// queries. All draws stay seeded and deterministic per stream.
+struct BindProfile {
+  /// Skew of value draws (random/dist/list defines): 0 = uniform,
+  /// -> 1 concentrates mass on the hot head. Must be in [0, 1).
+  double zipf_theta = 0.0;
+  /// Skew date() draws toward recent years / late-in-zone days using
+  /// zipf_theta (requires zipf_theta > 0 to have an effect).
+  bool hot_dates = false;
+  /// Template-mix weights by query class; a (1, 4, 1) profile draws
+  /// reporting templates 4x as often as either other class.
+  double adhoc_weight = 1.0;
+  double reporting_weight = 1.0;
+  double hybrid_weight = 1.0;
+  /// >1 expands each picked template into an iterative session chain of
+  /// this many steps that tightens its IN-list predicate step by step.
+  int chain_length = 1;
+  /// XORed into the master seed so distinct profiles sharing one
+  /// benchmark seed draw from decorrelated streams.
+  uint64_t seed_salt = 0;
+
+  /// True when bind draws are identical to the unprofiled path.
+  bool uniform() const { return zipf_theta <= 0.0; }
+};
+
+/// One slot of a profile-driven stream sequence (ProfileSequence).
+struct ProfileSlot {
+  int template_index = 0;  // index into the templates vector
+  int chain_id = -1;       // -1 standalone; else the session chain id
+  int chain_step = 0;      // 0-based step within the chain
+};
+
 /// The query generator (the paper's dsqgen, ref [10]): instantiates query
 /// templates by substituting bind variables drawn from the same
 /// distributions the data generator used — the tool coupling that makes
@@ -23,8 +60,28 @@ class QueryGenerator {
   /// block, evaluates each substitution deterministically, splices the
   /// values into the SQL text. The same (template, stream, iteration)
   /// always yields the same SQL.
+  ///
+  /// `profile` (optional) skews the draws per the BindProfile; null or a
+  /// uniform profile is byte-identical to the unprofiled path.
+  /// `refine_step` > 0 instantiates a later step of an iterative session
+  /// chain over the same base binds: every scalar substitution keeps its
+  /// step-0 value while list() predicates shrink to a prefix of the
+  /// step-0 pick set (one fewer element per step, floor 1) — the
+  /// "tighten a predicate across consecutive queries" session shape.
   Result<std::string> Instantiate(const QueryTemplate& tmpl, int stream,
-                                  int iteration = 0) const;
+                                  int iteration = 0,
+                                  const BindProfile* profile = nullptr,
+                                  int refine_step = 0) const;
+
+  /// A profile-driven sequence of `length` slots for one stream: each
+  /// slot picks a template class by the profile's mix weights, then a
+  /// template uniformly within the class; with chain_length > 1 every
+  /// pick expands in place into a session chain whose steps share
+  /// chain_id and advance chain_step (feed chain_step to Instantiate's
+  /// refine_step). Deterministic per (seed, profile salt, stream).
+  std::vector<ProfileSlot> ProfileSequence(
+      int stream, const std::vector<QueryTemplate>& templates,
+      const BindProfile& profile, int length) const;
 
   /// The order in which a stream executes the 99 templates: a
   /// deterministic permutation, distinct per stream, so concurrent

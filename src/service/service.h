@@ -100,6 +100,9 @@ struct ServiceCounters {
                rejected_deadline ==
            submitted;
   }
+  /// The drained-pool invariant: every reservation charged to the global
+  /// memory pool was released by the time the counters were snapshotted.
+  bool PoolDrained() const { return pool_bytes_in_use == 0; }
   std::string ToString() const;
 };
 

@@ -1,5 +1,6 @@
 #include "util/fault.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,7 +41,131 @@ int SiteIndex(const char* site) {
   return -1;
 }
 
+std::string KnownSites() {
+  std::string known;
+  for (const std::string& s : SiteCatalog()) {
+    if (!known.empty()) known += ", ";
+    known += s;
+  }
+  return known;
+}
+
+/// Default prob seed for a site (or a window on it): derived from the
+/// site index so bare "prob:P" rules on different sites never fire in
+/// lockstep, yet reruns of the same spec are bit-identical. `salt`
+/// decorrelates chaos windows from the static rule on the same site
+/// (and from each other).
+uint64_t DefaultProbSeed(int site_idx, uint64_t salt) {
+  return Mix64(static_cast<uint64_t>(site_idx + 1) * 1000003ULL + salt);
+}
+
+Status ParseMs(const std::string& text, const std::string& context,
+               double* out) {
+  char* end = nullptr;
+  double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || v < 0.0) {
+    return Status::InvalidArgument("bad millisecond value in: " + context);
+  }
+  *out = v;
+  return Status::OK();
+}
+
 }  // namespace
+
+Result<FaultTrigger> ParseFaultTrigger(const std::string& text) {
+  FaultTrigger trigger;
+  if (StartsWith(text, "nth:") || StartsWith(text, "every:")) {
+    bool one_shot = StartsWith(text, "nth:");
+    std::string num(text.substr(one_shot ? 4 : 6));
+    char* end = nullptr;
+    long long n = std::strtoll(num.c_str(), &end, 10);
+    if (end == num.c_str() || *end != '\0' || n <= 0) {
+      return Status::InvalidArgument("bad fault count in: " + text);
+    }
+    trigger.kind =
+        one_shot ? FaultTrigger::Kind::kNth : FaultTrigger::Kind::kEvery;
+    trigger.n = static_cast<uint64_t>(n);
+    return trigger;
+  }
+  if (StartsWith(text, "prob:")) {
+    std::vector<std::string> fields = Split(text.substr(5), ':');
+    if (fields.empty() || fields.size() > 2) {
+      return Status::InvalidArgument("bad prob trigger in: " + text);
+    }
+    char* end = nullptr;
+    double p = std::strtod(fields[0].c_str(), &end);
+    if (end == fields[0].c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument("bad probability in: " + text);
+    }
+    trigger.kind = FaultTrigger::Kind::kProb;
+    trigger.p = p;
+    if (fields.size() == 2) {
+      char* seed_end = nullptr;
+      trigger.seed = static_cast<uint64_t>(
+          std::strtoull(fields[1].c_str(), &seed_end, 10));
+      if (seed_end == fields[1].c_str() || *seed_end != '\0') {
+        return Status::InvalidArgument("bad prob seed in: " + text);
+      }
+      trigger.has_seed = true;
+    }
+    return trigger;
+  }
+  return Status::InvalidArgument(
+      "unknown fault trigger (want nth:/every:/prob:): " + text);
+}
+
+Result<ChaosSchedule> ChaosSchedule::Parse(const std::string& spec) {
+  ChaosSchedule schedule;
+  for (const std::string& part : Split(spec, ',')) {
+    std::string window_text(Trim(part));
+    if (window_text.empty()) continue;
+    size_t at = window_text.find('@');
+    size_t eq = window_text.find('=');
+    if (at == std::string::npos || eq == std::string::npos || eq < at) {
+      return Status::InvalidArgument(
+          "chaos window must look like site@START_MS+DURATION_MS=trigger: " +
+          window_text);
+    }
+    Window window;
+    window.site = Trim(window_text.substr(0, at));
+    if (SiteIndex(window.site.c_str()) < 0) {
+      return Status::InvalidArgument("unknown fault site '" + window.site +
+                                     "' (known: " + KnownSites() + ")");
+    }
+    std::string phase(Trim(window_text.substr(at + 1, eq - at - 1)));
+    size_t plus = phase.find('+');
+    if (plus == std::string::npos) {
+      return Status::InvalidArgument(
+          "chaos window phase must be START_MS+DURATION_MS: " + window_text);
+    }
+    Status st = ParseMs(std::string(Trim(phase.substr(0, plus))), window_text,
+                        &window.start_ms);
+    if (!st.ok()) return st;
+    st = ParseMs(std::string(Trim(phase.substr(plus + 1))), window_text,
+                 &window.duration_ms);
+    if (!st.ok()) return st;
+    if (window.duration_ms <= 0.0) {
+      return Status::InvalidArgument("chaos window duration must be > 0: " +
+                                     window_text);
+    }
+    window.trigger_text = Trim(window_text.substr(eq + 1));
+    Result<FaultTrigger> trigger = ParseFaultTrigger(window.trigger_text);
+    if (!trigger.ok()) return trigger.status();
+    window.trigger = *trigger;
+    schedule.windows.push_back(std::move(window));
+  }
+  return schedule;
+}
+
+std::string ChaosSchedule::ToString() const {
+  std::string out;
+  for (const Window& w : windows) {
+    if (!out.empty()) out += ",";
+    out += StringPrintf("%s@%g+%g=%s", w.site.c_str(), w.start_ms,
+                        w.duration_ms, w.trigger_text.c_str());
+  }
+  return out;
+}
 
 FaultInjector::FaultInjector() : rules_(SiteCatalog().size()) {
   const char* env = std::getenv("TPCDS_FAULTS");
@@ -62,15 +187,22 @@ const std::vector<std::string>& FaultInjector::Sites() {
   return SiteCatalog();
 }
 
+void FaultInjector::RecomputeArmedLocked() {
+  armed_.store(rules_armed_ || schedule_armed_.load(std::memory_order_relaxed),
+               std::memory_order_release);
+}
+
 void FaultInjector::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   armed_.store(false, std::memory_order_relaxed);
+  rules_armed_ = false;
+  schedule_armed_.store(false, std::memory_order_relaxed);
+  schedule_t0_ns_.store(-1, std::memory_order_relaxed);
+  windows_.clear();
   for (Rule& rule : rules_) {
-    rule.kind = Rule::Kind::kNone;
-    rule.n = 0;
-    rule.p = 0.0;
-    rule.seed = 1;
+    rule.trigger = FaultTrigger();
     rule.calls.store(0, std::memory_order_relaxed);
+    rule.fired.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -86,52 +218,85 @@ Status FaultInjector::Configure(const std::string& spec) {
       return Status::InvalidArgument("fault rule missing '=': " + rule_text);
     }
     std::string site(Trim(rule_text.substr(0, eq)));
-    std::string trigger(Trim(rule_text.substr(eq + 1)));
+    std::string trigger_text(Trim(rule_text.substr(eq + 1)));
     int idx = SiteIndex(site.c_str());
     if (idx < 0) {
-      std::string known;
-      for (const std::string& s : SiteCatalog()) {
-        if (!known.empty()) known += ", ";
-        known += s;
-      }
       return Status::InvalidArgument("unknown fault site '" + site +
-                                     "' (known: " + known + ")");
+                                     "' (known: " + KnownSites() + ")");
     }
+    Result<FaultTrigger> trigger = ParseFaultTrigger(trigger_text);
+    if (!trigger.ok()) return trigger.status();
     Rule& rule = rules_[static_cast<size_t>(idx)];
-    if (StartsWith(trigger, "nth:") || StartsWith(trigger, "every:")) {
-      bool one_shot = StartsWith(trigger, "nth:");
-      std::string num(trigger.substr(one_shot ? 4 : 6));
-      char* end = nullptr;
-      long long n = std::strtoll(num.c_str(), &end, 10);
-      if (end == num.c_str() || *end != '\0' || n <= 0) {
-        return Status::InvalidArgument("bad fault count in: " + rule_text);
-      }
-      rule.kind = one_shot ? Rule::Kind::kNth : Rule::Kind::kEvery;
-      rule.n = static_cast<uint64_t>(n);
-    } else if (StartsWith(trigger, "prob:")) {
-      std::vector<std::string> fields = Split(trigger.substr(5), ':');
-      if (fields.empty() || fields.size() > 2) {
-        return Status::InvalidArgument("bad prob trigger in: " + rule_text);
-      }
-      char* end = nullptr;
-      double p = std::strtod(fields[0].c_str(), &end);
-      if (end == fields[0].c_str() || p < 0.0 || p > 1.0) {
-        return Status::InvalidArgument("bad probability in: " + rule_text);
-      }
-      rule.kind = Rule::Kind::kProb;
-      rule.p = p;
-      if (fields.size() == 2) {
-        rule.seed = static_cast<uint64_t>(
-            std::strtoull(fields[1].c_str(), nullptr, 10));
-      }
-    } else {
-      return Status::InvalidArgument(
-          "unknown fault trigger (want nth:/every:/prob:): " + rule_text);
+    rule.trigger = *trigger;
+    if (rule.trigger.kind == FaultTrigger::Kind::kProb &&
+        !rule.trigger.has_seed) {
+      rule.trigger.seed = DefaultProbSeed(idx, 0);
     }
     any = true;
   }
-  armed_.store(any, std::memory_order_relaxed);
+  rules_armed_ = any;
+  RecomputeArmedLocked();
   return Status::OK();
+}
+
+Status FaultInjector::ArmSchedule(const ChaosSchedule& schedule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  windows_.clear();
+  schedule_armed_.store(false, std::memory_order_relaxed);
+  for (size_t i = 0; i < schedule.windows.size(); ++i) {
+    const ChaosSchedule::Window& spec = schedule.windows[i];
+    int idx = SiteIndex(spec.site.c_str());
+    if (idx < 0) {
+      return Status::InvalidArgument("unknown fault site '" + spec.site +
+                                     "' (known: " + KnownSites() + ")");
+    }
+    if (spec.duration_ms <= 0.0) {
+      return Status::InvalidArgument("chaos window duration must be > 0: " +
+                                     spec.site);
+    }
+    auto window = std::make_unique<ArmedWindow>();
+    window->site_idx = idx;
+    window->start_ms = spec.start_ms;
+    window->end_ms = spec.start_ms + spec.duration_ms;
+    window->trigger = spec.trigger;
+    if (window->trigger.kind == FaultTrigger::Kind::kProb &&
+        !window->trigger.has_seed) {
+      // Salted by the window ordinal so two windows on one site (and the
+      // site's static rule, salt 0) draw from distinct firing sets.
+      window->trigger.seed = DefaultProbSeed(idx, i + 1);
+    }
+    window->label = StringPrintf("%s@%g+%g=%s", spec.site.c_str(),
+                                 spec.start_ms, spec.duration_ms,
+                                 spec.trigger_text.c_str());
+    windows_.push_back(std::move(window));
+  }
+  schedule_armed_.store(!windows_.empty(), std::memory_order_relaxed);
+  RecomputeArmedLocked();
+  return Status::OK();
+}
+
+void FaultInjector::StartScheduleClock() {
+  int64_t now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now().time_since_epoch())
+                       .count();
+  schedule_t0_ns_.store(now_ns, std::memory_order_release);
+}
+
+void FaultInjector::StopSchedule() {
+  std::lock_guard<std::mutex> lock(mu_);
+  schedule_armed_.store(false, std::memory_order_relaxed);
+  schedule_t0_ns_.store(-1, std::memory_order_relaxed);
+  windows_.clear();
+  RecomputeArmedLocked();
+}
+
+double FaultInjector::ScheduleElapsedMs() const {
+  int64_t t0 = schedule_t0_ns_.load(std::memory_order_acquire);
+  if (t0 < 0) return -1.0;
+  int64_t now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now().time_since_epoch())
+                       .count();
+  return static_cast<double>(now_ns - t0) * 1e-6;
 }
 
 FaultInjector::Rule* FaultInjector::FindRule(const char* site) {
@@ -139,42 +304,94 @@ FaultInjector::Rule* FaultInjector::FindRule(const char* site) {
   return idx < 0 ? nullptr : &rules_[static_cast<size_t>(idx)];
 }
 
-Status FaultInjector::Maybe(const char* site) {
-  if (!enabled()) return Status::OK();
-  Rule* rule = FindRule(site);
-  if (rule == nullptr) {
-    return Status::Internal(std::string("unregistered fault site: ") + site);
-  }
-  // 1-based call index; counted even for rule-less sites so sweeps can
-  // assert a site was actually exercised.
-  int64_t call = rule->calls.fetch_add(1, std::memory_order_relaxed) + 1;
-  bool fire = false;
-  switch (rule->kind) {
-    case Rule::Kind::kNone:
-      return Status::OK();
-    case Rule::Kind::kNth:
-      fire = static_cast<uint64_t>(call) == rule->n;
-      break;
-    case Rule::Kind::kEvery:
-      fire = static_cast<uint64_t>(call) % rule->n == 0;
-      break;
-    case Rule::Kind::kProb: {
-      uint64_t h = Mix64(rule->seed * 0x9E3779B97F4A7C15ULL ^
+bool FaultInjector::TriggerFires(const FaultTrigger& trigger, int64_t call) {
+  switch (trigger.kind) {
+    case FaultTrigger::Kind::kNone:
+      return false;
+    case FaultTrigger::Kind::kNth:
+      return static_cast<uint64_t>(call) == trigger.n;
+    case FaultTrigger::Kind::kEvery:
+      return static_cast<uint64_t>(call) % trigger.n == 0;
+    case FaultTrigger::Kind::kProb: {
+      uint64_t h = Mix64(trigger.seed * 0x9E3779B97F4A7C15ULL ^
                          static_cast<uint64_t>(call));
-      fire = static_cast<double>(h) <
-             rule->p * 1.8446744073709552e19;  // p * 2^64
-      break;
+      return static_cast<double>(h) <
+             trigger.p * 1.8446744073709552e19;  // p * 2^64
     }
   }
-  if (!fire) return Status::OK();
-  return Status::Cancelled(StringPrintf(
-      "injected fault at site '%s' (call #%lld)", site,
-      static_cast<long long>(call)));
+  return false;
+}
+
+Status FaultInjector::Maybe(const char* site) {
+  if (!enabled()) return Status::OK();
+  int idx = SiteIndex(site);
+  if (idx < 0) {
+    return Status::Internal(std::string("unregistered fault site: ") + site);
+  }
+  Rule& rule = rules_[static_cast<size_t>(idx)];
+  // 1-based call index; counted even for rule-less sites so sweeps can
+  // assert a site was actually exercised.
+  int64_t call = rule.calls.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (TriggerFires(rule.trigger, call)) {
+    rule.fired.fetch_add(1, std::memory_order_relaxed);
+    return Status::Cancelled(StringPrintf(
+        "injected fault at site '%s' (call #%lld)", site,
+        static_cast<long long>(call)));
+  }
+  if (schedule_armed_.load(std::memory_order_acquire)) {
+    double elapsed_ms = ScheduleElapsedMs();
+    if (elapsed_ms >= 0.0) {
+      for (const std::unique_ptr<ArmedWindow>& window : windows_) {
+        if (window->site_idx != idx) continue;
+        if (elapsed_ms < window->start_ms || elapsed_ms >= window->end_ms) {
+          continue;
+        }
+        // Window-local 1-based call index, counted from the first call
+        // observed inside the window — the firing set is a deterministic
+        // function of the trigger, independent of wall-clock phase.
+        int64_t wcall =
+            window->calls.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (TriggerFires(window->trigger, wcall)) {
+          window->fired.fetch_add(1, std::memory_order_relaxed);
+          return Status::Cancelled(StringPrintf(
+              "injected chaos fault at site '%s' (window %s, call #%lld)",
+              site, window->label.c_str(), static_cast<long long>(wcall)));
+        }
+      }
+    }
+  }
+  return Status::OK();
 }
 
 int64_t FaultInjector::CallsAt(const std::string& site) {
   Rule* rule = FindRule(site.c_str());
   return rule == nullptr ? 0 : rule->calls.load(std::memory_order_relaxed);
+}
+
+int64_t FaultInjector::FiredAt(const std::string& site) {
+  int idx = SiteIndex(site.c_str());
+  if (idx < 0) return 0;
+  int64_t fired =
+      rules_[static_cast<size_t>(idx)].fired.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<ArmedWindow>& window : windows_) {
+    if (window->site_idx == idx) {
+      fired += window->fired.load(std::memory_order_relaxed);
+    }
+  }
+  return fired;
+}
+
+std::string FaultInjector::ScheduleReport() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const std::unique_ptr<ArmedWindow>& window : windows_) {
+    out += StringPrintf(
+        "%s: %lld calls, %lld fired\n", window->label.c_str(),
+        static_cast<long long>(window->calls.load(std::memory_order_relaxed)),
+        static_cast<long long>(window->fired.load(std::memory_order_relaxed)));
+  }
+  return out;
 }
 
 }  // namespace tpcds

@@ -3,13 +3,61 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "util/result.h"
 #include "util/status.h"
 
 namespace tpcds {
+
+/// One parsed fault trigger. Shared by the static per-site rules and the
+/// time-phased chaos windows.
+struct FaultTrigger {
+  enum class Kind { kNone, kNth, kEvery, kProb };
+  Kind kind = Kind::kNone;
+  uint64_t n = 0;     // kNth / kEvery
+  double p = 0.0;     // kProb
+  uint64_t seed = 0;  // kProb; 0 = derive per site (see Configure)
+  bool has_seed = false;
+};
+
+/// Parses "nth:N" / "every:N" / "prob:P[:S]" into a trigger.
+Result<FaultTrigger> ParseFaultTrigger(const std::string& text);
+
+/// A time-phased chaos schedule: fault windows that activate a site's
+/// trigger only for [start_ms, start_ms + duration_ms) measured from
+/// FaultInjector::StartScheduleClock(). Within a window, call indices
+/// count from the window's first observed call, so the trigger's firing
+/// set is a deterministic function of the spec (and, for prob, its seed)
+/// — only *which wall-clock calls* land inside the window depends on
+/// timing.
+///
+/// Spec grammar (TPCDS_CHAOS environment variable, Parse(), or
+/// `full_benchmark -chaos`):
+///
+///   schedule := window ("," window)*
+///   window   := site "@" START_MS "+" DURATION_MS "=" trigger
+///
+/// Example: "wal-append@50+200=nth:3,shed@0+500=every:2" — the third
+/// wal-append inside [50ms, 250ms) fails, and every second shed attempt
+/// in the first half second degrades to backpressure.
+struct ChaosSchedule {
+  struct Window {
+    std::string site;
+    double start_ms = 0.0;
+    double duration_ms = 0.0;
+    FaultTrigger trigger;
+    std::string trigger_text;  // as parsed, for reporting
+  };
+  std::vector<Window> windows;
+
+  static Result<ChaosSchedule> Parse(const std::string& spec);
+  bool empty() const { return windows.empty(); }
+  std::string ToString() const;
+};
 
 /// Deterministic fault injection for robustness testing.
 ///
@@ -29,14 +77,22 @@ namespace tpcds {
 ///           |  "every:" N          fail every N-th call
 ///           |  "prob:" P [":" S]   fail call i iff hash(S, i) < P; the
 ///                                  firing set is a deterministic function
-///                                  of the seed S (default 1), independent
-///                                  of thread interleaving
+///                                  of the seed S, independent of thread
+///                                  interleaving. Without an explicit S the
+///                                  seed derives from the site itself, so
+///                                  two prob-armed sites never fire in
+///                                  lockstep and reruns of the same spec
+///                                  are bit-identical.
 ///
 /// Example: TPCDS_FAULTS="morsel=nth:40,maintenance=prob:0.5:7"
 ///
 /// Call counters are global per site (atomic across threads); *which*
 /// call index a given worker draws depends on scheduling, but the set of
 /// failing indices does not.
+///
+/// On top of the static rules, ArmSchedule() installs time-phased
+/// ChaosSchedule windows (activated by StartScheduleClock()); both layers
+/// are consulted by Maybe(), static rules first.
 class FaultInjector {
  public:
   /// Process-wide injector. First use seeds it from TPCDS_FAULTS (when
@@ -47,12 +103,26 @@ class FaultInjector {
   /// TPCDS_FAULTS fail loudly instead of silently injecting nothing.
   Status Configure(const std::string& spec);
 
-  /// Removes all rules (and the calls-so-far counters).
+  /// Removes all rules, windows and the calls-so-far counters.
   void Clear();
 
-  /// True when at least one rule is active.
+  /// Installs a chaos schedule's windows (replacing any previous
+  /// schedule; static rules are untouched). The windows stay dormant
+  /// until StartScheduleClock(). Must not race Maybe() — arm before the
+  /// workload starts.
+  Status ArmSchedule(const ChaosSchedule& schedule);
+
+  /// Starts (or restarts) the schedule clock: window activation times are
+  /// measured from this call. Safe to call while Maybe() runs.
+  void StartScheduleClock();
+
+  /// Deactivates and removes the schedule's windows, leaving static
+  /// rules armed. Must not race Maybe().
+  void StopSchedule();
+
+  /// True when at least one rule or window is active.
   bool enabled() const {
-    return armed_.load(std::memory_order_relaxed);
+    return armed_.load(std::memory_order_acquire);
   }
 
   /// Returns an error iff the named site should fail this call.
@@ -60,7 +130,16 @@ class FaultInjector {
 
   /// Total calls observed at a site since the last Configure/Clear
   /// (0 while disabled — counting only happens when rules are armed).
+  /// Includes calls counted inside active chaos windows.
   int64_t CallsAt(const std::string& site);
+
+  /// Total faults fired at a site (static rule + chaos windows) since the
+  /// last Configure/Clear/ArmSchedule.
+  int64_t FiredAt(const std::string& site);
+
+  /// Per-window calls/fired counts of the armed schedule, for drill
+  /// reports ("site@start+dur=trigger: N calls, M fired" per line).
+  std::string ScheduleReport();
 
   /// The catalog of valid site names.
   static const std::vector<std::string>& Sites();
@@ -69,20 +148,38 @@ class FaultInjector {
   FaultInjector();
 
   struct Rule {
-    enum class Kind { kNone, kNth, kEvery, kProb };
-    Kind kind = Kind::kNone;
-    uint64_t n = 0;     // kNth / kEvery
-    double p = 0.0;     // kProb
-    uint64_t seed = 1;  // kProb
+    FaultTrigger trigger;
     std::atomic<int64_t> calls{0};
+    std::atomic<int64_t> fired{0};
+  };
+
+  struct ArmedWindow {
+    int site_idx = -1;
+    double start_ms = 0.0;
+    double end_ms = 0.0;
+    FaultTrigger trigger;
+    std::string label;  // "site@start+dur=trigger" for reports
+    std::atomic<int64_t> calls{0};
+    std::atomic<int64_t> fired{0};
   };
 
   Rule* FindRule(const char* site);
+  /// Applies a trigger to 1-based call index `call`; true = fire. Prob
+  /// seeds are resolved at arm time, so the trigger is self-contained.
+  static bool TriggerFires(const FaultTrigger& trigger, int64_t call);
+  /// Milliseconds since StartScheduleClock(), negative when not started.
+  double ScheduleElapsedMs() const;
+  void RecomputeArmedLocked();
 
   std::atomic<bool> armed_{false};
   std::mutex mu_;  // guards reconfiguration; Maybe reads lock-free
   // One slot per catalog site, index-aligned with Sites().
   std::vector<Rule> rules_;
+  bool rules_armed_ = false;  // under mu_
+  // Armed chaos windows; immutable between ArmSchedule/StopSchedule.
+  std::vector<std::unique_ptr<ArmedWindow>> windows_;
+  std::atomic<bool> schedule_armed_{false};
+  std::atomic<int64_t> schedule_t0_ns_{-1};
 };
 
 /// Convenience: returns the injected error Status out of the enclosing

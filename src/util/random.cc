@@ -100,6 +100,15 @@ double RngStream::Gaussian() {
          ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
 }
 
+int64_t RngStream::ZipfInt(int64_t n, double theta) {
+  assert(n > 0);
+  assert(theta >= 0.0 && theta < 1.0);
+  double u = NextDouble();
+  int64_t rank = static_cast<int64_t>(
+      std::pow(u, 1.0 / (1.0 - theta)) * static_cast<double>(n));
+  return rank < n ? rank : n - 1;
+}
+
 size_t RngStream::WeightedPick(const std::vector<double>& weights) {
   double total = 0.0;
   for (double w : weights) total += w;

@@ -48,6 +48,12 @@ class RngStream {
   /// weights[i]. Exactly one draw. Weights must be non-negative, not all 0.
   size_t WeightedPick(const std::vector<double>& weights);
 
+  /// Zipf-like skewed rank in [0, n), exactly one draw. Uses the
+  /// continuous power-law inverse CDF P(rank <= r) = ((r+1)/n)^(1-theta):
+  /// theta = 0 is the uniform distribution, theta -> 1 concentrates the
+  /// mass on rank 0 (the "hot" item). Requires n > 0 and theta in [0, 1).
+  int64_t ZipfInt(int64_t n, double theta);
+
   /// Repositions the stream so the next call to NextUint64() returns the
   /// draw with absolute index `offset` (0-based from the seed state).
   /// O(log offset); may seek forwards or backwards.

@@ -4,6 +4,7 @@
 // committed prefix, byte-identical (content hash) to the live database.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
@@ -38,7 +39,11 @@ class RecoveryTest : public ::testing::Test {
     options.scale_factor = kSf;
     Status st = db_->LoadTpcdsData(options);
     ASSERT_TRUE(st.ok()) << st.ToString();
-    ckpt_dir_ = ::testing::TempDir() + "recovery_test_ckpt";
+    // Unique per process: ctest runs each test case as its own process,
+    // and two concurrent cases recreating one shared directory race
+    // remove_all against SaveCheckpoint/LoadCheckpoint.
+    ckpt_dir_ = ::testing::TempDir() + "recovery_test_ckpt_" +
+                std::to_string(::getpid());
     fs::remove_all(ckpt_dir_);
     st = db_->SaveCheckpoint(ckpt_dir_);
     ASSERT_TRUE(st.ok()) << st.ToString();
